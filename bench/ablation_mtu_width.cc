@@ -1,0 +1,39 @@
+// Ablation (paper §7's latency discussion): data-path width determines how
+// many words a packet occupies in the store-and-forward ICRC stages (176 vs
+// 22 for a full MTU at 8 B vs 64 B). Sweeping the width at a fixed 156.25
+// MHz clock isolates that effect on write latency for small and MTU-sized
+// payloads.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace strom {
+namespace {
+
+void AblationWidthLatency(benchmark::State& state) {
+  const uint32_t width = static_cast<uint32_t>(state.range(0));
+  const size_t payload = static_cast<size_t>(state.range(1));
+  Profile profile = Profile10G();
+  profile.roce.data_width = width;
+  // Wire rate fixed at 10 G: only the NIC-internal word count changes.
+  for (auto _ : state) {
+    bench::ReportLatency(state, bench::MeasureWriteLatency(profile, payload, 100));
+  }
+  state.counters["width_B"] = width;
+  state.counters["payload_B"] = static_cast<double>(payload);
+}
+
+void WidthArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t width : {8, 16, 32, 64}) {
+    for (int64_t payload : {64, 1024}) {
+      b->Args({width, payload});
+    }
+  }
+}
+
+BENCHMARK(AblationWidthLatency)->Apply(WidthArgs)->Iterations(1);
+
+}  // namespace
+}  // namespace strom
+
+BENCHMARK_MAIN();

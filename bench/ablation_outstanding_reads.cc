@@ -1,0 +1,29 @@
+// Ablation: Multi-Queue depth (total outstanding RDMA READs) vs READ
+// throughput at a fixed 4 KiB payload on the 10 G profile. With one
+// outstanding read the link idles for a full round trip per message; depth
+// must cover the bandwidth-delay product before throughput saturates.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace strom {
+namespace {
+
+void AblationOutstandingReads(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Profile profile = Profile10G();
+  profile.roce.multi_queue_total = static_cast<uint32_t>(depth) + 1;
+  for (auto _ : state) {
+    bench::Throughput t =
+        bench::MeasureReadThroughput(profile, KiB(4), 1500, /*window=*/depth);
+    state.counters["gbps"] = t.gbps;
+  }
+  state.counters["outstanding_reads"] = depth;
+}
+
+BENCHMARK(AblationOutstandingReads)->RangeMultiplier(2)->Range(1, 64)->Iterations(1);
+
+}  // namespace
+}  // namespace strom
+
+BENCHMARK_MAIN();

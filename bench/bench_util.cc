@@ -1,0 +1,229 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/sim/task.h"
+#include "src/testbed/workload.h"
+
+namespace strom::bench {
+
+namespace {
+constexpr Qpn kQp = 1;
+}  // namespace
+
+LatencyStats MeasureWriteLatency(const Profile& profile, size_t payload, int rounds) {
+  Testbed bed(profile);
+  bed.ConnectQp(0, kQp, 1, kQp);
+  const VirtAddr src0 = bed.node(0).driver().AllocBuffer(MiB(2))->addr;
+  const VirtAddr ping = bed.node(1).driver().AllocBuffer(MiB(2))->addr;  // on node 1
+  const VirtAddr src1 = bed.node(1).driver().AllocBuffer(MiB(2))->addr;
+  const VirtAddr pong = bed.node(0).driver().AllocBuffer(MiB(2))->addr;  // on node 0
+
+  ByteBuffer fill = RandomBytes(payload, 1);
+  STROM_CHECK(bed.node(0).driver().WriteHost(src0, fill).ok());
+  STROM_CHECK(bed.node(1).driver().WriteHost(src1, fill).ok());
+
+  LatencyStats stats;
+  bool finished = false;
+
+  struct Ctx {
+    Testbed& bed;
+    size_t payload;
+    int rounds;
+    VirtAddr src0, ping, src1, pong;
+    LatencyStats* stats;
+    bool* finished;
+  };
+  const Ctx ctx{bed, payload, rounds, src0, ping, src1, pong, &stats, &finished};
+
+  // Remote side: poll the ping buffer, bounce the payload back.
+  auto responder = [](Ctx c) -> Task {
+    RoceDriver& drv = c.bed.node(1).driver();
+    const VirtAddr seq_addr = c.ping + c.payload - 8;
+    for (int r = 1; r <= c.rounds; ++r) {
+      auto poll = drv.PollU64(seq_addr, static_cast<uint64_t>(r - 1));
+      const uint64_t seq = co_await poll;
+      drv.WriteHostU64(c.src1 + c.payload - 8, seq);
+      drv.PostWrite(kQp, c.src1, c.pong, static_cast<uint32_t>(c.payload));
+    }
+  };
+
+  auto initiator = [](Ctx c) -> Task {
+    RoceDriver& drv = c.bed.node(0).driver();
+    const VirtAddr seq_addr = c.pong + c.payload - 8;
+    // Start both sequence words from 0.
+    c.bed.node(1).driver().WriteHostU64(c.ping + c.payload - 8, 0);
+    drv.WriteHostU64(seq_addr, 0);
+    for (int r = 1; r <= c.rounds; ++r) {
+      drv.WriteHostU64(c.src0 + c.payload - 8, static_cast<uint64_t>(r));
+      const SimTime start = c.bed.sim().now();
+      drv.PostWrite(kQp, c.src0, c.ping, static_cast<uint32_t>(c.payload));
+      auto poll = drv.PollU64(seq_addr, static_cast<uint64_t>(r - 1));
+      co_await poll;
+      const SimTime rtt = c.bed.sim().now() - start;
+      c.stats->Add(rtt / 2);
+    }
+    *c.finished = true;
+  };
+
+  bed.sim().Spawn(responder(ctx));
+  bed.sim().Spawn(initiator(ctx));
+  bed.sim().RunUntil([&] { return finished; });
+  STROM_CHECK(finished) << "ping-pong stalled";
+  return stats;
+}
+
+LatencyStats MeasureReadLatency(const Profile& profile, size_t payload, int rounds) {
+  Testbed bed(profile);
+  bed.ConnectQp(0, kQp, 1, kQp);
+  const VirtAddr local = bed.node(0).driver().AllocBuffer(MiB(2))->addr;
+  const VirtAddr remote = bed.node(1).driver().AllocBuffer(MiB(2))->addr;
+  STROM_CHECK(bed.node(1).driver().WriteHost(remote, RandomBytes(payload, 2)).ok());
+
+  LatencyStats stats;
+  bool finished = false;
+  struct Ctx {
+    Testbed& bed;
+    size_t payload;
+    int rounds;
+    VirtAddr local, remote;
+    LatencyStats* stats;
+    bool* finished;
+  };
+  auto reader = [](Ctx c) -> Task {
+    RoceDriver& drv = c.bed.node(0).driver();
+    for (int r = 0; r < c.rounds; ++r) {
+      const SimTime start = c.bed.sim().now();
+      auto read = drv.Read(kQp, c.local, c.remote, static_cast<uint32_t>(c.payload));
+      Status st = co_await read;
+      STROM_CHECK(st.ok()) << st;
+      c.stats->Add(c.bed.sim().now() - start);
+    }
+    *c.finished = true;
+  };
+  bed.sim().Spawn(reader(Ctx{bed, payload, rounds, local, remote, &stats, &finished}));
+  bed.sim().RunUntil([&] { return finished; });
+  STROM_CHECK(finished);
+  return stats;
+}
+
+namespace {
+
+Throughput MeasureThroughput(const Profile& profile, size_t payload, int messages, int window,
+                             bool is_read) {
+  Testbed bed(profile);
+  bed.ConnectQp(0, kQp, 1, kQp);
+  // Cycle over an 8 MiB region so messages hit distinct addresses.
+  const size_t region = MiB(8);
+  const VirtAddr local = bed.node(0).driver().AllocBuffer(region + payload)->addr;
+  const VirtAddr remote = bed.node(1).driver().AllocBuffer(region + payload)->addr;
+  if (is_read) {
+    bed.node(1).driver().FillHost(remote, region, 0x5C);
+  } else {
+    bed.node(0).driver().FillHost(local, region, 0x5C);
+  }
+
+  if (is_read) {
+    window = std::min<int>(window, static_cast<int>(profile.roce.multi_queue_total) - 1);
+    // Bound in-flight response data to ~2 MiB: enough to saturate the wire
+    // (bandwidth-delay product is tens of KiB) without queueing responses
+    // for longer than a sane retransmission timeout.
+    window = std::max(2, std::min<int>(window, static_cast<int>(MiB(2) / payload)));
+  }
+
+  int posted = 0;
+  int completed = 0;
+  SimTime first_post = -1;
+  SimTime last_done = 0;
+
+  std::function<void()> post_next = [&] {
+    if (posted >= messages) {
+      return;
+    }
+    const size_t slots = region / std::max<size_t>(payload, 64);
+    const VirtAddr offset = (posted % slots) * payload;
+    ++posted;
+    if (first_post < 0) {
+      first_post = bed.sim().now();
+    }
+    auto done = [&](Status st) {
+      STROM_CHECK(st.ok()) << st;
+      ++completed;
+      last_done = bed.sim().now();
+      post_next();
+    };
+    if (is_read) {
+      bed.node(0).driver().PostRead(kQp, local + offset, remote + offset,
+                                    static_cast<uint32_t>(payload), done);
+    } else {
+      bed.node(0).driver().PostWrite(kQp, local + offset, remote + offset,
+                                     static_cast<uint32_t>(payload), done);
+    }
+  };
+  for (int i = 0; i < window; ++i) {
+    post_next();
+  }
+  bed.sim().RunUntil([&] { return completed >= messages; });
+  STROM_CHECK_EQ(completed, messages);
+
+  const double elapsed_sec = ToSec(last_done - first_post);
+  Throughput t;
+  t.gbps = static_cast<double>(messages) * static_cast<double>(payload) * 8 / elapsed_sec / 1e9;
+  t.mmsg_per_sec = static_cast<double>(messages) / elapsed_sec / 1e6;
+  return t;
+}
+
+}  // namespace
+
+Throughput MeasureWriteThroughput(const Profile& profile, size_t payload, int messages,
+                                  int window) {
+  return MeasureThroughput(profile, payload, messages, window, /*is_read=*/false);
+}
+
+Throughput MeasureReadThroughput(const Profile& profile, size_t payload, int messages,
+                                 int window) {
+  return MeasureThroughput(profile, payload, messages, window, /*is_read=*/true);
+}
+
+double IdealGoodputGbps(const Profile& profile, size_t payload) {
+  const size_t pmtu = RocePayloadPerPacket(profile.link.ip_mtu);
+  const size_t full_pkts = payload / pmtu;
+  const size_t rem = payload % pmtu;
+  // Wire bytes: headers (Eth 14 + IP 20 + UDP 8 + BTH 12 + ICRC 4 = 58, plus
+  // RETH 16 on first) + PHY overhead 24 per frame.
+  size_t wire = 0;
+  size_t pkts = full_pkts + (rem != 0 ? 1 : 0);
+  if (pkts == 0) {
+    pkts = 1;
+  }
+  wire += payload + pkts * (58 + 24) + 16;
+  const double rate = static_cast<double>(profile.link.rate_bps);
+  return static_cast<double>(payload) / static_cast<double>(wire) * rate / 1e9;
+}
+
+double IdealMsgRate(const Profile& profile, size_t payload) {
+  const double gbps = IdealGoodputGbps(profile, payload);
+  return gbps * 1e9 / 8 / static_cast<double>(payload) / 1e6;  // Mmsg/s
+}
+
+void ReportLatency(benchmark::State& state, const LatencyStats& stats) {
+  state.counters["median_us"] = ToUs(stats.Median());
+  state.counters["p1_us"] = ToUs(stats.P1());
+  state.counters["p99_us"] = ToUs(stats.P99());
+}
+
+int MessagesForPayload(size_t payload) {
+  if (payload <= 512) {
+    return 4000;
+  }
+  if (payload <= KiB(16)) {
+    return 1000;
+  }
+  if (payload <= KiB(256)) {
+    return 200;
+  }
+  return 50;
+}
+
+}  // namespace strom::bench

@@ -1,0 +1,49 @@
+// Shared measurement runners for the paper-figure benchmarks. Each runner
+// builds a fresh two-node testbed, drives a workload the way the paper's
+// evaluation does (memory polling for completion, ping-pong for write
+// latency), and returns simulated-time statistics.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include "src/testbed/stats.h"
+#include "src/testbed/testbed.h"
+
+namespace strom::bench {
+
+// Median latency of an RDMA WRITE, measured as RTT/2 of the paper's §6.1
+// ping-pong (initiator writes, remote polls and writes back, initiator
+// polls).
+LatencyStats MeasureWriteLatency(const Profile& profile, size_t payload, int rounds);
+
+// Latency of an RDMA READ until the response payload is placed in the
+// initiator's memory.
+LatencyStats MeasureReadLatency(const Profile& profile, size_t payload, int rounds);
+
+struct Throughput {
+  double gbps = 0;          // goodput (payload bits per second)
+  double mmsg_per_sec = 0;  // message rate in millions/s
+};
+
+// Streams `messages` back-to-back writes (or reads) of `payload` bytes with
+// a bounded number outstanding; returns sustained goodput and message rate.
+Throughput MeasureWriteThroughput(const Profile& profile, size_t payload, int messages,
+                                  int window = 64);
+Throughput MeasureReadThroughput(const Profile& profile, size_t payload, int messages,
+                                 int window = 64);
+
+// Ideal wire numbers for reference lines (per-frame protocol + PHY overhead
+// at the profile's MTU).
+double IdealGoodputGbps(const Profile& profile, size_t payload);
+double IdealMsgRate(const Profile& profile, size_t payload);
+
+// Registers median/p1/p99 (in microseconds) as benchmark counters.
+void ReportLatency(benchmark::State& state, const LatencyStats& stats);
+
+// Number of messages needed so a throughput run covers a sensible horizon.
+int MessagesForPayload(size_t payload);
+
+}  // namespace strom::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,39 @@
+// Figure 5a: median latency (with p1/p99 whiskers) of RDMA READ and WRITE on
+// the 10 G StRoM NIC, payload 64 B - 1 KiB. Write latency is RTT/2 of the
+// memory-polling ping-pong; read latency is request-to-data-placed.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace strom {
+namespace {
+
+constexpr int kRounds = 300;
+
+void Fig5aWrite(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    LatencyStats stats = bench::MeasureWriteLatency(Profile10G(), payload, kRounds);
+    bench::ReportLatency(state, stats);
+  }
+  state.counters["payload_B"] = static_cast<double>(payload);
+}
+
+void Fig5aRead(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    LatencyStats stats = bench::MeasureReadLatency(Profile10G(), payload, kRounds);
+    bench::ReportLatency(state, stats);
+  }
+  state.counters["payload_B"] = static_cast<double>(payload);
+}
+
+BENCHMARK(Fig5aWrite)->RangeMultiplier(2)->Range(64, 1024)->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(Fig5aRead)->RangeMultiplier(2)->Range(64, 1024)->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace strom
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Figure 5b: throughput of RDMA READ and WRITE on the 10 G StRoM NIC,
+// payload 2^6 - 2^20 bytes. Large payloads approach the 9.4 Gbit/s wire
+// limit; small payloads are bound by the host command issue rate (Fig 5c).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace strom {
+namespace {
+
+void Fig5bWrite(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    bench::Throughput t = bench::MeasureWriteThroughput(Profile10G(), payload,
+                                                        bench::MessagesForPayload(payload));
+    state.counters["gbps"] = t.gbps;
+  }
+  state.counters["payload_B"] = static_cast<double>(payload);
+  state.counters["ideal_gbps"] = bench::IdealGoodputGbps(Profile10G(), payload);
+}
+
+void Fig5bRead(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    bench::Throughput t = bench::MeasureReadThroughput(Profile10G(), payload,
+                                                       bench::MessagesForPayload(payload));
+    state.counters["gbps"] = t.gbps;
+  }
+  state.counters["payload_B"] = static_cast<double>(payload);
+}
+
+BENCHMARK(Fig5bWrite)->RangeMultiplier(4)->Range(64, 1 << 20)->Iterations(1);
+BENCHMARK(Fig5bRead)->RangeMultiplier(4)->Range(64, 1 << 20)->Iterations(1);
+
+}  // namespace
+}  // namespace strom
+
+BENCHMARK_MAIN();

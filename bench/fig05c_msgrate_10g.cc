@@ -1,0 +1,37 @@
+// Figure 5c: message rate of RDMA READ and WRITE on the 10 G StRoM NIC for
+// 64 B - 4 KiB payloads. Writes are limited by the rate at which the host
+// can issue commands via memory-mapped AVX2 stores (paper §7); reads by the
+// outstanding-read window over the round-trip time.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace strom {
+namespace {
+
+void Fig5cWrite(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    bench::Throughput t = bench::MeasureWriteThroughput(Profile10G(), payload, 6000);
+    state.counters["mmsg_per_s"] = t.mmsg_per_sec;
+  }
+  state.counters["payload_B"] = static_cast<double>(payload);
+  state.counters["ideal_mmsg_per_s"] = bench::IdealMsgRate(Profile10G(), payload);
+}
+
+void Fig5cRead(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    bench::Throughput t = bench::MeasureReadThroughput(Profile10G(), payload, 6000);
+    state.counters["mmsg_per_s"] = t.mmsg_per_sec;
+  }
+  state.counters["payload_B"] = static_cast<double>(payload);
+}
+
+BENCHMARK(Fig5cWrite)->RangeMultiplier(4)->Range(64, 4096)->Iterations(1);
+BENCHMARK(Fig5cRead)->RangeMultiplier(4)->Range(64, 4096)->Iterations(1);
+
+}  // namespace
+}  // namespace strom
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Table 3: resource usage of StRoM (500 QPs) on the VCU118 at 10 G and
+// 100 G, from the calibrated resource model, plus the §6.1 QP-scaling rows
+// and per-kernel estimates as an extension.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/resmodel/resource_model.h"
+
+namespace strom {
+namespace {
+
+NicDesign MakeDesign(uint32_t width, uint32_t clock_mhz, uint32_t qps) {
+  NicDesign d;
+  d.data_width_bytes = width;
+  d.clock_mhz = clock_mhz;
+  d.num_qps = qps;
+  return d;
+}
+
+void PrintRow(const char* label, const ResourceEstimate& e, const FpgaDevice& dev) {
+  std::printf("%-28s %7lu K LUT (%4.1f%%)   %5lu BRAM (%4.1f%%)   %7lu K FF (%4.1f%%)\n",
+              label, e.luts / 1000, e.LutPct(dev), e.brams, e.BramPct(dev), e.ffs / 1000,
+              e.FfPct(dev));
+}
+
+void Table3(benchmark::State& state) {
+  const FpgaDevice vu9p = UltraScalePlus_VU9P();
+  const FpgaDevice v7 = Virtex7_690T();
+  const ResourceEstimate e10 = EstimateNic(MakeDesign(8, 156, 500));
+  const ResourceEstimate e100 = EstimateNic(MakeDesign(64, 322, 500));
+
+  for (auto _ : state) {
+    std::printf("\nTable 3: StRoM resource usage for 500 QPs on VCU118 (%s)\n", vu9p.name.c_str());
+    PrintRow("10 G  (8 B @ 156.25 MHz)", e10, vu9p);
+    PrintRow("100 G (64 B @ 322 MHz)", e100, vu9p);
+
+    std::printf("\nSection 6.1: QP scaling on the 10 G prototype (%s)\n", v7.name.c_str());
+    for (uint32_t qps : {500u, 2000u, 8000u, 16000u}) {
+      const ResourceEstimate e = EstimateNic(MakeDesign(8, 156, qps));
+      char label[32];
+      std::snprintf(label, sizeof(label), "  %u QPs", qps);
+      PrintRow(label, e, v7);
+    }
+
+    std::printf("\nExtension: per-kernel estimates (at 10 G / 100 G width)\n");
+    for (KernelKind kind : {KernelKind::kTraversal, KernelKind::kConsistency,
+                            KernelKind::kShuffle, KernelKind::kHll, KernelKind::kGet}) {
+      const ResourceEstimate k8 = EstimateKernel(kind, 8);
+      const ResourceEstimate k64 = EstimateKernel(kind, 64);
+      std::printf("  %-12s %5lu / %5lu LUT   %3lu / %3lu BRAM   %5lu / %5lu FF\n",
+                  KernelKindName(kind), k8.luts, k64.luts, k8.brams, k64.brams, k8.ffs,
+                  k64.ffs);
+    }
+
+    NicDesign full = MakeDesign(64, 322, 500);
+    full.kernels = {KernelKind::kTraversal, KernelKind::kConsistency, KernelKind::kShuffle,
+                    KernelKind::kHll, KernelKind::kGet};
+    std::printf("\n");
+    PrintRow("100 G NIC + all 5 kernels", EstimateTotal(full), vu9p);
+  }
+  state.counters["lut_10g"] = static_cast<double>(e10.luts);
+  state.counters["bram_10g"] = static_cast<double>(e10.brams);
+  state.counters["ff_10g"] = static_cast<double>(e10.ffs);
+  state.counters["lut_100g"] = static_cast<double>(e100.luts);
+  state.counters["bram_100g"] = static_cast<double>(e100.brams);
+  state.counters["ff_100g"] = static_cast<double>(e100.ffs);
+}
+
+BENCHMARK(Table3)->Iterations(1);
+
+}  // namespace
+}  // namespace strom
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+#include "src/common/bytes.h"
+
+#include <cstdio>
+
+namespace strom {
+
+std::string HexDump(ByteSpan data, size_t max_bytes) {
+  std::string out;
+  size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  char tmp[4];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(tmp, sizeof(tmp), "%02x", data[i]);
+    if (i != 0) {
+      out += ' ';
+    }
+    out += tmp;
+  }
+  if (n < data.size()) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace strom

@@ -1,0 +1,74 @@
+#include "src/common/crc.h"
+
+#include <array>
+
+namespace strom {
+
+namespace {
+
+constexpr uint32_t kCrc32Poly = 0xEDB88320u;          // reflected IEEE 802.3
+constexpr uint64_t kCrc64Poly = 0xC96C5795D7870F42ull;  // reflected ECMA-182
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (kCrc32Poly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::array<uint64_t, 256> MakeCrc64Table() {
+  std::array<uint64_t, 256> table{};
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (kCrc64Poly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  return table;
+}
+
+const std::array<uint64_t, 256>& Crc64Table() {
+  static const std::array<uint64_t, 256> table = MakeCrc64Table();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(ByteSpan data) {
+  const auto& table = Crc32Table();
+  uint32_t c = state_;
+  for (uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc32::Update(uint8_t byte) {
+  state_ = Crc32Table()[(state_ ^ byte) & 0xFF] ^ (state_ >> 8);
+}
+
+void Crc64::Update(ByteSpan data) {
+  const auto& table = Crc64Table();
+  uint64_t c = state_;
+  for (uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+void Crc64::Update(uint8_t byte) {
+  state_ = Crc64Table()[(state_ ^ byte) & 0xFF] ^ (state_ >> 8);
+}
+
+}  // namespace strom

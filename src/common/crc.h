@@ -1,0 +1,57 @@
+// CRC implementations used across the system:
+//  * Crc32: IEEE 802.3 polynomial (reflected 0xEDB88320) — used for the RoCE
+//    ICRC trailer (the IB spec uses the same polynomial as Ethernet FCS).
+//  * Crc64: ECMA-182 polynomial (reflected 0xC96C5795D7870F42) — used by the
+//    consistency kernel and the Pilaf-style software baseline (paper §6.3).
+// Both support incremental updates so kernels can fold in one stream chunk at
+// a time, exactly like a word-serial hardware CRC unit.
+#ifndef SRC_COMMON_CRC_H_
+#define SRC_COMMON_CRC_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace strom {
+
+class Crc32 {
+ public:
+  Crc32() = default;
+
+  void Update(ByteSpan data);
+  void Update(uint8_t byte);
+  uint32_t Finish() const { return state_ ^ 0xFFFFFFFFu; }
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+  static uint32_t Compute(ByteSpan data) {
+    Crc32 crc;
+    crc.Update(data);
+    return crc.Finish();
+  }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+class Crc64 {
+ public:
+  Crc64() = default;
+
+  void Update(ByteSpan data);
+  void Update(uint8_t byte);
+  uint64_t Finish() const { return state_ ^ 0xFFFFFFFFFFFFFFFFull; }
+  void Reset() { state_ = 0xFFFFFFFFFFFFFFFFull; }
+
+  static uint64_t Compute(ByteSpan data) {
+    Crc64 crc;
+    crc.Update(data);
+    return crc.Finish();
+  }
+
+ private:
+  uint64_t state_ = 0xFFFFFFFFFFFFFFFFull;
+};
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_CRC_H_

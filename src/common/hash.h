@@ -1,0 +1,51 @@
+// 64-bit mixing hash used by the HLL kernel, the KVS hash table, and the
+// shuffle radix function. Finalizer from MurmurHash3/SplitMix64: cheap, well
+// distributed, trivially implementable in FPGA logic.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace strom {
+
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Hash of arbitrary bytes: FNV-style accumulation followed by Mix64.
+inline uint64_t HashBytes(ByteSpan data, uint64_t seed = 0) {
+  uint64_t h = seed ^ 0xCBF29CE484222325ull;
+  size_t i = 0;
+  while (i + 8 <= data.size()) {
+    h = (h ^ LoadLe64(data.data() + i)) * 0x100000001B3ull;
+    i += 8;
+  }
+  uint64_t tail = 0;
+  int shift = 0;
+  while (i < data.size()) {
+    tail |= static_cast<uint64_t>(data[i]) << shift;
+    shift += 8;
+    ++i;
+  }
+  if (shift != 0) {
+    h = (h ^ tail) * 0x100000001B3ull;
+  }
+  return Mix64(h);
+}
+
+// Radix hash used by the shuffle kernel (paper §6.4): the N least significant
+// bits of the value select the partition.
+inline constexpr uint32_t RadixPartition(uint64_t value, uint32_t radix_bits) {
+  return static_cast<uint32_t>(value & ((1ull << radix_bits) - 1));
+}
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_HASH_H_

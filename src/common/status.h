@@ -1,0 +1,119 @@
+// Lightweight Status / Result error propagation (no exceptions on hot paths).
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace strom {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kDataLoss,
+  kUnimplemented,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DataLossError(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {}          // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+#define STROM_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::strom::Status _st = (expr);          \
+    if (!_st.ok()) {                       \
+      return _st;                          \
+    }                                      \
+  } while (0)
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_STATUS_H_

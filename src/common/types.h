@@ -1,0 +1,37 @@
+// Fundamental scalar aliases shared across the StRoM reproduction.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace strom {
+
+// Virtual and physical addresses in the simulated host memory space.
+using VirtAddr = uint64_t;
+using PhysAddr = uint64_t;
+
+// Queue pair number: 24 bits on the wire (BTH DestQP field).
+using Qpn = uint32_t;
+
+// Packet sequence number: 24 bits on the wire, arithmetic is mod 2^24.
+using Psn = uint32_t;
+
+inline constexpr uint32_t kPsnMask = 0xFFFFFF;
+inline constexpr uint32_t kQpnMask = 0xFFFFFF;
+
+// PSN arithmetic modulo 2^24.
+inline constexpr Psn PsnAdd(Psn a, uint32_t delta) { return (a + delta) & kPsnMask; }
+
+// Signed distance from `from` to `to` in PSN space, in [-2^23, 2^23).
+inline constexpr int32_t PsnDistance(Psn from, Psn to) {
+  int32_t d = static_cast<int32_t>((to - from) & kPsnMask);
+  if (d >= (1 << 23)) {
+    d -= (1 << 24);
+  }
+  return d;
+}
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,26 @@
+// Size and bandwidth unit helpers. Simulated time units live in src/sim/time.h.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace strom {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+inline constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+inline constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+
+// Bandwidths are expressed in bits per second.
+inline constexpr uint64_t Gbps(uint64_t n) { return n * 1'000'000'000ULL; }
+inline constexpr uint64_t Mbps(uint64_t n) { return n * 1'000'000ULL; }
+
+// Bytes per second from bits per second.
+inline constexpr double BytesPerSec(uint64_t bits_per_sec) { return bits_per_sec / 8.0; }
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_UNITS_H_

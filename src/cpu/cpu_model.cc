@@ -1,0 +1,65 @@
+#include "src/cpu/cpu_model.h"
+
+#include <array>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+namespace {
+
+SimTime TimeForRate(uint64_t bytes, double bytes_per_us) {
+  return static_cast<SimTime>(std::ceil(static_cast<double>(bytes) / bytes_per_us *
+                                        static_cast<double>(kUs)));
+}
+
+// Fig 13a measured points (threads, Gbit/s).
+constexpr std::array<std::pair<int, double>, 4> kHllPoints = {{
+    {1, 4.64},
+    {2, 9.28},
+    {4, 18.40},
+    {8, 24.40},
+}};
+
+}  // namespace
+
+SimTime CpuModel::Crc64Time(uint64_t bytes) const {
+  return TimeForRate(bytes, params_.crc64_bytes_per_us);
+}
+
+SimTime CpuModel::MemcpyTime(uint64_t bytes) const {
+  return TimeForRate(bytes, params_.memcpy_bytes_per_us);
+}
+
+SimTime CpuModel::PartitionTime(uint64_t bytes) const {
+  return TimeForRate(bytes, params_.partition_bytes_per_us);
+}
+
+double CpuModel::HllThroughputGbps(int threads) const {
+  STROM_CHECK_GE(threads, 1);
+  if (threads >= kHllPoints.back().first) {
+    return kHllPoints.back().second;  // memory-bandwidth plateau
+  }
+  for (size_t i = 0; i + 1 < kHllPoints.size(); ++i) {
+    const auto [t0, g0] = kHllPoints[i];
+    const auto [t1, g1] = kHllPoints[i + 1];
+    if (threads == t0) {
+      return g0;
+    }
+    if (threads < t1) {
+      // Geometric interpolation in log-thread space.
+      const double f = (std::log2(threads) - std::log2(t0)) / (std::log2(t1) - std::log2(t0));
+      return g0 * std::pow(g1 / g0, f);
+    }
+  }
+  return kHllPoints.back().second;
+}
+
+SimTime CpuModel::HllTime(uint64_t bytes, int threads) const {
+  const double gbps = HllThroughputGbps(threads);
+  const double bytes_per_us = gbps * 1000.0 / 8.0;
+  return TimeForRate(bytes, bytes_per_us);
+}
+
+}  // namespace strom

@@ -1,0 +1,71 @@
+#include "src/host/controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+Controller::Controller(Simulator& sim, RoceStack& stack, StromEngine* engine,
+                       ControllerConfig config)
+    : sim_(sim), stack_(stack), engine_(engine), config_(config) {}
+
+SimTime Controller::ClaimIssueSlot() {
+  const SimTime slot = std::max(sim_.now(), next_issue_);
+  next_issue_ = slot + config_.cmd_issue_interval;
+  ++commands_issued_;
+  return slot;
+}
+
+SimTime Controller::PostWork(WorkRequest wr) {
+  const SimTime slot = ClaimIssueSlot();
+  sim_.ScheduleAt(slot + config_.mmio_latency, [this, w = std::move(wr)]() mutable {
+    Status st = stack_.PostRequest(std::move(w));
+    if (!st.ok()) {
+      STROM_LOG(kWarning) << "NIC rejected work request: " << st;
+    }
+  });
+  return slot + config_.cmd_issue_interval;
+}
+
+RoceCounters Controller::ReadNicCounters() { return stack_.counters(); }
+
+SimTime Controller::PostWorkBatch(std::vector<WorkRequest> batch) {
+  SimTime done = sim_.now();
+  size_t offset = 0;
+  while (offset < batch.size()) {
+    const size_t n = std::min<size_t>(config_.max_batch, batch.size() - offset);
+    const SimTime slot = ClaimIssueSlot();  // one doorbell store per block
+    commands_issued_ += n - 1;              // ClaimIssueSlot counted one
+    std::vector<WorkRequest> block(std::make_move_iterator(batch.begin() + offset),
+                                   std::make_move_iterator(batch.begin() + offset + n));
+    sim_.ScheduleAt(slot + config_.mmio_latency + config_.wqe_fetch_latency,
+                    [this, b = std::move(block)]() mutable {
+                      for (WorkRequest& wr : b) {
+                        Status st = stack_.PostRequest(std::move(wr));
+                        if (!st.ok()) {
+                          STROM_LOG(kWarning) << "NIC rejected batched request: " << st;
+                        }
+                      }
+                    });
+    offset += n;
+    done = slot + config_.cmd_issue_interval;
+  }
+  return done;
+}
+
+SimTime Controller::PostLocalRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params) {
+  const SimTime slot = ClaimIssueSlot();
+  sim_.ScheduleAt(slot + config_.mmio_latency,
+                  [this, rpc_opcode, qpn, p = std::move(params)]() mutable {
+                    STROM_CHECK(engine_ != nullptr) << "no StRoM engine deployed";
+                    Status st = engine_->InvokeLocal(rpc_opcode, qpn, std::move(p));
+                    if (!st.ok()) {
+                      STROM_LOG(kWarning) << "local RPC rejected: " << st;
+                    }
+                  });
+  return slot + config_.cmd_issue_interval;
+}
+
+}  // namespace strom

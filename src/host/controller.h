@@ -1,0 +1,71 @@
+// Controller (paper §4.3): the host maps /dev/roce control registers into
+// user space and issues each NIC command with a single memory-mapped AVX2
+// store. The message rate is therefore bounded by how fast the application
+// can issue those stores and the I/O subsystem can deliver them over PCIe
+// (paper §7: "the message rate is limited by the host issuing commands") —
+// modeled by `cmd_issue_interval`. `mmio_latency` is the posted-write delay
+// until the NIC decodes the command.
+#ifndef SRC_HOST_CONTROLLER_H_
+#define SRC_HOST_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/roce/stack.h"
+#include "src/sim/simulator.h"
+#include "src/strom/engine.h"
+
+namespace strom {
+
+struct ControllerConfig {
+  SimTime cmd_issue_interval = Ns(140);
+  SimTime mmio_latency = Ns(250);
+  // Batched submission (§7: "Batching of application commands will eliminate
+  // this limitation"): the application writes a block of work-queue entries
+  // into pinned host memory and rings a single doorbell; the NIC fetches the
+  // block over PCIe. One doorbell store per batch, plus the WQE fetch.
+  uint32_t max_batch = 32;              // WQEs per doorbell
+  SimTime wqe_fetch_latency = Ns(700);  // NIC DMA read of the WQE block
+};
+
+class Controller {
+ public:
+  Controller(Simulator& sim, RoceStack& stack, StromEngine* engine, ControllerConfig config);
+
+  // Issues a work request. Returns the simulated time at which the host
+  // thread has retired the store and may continue (callers in coroutines
+  // should `co_await Delay(sim, IssueCost())` style via the driver API).
+  SimTime PostWork(WorkRequest wr);
+
+  // Issues up to `max_batch` work requests per doorbell: the whole batch
+  // costs one command-issue slot plus a WQE fetch, lifting the per-command
+  // AVX2-store ceiling on message rate (§7).
+  SimTime PostWorkBatch(std::vector<WorkRequest> batch);
+
+  // Posts an RPC to the *local* NIC (paper §3.5, local StRoM invocation).
+  SimTime PostLocalRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params);
+
+  // Reads the NIC's status/performance registers (paper §4.3: "the host can
+  // also retrieve status and performance metrics"). Each batch of register
+  // reads costs one non-posted MMIO round trip of host time.
+  RoceCounters ReadNicCounters();
+  SimTime counter_read_cost() const { return 2 * config_.mmio_latency; }
+
+  uint64_t commands_issued() const { return commands_issued_; }
+  const ControllerConfig& config() const { return config_; }
+
+ private:
+  // Serializes command stores at the issue rate; returns the slot time.
+  SimTime ClaimIssueSlot();
+
+  Simulator& sim_;
+  RoceStack& stack_;
+  StromEngine* engine_;
+  ControllerConfig config_;
+  SimTime next_issue_ = 0;
+  uint64_t commands_issued_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_HOST_CONTROLLER_H_

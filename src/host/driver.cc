@@ -1,0 +1,204 @@
+#include "src/host/driver.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+RoceDriver::RoceDriver(Simulator& sim, HostMemory& memory, Tlb& tlb, Controller& controller,
+                       DriverConfig config)
+    : sim_(sim), memory_(memory), tlb_(tlb), controller_(controller), config_(config) {}
+
+Result<RdmaBuffer> RoceDriver::AllocBuffer(uint64_t size) {
+  if (size == 0) {
+    return InvalidArgumentError("zero-size buffer");
+  }
+  const uint64_t pages = (size + kHugePageSize - 1) / kHugePageSize;
+  const VirtAddr base = next_va_;
+  for (uint64_t i = 0; i < pages; ++i) {
+    const PhysAddr phys = memory_.AllocPage();
+    STROM_RETURN_IF_ERROR(tlb_.Map(base + i * kHugePageSize, phys));
+  }
+  next_va_ = base + pages * kHugePageSize;
+  return RdmaBuffer{base, size};
+}
+
+Status RoceDriver::WriteHost(VirtAddr addr, ByteSpan data) {
+  uint64_t done = 0;
+  while (done < data.size()) {
+    Result<PhysAddr> phys = tlb_.Translate(addr + done);
+    if (!phys.ok()) {
+      return phys.status();
+    }
+    const uint64_t chunk =
+        std::min<uint64_t>(data.size() - done, kHugePageSize - HugePageOffset(addr + done));
+    memory_.Write(*phys, data.subspan(done, chunk));
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Result<ByteBuffer> RoceDriver::ReadHost(VirtAddr addr, uint64_t len) const {
+  ByteBuffer out;
+  out.reserve(len);
+  uint64_t done = 0;
+  while (done < len) {
+    Result<PhysAddr> phys = tlb_.Translate(addr + done);
+    if (!phys.ok()) {
+      return phys.status();
+    }
+    const uint64_t chunk = std::min<uint64_t>(len - done, kHugePageSize - HugePageOffset(addr + done));
+    ByteBuffer part = memory_.ReadBuffer(*phys, chunk);
+    out.insert(out.end(), part.begin(), part.end());
+    done += chunk;
+  }
+  return out;
+}
+
+uint64_t RoceDriver::ReadHostU64(VirtAddr addr) const {
+  Result<ByteBuffer> data = ReadHost(addr, 8);
+  STROM_CHECK(data.ok()) << data.status();
+  return LoadLe64(data->data());
+}
+
+void RoceDriver::WriteHostU64(VirtAddr addr, uint64_t value) {
+  uint8_t buf[8];
+  StoreLe64(buf, value);
+  Status st = WriteHost(addr, ByteSpan(buf, 8));
+  STROM_CHECK(st.ok()) << st;
+}
+
+void RoceDriver::FillHost(VirtAddr addr, uint64_t len, uint8_t value) {
+  ByteBuffer chunk(std::min<uint64_t>(len, kHugePageSize), value);
+  uint64_t done = 0;
+  while (done < len) {
+    const uint64_t n = std::min<uint64_t>(len - done, chunk.size());
+    Status st = WriteHost(addr + done, ByteSpan(chunk.data(), n));
+    STROM_CHECK(st.ok()) << st;
+    done += n;
+  }
+}
+
+WorkRequest RoceDriver::MakeRequest(WorkRequest::Kind kind, Qpn qpn, VirtAddr local,
+                                    VirtAddr remote, uint32_t length,
+                                    std::function<void(Status)> done) {
+  WorkRequest wr;
+  wr.kind = kind;
+  wr.qpn = qpn;
+  wr.local_addr = local;
+  wr.remote_addr = remote;
+  wr.length = length;
+  wr.wr_id = next_wr_id_++;
+  wr.on_complete = std::move(done);
+  return wr;
+}
+
+void RoceDriver::PostWrite(Qpn qpn, VirtAddr local, VirtAddr remote, uint32_t length,
+                           std::function<void(Status)> done) {
+  controller_.PostWork(
+      MakeRequest(WorkRequest::Kind::kWrite, qpn, local, remote, length, std::move(done)));
+}
+
+void RoceDriver::PostRead(Qpn qpn, VirtAddr local, VirtAddr remote, uint32_t length,
+                          std::function<void(Status)> done) {
+  controller_.PostWork(
+      MakeRequest(WorkRequest::Kind::kRead, qpn, local, remote, length, std::move(done)));
+}
+
+void RoceDriver::PostWriteBatch(Qpn qpn, std::vector<BatchWrite> writes) {
+  std::vector<WorkRequest> batch;
+  batch.reserve(writes.size());
+  for (BatchWrite& w : writes) {
+    batch.push_back(MakeRequest(WorkRequest::Kind::kWrite, qpn, w.local, w.remote, w.length,
+                                std::move(w.done)));
+  }
+  controller_.PostWorkBatch(std::move(batch));
+}
+
+void RoceDriver::PostRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params,
+                         std::function<void(Status)> done) {
+  WorkRequest wr = MakeRequest(WorkRequest::Kind::kRpc, qpn, 0, rpc_opcode,
+                               static_cast<uint32_t>(params.size()), std::move(done));
+  wr.inline_data = std::move(params);
+  controller_.PostWork(std::move(wr));
+}
+
+void RoceDriver::PostRpcWrite(uint32_t rpc_opcode, Qpn qpn, VirtAddr origin, uint32_t length,
+                              std::function<void(Status)> done) {
+  controller_.PostWork(MakeRequest(WorkRequest::Kind::kRpcWrite, qpn, origin, rpc_opcode,
+                                   length, std::move(done)));
+}
+
+void RoceDriver::PostLocalRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params) {
+  controller_.PostLocalRpc(rpc_opcode, qpn, std::move(params));
+}
+
+ValueTask<RoceCounters> RoceDriver::QueryNicCounters() {
+  co_await Delay(sim_, controller_.counter_read_cost());
+  co_return controller_.ReadNicCounters();
+}
+
+namespace {
+
+// Bridges a callback-style post into an awaitable completion.
+struct CompletionState {
+  SimEvent event;
+  Status status;
+  explicit CompletionState(Simulator& sim) : event(sim) {}
+};
+
+}  // namespace
+
+ValueTask<Status> RoceDriver::Write(Qpn qpn, VirtAddr local, VirtAddr remote, uint32_t length) {
+  auto state = std::make_shared<CompletionState>(sim_);
+  PostWrite(qpn, local, remote, length, [state](Status st) {
+    state->status = st;
+    state->event.Trigger();
+  });
+  co_await state->event.Wait();
+  co_return state->status;
+}
+
+ValueTask<Status> RoceDriver::Read(Qpn qpn, VirtAddr local, VirtAddr remote, uint32_t length) {
+  auto state = std::make_shared<CompletionState>(sim_);
+  PostRead(qpn, local, remote, length, [state](Status st) {
+    state->status = st;
+    state->event.Trigger();
+  });
+  co_await state->event.Wait();
+  co_return state->status;
+}
+
+ValueTask<Status> RoceDriver::Rpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params) {
+  auto state = std::make_shared<CompletionState>(sim_);
+  PostRpc(rpc_opcode, qpn, std::move(params), [state](Status st) {
+    state->status = st;
+    state->event.Trigger();
+  });
+  co_await state->event.Wait();
+  co_return state->status;
+}
+
+ValueTask<Status> RoceDriver::RpcWrite(uint32_t rpc_opcode, Qpn qpn, VirtAddr origin,
+                                       uint32_t length) {
+  auto state = std::make_shared<CompletionState>(sim_);
+  PostRpcWrite(rpc_opcode, qpn, origin, length, [state](Status st) {
+    state->status = st;
+    state->event.Trigger();
+  });
+  co_await state->event.Wait();
+  co_return state->status;
+}
+
+ValueTask<uint64_t> RoceDriver::PollU64(VirtAddr addr, uint64_t sentinel) {
+  while (true) {
+    const uint64_t value = ReadHostU64(addr);
+    if (value != sentinel) {
+      co_return value;
+    }
+    co_await Delay(sim_, config_.poll_interval);
+  }
+}
+
+}  // namespace strom

@@ -1,0 +1,124 @@
+#include "src/kernels/consistency.h"
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+ByteBuffer ConsistencyParams::Encode() const {
+  ByteBuffer out(kEncodedSize, 0);
+  StoreLe64(out.data(), target_addr);
+  StoreLe64(out.data() + 8, remote_addr);
+  StoreLe32(out.data() + 16, length);
+  StoreLe32(out.data() + 20, max_attempts);
+  return out;
+}
+
+std::optional<ConsistencyParams> ConsistencyParams::Decode(ByteSpan data) {
+  if (data.size() < kEncodedSize) {
+    return std::nullopt;
+  }
+  ConsistencyParams p;
+  p.target_addr = LoadLe64(data.data());
+  p.remote_addr = LoadLe64(data.data() + 8);
+  p.length = LoadLe32(data.data() + 16);
+  p.max_attempts = LoadLe32(data.data() + 20);
+  if (p.length < 8 || p.max_attempts == 0) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+ConsistencyKernel::ConsistencyKernel(Simulator& sim, KernelConfig config, uint32_t rpc_opcode)
+    : StromKernel(sim, config), rpc_opcode_(rpc_opcode) {
+  fsm_ = std::make_unique<LambdaStage>(sim, config.clock_ps, "consistency_fsm",
+                                       [this] { return Fire(); });
+  fsm_->WakeOnPush(streams_.qpn_in);
+  fsm_->WakeOnPush(streams_.dma_data_in);
+  fsm_->WakeOnPop(streams_.dma_cmd_out);
+  fsm_->WakeOnPop(streams_.roce_meta_out);
+  fsm_->WakeOnPop(streams_.roce_data_out);
+}
+
+void ConsistencyKernel::Respond(KernelStatusCode code, const ByteBuffer& object) {
+  uint8_t status[kStatusWordSize];
+  StoreLe64(status, MakeStatusWord(code, attempts_, params_.length));
+
+  RoceMeta meta;
+  meta.qpn = qpn_;
+  meta.addr = params_.target_addr;
+  meta.length = params_.length + kStatusWordSize;
+
+  NetChunk object_chunk;
+  object_chunk.data = object;
+  object_chunk.last = false;
+  streams_.roce_data_out.Push(std::move(object_chunk));
+
+  NetChunk status_chunk;
+  status_chunk.data.assign(status, status + kStatusWordSize);
+  status_chunk.last = true;
+  streams_.roce_data_out.Push(std::move(status_chunk));
+  streams_.roce_meta_out.Push(meta);
+
+  ++requests_served_;
+  state_ = State::kIdle;
+}
+
+uint64_t ConsistencyKernel::Fire() {
+  switch (state_) {
+    case State::kIdle: {
+      if (streams_.qpn_in.Empty() || streams_.param_in.Empty() ||
+          streams_.dma_cmd_out.Full()) {
+        return 0;
+      }
+      qpn_ = streams_.qpn_in.Pop();
+      ByteBuffer raw = streams_.param_in.Pop();
+      std::optional<ConsistencyParams> params = ConsistencyParams::Decode(raw);
+      if (!params.has_value()) {
+        STROM_LOG(kWarning) << "consistency: malformed parameters";
+        return 1;
+      }
+      params_ = *params;
+      attempts_ = 0;
+      streams_.dma_cmd_out.Push(MemCmd{params_.remote_addr, params_.length, false});
+      state_ = State::kWaitObject;
+      return Words(ConsistencyParams::kEncodedSize);
+    }
+
+    case State::kWaitObject: {
+      if (streams_.dma_data_in.Empty() || streams_.dma_cmd_out.Full() ||
+          streams_.roce_meta_out.Full() || streams_.roce_data_out.Full()) {
+        return 0;
+      }
+      NetChunk object = streams_.dma_data_in.Pop();
+      ++attempts_;
+      if (object.data.size() != params_.length) {
+        Respond(KernelStatusCode::kError, object.data);
+        return 1;
+      }
+
+      // Word-serial CRC64 over the payload; the stored checksum occupies the
+      // last 8 bytes (Pilaf layout).
+      const size_t payload_len = params_.length - 8;
+      const uint64_t computed =
+          Crc64::Compute(ByteSpan(object.data.data(), payload_len));
+      const uint64_t stored = LoadLe64(object.data.data() + payload_len);
+
+      if (computed == stored) {
+        Respond(KernelStatusCode::kOk, object.data);
+        return Words(params_.length);
+      }
+
+      ++checksum_failures_;
+      if (attempts_ >= params_.max_attempts) {
+        Respond(KernelStatusCode::kChecksumFailed, object.data);
+        return Words(params_.length);
+      }
+      // Inconsistent: re-read over PCIe (no network round trip).
+      streams_.dma_cmd_out.Push(MemCmd{params_.remote_addr, params_.length, false});
+      return Words(params_.length);
+    }
+  }
+  return 0;
+}
+
+}  // namespace strom

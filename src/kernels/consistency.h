@@ -1,0 +1,70 @@
+// Consistency kernel (paper §6.3): reads a data object from the remote
+// host's memory, verifies its trailing CRC64 checksum on the NIC, re-reads
+// on mismatch (the object was being modified concurrently), and only then
+// ships the consistent object to the requester — saving the extra network
+// round trip that Pilaf-style software verification needs.
+//
+// Object layout in host memory: [payload (length-8 bytes)][CRC64 (8 bytes)].
+#ifndef SRC_KERNELS_CONSISTENCY_H_
+#define SRC_KERNELS_CONSISTENCY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/crc.h"
+#include "src/strom/kernel.h"
+
+namespace strom {
+
+inline constexpr uint32_t kConsistencyRpcOpcode = 0x20;
+
+struct ConsistencyParams {
+  VirtAddr target_addr = 0;   // response buffer on the requester
+  VirtAddr remote_addr = 0;   // object address (payload + trailing CRC64)
+  uint32_t length = 0;        // total object size including the 8-byte CRC
+  uint32_t max_attempts = 16; // re-read bound
+
+  static constexpr size_t kEncodedSize = 24;
+  ByteBuffer Encode() const;
+  static std::optional<ConsistencyParams> Decode(ByteSpan data);
+};
+
+// Response at target_addr: [object (length bytes)][status word]. On success
+// status code kOk; after exhausting retries, kChecksumFailed with the last
+// (inconsistent) object still delivered for diagnosis. Iterations = reads.
+class ConsistencyKernel : public StromKernel {
+ public:
+  ConsistencyKernel(Simulator& sim, KernelConfig config,
+                    uint32_t rpc_opcode = kConsistencyRpcOpcode);
+
+  uint32_t rpc_opcode() const override { return rpc_opcode_; }
+  std::string name() const override { return "consistency"; }
+
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t checksum_failures() const { return checksum_failures_; }
+
+  // Computes the CRC64 an object's trailer must carry (helper shared with
+  // hosts writing objects).
+  static uint64_t ObjectCrc(ByteSpan payload) { return Crc64::Compute(payload); }
+
+ private:
+  enum class State { kIdle, kWaitObject };
+
+  uint64_t Fire();
+  void Respond(KernelStatusCode code, const ByteBuffer& object);
+
+  uint32_t rpc_opcode_;
+  std::unique_ptr<LambdaStage> fsm_;
+
+  State state_ = State::kIdle;
+  Qpn qpn_ = 0;
+  ConsistencyParams params_;
+  uint32_t attempts_ = 0;
+  uint64_t requests_served_ = 0;
+  uint64_t checksum_failures_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KERNELS_CONSISTENCY_H_

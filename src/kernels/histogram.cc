@@ -1,0 +1,98 @@
+#include "src/kernels/histogram.h"
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+ByteBuffer HistogramParams::Encode() const {
+  ByteBuffer out(kEncodedSize, 0);
+  StoreLe64(out.data(), target_addr);
+  out[8] = bins_log2;
+  out[9] = shift;
+  out[10] = reset ? 1 : 0;
+  return out;
+}
+
+std::optional<HistogramParams> HistogramParams::Decode(ByteSpan data) {
+  if (data.size() < kEncodedSize) {
+    return std::nullopt;
+  }
+  HistogramParams p;
+  p.target_addr = LoadLe64(data.data());
+  p.bins_log2 = data[8];
+  p.shift = data[9];
+  p.reset = data[10] != 0;
+  if (p.bins_log2 > kHistogramMaxBinsLog2 || p.shift > 63) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+HistogramKernel::HistogramKernel(Simulator& sim, KernelConfig config, uint32_t rpc_opcode)
+    : StromKernel(sim, config), rpc_opcode_(rpc_opcode), bins_(256, 0) {
+  fsm_ = std::make_unique<LambdaStage>(sim, config.clock_ps, "histogram_fsm",
+                                       [this] { return Fire(); });
+  fsm_->WakeOnPush(streams_.qpn_in);
+  fsm_->WakeOnPush(streams_.roce_data_in);
+  fsm_->WakeOnPop(streams_.roce_meta_out);
+  fsm_->WakeOnPop(streams_.roce_data_out);
+}
+
+uint64_t HistogramKernel::Fire() {
+  if (!streams_.qpn_in.Empty() && !streams_.param_in.Empty()) {
+    qpn_ = streams_.qpn_in.Pop();
+    ByteBuffer raw = streams_.param_in.Pop();
+    std::optional<HistogramParams> params = HistogramParams::Decode(raw);
+    if (!params.has_value()) {
+      STROM_LOG(kWarning) << "histogram: malformed parameters";
+      return 1;
+    }
+    params_ = *params;
+    respond_configured_ = true;
+    if (params_.reset || bins_.size() != (size_t{1} << params_.bins_log2)) {
+      bins_.assign(size_t{1} << params_.bins_log2, 0);
+      items_processed_ = 0;
+      chunks_ = 0;
+    }
+    return Words(HistogramParams::kEncodedSize);
+  }
+
+  if (streams_.roce_data_in.Empty()) {
+    return 0;
+  }
+  if (streams_.roce_meta_out.Full() || streams_.roce_data_out.Full()) {
+    return 0;
+  }
+
+  NetChunk chunk = streams_.roce_data_in.Pop();
+  const uint64_t mask = bins_.size() - 1;
+  const size_t items = chunk.data.size() / 8;
+  for (size_t i = 0; i < items; ++i) {
+    const uint64_t value = LoadLe64(chunk.data.data() + i * 8);
+    ++bins_[(value >> params_.shift) & mask];
+  }
+  items_processed_ += items;
+  ++chunks_;
+
+  if (chunk.last && respond_configured_) {
+    ByteBuffer response(bins_.size() * 8 + kStatusWordSize);
+    for (size_t i = 0; i < bins_.size(); ++i) {
+      StoreLe64(response.data() + i * 8, bins_[i]);
+    }
+    StoreLe64(response.data() + bins_.size() * 8,
+              MakeStatusWord(KernelStatusCode::kOk, chunks_ & 0xFFFFFF,
+                             static_cast<uint32_t>(items_processed_)));
+    RoceMeta meta;
+    meta.qpn = qpn_;
+    meta.addr = params_.target_addr;
+    meta.length = static_cast<uint32_t>(response.size());
+    NetChunk out;
+    out.data = std::move(response);
+    out.last = true;
+    streams_.roce_data_out.Push(std::move(out));
+    streams_.roce_meta_out.Push(meta);
+  }
+  return Words(chunk.data.size());
+}
+
+}  // namespace strom

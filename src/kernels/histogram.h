@@ -1,0 +1,62 @@
+// Histogram kernel: equi-width histograms as a by-product of data movement
+// (the use case of Istvan et al. [20], cited in the paper's intro as
+// "gathering of statistics while data is transmitted"). Like HLL, it is a
+// pure streaming kernel (II=1): usable as an RPC WRITE target or as a tap on
+// the plain RDMA WRITE receive path.
+#ifndef SRC_KERNELS_HISTOGRAM_H_
+#define SRC_KERNELS_HISTOGRAM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/strom/kernel.h"
+
+namespace strom {
+
+inline constexpr uint32_t kHistogramRpcOpcode = 0x60;
+
+inline constexpr uint32_t kHistogramMaxBinsLog2 = 10;  // up to 1024 on-chip bins
+
+struct HistogramParams {
+  VirtAddr target_addr = 0;  // where [bins][status] are written back
+  uint8_t bins_log2 = 8;     // 2^bins_log2 bins
+  uint8_t shift = 0;         // bin = (value >> shift) & (bins - 1)
+  bool reset = true;
+
+  static constexpr size_t kEncodedSize = 11;
+  ByteBuffer Encode() const;
+  static std::optional<HistogramParams> Decode(ByteSpan data);
+};
+
+// Response at target_addr: [bin counts: 2^bins_log2 x 8 B][status word]
+// (iterations = chunks processed & 0xFFFFFF, extra = items, low 32 bits).
+class HistogramKernel : public StromKernel {
+ public:
+  HistogramKernel(Simulator& sim, KernelConfig config,
+                  uint32_t rpc_opcode = kHistogramRpcOpcode);
+
+  uint32_t rpc_opcode() const override { return rpc_opcode_; }
+  std::string name() const override { return "histogram"; }
+
+  const std::vector<uint64_t>& bins() const { return bins_; }
+  uint64_t items_processed() const { return items_processed_; }
+
+ private:
+  uint64_t Fire();
+
+  uint32_t rpc_opcode_;
+  std::unique_ptr<LambdaStage> fsm_;
+
+  bool respond_configured_ = false;
+  Qpn qpn_ = 0;
+  HistogramParams params_;
+  std::vector<uint64_t> bins_;
+  uint64_t items_processed_ = 0;
+  uint32_t chunks_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KERNELS_HISTOGRAM_H_

@@ -1,0 +1,91 @@
+#include "src/kernels/hll.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+ByteBuffer HllParams::Encode() const {
+  ByteBuffer out(kEncodedSize, 0);
+  StoreLe64(out.data(), target_addr);
+  out[8] = reset ? 1 : 0;
+  return out;
+}
+
+std::optional<HllParams> HllParams::Decode(ByteSpan data) {
+  if (data.size() < kEncodedSize) {
+    return std::nullopt;
+  }
+  HllParams p;
+  p.target_addr = LoadLe64(data.data());
+  p.reset = data[8] != 0;
+  return p;
+}
+
+HllKernel::HllKernel(Simulator& sim, KernelConfig config, uint32_t rpc_opcode,
+                     uint32_t cycles_per_word)
+    : StromKernel(sim, config), rpc_opcode_(rpc_opcode), cycles_per_word_(cycles_per_word) {
+  fsm_ = std::make_unique<LambdaStage>(sim, config.clock_ps, "hll_fsm",
+                                       [this] { return Fire(); });
+  fsm_->WakeOnPush(streams_.qpn_in);
+  fsm_->WakeOnPush(streams_.roce_data_in);
+  fsm_->WakeOnPop(streams_.roce_meta_out);
+}
+
+uint64_t HllKernel::Fire() {
+  if (!streams_.qpn_in.Empty() && !streams_.param_in.Empty()) {
+    qpn_ = streams_.qpn_in.Pop();
+    ByteBuffer raw = streams_.param_in.Pop();
+    std::optional<HllParams> params = HllParams::Decode(raw);
+    if (!params.has_value()) {
+      STROM_LOG(kWarning) << "hll: malformed parameters";
+      return 1;
+    }
+    params_ = *params;
+    respond_configured_ = true;
+    if (params_.reset) {
+      sketch_.Reset();
+      items_processed_ = 0;
+    }
+    return Words(HllParams::kEncodedSize);
+  }
+
+  if (streams_.roce_data_in.Empty()) {
+    return 0;
+  }
+  if (streams_.roce_meta_out.Full() || streams_.roce_data_out.Full()) {
+    return 0;
+  }
+
+  NetChunk chunk = streams_.roce_data_in.Pop();
+  const size_t items = chunk.data.size() / 8;
+  for (size_t i = 0; i < items; ++i) {
+    sketch_.Add(LoadLe64(chunk.data.data() + i * 8));
+  }
+  items_processed_ += items;
+
+  const uint64_t cycles = Words(chunk.data.size()) * cycles_per_word_;
+  last_item_done_at_ = sim_.now() + static_cast<SimTime>(cycles) * config_.clock_ps;
+
+  if (chunk.last && respond_configured_) {
+    const uint64_t estimate = static_cast<uint64_t>(std::llround(sketch_.Estimate()));
+    ByteBuffer response(16, 0);
+    StoreLe64(response.data(), estimate);
+    StoreLe64(response.data() + 8,
+              MakeStatusWord(KernelStatusCode::kOk,
+                             static_cast<uint32_t>(items_processed_ & 0xFFFFFF)));
+    RoceMeta meta;
+    meta.qpn = qpn_;
+    meta.addr = params_.target_addr;
+    meta.length = 16;
+    NetChunk out;
+    out.data = std::move(response);
+    out.last = true;
+    streams_.roce_data_out.Push(std::move(out));
+    streams_.roce_meta_out.Push(meta);
+  }
+  return cycles;
+}
+
+}  // namespace strom

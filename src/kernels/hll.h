@@ -1,0 +1,68 @@
+// HyperLogLog kernel (paper §7.2): cardinality estimation over data streams
+// as a by-product of data reception. Two modes:
+//   * RPC mode: postRpc(HllParams) configures/resets, postRpcWrite streams
+//     tuples through the kernel; on the last chunk the estimate and a status
+//     word are written back to the requester.
+//   * Tap mode (Write+HLL, Fig 13b): attached to a QP's plain RDMA WRITE
+//     receive path via StromEngine::AttachReceiveTap, the kernel sketches
+//     every 8-byte word while data flows to memory, at line rate (II=1).
+#ifndef SRC_KERNELS_HLL_H_
+#define SRC_KERNELS_HLL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/kernels/hll_sketch.h"
+#include "src/strom/kernel.h"
+
+namespace strom {
+
+inline constexpr uint32_t kHllRpcOpcode = 0x40;
+
+struct HllParams {
+  VirtAddr target_addr = 0;  // where estimate + status are written
+  bool reset = true;         // clear registers before the next stream
+
+  static constexpr size_t kEncodedSize = 9;
+  ByteBuffer Encode() const;
+  static std::optional<HllParams> Decode(ByteSpan data);
+};
+
+// Response at target_addr: [estimate (8 B, uint64)][status word (8 B)].
+class HllKernel : public StromKernel {
+ public:
+  // `cycles_per_word` > 1 models a kernel that cannot sustain line rate
+  // (used by the ablation bench; the paper requires II=1).
+  HllKernel(Simulator& sim, KernelConfig config, uint32_t rpc_opcode = kHllRpcOpcode,
+            uint32_t cycles_per_word = 1);
+
+  uint32_t rpc_opcode() const override { return rpc_opcode_; }
+  std::string name() const override { return "hll"; }
+
+  // Host-side state inspection (Controller status registers).
+  const HllSketch& sketch() const { return sketch_; }
+  double Estimate() const { return sketch_.Estimate(); }
+  uint64_t items_processed() const { return items_processed_; }
+  // Simulated time when the kernel finished its last input chunk — used to
+  // verify the bump-in-the-wire adds no throughput overhead.
+  SimTime last_item_done_at() const { return last_item_done_at_; }
+
+ private:
+  uint64_t Fire();
+
+  uint32_t rpc_opcode_;
+  uint32_t cycles_per_word_;
+  std::unique_ptr<LambdaStage> fsm_;
+
+  bool respond_configured_ = false;
+  Qpn qpn_ = 0;
+  HllParams params_;
+  HllSketch sketch_;
+  uint64_t items_processed_ = 0;
+  SimTime last_item_done_at_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KERNELS_HLL_H_

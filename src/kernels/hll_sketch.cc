@@ -1,0 +1,66 @@
+#include "src/kernels/hll_sketch.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+HllSketch::HllSketch(int precision) : precision_(precision) {
+  STROM_CHECK_GE(precision, 4);
+  STROM_CHECK_LE(precision, 18);
+  registers_.assign(size_t{1} << precision, 0);
+}
+
+void HllSketch::AddHash(uint64_t hash) {
+  const uint64_t index = hash >> (64 - precision_);
+  const uint64_t rest = hash << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining (64 - p) bits.
+  const int zeros = rest == 0 ? 64 - precision_ : std::countl_zero(rest);
+  const uint8_t rank = static_cast<uint8_t>(std::min(zeros, 64 - precision_) + 1);
+  if (rank > registers_[index]) {
+    registers_[index] = rank;
+  }
+}
+
+double HllSketch::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+
+  double sum = 0;
+  size_t zero_registers = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) {
+      ++zero_registers;
+    }
+  }
+  double estimate = alpha * m * m / sum;
+
+  // Small-range correction: linear counting while registers remain empty.
+  if (estimate <= 2.5 * m && zero_registers > 0) {
+    estimate = m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return estimate;
+}
+
+void HllSketch::Reset() { registers_.assign(registers_.size(), 0); }
+
+void HllSketch::Merge(const HllSketch& other) {
+  STROM_CHECK_EQ(precision_, other.precision_);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace strom

@@ -1,0 +1,43 @@
+// HyperLogLog sketch (Flajolet et al. 2007, with the bias corrections used
+// by HLL-in-practice). Shared by the StRoM HLL kernel and the CPU baseline
+// so both compute identical estimates.
+#ifndef SRC_KERNELS_HLL_SKETCH_H_
+#define SRC_KERNELS_HLL_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace strom {
+
+class HllSketch {
+ public:
+  // precision p in [4, 18]: m = 2^p registers. p=14 matches the accuracy
+  // class of production deployments (~0.8% standard error).
+  explicit HllSketch(int precision = 14);
+
+  int precision() const { return precision_; }
+  size_t num_registers() const { return registers_.size(); }
+
+  // Adds a raw 64-bit item (hashed internally with Mix64).
+  void Add(uint64_t item) { AddHash(Mix64(item)); }
+  // Adds a pre-computed 64-bit hash.
+  void AddHash(uint64_t hash);
+
+  // Cardinality estimate with small-range (linear counting) correction.
+  double Estimate() const;
+
+  void Reset();
+  void Merge(const HllSketch& other);
+
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KERNELS_HLL_SKETCH_H_

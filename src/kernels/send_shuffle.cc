@@ -1,0 +1,164 @@
+#include "src/kernels/send_shuffle.h"
+
+#include <bit>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace strom {
+
+ByteBuffer SendShuffleParams::Encode() const {
+  ByteBuffer out(21 + targets.size() * 12, 0);
+  StoreLe64(out.data(), source_addr);
+  StoreLe32(out.data() + 8, length);
+  StoreLe64(out.data() + 12, status_addr);
+  out[20] = static_cast<uint8_t>(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    StoreLe32(out.data() + 21 + i * 12, targets[i].qpn);
+    StoreLe64(out.data() + 21 + i * 12 + 4, targets[i].remote_addr);
+  }
+  return out;
+}
+
+std::optional<SendShuffleParams> SendShuffleParams::Decode(ByteSpan data) {
+  if (data.size() < 21) {
+    return std::nullopt;
+  }
+  SendShuffleParams p;
+  p.source_addr = LoadLe64(data.data());
+  p.length = LoadLe32(data.data() + 8);
+  p.status_addr = LoadLe64(data.data() + 12);
+  const uint8_t count = data[20];
+  if (count == 0 || count > kSendShuffleMaxTargets || !std::has_single_bit(count) ||
+      p.length % 8 != 0 || data.size() < 21 + count * size_t{12}) {
+    return std::nullopt;
+  }
+  for (uint8_t i = 0; i < count; ++i) {
+    SendShuffleTarget t;
+    t.qpn = LoadLe32(data.data() + 21 + i * 12);
+    t.remote_addr = LoadLe64(data.data() + 21 + i * 12 + 4);
+    p.targets.push_back(t);
+  }
+  return p;
+}
+
+SendShuffleKernel::SendShuffleKernel(Simulator& sim, KernelConfig config, uint32_t rpc_opcode)
+    : StromKernel(sim, config), rpc_opcode_(rpc_opcode) {
+  fsm_ = std::make_unique<LambdaStage>(sim, config.clock_ps, "send_shuffle_fsm",
+                                       [this] { return Fire(); });
+  fsm_->WakeOnPush(streams_.qpn_in);
+  fsm_->WakeOnPush(streams_.dma_data_in);
+  fsm_->WakeOnPop(streams_.dma_cmd_out);
+  fsm_->WakeOnPop(streams_.roce_meta_out);
+  fsm_->WakeOnPop(streams_.roce_data_out);
+}
+
+bool SendShuffleKernel::EmitPartition(uint32_t p, bool allow_partial) {
+  ByteBuffer& buf = buffers_[p];
+  if (buf.empty() || (!allow_partial && buf.size() < kSendShuffleBufferBytes)) {
+    return false;
+  }
+  RoceMeta meta;
+  meta.qpn = params_.targets[p].qpn;
+  meta.addr = params_.targets[p].remote_addr + cursors_[p];
+  meta.length = static_cast<uint32_t>(buf.size());
+  NetChunk chunk;
+  chunk.data = buf;
+  chunk.last = true;
+  streams_.roce_data_out.Push(std::move(chunk));
+  streams_.roce_meta_out.Push(meta);
+  cursors_[p] += buf.size();
+  buf.clear();
+  ++writes_emitted_;
+  return true;
+}
+
+void SendShuffleKernel::Finish() {
+  for (uint32_t p = 0; p < buffers_.size(); ++p) {
+    EmitPartition(p, /*allow_partial=*/true);
+  }
+  // Completion word goes to local host memory over the DMA interface.
+  uint8_t status[kStatusWordSize];
+  StoreLe64(status, MakeStatusWord(KernelStatusCode::kOk,
+                                   static_cast<uint32_t>(writes_emitted_ & 0xFFFFFF),
+                                   static_cast<uint32_t>(tuples_sent_)));
+  streams_.dma_cmd_out.Push(MemCmd{params_.status_addr, kStatusWordSize, /*is_write=*/true});
+  NetChunk chunk;
+  chunk.data.assign(status, status + kStatusWordSize);
+  chunk.last = true;
+  streams_.dma_data_out.Push(std::move(chunk));
+  state_ = State::kIdle;
+}
+
+uint64_t SendShuffleKernel::Fire() {
+  switch (state_) {
+    case State::kIdle: {
+      if (streams_.qpn_in.Empty() || streams_.param_in.Empty() ||
+          streams_.dma_cmd_out.Full()) {
+        return 0;
+      }
+      streams_.qpn_in.Pop();
+      ByteBuffer raw = streams_.param_in.Pop();
+      std::optional<SendShuffleParams> params = SendShuffleParams::Decode(raw);
+      if (!params.has_value()) {
+        STROM_LOG(kWarning) << "send_shuffle: malformed parameters";
+        return 1;
+      }
+      params_ = *params;
+      partition_bits_ =
+          static_cast<uint32_t>(std::countr_zero(params_.targets.size()));
+      buffers_.assign(params_.targets.size(), ByteBuffer());
+      cursors_.assign(params_.targets.size(), 0);
+      bytes_requested_ = 0;
+      bytes_processed_ = 0;
+      tuples_sent_ = 0;
+      writes_emitted_ = 0;
+      if (params_.length == 0) {
+        Finish();
+        return 1;
+      }
+      // Prime the streaming read.
+      const uint32_t first = std::min(kReadChunk, params_.length);
+      streams_.dma_cmd_out.Push(MemCmd{params_.source_addr, first, false});
+      bytes_requested_ = first;
+      state_ = State::kStreaming;
+      return Words(raw.size());
+    }
+
+    case State::kStreaming: {
+      if (streams_.dma_data_in.Empty() || streams_.dma_cmd_out.Full() ||
+          streams_.roce_meta_out.Full() || streams_.roce_data_out.Full() ||
+          streams_.dma_data_out.Full()) {
+        return 0;
+      }
+      // Keep the next fetch in flight while this chunk is processed.
+      if (bytes_requested_ < params_.length) {
+        const uint32_t next = std::min(kReadChunk, params_.length - bytes_requested_);
+        streams_.dma_cmd_out.Push(
+            MemCmd{params_.source_addr + bytes_requested_, next, false});
+        bytes_requested_ += next;
+      }
+
+      NetChunk chunk = streams_.dma_data_in.Pop();
+      const size_t tuples = chunk.data.size() / 8;
+      for (size_t i = 0; i < tuples; ++i) {
+        const uint64_t value = LoadLe64(chunk.data.data() + i * 8);
+        const uint32_t p = RadixPartition(value, partition_bits_);
+        ByteBuffer& buf = buffers_[p];
+        buf.insert(buf.end(), chunk.data.begin() + i * 8, chunk.data.begin() + (i + 1) * 8);
+        if (buf.size() >= kSendShuffleBufferBytes) {
+          EmitPartition(p, /*allow_partial=*/false);
+        }
+      }
+      tuples_sent_ += tuples;
+      bytes_processed_ += static_cast<uint32_t>(chunk.data.size());
+      if (bytes_processed_ >= params_.length) {
+        Finish();
+      }
+      return Words(chunk.data.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace strom

@@ -1,0 +1,83 @@
+// Send-side shuffle kernel (paper §6.4, footnote 9): "The shuffling kernel
+// can also be invoked on the local network card such that data is
+// partitioned among different queue pairs and correspondingly different
+// remote machines. However, data shuffling before transmission requires more
+// buffering, up to MTU size, to achieve high bandwidth over the network."
+//
+// Invoked locally (or remotely) with a tuple region in host memory and up to
+// eight {QP, remote address} targets; streams the region through the radix
+// partitioner and emits one RDMA WRITE per full MTU-sized partition buffer.
+// This is the paper's "send kernel" flavour, demonstrating multi-QP output
+// through the fixed roceMetaOut interface.
+#ifndef SRC_KERNELS_SEND_SHUFFLE_H_
+#define SRC_KERNELS_SEND_SHUFFLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/strom/kernel.h"
+
+namespace strom {
+
+inline constexpr uint32_t kSendShuffleRpcOpcode = 0x31;
+
+inline constexpr uint32_t kSendShuffleMaxTargets = 8;  // 2^3 partitions
+// MTU-size per-target buffering (footnote 9); one full RoCE payload.
+inline constexpr uint32_t kSendShuffleBufferBytes = 1440;
+
+struct SendShuffleTarget {
+  Qpn qpn = 0;
+  VirtAddr remote_addr = 0;  // base of this target's receive region
+};
+
+struct SendShuffleParams {
+  VirtAddr source_addr = 0;   // tuple region in local host memory
+  uint32_t length = 0;        // bytes (multiple of 8)
+  VirtAddr status_addr = 0;   // local host address for the completion word
+  std::vector<SendShuffleTarget> targets;  // 1..8, power-of-two count
+
+  ByteBuffer Encode() const;
+  static std::optional<SendShuffleParams> Decode(ByteSpan data);
+};
+
+// Completion: a status word is written to `status_addr` in *local* host
+// memory via the kernel's DMA interface (iterations = RDMA writes emitted,
+// extra = tuples partitioned, low 32 bits).
+class SendShuffleKernel : public StromKernel {
+ public:
+  SendShuffleKernel(Simulator& sim, KernelConfig config,
+                    uint32_t rpc_opcode = kSendShuffleRpcOpcode);
+
+  uint32_t rpc_opcode() const override { return rpc_opcode_; }
+  std::string name() const override { return "send_shuffle"; }
+
+  uint64_t tuples_sent() const { return tuples_sent_; }
+  uint64_t writes_emitted() const { return writes_emitted_; }
+
+ private:
+  enum class State { kIdle, kStreaming };
+  static constexpr uint32_t kReadChunk = 4096;  // DMA fetch granularity
+
+  uint64_t Fire();
+  bool EmitPartition(uint32_t p, bool allow_partial);
+  void Finish();
+
+  uint32_t rpc_opcode_;
+  std::unique_ptr<LambdaStage> fsm_;
+
+  State state_ = State::kIdle;
+  SendShuffleParams params_;
+  uint32_t partition_bits_ = 0;
+  uint32_t bytes_requested_ = 0;
+  uint32_t bytes_processed_ = 0;
+  std::vector<ByteBuffer> buffers_;   // per-target MTU-sized staging
+  std::vector<uint64_t> cursors_;     // bytes already shipped per target
+  uint64_t tuples_sent_ = 0;
+  uint64_t writes_emitted_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KERNELS_SEND_SHUFFLE_H_

@@ -1,0 +1,148 @@
+#include "src/kernels/shuffle.h"
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace strom {
+
+ByteBuffer ShuffleParams::Encode() const {
+  ByteBuffer out(kEncodedSize, 0);
+  StoreLe64(out.data(), target_addr);
+  StoreLe32(out.data() + 8, partition_bits);
+  StoreLe64(out.data() + 12, region_base);
+  StoreLe64(out.data() + 20, region_stride);
+  return out;
+}
+
+std::optional<ShuffleParams> ShuffleParams::Decode(ByteSpan data) {
+  if (data.size() < kEncodedSize) {
+    return std::nullopt;
+  }
+  ShuffleParams p;
+  p.target_addr = LoadLe64(data.data());
+  p.partition_bits = LoadLe32(data.data() + 8);
+  p.region_base = LoadLe64(data.data() + 12);
+  p.region_stride = LoadLe64(data.data() + 20);
+  if (p.partition_bits > kShuffleMaxPartitionBits || p.region_stride % 8 != 0) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+ShuffleKernel::ShuffleKernel(Simulator& sim, KernelConfig config, uint32_t rpc_opcode)
+    : StromKernel(sim, config), rpc_opcode_(rpc_opcode) {
+  fsm_ = std::make_unique<LambdaStage>(sim, config.clock_ps, "shuffle_fsm",
+                                       [this] { return Fire(); });
+  fsm_->WakeOnPush(streams_.qpn_in);
+  fsm_->WakeOnPush(streams_.roce_data_in);
+  fsm_->WakeOnPop(streams_.dma_cmd_out);
+  fsm_->WakeOnPop(streams_.dma_data_out);
+  fsm_->WakeOnPop(streams_.roce_meta_out);
+}
+
+bool ShuffleKernel::Configure(ByteSpan raw) {
+  std::optional<ShuffleParams> params = ShuffleParams::Decode(raw);
+  if (!params.has_value()) {
+    STROM_LOG(kWarning) << "shuffle: malformed configuration";
+    return false;
+  }
+  params_ = *params;
+  const size_t n = size_t{1} << params_.partition_bits;
+  buffers_.assign(n, ByteBuffer());
+  for (auto& b : buffers_) {
+    b.reserve(kShuffleBufferTuples * 8);
+  }
+  cursors_.assign(n, 0);
+  stream_tuples_ = 0;
+  configured_ = true;
+  return true;
+}
+
+void ShuffleKernel::FlushPartition(uint32_t p) {
+  ByteBuffer& buf = buffers_[p];
+  if (buf.empty()) {
+    return;
+  }
+  const VirtAddr dest = params_.region_base + p * params_.region_stride + cursors_[p];
+  if (cursors_[p] + buf.size() > params_.region_stride) {
+    // Region overflow: the histogram under-provisioned this partition.
+    overflow_drops_ += buf.size() / 8;
+    buf.clear();
+    return;
+  }
+  streams_.dma_cmd_out.Push(MemCmd{dest, static_cast<uint32_t>(buf.size()), true});
+  NetChunk chunk;
+  chunk.data = buf;
+  chunk.last = true;
+  streams_.dma_data_out.Push(std::move(chunk));
+  cursors_[p] += buf.size();
+  ++buffer_flushes_;
+  buf.clear();
+}
+
+void ShuffleKernel::FinishStream() {
+  for (uint32_t p = 0; p < buffers_.size(); ++p) {
+    FlushPartition(p);
+  }
+  uint8_t status[kStatusWordSize];
+  StoreLe64(status, MakeStatusWord(KernelStatusCode::kOk,
+                                   static_cast<uint32_t>(buffer_flushes_ & 0xFFFFFF),
+                                   static_cast<uint32_t>(stream_tuples_)));
+  RoceMeta meta;
+  meta.qpn = qpn_;
+  meta.addr = params_.target_addr;
+  meta.length = kStatusWordSize;
+  NetChunk chunk;
+  chunk.data.assign(status, status + kStatusWordSize);
+  chunk.last = true;
+  streams_.roce_data_out.Push(std::move(chunk));
+  streams_.roce_meta_out.Push(meta);
+}
+
+uint64_t ShuffleKernel::Fire() {
+  // Configuration RPC takes priority over stream data.
+  if (!streams_.qpn_in.Empty() && !streams_.param_in.Empty()) {
+    qpn_ = streams_.qpn_in.Pop();
+    ByteBuffer raw = streams_.param_in.Pop();
+    Configure(raw);
+    return Words(ShuffleParams::kEncodedSize);
+  }
+
+  if (streams_.roce_data_in.Empty()) {
+    return 0;
+  }
+  // Flushing up to all partitions plus the final status must have room.
+  if (streams_.dma_cmd_out.Full() || streams_.dma_data_out.Full() ||
+      streams_.roce_meta_out.Full()) {
+    return 0;
+  }
+  if (!configured_) {
+    NetChunk dropped = streams_.roce_data_in.Pop();
+    STROM_LOG(kWarning) << "shuffle: stream data before configuration, dropping "
+                        << dropped.data.size() << " bytes";
+    return 1;
+  }
+
+  NetChunk chunk = streams_.roce_data_in.Pop();
+  const size_t tuples = chunk.data.size() / 8;
+  const uint32_t mask_bits = params_.partition_bits;
+  for (size_t i = 0; i < tuples; ++i) {
+    const uint64_t value = LoadLe64(chunk.data.data() + i * 8);
+    const uint32_t p = RadixPartition(value, mask_bits);
+    ByteBuffer& buf = buffers_[p];
+    buf.insert(buf.end(), chunk.data.begin() + i * 8, chunk.data.begin() + (i + 1) * 8);
+    if (buf.size() >= kShuffleBufferTuples * 8) {
+      FlushPartition(p);
+    }
+  }
+  stream_tuples_ += tuples;
+  tuples_partitioned_ += tuples;
+
+  if (chunk.last) {
+    FinishStream();
+  }
+  // One tuple per data-path word at 8 B width; 8 tuples per word at 64 B.
+  return Words(chunk.data.size());
+}
+
+}  // namespace strom

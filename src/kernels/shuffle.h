@@ -1,0 +1,73 @@
+// Shuffle kernel (paper §6.4): partitions an incoming RDMA RPC WRITE stream
+// of 8-byte tuples on the fly, using a radix hash over the N least
+// significant bits, and places each tuple in its partition's region of host
+// memory. Per-partition 128 B on-chip buffers (16 tuples) batch the random
+// DMA writes to keep up with line rate over PCIe.
+#ifndef SRC_KERNELS_SHUFFLE_H_
+#define SRC_KERNELS_SHUFFLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/strom/kernel.h"
+
+namespace strom {
+
+inline constexpr uint32_t kShuffleRpcOpcode = 0x30;
+
+inline constexpr uint32_t kShuffleMaxPartitionBits = 10;  // up to 1024 partitions
+inline constexpr uint32_t kShuffleBufferTuples = 16;      // 128 B flush unit
+
+// The RDMA RPC configuration message: the histogram is communicated as a
+// uniform region layout (partition i lives at region_base + i*region_stride).
+struct ShuffleParams {
+  VirtAddr target_addr = 0;     // completion/status word on the requester
+  uint32_t partition_bits = 8;  // 2^bits partitions (<= 10)
+  VirtAddr region_base = 0;
+  uint64_t region_stride = 0;   // per-partition capacity in bytes
+
+  static constexpr size_t kEncodedSize = 28;
+  ByteBuffer Encode() const;
+  static std::optional<ShuffleParams> Decode(ByteSpan data);
+};
+
+// Usage: 1) postRpc(ShuffleParams) to configure; 2) postRpcWrite(tuples).
+// When the stream's last chunk is processed and all buffers flushed, the
+// kernel writes a status word (iterations = flush count, extra = tuple count
+// low bits) to target_addr.
+class ShuffleKernel : public StromKernel {
+ public:
+  ShuffleKernel(Simulator& sim, KernelConfig config, uint32_t rpc_opcode = kShuffleRpcOpcode);
+
+  uint32_t rpc_opcode() const override { return rpc_opcode_; }
+  std::string name() const override { return "shuffle"; }
+
+  uint64_t tuples_partitioned() const { return tuples_partitioned_; }
+  uint64_t buffer_flushes() const { return buffer_flushes_; }
+  uint64_t overflow_drops() const { return overflow_drops_; }
+
+ private:
+  uint64_t Fire();
+  bool Configure(ByteSpan raw);
+  void FlushPartition(uint32_t p);
+  void FinishStream();
+
+  uint32_t rpc_opcode_;
+  std::unique_ptr<LambdaStage> fsm_;
+
+  bool configured_ = false;
+  Qpn qpn_ = 0;
+  ShuffleParams params_;
+  std::vector<ByteBuffer> buffers_;   // on-chip partition buffers
+  std::vector<uint64_t> cursors_;     // bytes already flushed per partition
+  uint64_t stream_tuples_ = 0;
+  uint64_t tuples_partitioned_ = 0;
+  uint64_t buffer_flushes_ = 0;
+  uint64_t overflow_drops_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KERNELS_SHUFFLE_H_

@@ -1,0 +1,215 @@
+#include "src/kernels/traversal.h"
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+void TraversalPhase::EncodeTo(uint8_t* out) const {
+  out[0] = key_mask;
+  out[1] = static_cast<uint8_t>(predicate);
+  out[2] = value_ptr_position;
+  out[3] = is_relative_position ? 1 : 0;
+  out[4] = next_element_ptr_position;
+  out[5] = next_element_ptr_valid ? 1 : 0;
+}
+
+TraversalPhase TraversalPhase::DecodeFrom(const uint8_t* in) {
+  TraversalPhase p;
+  p.key_mask = in[0];
+  p.predicate = static_cast<TraversalPredicate>(in[1]);
+  p.value_ptr_position = in[2];
+  p.is_relative_position = in[3] != 0;
+  p.next_element_ptr_position = in[4];
+  p.next_element_ptr_valid = in[5] != 0;
+  return p;
+}
+
+ByteBuffer TraversalParams::Encode() const {
+  ByteBuffer out(kEncodedSize, 0);
+  StoreLe64(out.data(), target_addr);
+  StoreLe64(out.data() + 8, remote_address);
+  StoreLe32(out.data() + 16, value_size);
+  StoreLe64(out.data() + 20, key);
+  StoreLe32(out.data() + 28, max_hops);
+  out[32] = descend_levels;
+  descent.EncodeTo(out.data() + 33);
+  search.EncodeTo(out.data() + 33 + TraversalPhase::kEncodedSize);
+  return out;
+}
+
+std::optional<TraversalParams> TraversalParams::Decode(ByteSpan data) {
+  if (data.size() < kEncodedSize) {
+    return std::nullopt;
+  }
+  TraversalParams p;
+  p.target_addr = LoadLe64(data.data());
+  p.remote_address = LoadLe64(data.data() + 8);
+  p.value_size = LoadLe32(data.data() + 16);
+  p.key = LoadLe64(data.data() + 20);
+  p.max_hops = LoadLe32(data.data() + 28);
+  p.descend_levels = data[32];
+  p.descent = TraversalPhase::DecodeFrom(data.data() + 33);
+  p.search = TraversalPhase::DecodeFrom(data.data() + 33 + TraversalPhase::kEncodedSize);
+  for (const TraversalPhase* phase : {&p.descent, &p.search}) {
+    if (phase->value_ptr_position >= kTraversalSlots ||
+        phase->next_element_ptr_position >= kTraversalSlots) {
+      return std::nullopt;
+    }
+  }
+  return p;
+}
+
+TraversalKernel::TraversalKernel(Simulator& sim, KernelConfig config, uint32_t rpc_opcode)
+    : StromKernel(sim, config), rpc_opcode_(rpc_opcode) {
+  fsm_ = std::make_unique<LambdaStage>(sim, config.clock_ps, "traversal_fsm",
+                                       [this] { return Fire(); });
+  fsm_->WakeOnPush(streams_.qpn_in);
+  fsm_->WakeOnPush(streams_.dma_data_in);
+  fsm_->WakeOnPop(streams_.dma_cmd_out);
+  fsm_->WakeOnPop(streams_.roce_meta_out);
+  fsm_->WakeOnPop(streams_.roce_data_out);
+}
+
+bool TraversalKernel::EvaluatePredicate(TraversalPredicate predicate,
+                                        uint64_t element_key) const {
+  switch (predicate) {
+    case TraversalPredicate::kEqual:
+      return element_key == params_.key;
+    case TraversalPredicate::kLessThan:
+      return element_key < params_.key;
+    case TraversalPredicate::kGreaterThan:
+      return element_key > params_.key;
+    case TraversalPredicate::kNotEqual:
+      return element_key != params_.key;
+  }
+  return false;
+}
+
+void TraversalKernel::Respond(KernelStatusCode code, const ByteBuffer* value) {
+  uint8_t status[kStatusWordSize];
+  StoreLe64(status, MakeStatusWord(code, hops_, value != nullptr ? params_.value_size : 0));
+
+  RoceMeta meta;
+  meta.qpn = qpn_;
+  if (value != nullptr) {
+    // [value][status] at target_addr.
+    meta.addr = params_.target_addr;
+    meta.length = params_.value_size + kStatusWordSize;
+    NetChunk value_chunk;
+    value_chunk.data = *value;
+    value_chunk.last = false;
+    streams_.roce_data_out.Push(std::move(value_chunk));
+  } else {
+    // Status word only, at the poll location (target + value_size).
+    meta.addr = params_.target_addr + params_.value_size;
+    meta.length = kStatusWordSize;
+  }
+  NetChunk status_chunk;
+  status_chunk.data.assign(status, status + kStatusWordSize);
+  status_chunk.last = true;
+  streams_.roce_data_out.Push(std::move(status_chunk));
+  streams_.roce_meta_out.Push(meta);
+
+  ++requests_served_;
+  state_ = State::kIdle;
+}
+
+uint64_t TraversalKernel::Fire() {
+  switch (state_) {
+    case State::kIdle: {
+      if (streams_.qpn_in.Empty() || streams_.param_in.Empty() ||
+          streams_.dma_cmd_out.Full()) {
+        return 0;
+      }
+      qpn_ = streams_.qpn_in.Pop();
+      ByteBuffer raw = streams_.param_in.Pop();
+      std::optional<TraversalParams> params = TraversalParams::Decode(raw);
+      if (!params.has_value()) {
+        STROM_LOG(kWarning) << "traversal: malformed parameters (" << raw.size() << " bytes)";
+        return 1;
+      }
+      params_ = *params;
+      levels_left_ = params_.descend_levels;
+      hops_ = 0;
+      streams_.dma_cmd_out.Push(MemCmd{params_.remote_address, kTraversalElementSize, false});
+      ++elements_fetched_;
+      state_ = State::kWaitElement;
+      return Words(TraversalParams::kEncodedSize);
+    }
+
+    case State::kWaitElement: {
+      if (streams_.dma_data_in.Empty() || streams_.dma_cmd_out.Full() ||
+          streams_.roce_meta_out.Full()) {
+        return 0;
+      }
+      NetChunk element = streams_.dma_data_in.Pop();
+      ++hops_;
+      if (element.data.size() < kTraversalElementSize) {
+        Respond(KernelStatusCode::kError, nullptr);
+        return 1;
+      }
+      const bool descending = levels_left_ > 0;
+      const TraversalPhase& phase = descending ? params_.descent : params_.search;
+
+      // Compare every masked slot concurrently (the hardware unrolls this).
+      int matched_slot = -1;
+      for (size_t i = 0; i < kTraversalSlots; ++i) {
+        if ((phase.key_mask & (1u << i)) == 0) {
+          continue;
+        }
+        const uint64_t slot_key = LoadLe64(element.data.data() + i * 8);
+        if (slot_key != 0 && EvaluatePredicate(phase.predicate, slot_key)) {
+          matched_slot = static_cast<int>(i);
+          break;
+        }
+      }
+
+      VirtAddr follow = 0;
+      if (matched_slot >= 0) {
+        size_t value_slot = phase.value_ptr_position;
+        if (phase.is_relative_position) {
+          value_slot = (static_cast<size_t>(matched_slot) + value_slot) % kTraversalSlots;
+        }
+        follow = LoadLe64(element.data.data() + value_slot * 8);
+        if (!descending) {
+          // Search phase: the match points at the final value.
+          if (follow == 0 || params_.value_size == 0) {
+            Respond(KernelStatusCode::kOk, nullptr);
+            return Words(kTraversalElementSize);
+          }
+          streams_.dma_cmd_out.Push(MemCmd{follow, params_.value_size, false});
+          state_ = State::kWaitValue;
+          return Words(kTraversalElementSize);
+        }
+      } else if (phase.next_element_ptr_valid) {
+        follow = LoadLe64(element.data.data() + phase.next_element_ptr_position * 8);
+      }
+
+      if (follow != 0 && hops_ < params_.max_hops) {
+        // Descent-phase pointers (matched child or rightmost fallback) go
+        // one level down; search-phase next pointers chain within the level.
+        if (descending) {
+          --levels_left_;
+        }
+        streams_.dma_cmd_out.Push(MemCmd{follow, kTraversalElementSize, false});
+        ++elements_fetched_;
+        return Words(kTraversalElementSize);  // stay in kWaitElement
+      }
+      Respond(KernelStatusCode::kNotFound, nullptr);
+      return Words(kTraversalElementSize);
+    }
+
+    case State::kWaitValue: {
+      if (streams_.dma_data_in.Empty() || streams_.roce_meta_out.Full() ||
+          streams_.roce_data_out.Full()) {
+        return 0;
+      }
+      NetChunk value = streams_.dma_data_in.Pop();
+      Respond(KernelStatusCode::kOk, &value.data);
+      return Words(value.data.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace strom

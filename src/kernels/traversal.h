@@ -1,0 +1,105 @@
+// Traversal kernel (paper §6.2, Table 2): pointer chasing over remote data
+// structures — linked lists, hash tables, trees, skip lists — replacing one
+// network round trip per element with one PCIe round trip per element.
+//
+// Data-structure elements are 64 B, divided into eight 8-byte slots with
+// 4-byte alignment; keys are fixed 8 B (paper's stated assumptions).
+//
+// Traversal runs in up to two phases, which is what makes B-trees ("more
+// complex data structures, such as B-trees or graphs", §6.2) expressible:
+//   * descent phase (`descend_levels` > 0): every followed pointer — the
+//     value pointer of the first matching key slot, or the fallback next
+//     pointer when nothing matches — leads to another element one level
+//     down. Used to route through internal tree nodes (e.g. predicate
+//     GREATER_THAN picks the child whose separator exceeds the probe).
+//   * search phase: the classic Table 2 behaviour — a match reads the final
+//     value, the next pointer chains within the level (lists, bucket
+//     chains), absence of both terminates with not-found.
+#ifndef SRC_KERNELS_TRAVERSAL_H_
+#define SRC_KERNELS_TRAVERSAL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/strom/kernel.h"
+
+namespace strom {
+
+inline constexpr uint32_t kTraversalRpcOpcode = 0x10;
+
+inline constexpr size_t kTraversalElementSize = 64;
+inline constexpr size_t kTraversalSlots = 8;  // 8 slots x 8 B
+
+// Table 2: predicateOpCode.
+enum class TraversalPredicate : uint8_t {
+  kEqual = 0,
+  kLessThan = 1,
+  kGreaterThan = 2,
+  kNotEqual = 3,
+};
+
+// Per-phase element interpretation (the Table 2 fields).
+struct TraversalPhase {
+  uint8_t key_mask = 0;  // bit i set => slot i holds a key
+  TraversalPredicate predicate = TraversalPredicate::kEqual;
+  uint8_t value_ptr_position = 0;      // slot of the value/child pointer
+  bool is_relative_position = false;   // relative to the matching key slot?
+  uint8_t next_element_ptr_position = 0;
+  bool next_element_ptr_valid = false;
+
+  static constexpr size_t kEncodedSize = 6;
+  void EncodeTo(uint8_t* out) const;
+  static TraversalPhase DecodeFrom(const uint8_t* in);
+};
+
+struct TraversalParams {
+  VirtAddr target_addr = 0;       // response buffer on the requester
+  VirtAddr remote_address = 0;    // address of the initial element
+  uint32_t value_size = 0;        // size of the final value to be read
+  uint64_t key = 0;               // the lookup key
+  uint32_t max_hops = 1024;       // safety bound against cyclic structures
+  uint8_t descend_levels = 0;     // internal levels before the search phase
+  TraversalPhase descent;         // used while levels remain
+  TraversalPhase search;          // final-level behaviour (Table 2)
+
+  static constexpr size_t kEncodedSize = 33 + 2 * TraversalPhase::kEncodedSize;
+  ByteBuffer Encode() const;
+  static std::optional<TraversalParams> Decode(ByteSpan data);
+};
+
+// Response layout at target_addr: [value (value_size bytes)][status word].
+// Poll target_addr + value_size; StatusWordIterations() is the hop count.
+class TraversalKernel : public StromKernel {
+ public:
+  TraversalKernel(Simulator& sim, KernelConfig config,
+                  uint32_t rpc_opcode = kTraversalRpcOpcode);
+
+  uint32_t rpc_opcode() const override { return rpc_opcode_; }
+  std::string name() const override { return "traversal"; }
+
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t elements_fetched() const { return elements_fetched_; }
+
+ private:
+  enum class State { kIdle, kWaitElement, kWaitValue };
+
+  uint64_t Fire();
+  bool EvaluatePredicate(TraversalPredicate predicate, uint64_t element_key) const;
+  void Respond(KernelStatusCode code, const ByteBuffer* value);
+
+  uint32_t rpc_opcode_;
+  std::unique_ptr<LambdaStage> fsm_;
+
+  State state_ = State::kIdle;
+  Qpn qpn_ = 0;
+  TraversalParams params_;
+  uint32_t levels_left_ = 0;
+  uint32_t hops_ = 0;
+  uint64_t requests_served_ = 0;
+  uint64_t elements_fetched_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KERNELS_TRAVERSAL_H_

@@ -1,0 +1,161 @@
+#include "src/kvs/btree.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/kvs/linked_list.h"
+
+namespace strom {
+
+Result<RemoteBTree> RemoteBTree::Build(RoceDriver& driver, const std::vector<uint64_t>& raw_keys,
+                                       uint32_t value_size, uint64_t seed) {
+  RemoteBTree tree(driver);
+  tree.value_size_ = value_size;
+  tree.seed_ = seed;
+  tree.keys_ = raw_keys;
+  std::sort(tree.keys_.begin(), tree.keys_.end());
+  tree.keys_.erase(std::unique(tree.keys_.begin(), tree.keys_.end()), tree.keys_.end());
+  if (tree.keys_.empty() || tree.keys_.front() == 0) {
+    return InvalidArgumentError("B-tree needs non-empty keys; key 0 is reserved");
+  }
+  const size_t n = tree.keys_.size();
+
+  // Pinned regions: nodes (generous bound: 2x leaves) and values.
+  const size_t num_leaves = (n + kMaxKeysPerNode - 1) / kMaxKeysPerNode;
+  Result<RdmaBuffer> nodes =
+      driver.AllocBuffer((2 * num_leaves + 8) * kTraversalElementSize + 4096);
+  if (!nodes.ok()) {
+    return nodes.status();
+  }
+  Result<RdmaBuffer> values = driver.AllocBuffer(static_cast<uint64_t>(n) * value_size + 64);
+  if (!values.ok()) {
+    return values.status();
+  }
+  VirtAddr next_node = nodes->addr;
+  auto alloc_node = [&next_node]() {
+    const VirtAddr a = next_node;
+    next_node += kTraversalElementSize;
+    return a;
+  };
+
+  // --- leaves: up to 3 {key, value ptr} pairs, chained via slot 6 ----------
+  struct LevelEntry {
+    uint64_t min_key;  // smallest key in the subtree
+    VirtAddr addr;
+  };
+  std::vector<LevelEntry> level;
+  VirtAddr prev_leaf = 0;
+  for (size_t i = 0; i < n; i += kMaxKeysPerNode) {
+    const VirtAddr addr = alloc_node();
+    uint8_t node[kTraversalElementSize] = {};
+    for (size_t j = 0; j < kMaxKeysPerNode && i + j < n; ++j) {
+      const uint64_t key = tree.keys_[i + j];
+      const VirtAddr value_addr = values->addr + static_cast<VirtAddr>(i + j) * value_size;
+      StoreLe64(node + (j * 2) * 8, key);
+      StoreLe64(node + (j * 2 + 1) * 8, value_addr);
+      STROM_RETURN_IF_ERROR(
+          driver.WriteHost(value_addr, MakeValueForKey(key, value_size, seed)));
+    }
+    STROM_RETURN_IF_ERROR(driver.WriteHost(addr, ByteSpan(node, sizeof(node))));
+    if (prev_leaf != 0) {
+      // Link the previous leaf's slot 6 to this one (left-to-right order).
+      uint8_t ptr[8];
+      StoreLe64(ptr, addr);
+      STROM_RETURN_IF_ERROR(
+          driver.WriteHost(prev_leaf + kNextLeafSlot * 8, ByteSpan(ptr, 8)));
+    }
+    prev_leaf = addr;
+    level.push_back(LevelEntry{tree.keys_[i], addr});
+  }
+
+  // --- internal levels: group up to 4 children per node ---------------------
+  uint32_t height = 0;
+  while (level.size() > 1) {
+    ++height;
+    std::vector<LevelEntry> parents;
+    for (size_t i = 0; i < level.size(); i += 4) {
+      const size_t group = std::min<size_t>(4, level.size() - i);
+      const VirtAddr addr = alloc_node();
+      uint8_t node[kTraversalElementSize] = {};
+      // Separators: min key of each child after the first; child c_j covers
+      // keys < separator_j, the rightmost child (slot 6) the rest.
+      for (size_t j = 0; j + 1 < group; ++j) {
+        StoreLe64(node + j * 8, level[i + j + 1].min_key);
+        StoreLe64(node + (3 + j) * 8, level[i + j].addr);
+      }
+      StoreLe64(node + kRightmostChildSlot * 8, level[i + group - 1].addr);
+      STROM_RETURN_IF_ERROR(driver.WriteHost(addr, ByteSpan(node, sizeof(node))));
+      parents.push_back(LevelEntry{level[i].min_key, addr});
+    }
+    level = std::move(parents);
+  }
+  tree.root_ = level.front().addr;
+  tree.height_ = height;
+  return tree;
+}
+
+TraversalParams RemoteBTree::LookupParams(uint64_t key, VirtAddr target_addr) const {
+  TraversalParams p;
+  p.target_addr = target_addr;
+  p.remote_address = root_;
+  p.value_size = value_size_;
+  p.key = key;
+  p.max_hops = height_ + 4;
+  p.descend_levels = static_cast<uint8_t>(height_);
+  // Internal nodes: first separator above the probe selects the child left
+  // of it; no separator above the probe falls through to the rightmost.
+  p.descent.key_mask = 0b00000111;
+  p.descent.predicate = TraversalPredicate::kGreaterThan;
+  p.descent.value_ptr_position = 3;
+  p.descent.is_relative_position = true;
+  p.descent.next_element_ptr_position = kRightmostChildSlot;
+  p.descent.next_element_ptr_valid = true;
+  // Leaves: exact-match search, no chaining (point lookup).
+  p.search.key_mask = 0b00010101;
+  p.search.predicate = TraversalPredicate::kEqual;
+  p.search.value_ptr_position = 1;
+  p.search.is_relative_position = true;
+  p.search.next_element_ptr_valid = false;
+  return p;
+}
+
+Result<VirtAddr> RemoteBTree::HostLookup(uint64_t key) const {
+  VirtAddr addr = root_;
+  for (uint32_t level = 0; level < height_; ++level) {
+    Result<ByteBuffer> node = driver_->ReadHost(addr, kTraversalElementSize);
+    if (!node.ok()) {
+      return node.status();
+    }
+    VirtAddr child = 0;
+    for (size_t j = 0; j < kMaxKeysPerNode; ++j) {
+      const uint64_t separator = LoadLe64(node->data() + j * 8);
+      if (separator != 0 && separator > key) {
+        child = LoadLe64(node->data() + (3 + j) * 8);
+        break;
+      }
+    }
+    if (child == 0) {
+      child = LoadLe64(node->data() + kRightmostChildSlot * 8);
+    }
+    if (child == 0) {
+      return NotFoundError("broken tree");
+    }
+    addr = child;
+  }
+  Result<ByteBuffer> leaf = driver_->ReadHost(addr, kTraversalElementSize);
+  if (!leaf.ok()) {
+    return leaf.status();
+  }
+  for (size_t j = 0; j < kMaxKeysPerNode; ++j) {
+    if (LoadLe64(leaf->data() + (j * 2) * 8) == key) {
+      return LoadLe64(leaf->data() + (j * 2 + 1) * 8);
+    }
+  }
+  return NotFoundError("key not in tree");
+}
+
+ByteBuffer RemoteBTree::ExpectedValue(uint64_t key) const {
+  return MakeValueForKey(key, value_size_, seed_);
+}
+
+}  // namespace strom

@@ -1,0 +1,64 @@
+// Remote B-tree (paper §6.2: "More complex data structures, such as B-trees
+// or graphs, would require even more round trips per operation" — and
+// Table 2 claims the traversal kernel covers trees). Fixed fan-out 4, 64 B
+// nodes laid out for the traversal kernel's two-phase lookup:
+//
+//   internal node: slots 0-2 = separator keys (ascending, 0 = unused),
+//                  slots 3-5 = children c0..c2, slot 6 = rightmost child.
+//     Descent: predicate GREATER_THAN picks the first separator above the
+//     probe (child at relative +3); no match falls through to slot 6.
+//   leaf node:     slots 0/2/4 = keys, slots 1/3/5 = value pointers,
+//                  slot 6 = next-leaf pointer (range scans; unused here).
+//     Search: predicate EQUAL with relative value pointer +1.
+//
+// The whole GET is one network round trip + (height+1) PCIe reads.
+#ifndef SRC_KVS_BTREE_H_
+#define SRC_KVS_BTREE_H_
+
+#include <vector>
+
+#include "src/host/driver.h"
+#include "src/kernels/traversal.h"
+
+namespace strom {
+
+class RemoteBTree {
+ public:
+  static constexpr size_t kMaxKeysPerNode = 3;
+  static constexpr uint8_t kRightmostChildSlot = 6;
+  static constexpr uint8_t kNextLeafSlot = 6;
+
+  // Builds a tree over `keys` (made unique and sorted internally); values of
+  // `value_size` bytes derive deterministically from key and seed.
+  static Result<RemoteBTree> Build(RoceDriver& driver, const std::vector<uint64_t>& keys,
+                                   uint32_t value_size, uint64_t seed);
+
+  uint32_t height() const { return height_; }  // internal levels above leaves
+  size_t num_keys() const { return keys_.size(); }
+  VirtAddr root() const { return root_; }
+  uint32_t value_size() const { return value_size_; }
+
+  // Traversal-kernel parameters for a point lookup of `key`.
+  TraversalParams LookupParams(uint64_t key, VirtAddr target_addr) const;
+
+  // Host-side reference walk (baselines + verification). Returns the value
+  // pointer or NotFound.
+  Result<VirtAddr> HostLookup(uint64_t key) const;
+
+  ByteBuffer ExpectedValue(uint64_t key) const;
+  const std::vector<uint64_t>& keys() const { return keys_; }
+
+ private:
+  explicit RemoteBTree(RoceDriver& driver) : driver_(&driver) {}
+
+  RoceDriver* driver_;
+  VirtAddr root_ = 0;
+  uint32_t height_ = 0;
+  uint32_t value_size_ = 0;
+  uint64_t seed_ = 0;
+  std::vector<uint64_t> keys_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KVS_BTREE_H_

@@ -1,0 +1,201 @@
+#include "src/kvs/hash_table.h"
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/kvs/linked_list.h"
+
+namespace strom {
+
+// ---------------------------------------------------------------------------
+// RemoteHashTable (traversal-compatible layout)
+// ---------------------------------------------------------------------------
+
+Result<RemoteHashTable> RemoteHashTable::Create(RoceDriver& driver, uint32_t num_entries,
+                                                uint32_t value_size, uint32_t max_items) {
+  if ((num_entries & (num_entries - 1)) != 0 || num_entries == 0) {
+    return InvalidArgumentError("num_entries must be a power of two");
+  }
+  RemoteHashTable table(driver);
+  table.num_entries_ = num_entries;
+  table.value_size_ = value_size;
+  table.max_items_ = max_items;
+
+  Result<RdmaBuffer> entries =
+      driver.AllocBuffer(static_cast<uint64_t>(num_entries) * kTraversalElementSize);
+  if (!entries.ok()) {
+    return entries.status();
+  }
+  Result<RdmaBuffer> values =
+      driver.AllocBuffer(static_cast<uint64_t>(max_items) * value_size + 64);
+  if (!values.ok()) {
+    return values.status();
+  }
+  Result<RdmaBuffer> overflow =
+      driver.AllocBuffer(static_cast<uint64_t>(max_items) * kTraversalElementSize + 64);
+  if (!overflow.ok()) {
+    return overflow.status();
+  }
+  table.entry_region_ = entries->addr;
+  table.value_region_ = values->addr;
+  table.overflow_region_ = overflow->addr;
+  return table;
+}
+
+uint32_t RemoteHashTable::BucketIndex(uint64_t key) const {
+  return static_cast<uint32_t>(Mix64(key) & (num_entries_ - 1));
+}
+
+VirtAddr RemoteHashTable::EntryAddrFor(uint64_t key) const {
+  return entry_region_ + static_cast<VirtAddr>(BucketIndex(key)) * kTraversalElementSize;
+}
+
+Status RemoteHashTable::InsertIntoEntry(VirtAddr entry_addr, uint64_t key,
+                                        VirtAddr value_addr) {
+  Result<ByteBuffer> entry = driver_->ReadHost(entry_addr, kTraversalElementSize);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  // Try the three key slots (0, 2, 4).
+  for (size_t slot = 0; slot < kKeysPerEntry * 2; slot += 2) {
+    if (LoadLe64(entry->data() + slot * 8) == 0) {
+      StoreLe64(entry->data() + slot * 8, key);
+      StoreLe64(entry->data() + (slot + 1) * 8, value_addr);
+      return driver_->WriteHost(entry_addr, *entry);
+    }
+  }
+  // All slots taken: follow or create the chain entry (slot 6).
+  VirtAddr chain = LoadLe64(entry->data() + kChainSlot * 8);
+  if (chain != 0) {
+    return InsertIntoEntry(chain, key, value_addr);
+  }
+  chain = overflow_region_ + overflow_used_ * kTraversalElementSize;
+  ++overflow_used_;
+  StoreLe64(entry->data() + kChainSlot * 8, chain);
+  STROM_RETURN_IF_ERROR(driver_->WriteHost(entry_addr, *entry));
+  ByteBuffer fresh(kTraversalElementSize, 0);
+  STROM_RETURN_IF_ERROR(driver_->WriteHost(chain, fresh));
+  return InsertIntoEntry(chain, key, value_addr);
+}
+
+Status RemoteHashTable::Put(uint64_t key, uint64_t value_seed) {
+  if (key == 0) {
+    return InvalidArgumentError("key 0 is reserved as the empty marker");
+  }
+  if (items_ >= max_items_) {
+    return ResourceExhaustedError("hash table full");
+  }
+  value_seed_ = value_seed;
+  const VirtAddr value_addr = value_region_ + static_cast<VirtAddr>(items_) * value_size_;
+  ++items_;
+  STROM_RETURN_IF_ERROR(
+      driver_->WriteHost(value_addr, MakeValueForKey(key, value_size_, value_seed)));
+  return InsertIntoEntry(EntryAddrFor(key), key, value_addr);
+}
+
+TraversalParams RemoteHashTable::LookupParams(uint64_t key, VirtAddr target_addr) const {
+  TraversalParams p;
+  p.target_addr = target_addr;
+  p.remote_address = EntryAddrFor(key);
+  p.value_size = value_size_;
+  p.key = key;
+  p.max_hops = 64;
+  p.search.key_mask = 0b00010101;  // keys in slots 0, 2, 4
+  p.search.predicate = TraversalPredicate::kEqual;
+  p.search.value_ptr_position = 1;  // value pointer follows its key
+  p.search.is_relative_position = true;
+  p.search.next_element_ptr_position = kChainSlot;
+  p.search.next_element_ptr_valid = true;
+  return p;
+}
+
+Result<VirtAddr> RemoteHashTable::HostLookup(uint64_t key) const {
+  VirtAddr addr = EntryAddrFor(key);
+  for (int hop = 0; hop < 64 && addr != 0; ++hop) {
+    Result<ByteBuffer> entry = driver_->ReadHost(addr, kTraversalElementSize);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    for (size_t slot = 0; slot < kKeysPerEntry * 2; slot += 2) {
+      if (LoadLe64(entry->data() + slot * 8) == key) {
+        return LoadLe64(entry->data() + (slot + 1) * 8);
+      }
+    }
+    addr = LoadLe64(entry->data() + kChainSlot * 8);
+  }
+  return NotFoundError("key not in table");
+}
+
+ByteBuffer RemoteHashTable::ExpectedValue(uint64_t key) const {
+  return MakeValueForKey(key, value_size_, value_seed_);
+}
+
+// ---------------------------------------------------------------------------
+// GetHashTable (Listing 2 layout)
+// ---------------------------------------------------------------------------
+
+Result<GetHashTable> GetHashTable::Create(RoceDriver& driver, uint32_t num_entries,
+                                          uint32_t value_size, uint32_t max_items) {
+  if ((num_entries & (num_entries - 1)) != 0 || num_entries == 0) {
+    return InvalidArgumentError("num_entries must be a power of two");
+  }
+  GetHashTable table(driver);
+  table.num_entries_ = num_entries;
+  table.value_size_ = value_size;
+  table.max_items_ = max_items;
+
+  Result<RdmaBuffer> entries =
+      driver.AllocBuffer(static_cast<uint64_t>(num_entries) * kGetHtEntrySize);
+  if (!entries.ok()) {
+    return entries.status();
+  }
+  Result<RdmaBuffer> values =
+      driver.AllocBuffer(static_cast<uint64_t>(max_items) * value_size + 64);
+  if (!values.ok()) {
+    return values.status();
+  }
+  table.entry_region_ = entries->addr;
+  table.value_region_ = values->addr;
+  return table;
+}
+
+Status GetHashTable::Put(uint64_t key, uint64_t value_seed) {
+  if (items_ >= max_items_) {
+    return ResourceExhaustedError("table full");
+  }
+  value_seed_ = value_seed;
+  const uint32_t index = static_cast<uint32_t>(Mix64(key) & (num_entries_ - 1));
+  const VirtAddr entry_addr = entry_region_ + static_cast<VirtAddr>(index) * kGetHtEntrySize;
+  const VirtAddr value_addr = value_region_ + static_cast<VirtAddr>(items_) * value_size_;
+  ++items_;
+
+  Result<ByteBuffer> raw = driver_->ReadHost(entry_addr, kGetHtEntrySize);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  for (size_t i = 0; i < kGetBuckets; ++i) {
+    uint8_t* b = raw->data() + i * kGetBucketStride;
+    if (LoadLe64(b) == 0) {
+      StoreLe64(b, key);
+      StoreLe64(b + 8, value_addr);
+      StoreLe32(b + 16, value_size_);
+      STROM_RETURN_IF_ERROR(driver_->WriteHost(entry_addr, *raw));
+      return driver_->WriteHost(value_addr, MakeValueForKey(key, value_size_, value_seed));
+    }
+  }
+  return ResourceExhaustedError("all three buckets occupied (Listing 2 has no chaining)");
+}
+
+GetParams GetHashTable::LookupParams(uint64_t key, VirtAddr target_addr) const {
+  GetParams p;
+  p.target_addr = target_addr;
+  const uint32_t index = static_cast<uint32_t>(Mix64(key) & (num_entries_ - 1));
+  p.ht_entry_addr = entry_region_ + static_cast<VirtAddr>(index) * kGetHtEntrySize;
+  p.key = key;
+  return p;
+}
+
+ByteBuffer GetHashTable::ExpectedValue(uint64_t key) const {
+  return MakeValueForKey(key, value_size_, value_seed_);
+}
+
+}  // namespace strom

@@ -1,0 +1,96 @@
+// Remote hash tables for the GET experiments.
+//
+// RemoteHashTable mimics Pilaf's two-region layout (paper §6.2): a region of
+// fixed-size 64 B entries pointing into a region of values. The entry layout
+// is traversal-kernel compatible: keys in slots 0/2/4, value pointers in the
+// following slot (relative valuePtrPosition = 1), an overflow-chain pointer
+// in slot 6 so collisions resolve by chaining through the traversal kernel's
+// next-element support.
+//
+// GetHashTable uses Listing 2's 3-bucket 20-byte-stride entry layout for the
+// GET kernel port.
+#ifndef SRC_KVS_HASH_TABLE_H_
+#define SRC_KVS_HASH_TABLE_H_
+
+#include <vector>
+
+#include "src/host/driver.h"
+#include "src/kernels/get.h"
+#include "src/kernels/traversal.h"
+
+namespace strom {
+
+class RemoteHashTable {
+ public:
+  static constexpr size_t kKeysPerEntry = 3;  // slots 0, 2, 4
+  static constexpr uint8_t kChainSlot = 6;
+
+  // Allocates the table in pinned memory: `num_entries` (power of two) 64 B
+  // entries, a value region, and an overflow region for chained entries.
+  static Result<RemoteHashTable> Create(RoceDriver& driver, uint32_t num_entries,
+                                        uint32_t value_size, uint32_t max_items);
+
+  // Host-side insert; computes the value deterministically from the key.
+  Status Put(uint64_t key, uint64_t value_seed);
+
+  // Traversal-kernel parameters for a GET of `key`.
+  TraversalParams LookupParams(uint64_t key, VirtAddr target_addr) const;
+
+  // Host-side lookup walking the same structure (baseline + verification).
+  // Returns the value pointer, or NotFound.
+  Result<VirtAddr> HostLookup(uint64_t key) const;
+
+  // Entry address `key` hashes to (first RDMA READ target of the baseline).
+  VirtAddr EntryAddrFor(uint64_t key) const;
+
+  ByteBuffer ExpectedValue(uint64_t key) const;
+  uint32_t value_size() const { return value_size_; }
+  uint64_t chained_entries() const { return overflow_used_; }
+
+ private:
+  RemoteHashTable(RoceDriver& driver) : driver_(&driver) {}
+
+  uint32_t BucketIndex(uint64_t key) const;
+  Status InsertIntoEntry(VirtAddr entry_addr, uint64_t key, VirtAddr value_addr);
+
+  RoceDriver* driver_;
+  VirtAddr entry_region_ = 0;
+  VirtAddr value_region_ = 0;
+  VirtAddr overflow_region_ = 0;
+  uint32_t num_entries_ = 0;
+  uint32_t value_size_ = 0;
+  uint32_t max_items_ = 0;
+  uint32_t items_ = 0;
+  uint64_t overflow_used_ = 0;
+  uint64_t value_seed_ = 0;
+};
+
+// Listing-2-layout table for the GET kernel: single 64 B entry per hash
+// position, three {key, ptr, len} buckets, no chaining (the listing assumes
+// a hit).
+class GetHashTable {
+ public:
+  static Result<GetHashTable> Create(RoceDriver& driver, uint32_t num_entries,
+                                     uint32_t value_size, uint32_t max_items);
+
+  Status Put(uint64_t key, uint64_t value_seed);
+  GetParams LookupParams(uint64_t key, VirtAddr target_addr) const;
+  ByteBuffer ExpectedValue(uint64_t key) const;
+  uint32_t value_size() const { return value_size_; }
+
+ private:
+  explicit GetHashTable(RoceDriver& driver) : driver_(&driver) {}
+
+  RoceDriver* driver_;
+  VirtAddr entry_region_ = 0;
+  VirtAddr value_region_ = 0;
+  uint32_t num_entries_ = 0;
+  uint32_t value_size_ = 0;
+  uint32_t max_items_ = 0;
+  uint32_t items_ = 0;
+  uint64_t value_seed_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KVS_HASH_TABLE_H_

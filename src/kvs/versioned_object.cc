@@ -1,0 +1,48 @@
+#include "src/kvs/versioned_object.h"
+
+#include "src/common/crc.h"
+#include "src/common/logging.h"
+#include "src/kvs/linked_list.h"
+
+namespace strom {
+
+ByteBuffer VersionedObjectStore::ExpectedPayload(uint32_t index, uint64_t seed) const {
+  return MakeValueForKey(index + 1, object_size_ - 8, seed);
+}
+
+Status VersionedObjectStore::WriteObject(uint32_t index, uint64_t seed) {
+  STROM_CHECK_GE(object_size_, 16u);
+  ByteBuffer payload = ExpectedPayload(index, seed);
+  ByteBuffer object(object_size_);
+  std::copy(payload.begin(), payload.end(), object.begin());
+  StoreLe64(object.data() + object_size_ - 8, Crc64::Compute(payload));
+  return driver_->WriteHost(ObjectAddr(index), object);
+}
+
+Status VersionedObjectStore::TearObject(uint32_t index, uint64_t new_seed) {
+  // Overwrite the payload only: the stored CRC still describes the old
+  // payload, so readers observe an inconsistent object.
+  ByteBuffer payload = ExpectedPayload(index, new_seed);
+  return driver_->WriteHost(ObjectAddr(index), payload);
+}
+
+Status VersionedObjectStore::RepairObject(uint32_t index) {
+  Result<ByteBuffer> object = driver_->ReadHost(ObjectAddr(index), object_size_);
+  if (!object.ok()) {
+    return object.status();
+  }
+  const uint64_t crc = Crc64::Compute(ByteSpan(object->data(), object_size_ - 8));
+  uint8_t buf[8];
+  StoreLe64(buf, crc);
+  return driver_->WriteHost(ObjectAddr(index) + object_size_ - 8, ByteSpan(buf, 8));
+}
+
+bool VersionedObjectStore::IsConsistent(ByteSpan object) {
+  if (object.size() < 16) {
+    return false;
+  }
+  const uint64_t stored = LoadLe64(object.data() + object.size() - 8);
+  return Crc64::Compute(object.subspan(0, object.size() - 8)) == stored;
+}
+
+}  // namespace strom

@@ -1,0 +1,47 @@
+// CRC64-versioned objects (paper §6.3, Pilaf-style): objects larger than a
+// cache line carry a trailing CRC64 so readers can detect torn reads caused
+// by concurrent writers. The ObjectStore writes consistent objects, can tear
+// them (simulating a writer mid-update), and repair them.
+#ifndef SRC_KVS_VERSIONED_OBJECT_H_
+#define SRC_KVS_VERSIONED_OBJECT_H_
+
+#include "src/host/driver.h"
+
+namespace strom {
+
+class VersionedObjectStore {
+ public:
+  // `object_size` includes the trailing 8-byte CRC64.
+  VersionedObjectStore(RoceDriver& driver, VirtAddr region, uint32_t object_size)
+      : driver_(&driver), region_(region), object_size_(object_size) {}
+
+  VirtAddr ObjectAddr(uint32_t index) const {
+    return region_ + static_cast<VirtAddr>(index) * object_size_;
+  }
+  uint32_t object_size() const { return object_size_; }
+
+  // Writes a consistent object (payload derived from index and seed).
+  Status WriteObject(uint32_t index, uint64_t seed);
+
+  // Simulates a concurrent writer mid-update: rewrites the payload without
+  // updating the CRC, leaving the object torn.
+  Status TearObject(uint32_t index, uint64_t new_seed);
+
+  // Completes the update: recomputes and stores the CRC for the current
+  // payload, making the object consistent again.
+  Status RepairObject(uint32_t index);
+
+  // Host-side verification of an object image.
+  static bool IsConsistent(ByteSpan object);
+
+  ByteBuffer ExpectedPayload(uint32_t index, uint64_t seed) const;
+
+ private:
+  RoceDriver* driver_;
+  VirtAddr region_;
+  uint32_t object_size_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_KVS_VERSIONED_OBJECT_H_

@@ -1,0 +1,77 @@
+#include "src/netsim/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/sim/time.h"
+
+namespace strom {
+
+PointToPointLink::PointToPointLink(Simulator& sim, LinkConfig config)
+    : sim_(sim), config_(config) {}
+
+void PointToPointLink::Attach(int side, RxHandler handler) {
+  STROM_CHECK(side == 0 || side == 1);
+  sides_[side].handler = std::move(handler);
+}
+
+void PointToPointLink::Send(int side, ByteBuffer frame) {
+  STROM_CHECK(side == 0 || side == 1);
+  Side& tx = sides_[side];
+  Side& rx = sides_[1 - side];
+
+  if (frame.size() > config_.EthMtu()) {
+    ++tx.counters.frames_oversize;
+    STROM_LOG(kWarning) << "dropping oversize frame: " << frame.size() << " > "
+                        << config_.EthMtu();
+    return;
+  }
+
+  const uint64_t wire_bytes = frame.size() + kEthPhyOverhead;
+  const SimTime start = std::max(sim_.now(), tx.busy_until);
+  const SimTime tx_done = start + TransferTime(wire_bytes, config_.rate_bps);
+  tx.busy_until = tx_done;
+  ++tx.counters.frames_sent;
+  tx.counters.bytes_sent += wire_bytes;
+
+  bool drop = false;
+  if (tx.drop_next > 0) {
+    --tx.drop_next;
+    drop = true;
+  } else if (tx.drop_probability > 0 && tx.drop_rng.Chance(tx.drop_probability)) {
+    drop = true;
+  }
+  if (drop) {
+    ++tx.counters.frames_dropped;
+    return;
+  }
+
+  if (tx.corrupt_next > 0) {
+    --tx.corrupt_next;
+    ++tx.counters.frames_corrupted;
+    // Flip a byte beyond the Ethernet header so the ICRC check catches it.
+    size_t pos = std::min(frame.size() - 1, EthHeader::kSize + Ipv4Header::kSize + 5);
+    frame[pos] ^= 0xA5;
+  }
+
+  const SimTime arrival = tx_done + config_.propagation;
+  sim_.ScheduleAt(arrival, [this, side, f = std::move(frame)]() mutable {
+    Side& receiver = sides_[1 - side];
+    if (receiver.handler) {
+      receiver.handler(std::move(f));
+    }
+  });
+  (void)rx;
+}
+
+void PointToPointLink::SetDropProbability(int side, double p, uint64_t seed) {
+  sides_[side].drop_probability = p;
+  sides_[side].drop_rng = Rng(seed);
+}
+
+void PointToPointLink::DropNext(int side, int count) { sides_[side].drop_next += count; }
+
+void PointToPointLink::CorruptNext(int side, int count) { sides_[side].corrupt_next += count; }
+
+}  // namespace strom

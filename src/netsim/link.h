@@ -1,0 +1,81 @@
+// Full-duplex point-to-point Ethernet link model with serialization delay,
+// propagation delay and fault injection (drop / corrupt). The paper's testbed
+// directly connects two NICs ("to remove the potential noise introduced by a
+// switch", §6.1); this link is that cable.
+#ifndef SRC_NETSIM_LINK_H_
+#define SRC_NETSIM_LINK_H_
+
+#include <array>
+#include <functional>
+#include <map>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/proto/headers.h"
+#include "src/sim/simulator.h"
+
+namespace strom {
+
+struct LinkConfig {
+  uint64_t rate_bps = Gbps(10);
+  SimTime propagation = Ns(100);  // a few meters of fiber + PHY
+  size_t ip_mtu = 1500;
+
+  size_t EthMtu() const { return ip_mtu + EthHeader::kSize; }
+};
+
+struct LinkCounters {
+  uint64_t frames_sent = 0;
+  uint64_t bytes_sent = 0;  // includes PHY overhead
+  uint64_t frames_dropped = 0;
+  uint64_t frames_corrupted = 0;
+  uint64_t frames_oversize = 0;
+};
+
+class PointToPointLink {
+ public:
+  using RxHandler = std::function<void(ByteBuffer frame)>;
+
+  PointToPointLink(Simulator& sim, LinkConfig config);
+
+  const LinkConfig& config() const { return config_; }
+
+  // side is 0 or 1. The handler receives frames sent from the other side.
+  void Attach(int side, RxHandler handler);
+
+  // Transmits a frame from `side`. Serialization is modeled with a per-side
+  // busy-until cursor; frames queue behind each other at line rate.
+  void Send(int side, ByteBuffer frame);
+
+  // Fault injection (applies to frames leaving `side`).
+  void SetDropProbability(int side, double p, uint64_t seed = 1);
+  // Drops the next `count` frames leaving `side` deterministically.
+  void DropNext(int side, int count);
+  // Flips one payload byte in the next `count` frames leaving `side`.
+  void CorruptNext(int side, int count);
+
+  const LinkCounters& counters(int side) const { return sides_[side].counters; }
+
+  // Simulated time at which the transmit direction of `side` goes idle.
+  SimTime TxIdleAt(int side) const { return sides_[side].busy_until; }
+
+ private:
+  struct Side {
+    RxHandler handler;
+    SimTime busy_until = 0;
+    double drop_probability = 0;
+    Rng drop_rng{1};
+    int drop_next = 0;
+    int corrupt_next = 0;
+    LinkCounters counters;
+  };
+
+  Simulator& sim_;
+  LinkConfig config_;
+  std::array<Side, 2> sides_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_NETSIM_LINK_H_

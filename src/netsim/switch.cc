@@ -1,0 +1,57 @@
+#include "src/netsim/switch.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+EthernetSwitch::EthernetSwitch(Simulator& sim, SwitchConfig config)
+    : sim_(sim), config_(config) {}
+
+int EthernetSwitch::AddPort() {
+  const int port = static_cast<int>(ports_.size());
+  LinkConfig lc;
+  lc.rate_bps = config_.port_rate_bps;
+  lc.ip_mtu = config_.ip_mtu;
+  Port p;
+  p.link = std::make_unique<PointToPointLink>(sim_, lc);
+  p.link->Attach(1, [this, port](ByteBuffer frame) { OnFrame(port, std::move(frame)); });
+  ports_.push_back(std::move(p));
+  return port;
+}
+
+void EthernetSwitch::AddStaticRoute(const MacAddr& mac, int port) { mac_table_[mac] = port; }
+
+void EthernetSwitch::OnFrame(int in_port, ByteBuffer frame) {
+  if (frame.size() < EthHeader::kSize) {
+    return;
+  }
+  MacAddr dst;
+  MacAddr src;
+  std::copy(frame.begin(), frame.begin() + 6, dst.begin());
+  std::copy(frame.begin() + 6, frame.begin() + 12, src.begin());
+  mac_table_[src] = in_port;  // learn
+
+  auto it = mac_table_.find(dst);
+  if (it != mac_table_.end()) {
+    ++frames_forwarded_;
+    ForwardTo(it->second, std::move(frame));
+    return;
+  }
+  ++frames_flooded_;
+  for (size_t port = 0; port < ports_.size(); ++port) {
+    if (static_cast<int>(port) != in_port) {
+      ForwardTo(static_cast<int>(port), frame);
+    }
+  }
+}
+
+void EthernetSwitch::ForwardTo(int out_port, ByteBuffer frame) {
+  STROM_CHECK_LT(static_cast<size_t>(out_port), ports_.size());
+  sim_.Schedule(config_.forwarding_latency, [this, out_port, f = std::move(frame)]() mutable {
+    ports_[out_port].link->Send(1, std::move(f));
+  });
+}
+
+}  // namespace strom

@@ -1,0 +1,74 @@
+// Store-and-forward Ethernet switch for >2-node topologies (used by the
+// multi-node shuffle example). Forwards by destination MAC using a static
+// table plus source-learning; unknown destinations are flooded.
+#ifndef SRC_NETSIM_SWITCH_H_
+#define SRC_NETSIM_SWITCH_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/netsim/link.h"
+
+namespace strom {
+
+struct SwitchConfig {
+  uint64_t port_rate_bps = Gbps(10);
+  SimTime forwarding_latency = Ns(600);  // lookup + queueing, cut-through class
+  size_t ip_mtu = 1500;
+};
+
+class EthernetSwitch {
+ public:
+  EthernetSwitch(Simulator& sim, SwitchConfig config);
+
+  // Adds a port; returns its index. The returned link's side 0 faces the
+  // endpoint, side 1 faces the switch.
+  int AddPort();
+  PointToPointLink& PortLink(int port) { return *ports_[port].link; }
+
+  // Optional static forwarding entry.
+  void AddStaticRoute(const MacAddr& mac, int port);
+
+  uint64_t frames_forwarded() const { return frames_forwarded_; }
+  uint64_t frames_flooded() const { return frames_flooded_; }
+
+ private:
+  void OnFrame(int in_port, ByteBuffer frame);
+  void ForwardTo(int out_port, ByteBuffer frame);
+
+  struct Port {
+    std::unique_ptr<PointToPointLink> link;
+  };
+
+  Simulator& sim_;
+  SwitchConfig config_;
+  std::vector<Port> ports_;
+  std::map<MacAddr, int> mac_table_;
+  uint64_t frames_forwarded_ = 0;
+  uint64_t frames_flooded_ = 0;
+};
+
+// Static ARP table (the paper reuses an open-source ARP module; our testbed
+// populates the table out-of-band, which is equivalent to a completed ARP
+// exchange).
+class ArpTable {
+ public:
+  void Add(Ipv4Addr ip, const MacAddr& mac) { entries_[ip] = mac; }
+  bool Lookup(Ipv4Addr ip, MacAddr* mac) const {
+    auto it = entries_.find(ip);
+    if (it == entries_.end()) {
+      return false;
+    }
+    *mac = it->second;
+    return true;
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<Ipv4Addr, MacAddr> entries_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_NETSIM_SWITCH_H_

@@ -1,0 +1,87 @@
+#include "src/pcie/dma_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/sim/time.h"
+
+namespace strom {
+
+DmaEngine::DmaEngine(Simulator& sim, HostMemory& memory, Tlb& tlb, DmaConfig config)
+    : sim_(sim), memory_(memory), tlb_(tlb), config_(config) {}
+
+SimTime DmaEngine::ServiceTime(const std::vector<DmaSegment>& segments) const {
+  SimTime t = 0;
+  for (const DmaSegment& seg : segments) {
+    t += std::max(config_.per_command_overhead, TransferTime(seg.length, config_.bandwidth_bps));
+  }
+  return t;
+}
+
+void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done) {
+  ++counters_.read_commands;
+  Result<std::vector<DmaSegment>> segments = tlb_.Resolve(virt, length);
+  if (!segments.ok()) {
+    ++counters_.errors;
+    sim_.Schedule(config_.read_latency, [done = std::move(done), st = segments.status()] {
+      done(st);
+    });
+    return;
+  }
+  counters_.segment_splits += segments->size() > 1 ? segments->size() - 1 : 0;
+  counters_.bytes_read += length;
+
+  // Reads push ahead posted writes (PCIe ordering): the completion may not
+  // overtake data written before the read was issued.
+  const SimTime start = std::max(sim_.now(), read_busy_until_);
+  const SimTime service = ServiceTime(*segments);
+  read_busy_until_ = start + service;
+  const SimTime complete =
+      std::max(start + service + config_.read_latency, write_visible_at_);
+
+  sim_.ScheduleAt(complete,
+                  [this, segs = std::move(*segments), length, done = std::move(done)] {
+                    ByteBuffer data;
+                    data.reserve(length);
+                    for (const DmaSegment& seg : segs) {
+                      ByteBuffer part = memory_.ReadBuffer(seg.phys, seg.length);
+                      data.insert(data.end(), part.begin(), part.end());
+                    }
+                    done(std::move(data));
+                  });
+}
+
+void DmaEngine::Write(VirtAddr virt, ByteBuffer data, WriteCallback done) {
+  ++counters_.write_commands;
+  Result<std::vector<DmaSegment>> segments = tlb_.Resolve(virt, data.size());
+  if (!segments.ok()) {
+    ++counters_.errors;
+    sim_.Schedule(config_.write_latency, [done = std::move(done), st = segments.status()] {
+      done(st);
+    });
+    return;
+  }
+  counters_.segment_splits += segments->size() > 1 ? segments->size() - 1 : 0;
+  counters_.bytes_written += data.size();
+
+  const SimTime start = std::max(sim_.now(), write_busy_until_);
+  const SimTime service = ServiceTime(*segments);
+  write_busy_until_ = start + service;
+  const SimTime complete = start + service + config_.write_latency;
+  write_visible_at_ = std::max(write_visible_at_, complete);
+
+  sim_.ScheduleAt(complete, [this, segs = std::move(*segments), d = std::move(data),
+                             done = std::move(done)] {
+    size_t offset = 0;
+    for (const DmaSegment& seg : segs) {
+      memory_.Write(seg.phys, ByteSpan(d.data() + offset, seg.length));
+      offset += seg.length;
+    }
+    if (done) {
+      done(Status::Ok());
+    }
+  });
+}
+
+}  // namespace strom

@@ -1,0 +1,78 @@
+// PCIe DMA engine model (paper §4.3: Xilinx XDMA with descriptor bypass).
+// Two independent streaming channels — card-to-host (writes) and
+// host-to-card (reads) — each a FIFO server with:
+//   * completion latency      (PCIe round trip: ~1.5 us read, paper fn.7),
+//   * bandwidth               (Gen3 x8 ~= 6:1 vs 10G, Gen3 x16 ~= 1:1 vs 100G),
+//   * per-command overhead    (TLP/descriptor cost; this is what makes
+//                              random-access kernels lose at 100 G, §7).
+// Commands are translated through the TLB; page-boundary crossings split into
+// multiple physical segments, each paying the per-command overhead.
+#ifndef SRC_PCIE_DMA_ENGINE_H_
+#define SRC_PCIE_DMA_ENGINE_H_
+
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/pcie/host_memory.h"
+#include "src/pcie/tlb.h"
+#include "src/sim/simulator.h"
+
+namespace strom {
+
+struct DmaConfig {
+  uint64_t bandwidth_bps = 63'000'000'000ull;  // PCIe Gen3 x8 effective
+  SimTime read_latency = Ns(700);              // command -> first data (one way up + back)
+  SimTime write_latency = Ns(400);             // command -> data posted
+  SimTime per_command_overhead = Ns(80);       // descriptor + TLP setup per segment
+};
+
+struct DmaCounters {
+  uint64_t read_commands = 0;
+  uint64_t write_commands = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t segment_splits = 0;
+  uint64_t errors = 0;
+};
+
+class DmaEngine {
+ public:
+  using ReadCallback = std::function<void(Result<ByteBuffer>)>;
+  using WriteCallback = std::function<void(Status)>;
+
+  DmaEngine(Simulator& sim, HostMemory& memory, Tlb& tlb, DmaConfig config);
+
+  // Fetches `length` bytes at virtual address `virt`; the callback runs when
+  // the last data beat arrives on the card.
+  void Read(VirtAddr virt, uint64_t length, ReadCallback done);
+
+  // Posts `data` to virtual address `virt`; the callback runs when the write
+  // has been accepted by the host memory system.
+  void Write(VirtAddr virt, ByteBuffer data, WriteCallback done);
+
+  const DmaCounters& counters() const { return counters_; }
+  const DmaConfig& config() const { return config_; }
+
+  // Time at which the given channel would accept a new command now.
+  SimTime ReadChannelIdleAt() const { return read_busy_until_; }
+  SimTime WriteChannelIdleAt() const { return write_busy_until_; }
+
+ private:
+  SimTime ServiceTime(const std::vector<DmaSegment>& segments) const;
+
+  Simulator& sim_;
+  HostMemory& memory_;
+  Tlb& tlb_;
+  DmaConfig config_;
+  DmaCounters counters_;
+  SimTime read_busy_until_ = 0;
+  SimTime write_busy_until_ = 0;
+  // PCIe ordering: a read request pushes ahead posted writes — its data must
+  // reflect every write posted before it. Tracks when the latest posted
+  // write becomes visible in host memory.
+  SimTime write_visible_at_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_PCIE_DMA_ENGINE_H_

@@ -1,0 +1,96 @@
+#include "src/pcie/host_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+uint8_t* HostMemory::PageFor(PhysAddr addr, bool create) {
+  const uint64_t base = HugePageBase(addr);
+  auto it = pages_.find(base);
+  if (it == pages_.end()) {
+    if (!create) {
+      return nullptr;
+    }
+    auto page = std::make_unique<uint8_t[]>(kHugePageSize);
+    std::memset(page.get(), 0, kHugePageSize);
+    it = pages_.emplace(base, std::move(page)).first;
+  }
+  return it->second.get();
+}
+
+const uint8_t* HostMemory::PageForRead(PhysAddr addr) const {
+  auto it = pages_.find(HugePageBase(addr));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void HostMemory::Write(PhysAddr addr, ByteSpan data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    const PhysAddr cur = addr + done;
+    const uint64_t off = HugePageOffset(cur);
+    const size_t chunk = std::min<size_t>(data.size() - done, kHugePageSize - off);
+    uint8_t* page = PageFor(cur, /*create=*/true);
+    std::memcpy(page + off, data.data() + done, chunk);
+    done += chunk;
+  }
+}
+
+void HostMemory::Read(PhysAddr addr, MutableByteSpan out) const {
+  size_t done = 0;
+  while (done < out.size()) {
+    const PhysAddr cur = addr + done;
+    const uint64_t off = HugePageOffset(cur);
+    const size_t chunk = std::min<size_t>(out.size() - done, kHugePageSize - off);
+    const uint8_t* page = PageForRead(cur);
+    if (page == nullptr) {
+      std::memset(out.data() + done, 0, chunk);  // untouched memory reads as zero
+    } else {
+      std::memcpy(out.data() + done, page + off, chunk);
+    }
+    done += chunk;
+  }
+}
+
+ByteBuffer HostMemory::ReadBuffer(PhysAddr addr, size_t len) const {
+  ByteBuffer out(len);
+  Read(addr, MutableByteSpan(out.data(), out.size()));
+  return out;
+}
+
+void HostMemory::WriteU64(PhysAddr addr, uint64_t value) {
+  uint8_t buf[8];
+  StoreLe64(buf, value);
+  Write(addr, ByteSpan(buf, 8));
+}
+
+uint64_t HostMemory::ReadU64(PhysAddr addr) const {
+  uint8_t buf[8];
+  Read(addr, MutableByteSpan(buf, 8));
+  return LoadLe64(buf);
+}
+
+void HostMemory::Fill(PhysAddr addr, size_t len, uint8_t value) {
+  size_t done = 0;
+  while (done < len) {
+    const PhysAddr cur = addr + done;
+    const uint64_t off = HugePageOffset(cur);
+    const size_t chunk = std::min<size_t>(len - done, kHugePageSize - off);
+    uint8_t* page = PageFor(cur, /*create=*/true);
+    std::memset(page + off, value, chunk);
+    done += chunk;
+  }
+}
+
+PhysAddr HostMemory::AllocPage() {
+  // Stride of 2 pages leaves an unmapped hole after every page, so accesses
+  // that run past a page without a TLB-split fault on zeroed memory in tests.
+  const PhysAddr base = next_page_index_ * kHugePageSize * 2;
+  ++next_page_index_;
+  (void)PageFor(base, /*create=*/true);
+  return base;
+}
+
+}  // namespace strom

@@ -1,0 +1,60 @@
+// Simulated host DRAM, physically addressed, organized as sparse 2 MiB huge
+// pages (the unit the driver pins and the TLB maps, paper §4.2). Pages are
+// materialized on first touch so multi-GiB address spaces cost only what is
+// actually written.
+#ifndef SRC_PCIE_HOST_MEMORY_H_
+#define SRC_PCIE_HOST_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+
+namespace strom {
+
+inline constexpr uint64_t kHugePageSize = 2ull * 1024 * 1024;
+inline constexpr uint64_t kHugePageMask = kHugePageSize - 1;
+
+inline constexpr uint64_t HugePageBase(uint64_t addr) { return addr & ~kHugePageMask; }
+inline constexpr uint64_t HugePageOffset(uint64_t addr) { return addr & kHugePageMask; }
+
+class HostMemory {
+ public:
+  HostMemory() = default;
+  HostMemory(const HostMemory&) = delete;
+  HostMemory& operator=(const HostMemory&) = delete;
+
+  void Write(PhysAddr addr, ByteSpan data);
+  void Read(PhysAddr addr, MutableByteSpan out) const;
+  ByteBuffer ReadBuffer(PhysAddr addr, size_t len) const;
+
+  // Convenience scalar accessors (little-endian, matching x86 host layout).
+  void WriteU64(PhysAddr addr, uint64_t value);
+  uint64_t ReadU64(PhysAddr addr) const;
+
+  // Fills a range with a byte value.
+  void Fill(PhysAddr addr, size_t len, uint8_t value);
+
+  size_t materialized_pages() const { return pages_.size(); }
+
+  // Allocates a fresh, zeroed physical huge page and returns its base address.
+  // Page addresses are deliberately non-consecutive (stride > page size) so
+  // that code assuming physical contiguity across pages fails loudly; the TLB
+  // must be used to translate (paper §4.2: "physically they might not be
+  // contiguous").
+  PhysAddr AllocPage();
+
+ private:
+  uint8_t* PageFor(PhysAddr addr, bool create);
+  const uint8_t* PageForRead(PhysAddr addr) const;
+
+  std::map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+  uint64_t next_page_index_ = 1;
+};
+
+}  // namespace strom
+
+#endif  // SRC_PCIE_HOST_MEMORY_H_

@@ -1,0 +1,56 @@
+#include "src/pcie/tlb.h"
+
+#include <algorithm>
+
+namespace strom {
+
+Status Tlb::Map(VirtAddr virt, PhysAddr phys) {
+  if (HugePageOffset(virt) != 0 || HugePageOffset(phys) != 0) {
+    return InvalidArgumentError("TLB mappings must be 2MiB aligned");
+  }
+  if (entries_.size() >= capacity_ && entries_.find(virt) == entries_.end()) {
+    return ResourceExhaustedError("TLB full");
+  }
+  entries_[virt] = phys;
+  return Status::Ok();
+}
+
+Result<PhysAddr> Tlb::Translate(VirtAddr virt) const {
+  ++lookups_;
+  auto it = entries_.find(HugePageBase(virt));
+  if (it == entries_.end()) {
+    return NotFoundError("TLB miss (page not pinned)");
+  }
+  return it->second + HugePageOffset(virt);
+}
+
+Result<std::vector<DmaSegment>> Tlb::Resolve(VirtAddr virt, uint64_t length) const {
+  std::vector<DmaSegment> segments;
+  uint64_t done = 0;
+  while (done < length) {
+    const VirtAddr cur = virt + done;
+    Result<PhysAddr> phys = Translate(cur);
+    if (!phys.ok()) {
+      return phys.status();
+    }
+    const uint64_t in_page = kHugePageSize - HugePageOffset(cur);
+    const uint64_t chunk = std::min(length - done, in_page);
+    if (!segments.empty() &&
+        segments.back().phys + segments.back().length == *phys) {
+      segments.back().length += chunk;  // physically contiguous: merge
+    } else {
+      if (!segments.empty()) {
+        ++boundary_splits_;
+      }
+      segments.push_back(DmaSegment{*phys, chunk});
+    }
+    done += chunk;
+  }
+  if (segments.empty()) {
+    segments.push_back(DmaSegment{0, 0});
+    segments.clear();
+  }
+  return segments;
+}
+
+}  // namespace strom

@@ -1,0 +1,53 @@
+// NIC-side Translation Lookaside Buffer (paper §4.2): maps 2 MiB virtual huge
+// pages to 48-bit physical addresses, holds up to 16,384 entries (32 GiB),
+// is populated once by the driver (no page misses), and splits commands that
+// cross huge-page boundaries into physically contiguous segments.
+#ifndef SRC_PCIE_TLB_H_
+#define SRC_PCIE_TLB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/pcie/host_memory.h"
+
+namespace strom {
+
+struct DmaSegment {
+  PhysAddr phys = 0;
+  uint64_t length = 0;
+};
+
+class Tlb {
+ public:
+  static constexpr size_t kDefaultCapacity = 16384;  // 32 GiB of 2 MiB pages
+
+  explicit Tlb(size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  // Installs a mapping; both addresses must be 2 MiB aligned.
+  Status Map(VirtAddr virt, PhysAddr phys);
+
+  Result<PhysAddr> Translate(VirtAddr virt) const;
+
+  // Splits [virt, virt+length) into segments, none crossing a page boundary
+  // (adjacent physically contiguous pages are merged, as real DMA bridges
+  // do after translation).
+  Result<std::vector<DmaSegment>> Resolve(VirtAddr virt, uint64_t length) const;
+
+  size_t entry_count() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t lookups() const { return lookups_; }
+  uint64_t boundary_splits() const { return boundary_splits_; }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<uint64_t, PhysAddr> entries_;  // va page -> pa page
+  mutable uint64_t lookups_ = 0;
+  mutable uint64_t boundary_splits_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_PCIE_TLB_H_

@@ -1,0 +1,173 @@
+// Wire header definitions: Ethernet, IPv4, UDP, and the Infiniband transport
+// headers carried by RoCE v2 (BTH, RETH, AETH), including the five StRoM
+// op-codes from paper Table 1.
+#ifndef SRC_PROTO_HEADERS_H_
+#define SRC_PROTO_HEADERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+
+namespace strom {
+
+using MacAddr = std::array<uint8_t, 6>;
+using Ipv4Addr = uint32_t;
+
+std::string MacToString(const MacAddr& mac);
+std::string IpToString(Ipv4Addr ip);
+Ipv4Addr MakeIp(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+
+// RoCE v2 well-known UDP destination port.
+inline constexpr uint16_t kRoceUdpPort = 4791;
+
+// Physical-layer overhead per Ethernet frame that occupies wire time but is
+// not part of the byte buffer we build: preamble+SFD (8), FCS (4), IFG (12).
+inline constexpr size_t kEthPhyOverhead = 24;
+
+// ---------------------------------------------------------------------------
+// Ethernet (14 bytes, FCS accounted as wire overhead only).
+// ---------------------------------------------------------------------------
+struct EthHeader {
+  static constexpr size_t kSize = 14;
+  MacAddr dst{};
+  MacAddr src{};
+  uint16_t ethertype = kEtherTypeIpv4;
+
+  void Encode(WireWriter& w) const;
+  static EthHeader Decode(WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// IPv4 (20 bytes, no options). Header checksum is computed on encode and
+// verified on decode.
+// ---------------------------------------------------------------------------
+struct Ipv4Header {
+  static constexpr size_t kSize = 20;
+  uint8_t tos = 0;
+  uint16_t total_length = 0;  // header + payload
+  uint16_t identification = 0;
+  uint8_t ttl = 64;
+  uint8_t protocol = kIpProtoUdp;
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+
+  void Encode(WireWriter& w) const;
+  // Decodes and verifies the checksum; sets *checksum_ok.
+  static Ipv4Header Decode(WireReader& r, bool* checksum_ok);
+
+  static uint16_t Checksum(ByteSpan header_bytes);
+};
+
+// ---------------------------------------------------------------------------
+// UDP (8 bytes). RoCE v2 leaves the UDP checksum zero (the ICRC covers the
+// payload); our encoder does the same.
+// ---------------------------------------------------------------------------
+struct UdpHeader {
+  static constexpr size_t kSize = 8;
+  uint16_t src_port = 0;
+  uint16_t dst_port = kRoceUdpPort;
+  uint16_t length = 0;  // header + payload
+
+  void Encode(WireWriter& w) const;
+  static UdpHeader Decode(WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// IB Base Transport Header (12 bytes).
+// ---------------------------------------------------------------------------
+enum class IbOpcode : uint8_t {
+  // RC one-sided verbs (IB spec values).
+  kWriteFirst = 0x06,
+  kWriteMiddle = 0x07,
+  kWriteLast = 0x08,
+  kWriteOnly = 0x0A,
+  kReadRequest = 0x0C,
+  kReadRespFirst = 0x0D,
+  kReadRespMiddle = 0x0E,
+  kReadRespLast = 0x0F,
+  kReadRespOnly = 0x10,
+  kAck = 0x11,
+  // StRoM extension op-codes (paper Table 1: 11000 .. 11100).
+  kRpcParams = 0x18,
+  kRpcWriteFirst = 0x19,
+  kRpcWriteMiddle = 0x1A,
+  kRpcWriteLast = 0x1B,
+  kRpcWriteOnly = 0x1C,
+};
+
+const char* IbOpcodeName(IbOpcode op);
+
+// Does this opcode carry a RETH (address/length) header?
+bool OpcodeHasReth(IbOpcode op);
+// Does this opcode carry an AETH (ack) header?
+bool OpcodeHasAeth(IbOpcode op);
+// Is this a request that the responder must ACK (writes, RPCs)?
+bool OpcodeIsWriteLike(IbOpcode op);
+// Is this one of the five StRoM op-codes?
+bool OpcodeIsStrom(IbOpcode op);
+// First/only packet of a multi-packet message?
+bool OpcodeStartsMessage(IbOpcode op);
+// Last/only packet of a multi-packet message?
+bool OpcodeEndsMessage(IbOpcode op);
+
+struct BthHeader {
+  static constexpr size_t kSize = 12;
+  IbOpcode opcode = IbOpcode::kWriteOnly;
+  bool ack_request = false;  // BTH 'A' bit
+  uint16_t pkey = 0xFFFF;
+  Qpn dest_qp = 0;
+  Psn psn = 0;
+
+  void Encode(WireWriter& w) const;
+  static BthHeader Decode(WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// RDMA Extended Transport Header (16 bytes): virtual address, rkey, length.
+// For StRoM RPC op-codes the address field carries the RPC op-code used to
+// match the request to a deployed kernel (paper §5.1).
+// ---------------------------------------------------------------------------
+struct RethHeader {
+  static constexpr size_t kSize = 16;
+  VirtAddr virt_addr = 0;
+  uint32_t rkey = 0;
+  uint32_t dma_length = 0;
+
+  void Encode(WireWriter& w) const;
+  static RethHeader Decode(WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// ACK Extended Transport Header (4 bytes): syndrome + MSN.
+// ---------------------------------------------------------------------------
+enum class AckSyndrome : uint8_t {
+  kAck = 0x00,
+  kRnrNak = 0x20,
+  kNakSequenceError = 0x60,   // PSN gap: requester must retransmit
+  kNakRemoteAccess = 0x63,
+  kNakInvalidRequest = 0x61,  // e.g. unmatched StRoM RPC op-code
+};
+
+struct AethHeader {
+  static constexpr size_t kSize = 4;
+  AckSyndrome syndrome = AckSyndrome::kAck;
+  uint32_t msn = 0;  // 24 bits on the wire
+
+  void Encode(WireWriter& w) const;
+  static AethHeader Decode(WireReader& r);
+};
+
+inline constexpr size_t kIcrcSize = 4;
+
+}  // namespace strom
+
+#endif  // SRC_PROTO_HEADERS_H_

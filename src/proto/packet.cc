@@ -1,0 +1,167 @@
+#include "src/proto/packet.h"
+
+#include "src/common/crc.h"
+#include "src/common/logging.h"
+
+namespace strom {
+
+namespace {
+
+size_t TransportHeaderSize(const RocePacket& pkt) {
+  size_t n = BthHeader::kSize;
+  if (pkt.reth.has_value()) {
+    n += RethHeader::kSize;
+  }
+  if (pkt.aeth.has_value()) {
+    n += AethHeader::kSize;
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t RocePacket::WireSize() const {
+  return EthHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize + TransportHeaderSize(*this) +
+         payload.size() + kIcrcSize;
+}
+
+uint64_t RocePacket::Words(size_t width_bytes) const {
+  const size_t bytes = WireSize() - EthHeader::kSize;  // data-path sees IP..ICRC
+  return (bytes + width_bytes - 1) / width_bytes;
+}
+
+uint32_t ComputeIcrc(ByteSpan ip_through_payload) {
+  // Mask the variant fields: IP ToS (offset 1), TTL (offset 8), IP checksum
+  // (offsets 10-11), UDP checksum (offsets 26-27), BTH byte 1 (flags, offset
+  // 29) and BTH reserved byte (offset 32). Preceded by 8 bytes of 1s standing
+  // in for the masked LRH/GRH fields, per the RoCE v2 ICRC definition.
+  ByteBuffer masked(ip_through_payload.begin(), ip_through_payload.end());
+  static constexpr size_t kMaskedOffsets[] = {1, 8, 10, 11, 26, 27, 29, 32};
+  for (size_t off : kMaskedOffsets) {
+    if (off < masked.size()) {
+      masked[off] = 0xFF;
+    }
+  }
+  Crc32 crc;
+  static constexpr uint8_t kOnes[8] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  crc.Update(ByteSpan(kOnes, sizeof(kOnes)));
+  crc.Update(masked);
+  return crc.Finish();
+}
+
+ByteBuffer EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                           const RocePacket& pkt) {
+  ByteBuffer frame;
+  frame.reserve(pkt.WireSize());
+  WireWriter w(frame);
+
+  EthHeader eth;
+  eth.src = src_mac;
+  eth.dst = dst_mac;
+  eth.ethertype = kEtherTypeIpv4;
+  eth.Encode(w);
+
+  const size_t udp_payload =
+      TransportHeaderSize(pkt) + pkt.payload.size() + kIcrcSize;
+
+  Ipv4Header ip;
+  ip.protocol = kIpProtoUdp;
+  ip.src = pkt.src_ip;
+  ip.dst = pkt.dst_ip;
+  ip.total_length = static_cast<uint16_t>(Ipv4Header::kSize + UdpHeader::kSize + udp_payload);
+  ip.Encode(w);
+
+  UdpHeader udp;
+  udp.src_port = pkt.src_udp_port;
+  udp.dst_port = kRoceUdpPort;
+  udp.length = static_cast<uint16_t>(UdpHeader::kSize + udp_payload);
+  udp.Encode(w);
+
+  pkt.bth.Encode(w);
+  if (pkt.reth.has_value()) {
+    pkt.reth->Encode(w);
+  }
+  if (pkt.aeth.has_value()) {
+    pkt.aeth->Encode(w);
+  }
+  w.Bytes(pkt.payload);
+
+  const uint32_t icrc =
+      ComputeIcrc(ByteSpan(frame.data() + EthHeader::kSize, frame.size() - EthHeader::kSize));
+  w.U32(icrc);
+  return frame;
+}
+
+Result<RocePacket> ParseRoceFrame(ByteSpan frame) {
+  WireReader r(frame);
+  EthHeader eth = EthHeader::Decode(r);
+  if (r.failed() || eth.ethertype != kEtherTypeIpv4) {
+    return Status(StatusCode::kInvalidArgument, "not an IPv4 frame");
+  }
+
+  bool ip_csum_ok = false;
+  Ipv4Header ip = Ipv4Header::Decode(r, &ip_csum_ok);
+  if (r.failed()) {
+    return Status(StatusCode::kInvalidArgument, "truncated IP header");
+  }
+  if (!ip_csum_ok) {
+    return Status(StatusCode::kDataLoss, "IP header checksum mismatch");
+  }
+  if (ip.protocol != kIpProtoUdp) {
+    return Status(StatusCode::kInvalidArgument, "not UDP");
+  }
+
+  UdpHeader udp = UdpHeader::Decode(r);
+  if (r.failed() || udp.dst_port != kRoceUdpPort) {
+    return Status(StatusCode::kInvalidArgument, "not RoCE UDP port");
+  }
+
+  // Verify ICRC over IP..payload before interpreting transport headers.
+  const size_t ip_offset = EthHeader::kSize;
+  const size_t ip_total = ip.total_length;
+  if (ip_offset + ip_total > frame.size() || ip_total < Ipv4Header::kSize + UdpHeader::kSize +
+                                                            BthHeader::kSize + kIcrcSize) {
+    return Status(StatusCode::kInvalidArgument, "bad IP total length");
+  }
+  ByteSpan covered = frame.subspan(ip_offset, ip_total - kIcrcSize);
+  const uint32_t wire_icrc = LoadBe32(frame.data() + ip_offset + ip_total - kIcrcSize);
+  if (ComputeIcrc(covered) != wire_icrc) {
+    return Status(StatusCode::kDataLoss, "ICRC mismatch");
+  }
+
+  RocePacket pkt;
+  pkt.src_ip = ip.src;
+  pkt.dst_ip = ip.dst;
+  pkt.src_udp_port = udp.src_port;
+  pkt.bth = BthHeader::Decode(r);
+  if (r.failed()) {
+    return Status(StatusCode::kInvalidArgument, "truncated BTH");
+  }
+  if (OpcodeHasReth(pkt.bth.opcode)) {
+    pkt.reth = RethHeader::Decode(r);
+  }
+  if (OpcodeHasAeth(pkt.bth.opcode)) {
+    pkt.aeth = AethHeader::Decode(r);
+  }
+  if (r.failed()) {
+    return Status(StatusCode::kInvalidArgument, "truncated extended header");
+  }
+  const size_t payload_end = ip_offset + ip_total - kIcrcSize;
+  if (payload_end < r.position()) {
+    return Status(StatusCode::kInvalidArgument, "inconsistent lengths");
+  }
+  ByteSpan payload = frame.subspan(r.position(), payload_end - r.position());
+  pkt.payload.assign(payload.begin(), payload.end());
+  return pkt;
+}
+
+size_t RocePayloadPerPacket(size_t ip_mtu) {
+  // First/only packets carry BTH+RETH; IB requires all non-last packets to
+  // carry equal payload, so the chunk size is set by the RETH-bearing packet.
+  STROM_CHECK_GT(ip_mtu, Ipv4Header::kSize + UdpHeader::kSize + BthHeader::kSize +
+                             RethHeader::kSize + kIcrcSize);
+  return ip_mtu - Ipv4Header::kSize - UdpHeader::kSize - BthHeader::kSize - RethHeader::kSize -
+         kIcrcSize;
+}
+
+}  // namespace strom

@@ -1,0 +1,47 @@
+// RoCE v2 packet assembly and parsing: Eth | IPv4 | UDP | BTH [| RETH][| AETH]
+// | payload | ICRC. The ICRC is a CRC32 over the invariant fields (variant
+// fields masked to 0xFF per the RoCE v2 convention) so that routers rewriting
+// TTL/ToS do not invalidate it.
+#ifndef SRC_PROTO_PACKET_H_
+#define SRC_PROTO_PACKET_H_
+
+#include <optional>
+
+#include "src/common/status.h"
+#include "src/proto/headers.h"
+
+namespace strom {
+
+struct RocePacket {
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  uint16_t src_udp_port = kRoceUdpPort;
+  BthHeader bth;
+  std::optional<RethHeader> reth;
+  std::optional<AethHeader> aeth;
+  ByteBuffer payload;
+
+  // Size of the encoded Ethernet frame in bytes (without PHY overhead).
+  size_t WireSize() const;
+  // Number of data-path words this packet occupies at the given width.
+  uint64_t Words(size_t width_bytes) const;
+};
+
+// Builds the full Ethernet frame including ICRC trailer.
+ByteBuffer EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                           const RocePacket& pkt);
+
+// Parses a frame; verifies ethertype, IP checksum, UDP port and ICRC.
+Result<RocePacket> ParseRoceFrame(ByteSpan frame);
+
+// ICRC over an encoded frame (Eth header excluded, trailer excluded).
+uint32_t ComputeIcrc(ByteSpan ip_through_payload);
+
+// Payload capacity of one RoCE packet at a given IP MTU for a packet that
+// carries a RETH (first/only) — middle/last packets use the same chunk size
+// per the IB equal-PMTU rule.
+size_t RocePayloadPerPacket(size_t ip_mtu);
+
+}  // namespace strom
+
+#endif  // SRC_PROTO_PACKET_H_

@@ -1,0 +1,119 @@
+#include "src/resmodel/resource_model.h"
+
+#include <cmath>
+
+namespace strom {
+
+FpgaDevice Virtex7_690T() { return FpgaDevice{"XC7VX690T", 433'200, 1'470, 866'400}; }
+
+FpgaDevice UltraScalePlus_VU9P() { return FpgaDevice{"XCVU9P", 1'182'240, 2'160, 2'364'480}; }
+
+namespace {
+
+// Calibration anchors (paper Table 3, both on the VCU118/XCVU9P):
+//   10 G  (w=8,  156 MHz, 500 QPs):  92 K LUT / 181 BRAM / 115 K FF
+//   100 G (w=64, 322 MHz, 500 QPs): 122 K LUT / 402 BRAM / 214 K FF
+// plus §6.1's QP scaling on the Virtex-7: 500 -> 16,000 QPs costs < 1% logic
+// and raises on-chip memory from 9% to 20% (~ +162 BRAM of 1,470).
+
+// LUTs: width-linear. (122K - 92K) / (64 - 8) = ~536 LUT per data-path byte.
+constexpr double kLutBase = 87'712;
+constexpr double kLutPerByte = 536;
+// "the logic resource usage stays within 1% when going from 500 to 16,000"
+// QPs: a tiny per-QP logic term for the wider table addressing.
+constexpr double kLutPerQp = 0.2;
+
+// FFs: width-linear plus the extra register stages inserted to close timing
+// at 322 MHz ("additional register stages are inserted by the compiler",
+// §7).
+constexpr double kFfBase = 105'400;
+constexpr double kFfPerByte = 1'200;
+constexpr double kFfHighClockPerByte = 497;  // only above ~250 MHz
+
+// BRAM: a width-scaled term (packet FIFOs, reassembly buffers) on top of the
+// state that is width-independent: TLB, QP state, Multi-Queue.
+constexpr double kBramBase = 120;
+constexpr double kBramPerByte = 3.95;
+constexpr double kBitsPerBramBlock = 36 * 1024;
+// Per-QP state: State Table + MSN Table + Retransmission Timer interval +
+// requester bookkeeping ~ 384 bits (matches the §6.1 scaling claim).
+constexpr double kBitsPerQp = 384;
+constexpr double kTlbBitsPerEntry = 48;   // one 48-bit physical address
+constexpr double kBitsPerMqElement = 112; // local addr + next + psn/len
+
+uint64_t CeilDiv(double bits, double per_block) {
+  return static_cast<uint64_t>(std::ceil(bits / per_block));
+}
+
+}  // namespace
+
+ResourceEstimate EstimateNic(const NicDesign& d) {
+  ResourceEstimate e;
+  e.luts = static_cast<uint64_t>(kLutBase + kLutPerByte * d.data_width_bytes +
+                                 kLutPerQp * d.num_qps);
+  double ff = kFfBase + kFfPerByte * d.data_width_bytes;
+  if (d.clock_mhz > 250) {
+    ff += kFfHighClockPerByte * d.data_width_bytes;
+  }
+  e.ffs = static_cast<uint64_t>(ff);
+
+  const double fabric_bram = kBramBase + kBramPerByte * d.data_width_bytes;
+  const uint64_t tlb_bram = CeilDiv(kTlbBitsPerEntry * d.tlb_entries, kBitsPerBramBlock);
+  const uint64_t qp_bram = CeilDiv(kBitsPerQp * d.num_qps, kBitsPerBramBlock);
+  const uint64_t mq_bram =
+      CeilDiv(kBitsPerMqElement * d.multi_queue_total, kBitsPerBramBlock);
+  e.brams = static_cast<uint64_t>(std::llround(fabric_bram)) + tlb_bram + qp_bram + mq_bram;
+  return e;
+}
+
+ResourceEstimate EstimateKernel(KernelKind kind, uint32_t w) {
+  switch (kind) {
+    case KernelKind::kTraversal:
+      return ResourceEstimate{static_cast<uint64_t>(3'500 + 60 * w), 2,
+                              static_cast<uint64_t>(4'000 + 90 * w)};
+    case KernelKind::kConsistency:
+      // Parallel CRC64 over the data-path width dominates.
+      return ResourceEstimate{static_cast<uint64_t>(2'500 + 80 * w), 2,
+                              static_cast<uint64_t>(3'000 + 120 * w)};
+    case KernelKind::kShuffle:
+      // 1024 partitions x 128 B on-chip buffers = 1 Mbit of BRAM.
+      return ResourceEstimate{static_cast<uint64_t>(5'000 + 100 * w),
+                              CeilDiv(1024 * 128 * 8, 36 * 1024) + 4,
+                              static_cast<uint64_t>(6'000 + 150 * w)};
+    case KernelKind::kHll:
+      // 2^14 six-bit registers ~ 98 Kb, plus parallel hash lanes.
+      return ResourceEstimate{static_cast<uint64_t>(3'000 + 120 * w),
+                              CeilDiv(16384 * 6, 36 * 1024) + 1,
+                              static_cast<uint64_t>(5'000 + 100 * w)};
+    case KernelKind::kGet:
+      return ResourceEstimate{static_cast<uint64_t>(2'000 + 50 * w), 1,
+                              static_cast<uint64_t>(2'500 + 70 * w)};
+  }
+  return {};
+}
+
+ResourceEstimate EstimateTotal(const NicDesign& design) {
+  ResourceEstimate total = EstimateNic(design);
+  for (KernelKind kind : design.kernels) {
+    total = total + EstimateKernel(kind, design.data_width_bytes);
+  }
+  return total;
+}
+
+const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kTraversal:
+      return "traversal";
+    case KernelKind::kConsistency:
+      return "consistency";
+    case KernelKind::kShuffle:
+      return "shuffle";
+    case KernelKind::kHll:
+      return "hll";
+    case KernelKind::kGet:
+      return "get";
+  }
+  return "?";
+}
+
+}  // namespace strom

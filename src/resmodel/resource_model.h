@@ -1,0 +1,72 @@
+// Parametric FPGA resource model, calibrated to the paper's reported
+// utilization (Table 3, §6.1). We cannot synthesize bitstreams, so this
+// model reproduces the paper's numbers *by construction* and exposes the
+// same scaling knobs the paper discusses: data-path width, clock frequency,
+// number of queue pairs, TLB capacity, and deployed kernels. Its value is as
+// a what-if estimator (e.g. "how many BRAMs at 16,000 QPs?") whose internal
+// consistency is tested.
+#ifndef SRC_RESMODEL_RESOURCE_MODEL_H_
+#define SRC_RESMODEL_RESOURCE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strom {
+
+struct FpgaDevice {
+  std::string name;
+  uint64_t luts;
+  uint64_t brams;  // 36 Kb blocks
+  uint64_t ffs;
+};
+
+// The two boards used in the paper.
+FpgaDevice Virtex7_690T();      // Alpha Data ADM-PCIE-7V3 (10 G prototype)
+FpgaDevice UltraScalePlus_VU9P();  // VCU118 (100 G version, Table 3)
+
+enum class KernelKind { kTraversal, kConsistency, kShuffle, kHll, kGet };
+
+struct NicDesign {
+  uint32_t data_width_bytes = 8;   // 8 (10 G) or 64 (100 G)
+  uint32_t clock_mhz = 156;        // 156.25 or 322
+  uint32_t num_qps = 500;
+  uint32_t tlb_entries = 16384;
+  uint32_t multi_queue_total = 256;
+  std::vector<KernelKind> kernels;
+};
+
+struct ResourceEstimate {
+  uint64_t luts = 0;
+  uint64_t brams = 0;
+  uint64_t ffs = 0;
+
+  double LutPct(const FpgaDevice& dev) const {
+    return 100.0 * static_cast<double>(luts) / static_cast<double>(dev.luts);
+  }
+  double BramPct(const FpgaDevice& dev) const {
+    return 100.0 * static_cast<double>(brams) / static_cast<double>(dev.brams);
+  }
+  double FfPct(const FpgaDevice& dev) const {
+    return 100.0 * static_cast<double>(ffs) / static_cast<double>(dev.ffs);
+  }
+
+  ResourceEstimate operator+(const ResourceEstimate& other) const {
+    return ResourceEstimate{luts + other.luts, brams + other.brams, ffs + other.ffs};
+  }
+};
+
+// NIC base design (RoCE stack + DMA + TLB + Ethernet MAC), excluding kernels.
+ResourceEstimate EstimateNic(const NicDesign& design);
+
+// One StRoM kernel at the given data-path width.
+ResourceEstimate EstimateKernel(KernelKind kind, uint32_t data_width_bytes);
+
+// NIC plus all kernels in the design.
+ResourceEstimate EstimateTotal(const NicDesign& design);
+
+const char* KernelKindName(KernelKind kind);
+
+}  // namespace strom
+
+#endif  // SRC_RESMODEL_RESOURCE_MODEL_H_

@@ -1,0 +1,76 @@
+// RoCE v2 stack configuration and counters. The two profiles used by the
+// evaluation (10 G Virtex-7 and 100 G UltraScale+) are built from these knobs
+// in src/testbed/calibration.h.
+#ifndef SRC_ROCE_CONFIG_H_
+#define SRC_ROCE_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace strom {
+
+struct RoceConfig {
+  // NIC clock period: 6400 ps = 156.25 MHz (10 G), 3106 ps = 322 MHz (100 G).
+  SimTime clock_ps = 6400;
+  // Data-path width in bytes: 8 B at 10 G, 64 B at 100 G (paper §3.5/§7).
+  uint32_t data_width = 8;
+  // IP MTU on the wire (paper: 1500).
+  uint32_t ip_mtu = 1500;
+  // Compile-time QP capacity; scales the state-table BRAM (paper §6.1).
+  uint32_t max_qps = 500;
+  // Multi-Queue: total outstanding RDMA READ elements across all QPs.
+  uint32_t multi_queue_total = 256;
+  // Requester retransmission timeout and cap on exponential backoff.
+  SimTime retransmission_timeout = Us(100);
+  SimTime retransmission_timeout_max = Ms(5);
+  // Fixed pipeline depths in cycles. RX: Process IP + UDP + BTH (incl. the
+  // 5-cycle State Table interaction of Fig 3) + RETH/AETH FSM. TX: Request
+  // Handler + Generate RETH/AETH + BTH + UDP + IP.
+  uint32_t rx_pipeline_cycles = 40;
+  uint32_t tx_pipeline_cycles = 40;
+  // Requester sets the BTH ack-request bit every N packets inside a long
+  // message so the retransmission window stays bounded.
+  uint32_t ack_request_interval = 32;
+  // Max in-flight payload-fetch DMA commands while packetizing messages.
+  // Deep enough that PCIe read latency never caps the message rate below
+  // the host command-issue limit (paper §7: the host is the limiter).
+  uint32_t tx_fetch_window = 16;
+
+  // Payload bytes per packet at this MTU (see RocePayloadPerPacket).
+  uint32_t PayloadPerPacket() const;
+  // Number of packets needed for a message of `len` bytes (>= 1).
+  uint32_t PacketsForLength(uint64_t len) const {
+    const uint32_t pmtu = PayloadPerPacket();
+    if (len == 0) {
+      return 1;
+    }
+    return static_cast<uint32_t>((len + pmtu - 1) / pmtu);
+  }
+};
+
+struct RoceCounters {
+  uint64_t tx_packets = 0;
+  uint64_t tx_bytes = 0;  // payload bytes sent (requester data)
+  uint64_t rx_packets = 0;
+  uint64_t rx_payload_bytes = 0;
+  uint64_t tx_acks = 0;
+  uint64_t rx_acks = 0;
+  uint64_t tx_naks = 0;
+  uint64_t rx_naks = 0;
+  uint64_t retransmitted_packets = 0;
+  uint64_t timeouts = 0;
+  uint64_t icrc_drops = 0;
+  uint64_t malformed_drops = 0;
+  uint64_t psn_out_of_order_drops = 0;
+  uint64_t duplicate_psn_packets = 0;
+  uint64_t unknown_qp_drops = 0;
+  uint64_t rpc_dispatched = 0;
+  uint64_t rpc_unmatched = 0;
+  uint64_t write_messages_completed = 0;
+  uint64_t read_messages_completed = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_ROCE_CONFIG_H_

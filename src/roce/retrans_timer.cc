@@ -1,0 +1,51 @@
+#include "src/roce/retrans_timer.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+RetransTimer::RetransTimer(Simulator& sim, uint32_t num_qps, SimTime timeout,
+                           SimTime timeout_max)
+    : sim_(sim), timeout_(timeout), timeout_max_(timeout_max), timers_(num_qps) {}
+
+void RetransTimer::Arm(Qpn qpn) {
+  Entry& e = timers_.at(qpn);
+  e.armed = true;
+  e.current_timeout = timeout_;
+  ++e.generation;
+  Schedule(qpn);
+}
+
+void RetransTimer::RearmBackoff(Qpn qpn) {
+  Entry& e = timers_.at(qpn);
+  e.armed = true;
+  e.current_timeout = std::min(e.current_timeout * 2, timeout_max_);
+  ++e.generation;
+  Schedule(qpn);
+}
+
+void RetransTimer::Cancel(Qpn qpn) {
+  Entry& e = timers_.at(qpn);
+  e.armed = false;
+  ++e.generation;
+}
+
+void RetransTimer::Schedule(Qpn qpn) {
+  Entry& e = timers_.at(qpn);
+  const uint64_t gen = e.generation;
+  sim_.Schedule(e.current_timeout, [this, qpn, gen] {
+    Entry& entry = timers_.at(qpn);
+    if (!entry.armed || entry.generation != gen) {
+      return;  // cancelled or re-armed since
+    }
+    entry.armed = false;
+    ++expirations_;
+    if (on_expiry_) {
+      on_expiry_(qpn);
+    }
+  });
+}
+
+}  // namespace strom

@@ -1,0 +1,55 @@
+// Retransmission Timer (paper §4.1): one timer per queue pair, detecting
+// packet loss. The hardware keeps an array of time intervals in on-chip
+// memory and continuously decrements all active timers; the event-driven
+// equivalent here keeps per-QP deadlines and a generation counter so stale
+// expiry events are ignored. Exponential backoff doubles the interval on
+// consecutive timeouts.
+#ifndef SRC_ROCE_RETRANS_TIMER_H_
+#define SRC_ROCE_RETRANS_TIMER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace strom {
+
+class RetransTimer {
+ public:
+  using ExpiryHandler = std::function<void(Qpn)>;
+
+  RetransTimer(Simulator& sim, uint32_t num_qps, SimTime timeout, SimTime timeout_max);
+
+  void SetExpiryHandler(ExpiryHandler handler) { on_expiry_ = std::move(handler); }
+
+  // Arms (or re-arms, resetting backoff) the QP's timer.
+  void Arm(Qpn qpn);
+  // Re-arms keeping the current backoff level (after a timeout-driven resend).
+  void RearmBackoff(Qpn qpn);
+  // Stops the QP's timer (all outstanding packets acknowledged).
+  void Cancel(Qpn qpn);
+
+  bool IsArmed(Qpn qpn) const { return timers_.at(qpn).armed; }
+  uint64_t expirations() const { return expirations_; }
+
+ private:
+  struct Entry {
+    bool armed = false;
+    uint64_t generation = 0;
+    SimTime current_timeout = 0;
+  };
+
+  void Schedule(Qpn qpn);
+
+  Simulator& sim_;
+  SimTime timeout_;
+  SimTime timeout_max_;
+  std::vector<Entry> timers_;
+  ExpiryHandler on_expiry_;
+  uint64_t expirations_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_ROCE_RETRANS_TIMER_H_

@@ -1,0 +1,810 @@
+#include "src/roce/stack.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+uint32_t RoceConfig::PayloadPerPacket() const {
+  return static_cast<uint32_t>(RocePayloadPerPacket(ip_mtu));
+}
+
+uint32_t RoceStack::PendingWr::ChunkLen(uint32_t idx, uint32_t pmtu) const {
+  const uint64_t len = req.length;
+  if (len == 0) {
+    return 0;
+  }
+  const uint64_t start = static_cast<uint64_t>(idx) * pmtu;
+  STROM_CHECK_LT(start, len);
+  return static_cast<uint32_t>(std::min<uint64_t>(pmtu, len - start));
+}
+
+RoceStack::RoceStack(Simulator& sim, RoceConfig config, DmaEngine& dma, Ipv4Addr local_ip,
+                     MacAddr local_mac, const ArpTable& arp)
+    : sim_(sim),
+      config_(config),
+      dma_(dma),
+      local_ip_(local_ip),
+      local_mac_(local_mac),
+      arp_(arp),
+      state_table_(config.max_qps),
+      msn_table_(config.max_qps),
+      multi_queue_(config.max_qps, config.multi_queue_total),
+      timer_(sim, config.max_qps, config.retransmission_timeout,
+             config.retransmission_timeout_max),
+      qps_(config.max_qps),
+      pmtu_payload_(config.PayloadPerPacket()) {
+  timer_.SetExpiryHandler([this](Qpn qpn) { OnTimeout(qpn); });
+}
+
+RoceStack::QpState& RoceStack::Qp(Qpn qpn) {
+  STROM_CHECK_LT(qpn, qps_.size());
+  return qps_[qpn];
+}
+
+Status RoceStack::ConnectQp(Qpn local_qpn, Qpn remote_qpn, Ipv4Addr remote_ip, Psn local_psn,
+                            Psn remote_psn) {
+  if (local_qpn >= qps_.size()) {
+    return OutOfRangeError("QPN beyond configured max_qps");
+  }
+  STROM_RETURN_IF_ERROR(state_table_.Activate(local_qpn, remote_psn, local_psn));
+  QpState& qp = qps_[local_qpn];
+  qp.connected = true;
+  qp.remote_qpn = remote_qpn;
+  qp.remote_ip = remote_ip;
+  return Status::Ok();
+}
+
+bool RoceStack::QpConnected(Qpn qpn) const { return qpn < qps_.size() && qps_[qpn].connected; }
+
+// ---------------------------------------------------------------------------
+// TX path: Request Handler + packetization + pacing
+// ---------------------------------------------------------------------------
+
+Status RoceStack::PostRequest(WorkRequest wr) {
+  // On rejection the completion callback still fires so waiters never hang.
+  auto fail = [&wr](Status st) {
+    if (wr.on_complete) {
+      wr.on_complete(st);
+    }
+    return st;
+  };
+  if (!QpConnected(wr.qpn)) {
+    return fail(FailedPreconditionError("QP not connected"));
+  }
+  if (!wr.inline_data.empty()) {
+    wr.length = static_cast<uint32_t>(wr.inline_data.size());
+  }
+  if (wr.kind == WorkRequest::Kind::kRpc && wr.inline_data.size() > pmtu_payload_) {
+    return fail(InvalidArgumentError("RPC parameters exceed one MTU"));
+  }
+
+  auto pending = std::make_shared<PendingWr>();
+  pending->req = std::move(wr);
+
+  StateTableEntry& st = state_table_.Entry(pending->req.qpn);
+  pending->first_psn = st.next_psn;
+
+  switch (pending->req.kind) {
+    case WorkRequest::Kind::kWrite:
+    case WorkRequest::Kind::kRpcWrite:
+      pending->send_pkts = config_.PacketsForLength(pending->req.length);
+      pending->psn_span = pending->send_pkts;
+      break;
+    case WorkRequest::Kind::kRpc:
+      pending->send_pkts = 1;
+      pending->psn_span = 1;
+      break;
+    case WorkRequest::Kind::kRead: {
+      if (pending->req.length == 0) {
+        Status bad = InvalidArgumentError("zero-length read");
+        if (pending->req.on_complete) {
+          pending->req.on_complete(bad);
+        }
+        return bad;
+      }
+      pending->send_pkts = 1;
+      pending->psn_span = config_.PacketsForLength(pending->req.length);
+      ReadContext ctx;
+      ctx.local_addr = pending->req.local_addr;
+      ctx.length = pending->req.length;
+      ctx.first_psn = pending->first_psn;
+      ctx.num_packets = pending->psn_span;
+      ctx.wr_id = next_read_token_++;
+      pending_reads_[ctx.wr_id] = pending;
+      if (!multi_queue_.Push(pending->req.qpn, ctx)) {
+        pending_reads_.erase(ctx.wr_id);
+        Status full = ResourceExhaustedError("multi-queue full (too many outstanding reads)");
+        if (pending->req.on_complete) {
+          pending->req.on_complete(full);
+        }
+        return full;
+      }
+      break;
+    }
+  }
+  pending->last_psn = PsnAdd(pending->first_psn, pending->psn_span - 1);
+  st.next_psn = PsnAdd(st.next_psn, pending->psn_span);
+
+  wr_queue_.push_back(std::move(pending));
+  PumpTx();
+  return Status::Ok();
+}
+
+IbOpcode RoceStack::DataOpcode(const PendingWr& wr, uint32_t idx) const {
+  const bool only = wr.send_pkts == 1;
+  const bool first = idx == 0;
+  const bool last = idx + 1 == wr.send_pkts;
+  if (wr.is_read_response) {
+    if (only) {
+      return IbOpcode::kReadRespOnly;
+    }
+    if (first) {
+      return IbOpcode::kReadRespFirst;
+    }
+    return last ? IbOpcode::kReadRespLast : IbOpcode::kReadRespMiddle;
+  }
+  switch (wr.req.kind) {
+    case WorkRequest::Kind::kWrite:
+      if (only) {
+        return IbOpcode::kWriteOnly;
+      }
+      if (first) {
+        return IbOpcode::kWriteFirst;
+      }
+      return last ? IbOpcode::kWriteLast : IbOpcode::kWriteMiddle;
+    case WorkRequest::Kind::kRpcWrite:
+      if (only) {
+        return IbOpcode::kRpcWriteOnly;
+      }
+      if (first) {
+        return IbOpcode::kRpcWriteFirst;
+      }
+      return last ? IbOpcode::kRpcWriteLast : IbOpcode::kRpcWriteMiddle;
+    case WorkRequest::Kind::kRpc:
+      return IbOpcode::kRpcParams;
+    case WorkRequest::Kind::kRead:
+      return IbOpcode::kReadRequest;
+  }
+  return IbOpcode::kWriteOnly;
+}
+
+void RoceStack::FetchPayloads() {
+  // Pipeline payload fetches across queued messages so back-to-back small
+  // messages are not serialized on PCIe read latency.
+  for (WrPtr& wr : wr_queue_) {
+    if (fetches_in_flight_ >= config_.tx_fetch_window) {
+      return;
+    }
+    while (wr->next_fetch < wr->send_pkts && fetches_in_flight_ < config_.tx_fetch_window) {
+      const uint32_t idx = wr->next_fetch++;
+      if (wr->req.kind == WorkRequest::Kind::kRead) {
+        wr->ready[idx] = ByteBuffer{};  // read requests carry no payload
+        continue;
+      }
+      const uint32_t chunk = wr->ChunkLen(idx, pmtu_payload_);
+      if (!wr->req.inline_data.empty() || chunk == 0) {
+        const uint8_t* base = wr->req.inline_data.data() + static_cast<size_t>(idx) * pmtu_payload_;
+        wr->ready[idx] = ByteBuffer(base, base + chunk);
+        continue;
+      }
+      ++fetches_in_flight_;
+      const VirtAddr src = wr->req.local_addr + static_cast<VirtAddr>(idx) * pmtu_payload_;
+      dma_.Read(src, chunk, [this, wr, idx](Result<ByteBuffer> data) {
+        --fetches_in_flight_;
+        if (!data.ok()) {
+          STROM_LOG(kError) << "TX payload fetch failed: " << data.status();
+          CompleteWr(wr, data.status());
+        } else {
+          wr->ready[idx] = std::move(*data);
+        }
+        PumpTx();
+      });
+    }
+  }
+}
+
+bool RoceStack::TrySendNextDataPacket() {
+  // Retransmissions take precedence over new data.
+  if (!retransmit_queue_.empty()) {
+    OutstandingPacket& desc = retransmit_queue_.front();
+    ByteBuffer payload;
+    if (desc.opcode == IbOpcode::kReadRequest || desc.len == 0) {
+      // no payload
+    } else if (!desc.wr->req.inline_data.empty()) {
+      const uint8_t* base = desc.wr->req.inline_data.data() + desc.offset;
+      payload.assign(base, base + desc.len);
+    } else if (retransmit_payload_.has_value()) {
+      payload = std::move(*retransmit_payload_);
+      retransmit_payload_.reset();
+    } else {
+      if (!retransmit_fetch_pending_) {
+        retransmit_fetch_pending_ = true;
+        const uint64_t epoch = retransmit_epoch_;
+        dma_.Read(desc.wr->req.local_addr + desc.offset, desc.len,
+                  [this, epoch](Result<ByteBuffer> data) {
+                    retransmit_fetch_pending_ = false;
+                    if (epoch == retransmit_epoch_ && data.ok()) {
+                      retransmit_payload_ = std::move(*data);
+                    }
+                    // Stale epoch: the queue was rebuilt; PumpTx re-fetches
+                    // for whatever is at the front now.
+                    PumpTx();
+                  });
+      }
+      return false;
+    }
+
+    QpState& qp = Qp(desc.wr->req.qpn);
+    RocePacket pkt;
+    pkt.src_ip = local_ip_;
+    pkt.dst_ip = qp.remote_ip;
+    pkt.bth.opcode = desc.opcode;
+    pkt.bth.dest_qp = qp.remote_qpn;
+    pkt.bth.psn = desc.psn;
+    pkt.bth.ack_request = true;  // force a fresh cumulative ACK
+    if (OpcodeHasReth(desc.opcode)) {
+      RethHeader reth;
+      reth.virt_addr = desc.remote_addr;
+      reth.dma_length = desc.wr->req.length;
+      pkt.reth = reth;
+    }
+    pkt.payload = std::move(payload);
+    ++counters_.retransmitted_packets;
+    retransmit_queue_.pop_front();
+    EmitFrame(pkt);
+    return true;
+  }
+
+  if (wr_queue_.empty()) {
+    return false;
+  }
+  WrPtr wr = wr_queue_.front();
+  auto it = wr->ready.find(wr->next_send);
+  if (it == wr->ready.end()) {
+    return false;  // waiting for the payload fetch
+  }
+  const uint32_t idx = wr->next_send++;
+  ByteBuffer payload = std::move(it->second);
+  wr->ready.erase(it);
+
+  QpState& qp = Qp(wr->req.qpn);
+  const IbOpcode opcode = DataOpcode(*wr, idx);
+  const bool last = idx + 1 == wr->send_pkts;
+
+  RocePacket pkt;
+  pkt.src_ip = local_ip_;
+  pkt.dst_ip = qp.remote_ip;
+  pkt.bth.opcode = opcode;
+  pkt.bth.dest_qp = qp.remote_qpn;
+  pkt.bth.ack_request =
+      !wr->is_read_response &&
+      (last || (idx + 1) % config_.ack_request_interval == 0);
+
+  if (wr->is_read_response) {
+    pkt.bth.psn = PsnAdd(wr->first_psn, idx);
+    if (OpcodeHasAeth(opcode)) {
+      AethHeader aeth;
+      aeth.syndrome = AckSyndrome::kAck;
+      aeth.msn = msn_table_.Entry(wr->req.qpn).msn;
+      pkt.aeth = aeth;
+    }
+  } else {
+    pkt.bth.psn =
+        wr->req.kind == WorkRequest::Kind::kRead ? wr->first_psn : PsnAdd(wr->first_psn, idx);
+    if (OpcodeHasReth(opcode)) {
+      RethHeader reth;
+      reth.virt_addr = wr->req.remote_addr;
+      reth.dma_length = wr->req.length;
+      pkt.reth = reth;
+    }
+    // Track for go-back-N retransmission.
+    OutstandingPacket desc;
+    desc.psn = pkt.bth.psn;
+    desc.opcode = opcode;
+    desc.remote_addr = wr->req.remote_addr;
+    desc.offset = idx * pmtu_payload_;
+    desc.len = static_cast<uint32_t>(payload.size());
+    desc.wr = wr;
+    const bool was_empty = qp.outstanding.empty();
+    qp.outstanding.push_back(std::move(desc));
+    if (was_empty) {
+      timer_.Arm(wr->req.qpn);
+    }
+  }
+
+  counters_.tx_bytes += payload.size();
+  pkt.payload = std::move(payload);
+  EmitFrame(pkt);
+
+  if (last) {
+    FinishSending(wr);
+  }
+  return true;
+}
+
+void RoceStack::FinishSending(const WrPtr& wr) {
+  STROM_CHECK(!wr_queue_.empty() && wr_queue_.front() == wr);
+  wr_queue_.pop_front();
+  if (wr->is_read_response || wr->req.kind == WorkRequest::Kind::kRead) {
+    return;  // responses need no ACK; reads complete via response data
+  }
+  Qp(wr->req.qpn).awaiting_ack.push_back(wr);
+}
+
+void RoceStack::CompleteWr(const WrPtr& wr, const Status& status) {
+  if (wr->completed) {
+    return;
+  }
+  wr->completed = true;
+  if (wr->req.kind == WorkRequest::Kind::kRead) {
+    ++counters_.read_messages_completed;
+  } else if (!wr->is_read_response) {
+    ++counters_.write_messages_completed;
+  }
+  if (wr->req.on_complete) {
+    wr->req.on_complete(status);
+  }
+}
+
+void RoceStack::SendControlPacket(RocePacket pkt) {
+  control_queue_.push_back(std::move(pkt));
+  PumpTx();
+}
+
+void RoceStack::EmitFrame(const RocePacket& pkt) {
+  MacAddr dst_mac;
+  STROM_CHECK(arp_.Lookup(pkt.dst_ip, &dst_mac))
+      << "no ARP entry for " << IpToString(pkt.dst_ip);
+  ByteBuffer frame = EncodeRoceFrame(local_mac_, dst_mac, pkt);
+  ++counters_.tx_packets;
+  if (pkt.bth.opcode == IbOpcode::kAck) {
+    ++counters_.tx_acks;
+    if (pkt.aeth.has_value() && pkt.aeth->syndrome != AckSyndrome::kAck) {
+      ++counters_.tx_naks;
+    }
+  }
+
+  // Fixed TX pipeline latency plus the store-and-forward ICRC pass (one cycle
+  // per data word, paper §7). The order cursor keeps the pipeline FIFO.
+  const SimTime words = static_cast<SimTime>(pkt.Words(config_.data_width));
+  const SimTime latency = (config_.tx_pipeline_cycles + words) * config_.clock_ps;
+  tx_order_cursor_ = std::max(tx_order_cursor_, sim_.now() + latency);
+  sim_.ScheduleAt(tx_order_cursor_, [this, f = std::move(frame)]() mutable {
+    if (send_frame_) {
+      send_frame_(std::move(f));
+    }
+  });
+
+  // The word-serial pipeline (II=1) accepts the next packet after `words`
+  // cycles: this *is* line rate for the configured width.
+  tx_busy_ = true;
+  sim_.Schedule(words * config_.clock_ps, [this] {
+    tx_busy_ = false;
+    PumpTx();
+  });
+}
+
+void RoceStack::PumpTx() {
+  FetchPayloads();
+  if (tx_busy_) {
+    return;
+  }
+  if (!control_queue_.empty()) {
+    RocePacket pkt = std::move(control_queue_.front());
+    control_queue_.pop_front();
+    EmitFrame(pkt);
+    return;
+  }
+  TrySendNextDataPacket();
+}
+
+// ---------------------------------------------------------------------------
+// RX path
+// ---------------------------------------------------------------------------
+
+void RoceStack::OnFrame(ByteBuffer frame) {
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  if (!parsed.ok()) {
+    if (parsed.status().code() == StatusCode::kDataLoss) {
+      ++counters_.icrc_drops;
+    } else {
+      ++counters_.malformed_drops;
+    }
+    return;
+  }
+  ++counters_.rx_packets;
+  // RX pipeline: parse stages + State Table FSM + store-and-forward ICRC.
+  // The order cursor keeps the pipeline FIFO across packet sizes.
+  const SimTime words = static_cast<SimTime>(parsed->Words(config_.data_width));
+  const SimTime latency = (config_.rx_pipeline_cycles + words) * config_.clock_ps;
+  rx_order_cursor_ = std::max(rx_order_cursor_, sim_.now() + latency);
+  sim_.ScheduleAt(rx_order_cursor_, [this, pkt = std::move(*parsed)]() mutable {
+    ProcessPacket(std::move(pkt));
+  });
+}
+
+void RoceStack::ProcessPacket(RocePacket pkt) {
+  const Qpn qpn = pkt.bth.dest_qp;
+  if (!QpConnected(qpn)) {
+    ++counters_.unknown_qp_drops;
+    return;
+  }
+  switch (pkt.bth.opcode) {
+    case IbOpcode::kAck:
+      HandleAck(pkt);
+      return;
+    case IbOpcode::kReadRespFirst:
+    case IbOpcode::kReadRespMiddle:
+    case IbOpcode::kReadRespLast:
+    case IbOpcode::kReadRespOnly:
+      HandleReadResponse(pkt);
+      return;
+    default:
+      HandleResponderPacket(pkt);
+      return;
+  }
+}
+
+void RoceStack::HandleResponderPacket(const RocePacket& pkt) {
+  const Qpn qpn = pkt.bth.dest_qp;
+  StateTableEntry& st = state_table_.Entry(qpn);
+
+  const PsnCheck check = state_table_.CheckRequestPsn(qpn, pkt.bth.psn);
+  if (check == PsnCheck::kInvalid) {
+    ++counters_.psn_out_of_order_drops;
+    if (st.nak_armed) {
+      st.nak_armed = false;
+      QpState& qp = Qp(qpn);
+      RocePacket nak;
+      nak.src_ip = local_ip_;
+      nak.dst_ip = qp.remote_ip;
+      nak.bth.opcode = IbOpcode::kAck;
+      nak.bth.dest_qp = qp.remote_qpn;
+      nak.bth.psn = st.epsn;  // the PSN we expect: retransmit from here
+      AethHeader aeth;
+      aeth.syndrome = AckSyndrome::kNakSequenceError;
+      aeth.msn = msn_table_.Entry(qpn).msn;
+      nak.aeth = aeth;
+      SendControlPacket(std::move(nak));
+    }
+    return;
+  }
+  if (check == PsnCheck::kDuplicate) {
+    ++counters_.duplicate_psn_packets;
+    if (OpcodeIsWriteLike(pkt.bth.opcode)) {
+      // Re-ACK so a requester whose ACK was lost can make progress.
+      SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck);
+    } else if (pkt.bth.opcode == IbOpcode::kReadRequest) {
+      HandleReadRequest(pkt);  // reads are idempotent: re-execute
+    }
+    return;
+  }
+
+  // Expected PSN: consume it.
+  st.nak_armed = true;
+  if (pkt.bth.opcode == IbOpcode::kReadRequest) {
+    STROM_CHECK(pkt.reth.has_value());
+    st.epsn = PsnAdd(st.epsn, config_.PacketsForLength(pkt.reth->dma_length));
+    HandleReadRequest(pkt);
+    return;
+  }
+  st.epsn = PsnAdd(st.epsn, 1);
+
+  if (OpcodeIsStrom(pkt.bth.opcode)) {
+    HandleRpc(pkt);
+    return;
+  }
+  HandleWritePayload(pkt);
+}
+
+void RoceStack::HandleWritePayload(const RocePacket& pkt) {
+  const Qpn qpn = pkt.bth.dest_qp;
+  MsnTableEntry& msn = msn_table_.Entry(qpn);
+  counters_.rx_payload_bytes += pkt.payload.size();
+
+  const IbOpcode op = pkt.bth.opcode;
+  if (op == IbOpcode::kWriteFirst || op == IbOpcode::kWriteOnly) {
+    STROM_CHECK(pkt.reth.has_value());
+    msn.dma_addr = pkt.reth->virt_addr;
+    msn.bytes_remaining = pkt.reth->dma_length;
+    msn.in_message = op == IbOpcode::kWriteFirst;
+  }
+  const VirtAddr target = msn.dma_addr;
+  msn.dma_addr += pkt.payload.size();
+  msn.bytes_remaining -= std::min<uint64_t>(msn.bytes_remaining, pkt.payload.size());
+
+  const bool ends = OpcodeEndsMessage(op);
+  if (!pkt.payload.empty()) {
+    dma_.Write(target, pkt.payload, nullptr);
+  }
+  if (stream_tap_) {
+    stream_tap_(qpn, pkt.payload, ends);
+  }
+  if (ends) {
+    msn.in_message = false;
+    ++msn.msn;
+  }
+  if (ends || pkt.bth.ack_request) {
+    SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck);
+  }
+}
+
+void RoceStack::HandleReadRequest(const RocePacket& pkt) {
+  STROM_CHECK(pkt.reth.has_value());
+  // The responder streams the data back with the PSNs the requester
+  // pre-calculated (paper §5.1 explains this constraint of read semantics).
+  auto response = std::make_shared<PendingWr>();
+  response->is_read_response = true;
+  response->req.kind = WorkRequest::Kind::kWrite;  // payload-from-memory path
+  response->req.qpn = pkt.bth.dest_qp;
+  response->req.local_addr = pkt.reth->virt_addr;
+  response->req.length = pkt.reth->dma_length;
+  response->first_psn = pkt.bth.psn;
+  response->send_pkts = config_.PacketsForLength(pkt.reth->dma_length);
+  response->psn_span = response->send_pkts;
+  response->last_psn = PsnAdd(response->first_psn, response->psn_span - 1);
+  wr_queue_.push_back(std::move(response));
+  PumpTx();
+}
+
+void RoceStack::HandleRpc(const RocePacket& pkt) {
+  const Qpn qpn = pkt.bth.dest_qp;
+  MsnTableEntry& msn = msn_table_.Entry(qpn);
+  counters_.rx_payload_bytes += pkt.payload.size();
+
+  RpcDelivery delivery;
+  delivery.qpn = qpn;
+  delivery.payload = pkt.payload;
+
+  const IbOpcode op = pkt.bth.opcode;
+  if (op == IbOpcode::kRpcParams) {
+    STROM_CHECK(pkt.reth.has_value());
+    delivery.rpc_opcode = static_cast<uint32_t>(pkt.reth->virt_addr);
+    delivery.is_params = true;
+    delivery.message_length = pkt.reth->dma_length;
+  } else {
+    if (op == IbOpcode::kRpcWriteFirst || op == IbOpcode::kRpcWriteOnly) {
+      STROM_CHECK(pkt.reth.has_value());
+      msn.rpc_opcode = static_cast<uint32_t>(pkt.reth->virt_addr);
+      msn.rpc_in_flight = true;
+      delivery.message_length = pkt.reth->dma_length;
+    }
+    delivery.rpc_opcode = msn.rpc_opcode;
+    delivery.first = OpcodeStartsMessage(op);
+    delivery.last = OpcodeEndsMessage(op);
+  }
+
+  const bool ends = OpcodeEndsMessage(op);
+  if (ends) {
+    msn.rpc_in_flight = false;
+    ++msn.msn;
+  }
+
+  const bool matched = rpc_handler_ && rpc_handler_(std::move(delivery));
+  if (matched) {
+    ++counters_.rpc_dispatched;
+    if (ends || pkt.bth.ack_request) {
+      SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck);
+    }
+  } else {
+    // No deployed kernel matched the RPC op-code: report an error to the
+    // requesting node (paper §5.1).
+    ++counters_.rpc_unmatched;
+    SendAck(qpn, pkt.bth.psn, AckSyndrome::kNakInvalidRequest);
+  }
+}
+
+void RoceStack::SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome) {
+  QpState& qp = Qp(local_qpn);
+  RocePacket ack;
+  ack.src_ip = local_ip_;
+  ack.dst_ip = qp.remote_ip;
+  ack.bth.opcode = IbOpcode::kAck;
+  ack.bth.dest_qp = qp.remote_qpn;
+  ack.bth.psn = psn;
+  AethHeader aeth;
+  aeth.syndrome = syndrome;
+  aeth.msn = msn_table_.Entry(local_qpn).msn;
+  ack.aeth = aeth;
+  SendControlPacket(std::move(ack));
+}
+
+// ---------------------------------------------------------------------------
+// Requester-side response handling
+// ---------------------------------------------------------------------------
+
+void RoceStack::AdvanceCumulativeAck(Qpn qpn, Psn acked_psn) {
+  QpState& qp = Qp(qpn);
+  StateTableEntry& st = state_table_.Entry(qpn);
+
+  while (!qp.outstanding.empty() &&
+         PsnDistance(qp.outstanding.front().psn, acked_psn) >= 0) {
+    qp.outstanding.pop_front();
+  }
+  if (PsnDistance(st.oldest_unacked, PsnAdd(acked_psn, 1)) > 0) {
+    st.oldest_unacked = PsnAdd(acked_psn, 1);
+  }
+
+  // Complete fully-sent, fully-acked writes and RPCs in order.
+  while (!qp.awaiting_ack.empty()) {
+    const WrPtr& wr = qp.awaiting_ack.front();
+    if (PsnDistance(wr->last_psn, acked_psn) < 0) {
+      break;
+    }
+    CompleteWr(wr, Status::Ok());
+    qp.awaiting_ack.pop_front();
+  }
+
+  // The timer must stay armed while reads are pending even if every request
+  // descriptor has been retired: their response streams can still be lost.
+  if (qp.outstanding.empty() && multi_queue_.Empty(qpn)) {
+    timer_.Cancel(qpn);
+  } else {
+    timer_.Arm(qpn);  // progress: reset timeout and backoff
+  }
+}
+
+void RoceStack::HandleAck(const RocePacket& pkt) {
+  STROM_CHECK(pkt.aeth.has_value());
+  const Qpn qpn = pkt.bth.dest_qp;
+  ++counters_.rx_acks;
+
+  switch (pkt.aeth->syndrome) {
+    case AckSyndrome::kAck:
+      AdvanceCumulativeAck(qpn, pkt.bth.psn);
+      return;
+    case AckSyndrome::kNakSequenceError:
+      ++counters_.rx_naks;
+      // The BTH PSN of the NAK is the responder's ePSN: everything before it
+      // arrived; retransmit from there.
+      AdvanceCumulativeAck(qpn, PsnAdd(pkt.bth.psn, kPsnMask));  // psn-1
+      RetransmitFrom(qpn, pkt.bth.psn);
+      return;
+    case AckSyndrome::kNakInvalidRequest: {
+      ++counters_.rx_naks;
+      // Unmatched RPC op-code (or bad request): fail the message covering
+      // this PSN *before* the cumulative advance would complete it as OK
+      // (CompleteWr is idempotent, so the advance below is then a no-op for
+      // the failed request).
+      QpState& qp = Qp(qpn);
+      for (const WrPtr& wr : qp.awaiting_ack) {
+        if (PsnDistance(wr->first_psn, pkt.bth.psn) >= 0 &&
+            PsnDistance(pkt.bth.psn, wr->last_psn) >= 0) {
+          CompleteWr(wr, InvalidArgumentError("remote NAK: invalid request / unmatched RPC"));
+        }
+      }
+      AdvanceCumulativeAck(qpn, pkt.bth.psn);
+      return;
+    }
+    default:
+      ++counters_.rx_naks;
+      return;
+  }
+}
+
+void RoceStack::HandleReadResponse(const RocePacket& pkt) {
+  const Qpn qpn = pkt.bth.dest_qp;
+  QpState& qp = Qp(qpn);
+  if (multi_queue_.Empty(qpn)) {
+    ++counters_.duplicate_psn_packets;  // stale response after completion
+    return;
+  }
+  ReadContext& ctx = multi_queue_.Head(qpn);
+  const int32_t idx = PsnDistance(ctx.first_psn, pkt.bth.psn);
+  const uint32_t expected_idx = ctx.bytes_placed / pmtu_payload_;
+  if (idx < 0 || static_cast<uint32_t>(idx) != expected_idx) {
+    // Gap or duplicate within the response stream; drop and let the
+    // retransmission timer re-issue the read request.
+    STROM_LOG(kDebug) << "read-resp drop psn=" << pkt.bth.psn << " idx=" << idx
+                      << " expected=" << expected_idx << " placed=" << ctx.bytes_placed;
+    ++counters_.psn_out_of_order_drops;
+    return;
+  }
+
+  counters_.rx_payload_bytes += pkt.payload.size();
+  const VirtAddr target = ctx.local_addr + ctx.bytes_placed;
+  ctx.bytes_placed += static_cast<uint32_t>(pkt.payload.size());
+  const bool last = OpcodeEndsMessage(pkt.bth.opcode);
+  if (!last) {
+    // Response data streaming in is progress: restart the retransmission
+    // timer so a long response (many packets queued behind other reads)
+    // does not spuriously time out mid-stream.
+    timer_.Arm(qpn);
+  }
+
+  // Locate the read-request WR for completion before popping state.
+  WrPtr read_wr;
+  if (last) {
+    auto pending_it = pending_reads_.find(ctx.wr_id);
+    if (pending_it != pending_reads_.end()) {
+      read_wr = pending_it->second;
+      pending_reads_.erase(pending_it);
+    }
+    STROM_CHECK_EQ(ctx.bytes_placed, ctx.length);
+    multi_queue_.PopHead(qpn);
+    // Drop the request descriptor: the read is complete.
+    std::erase_if(qp.outstanding, [&](const OutstandingPacket& d) {
+      return d.opcode == IbOpcode::kReadRequest && d.psn == ctx.first_psn;
+    });
+    // Implicit ack: response proves the request arrived.
+    if (qp.outstanding.empty() && multi_queue_.Empty(qpn)) {
+      timer_.Cancel(qpn);
+    } else {
+      timer_.Arm(qpn);
+    }
+  }
+
+  if (!pkt.payload.empty()) {
+    dma_.Write(target, pkt.payload, [this, read_wr, last](Status st) {
+      if (last && read_wr) {
+        CompleteWr(read_wr, st);
+      }
+      PumpTx();  // multi-queue slot freed: retry blocked reads
+    });
+  } else if (last && read_wr) {
+    CompleteWr(read_wr, Status::Ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliability
+// ---------------------------------------------------------------------------
+
+void RoceStack::RetransmitFrom(Qpn qpn, Psn psn) {
+  QpState& qp = Qp(qpn);
+  retransmit_queue_.clear();
+  retransmit_payload_.reset();
+  ++retransmit_epoch_;
+  for (const OutstandingPacket& desc : qp.outstanding) {
+    if (PsnDistance(psn, desc.psn) >= 0) {
+      retransmit_queue_.push_back(desc);
+    }
+  }
+  if (!retransmit_queue_.empty()) {
+    timer_.RearmBackoff(qpn);
+  }
+  PumpTx();
+}
+
+void RoceStack::OnTimeout(Qpn qpn) {
+  QpState& qp = Qp(qpn);
+  const bool reads_pending = !multi_queue_.Empty(qpn);
+  if (qp.outstanding.empty() && !reads_pending) {
+    return;
+  }
+  ++counters_.timeouts;
+  // For reads that timed out mid-response, rewind placement progress: the
+  // responder will re-send the whole response.
+  if (reads_pending) {
+    multi_queue_.Head(qpn).bytes_placed = 0;
+  }
+
+  if (qp.outstanding.empty()) {
+    // The head read's request descriptor was retired by a later cumulative
+    // ACK, but its response stream was lost: re-issue the read request.
+    ReadContext& ctx = multi_queue_.Head(qpn);
+    auto it = pending_reads_.find(ctx.wr_id);
+    if (it == pending_reads_.end()) {
+      return;
+    }
+    OutstandingPacket desc;
+    desc.psn = ctx.first_psn;
+    desc.opcode = IbOpcode::kReadRequest;
+    desc.remote_addr = it->second->req.remote_addr;
+    desc.len = ctx.length;
+    desc.wr = it->second;
+    retransmit_queue_.clear();
+    retransmit_payload_.reset();
+    ++retransmit_epoch_;
+    retransmit_queue_.push_back(std::move(desc));
+    timer_.RearmBackoff(qpn);
+    PumpTx();
+    return;
+  }
+  RetransmitFrom(qpn, state_table_.Entry(qpn).oldest_unacked);
+}
+
+}  // namespace strom

@@ -1,0 +1,181 @@
+// RoCE v2 network stack (paper §4.1, Fig 2): two pipelined data paths with
+// state kept in the State Table, MSN Table, Multi-Queue and Retransmission
+// Timer. Supports RDMA WRITE, RDMA READ, and the StRoM RDMA RPC / RDMA RPC
+// WRITE verbs. Reliability: cumulative ACKs, NAK on PSN gap, go-back-N
+// retransmission driven by per-QP timers.
+//
+// Timing model: the TX data path emits one packet every `Words(width)` clock
+// cycles (II=1 word-serial pipeline — exactly line rate), both pipelines add
+// a fixed latency, and the store-and-forward ICRC pass adds one cycle per
+// data word (paper §7 explains why this makes 100 G latency flatter).
+#ifndef SRC_ROCE_STACK_H_
+#define SRC_ROCE_STACK_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/netsim/switch.h"
+#include "src/pcie/dma_engine.h"
+#include "src/proto/packet.h"
+#include "src/roce/config.h"
+#include "src/roce/multi_queue.h"
+#include "src/roce/retrans_timer.h"
+#include "src/roce/state_table.h"
+#include "src/roce/work_request.h"
+#include "src/sim/simulator.h"
+
+namespace strom {
+
+class RoceStack {
+ public:
+  using FrameSender = std::function<void(ByteBuffer)>;
+  // Returns true if a deployed kernel matched the RPC op-code.
+  using RpcHandler = std::function<bool(RpcDelivery)>;
+  // Observes payload of plain RDMA WRITEs as it flows to the DMA engine
+  // (bump-in-the-wire receive kernels, e.g. HLL).
+  using StreamTap = std::function<void(Qpn, const ByteBuffer&, bool last)>;
+
+  RoceStack(Simulator& sim, RoceConfig config, DmaEngine& dma, Ipv4Addr local_ip,
+            MacAddr local_mac, const ArpTable& arp);
+
+  RoceStack(const RoceStack&) = delete;
+  RoceStack& operator=(const RoceStack&) = delete;
+
+  // --- wiring -------------------------------------------------------------
+  void SetFrameSender(FrameSender sender) { send_frame_ = std::move(sender); }
+  void SetRpcHandler(RpcHandler handler) { rpc_handler_ = std::move(handler); }
+  void SetStreamTap(StreamTap tap) { stream_tap_ = std::move(tap); }
+  // Entry point for frames arriving from the Ethernet interface.
+  void OnFrame(ByteBuffer frame);
+
+  // --- control path (Controller) ------------------------------------------
+  // Out-of-band QP setup, equivalent to the driver exchanging QP numbers and
+  // initial PSNs over a side channel.
+  Status ConnectQp(Qpn local_qpn, Qpn remote_qpn, Ipv4Addr remote_ip, Psn local_psn,
+                   Psn remote_psn);
+  bool QpConnected(Qpn qpn) const;
+
+  // Posts a request to the Request Handler. Fails fast on invalid QPs.
+  Status PostRequest(WorkRequest wr);
+
+  // --- introspection -------------------------------------------------------
+  const RoceConfig& config() const { return config_; }
+  const RoceCounters& counters() const { return counters_; }
+  Ipv4Addr local_ip() const { return local_ip_; }
+  const StateTable& state_table() const { return state_table_; }
+  const MultiQueue& multi_queue() const { return multi_queue_; }
+  uint64_t timer_expirations() const { return timer_.expirations(); }
+
+ private:
+  // A message being packetized / awaiting acknowledgment.
+  struct PendingWr {
+    WorkRequest req;
+    Psn first_psn = 0;
+    uint32_t psn_span = 0;   // PSNs consumed (response packet count for reads)
+    uint32_t send_pkts = 0;  // wire packets this WR emits (1 for read requests)
+    Psn last_psn = 0;
+    bool is_read_response = false;  // responder role: PSNs preassigned, no ACK
+    uint32_t next_fetch = 0;  // next packet index whose payload fetch is issued
+    uint32_t next_send = 0;   // next packet index to transmit (in order)
+    std::map<uint32_t, ByteBuffer> ready;  // fetched chunks keyed by index
+    bool completed = false;
+
+    uint32_t ChunkLen(uint32_t idx, uint32_t pmtu) const;
+  };
+  using WrPtr = std::shared_ptr<PendingWr>;
+
+  // Descriptor of one unacknowledged request packet (requester role).
+  struct OutstandingPacket {
+    Psn psn = 0;
+    IbOpcode opcode = IbOpcode::kWriteOnly;
+    VirtAddr remote_addr = 0;
+    uint32_t offset = 0;
+    uint32_t len = 0;
+    WrPtr wr;
+  };
+
+  struct QpState {
+    bool connected = false;
+    Qpn remote_qpn = 0;
+    Ipv4Addr remote_ip = 0;
+    std::deque<OutstandingPacket> outstanding;  // PSN order
+    std::deque<WrPtr> awaiting_ack;             // fully sent writes/RPCs
+  };
+
+  // --- TX path -------------------------------------------------------------
+  void PumpTx();
+  void FetchPayloads();
+  bool TrySendNextDataPacket();
+  void SendControlPacket(RocePacket pkt);
+  void EmitFrame(const RocePacket& pkt);
+  IbOpcode DataOpcode(const PendingWr& wr, uint32_t idx) const;
+  void StartWr(const WrPtr& wr);
+  void FinishSending(const WrPtr& wr);
+  void CompleteWr(const WrPtr& wr, const Status& status);
+
+  // --- RX path -------------------------------------------------------------
+  void ProcessPacket(RocePacket pkt);
+  void HandleResponderPacket(const RocePacket& pkt);
+  void HandleAck(const RocePacket& pkt);
+  void HandleReadResponse(const RocePacket& pkt);
+  void HandleWritePayload(const RocePacket& pkt);
+  void HandleReadRequest(const RocePacket& pkt);
+  void HandleRpc(const RocePacket& pkt);
+  void SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome);
+
+  // --- reliability ----------------------------------------------------------
+  void RetransmitFrom(Qpn qpn, Psn psn);
+  void OnTimeout(Qpn qpn);
+  void AdvanceCumulativeAck(Qpn qpn, Psn acked_psn);
+
+  QpState& Qp(Qpn qpn);
+
+  Simulator& sim_;
+  RoceConfig config_;
+  DmaEngine& dma_;
+  Ipv4Addr local_ip_;
+  MacAddr local_mac_;
+  const ArpTable& arp_;
+  FrameSender send_frame_;
+  RpcHandler rpc_handler_;
+  StreamTap stream_tap_;
+
+  StateTable state_table_;
+  MsnTable msn_table_;
+  MultiQueue multi_queue_;
+  RetransTimer timer_;
+  std::vector<QpState> qps_;
+  RoceCounters counters_;
+  // Read completion handles, keyed by an internal token carried in the
+  // multi-queue context. Kept separately from `outstanding` because a
+  // cumulative ACK for a later request may retire the read *request*
+  // descriptor while its response data is still streaming in.
+  std::map<uint64_t, WrPtr> pending_reads_;
+  uint64_t next_read_token_ = 1;
+
+  // TX engine state.
+  std::deque<WrPtr> wr_queue_;            // messages not yet fully sent
+  std::deque<RocePacket> control_queue_;  // ACKs/NAKs (no payload, no PSN order)
+  std::deque<OutstandingPacket> retransmit_queue_;
+  std::optional<ByteBuffer> retransmit_payload_;  // fetched for queue front
+  bool retransmit_fetch_pending_ = false;
+  // Bumped whenever the retransmit queue is rebuilt, so an in-flight payload
+  // fetch for a previous queue front cannot be attached to a new packet.
+  uint64_t retransmit_epoch_ = 0;
+  uint32_t fetches_in_flight_ = 0;
+  bool tx_busy_ = false;
+  // Pipelines are FIFO: a short packet must not overtake a long one whose
+  // store-and-forward latency is higher. These cursors enforce ordering.
+  SimTime rx_order_cursor_ = 0;
+  SimTime tx_order_cursor_ = 0;
+
+  const uint32_t pmtu_payload_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_ROCE_STACK_H_

@@ -1,0 +1,49 @@
+#include "src/roce/state_table.h"
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+Status StateTable::Activate(Qpn qpn, Psn initial_epsn, Psn initial_psn) {
+  if (qpn >= entries_.size()) {
+    return OutOfRangeError("QPN beyond configured max_qps");
+  }
+  StateTableEntry& e = entries_[qpn];
+  if (e.valid) {
+    return AlreadyExistsError("QP already active");
+  }
+  e.valid = true;
+  e.epsn = initial_epsn & kPsnMask;
+  e.next_psn = initial_psn & kPsnMask;
+  e.oldest_unacked = e.next_psn;
+  e.nak_armed = true;
+  return Status::Ok();
+}
+
+bool StateTable::IsActive(Qpn qpn) const {
+  return qpn < entries_.size() && entries_[qpn].valid;
+}
+
+StateTableEntry& StateTable::Entry(Qpn qpn) {
+  STROM_CHECK_LT(qpn, entries_.size());
+  return entries_[qpn];
+}
+
+const StateTableEntry& StateTable::Entry(Qpn qpn) const {
+  STROM_CHECK_LT(qpn, entries_.size());
+  return entries_[qpn];
+}
+
+PsnCheck StateTable::CheckRequestPsn(Qpn qpn, Psn psn) const {
+  const StateTableEntry& e = Entry(qpn);
+  const int32_t d = PsnDistance(e.epsn, psn);
+  if (d == 0) {
+    return PsnCheck::kExpected;
+  }
+  if (d < 0) {
+    return PsnCheck::kDuplicate;
+  }
+  return PsnCheck::kInvalid;
+}
+
+}  // namespace strom

@@ -1,0 +1,77 @@
+// State Table and MSN Table (paper §4.1, Fig 2/3).
+//
+// The State Table stores, per queue pair, the packet sequence numbers that
+// define the valid / invalid / duplicate PSN regions — once for the NIC's
+// responder role and once for its requester role. The MSN Table stores the
+// message sequence number and the current DMA address, needed because for
+// multi-packet writes only the first packet carries the address.
+#ifndef SRC_ROCE_STATE_TABLE_H_
+#define SRC_ROCE_STATE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace strom {
+
+// Classification of an incoming request PSN against the expected PSN.
+enum class PsnCheck {
+  kExpected,   // psn == ePSN: process and advance
+  kDuplicate,  // behind ePSN within the duplicate window: re-ack, drop payload
+  kInvalid,    // ahead of ePSN: NAK(sequence error) and drop
+};
+
+struct StateTableEntry {
+  bool valid = false;
+  // Responder role.
+  Psn epsn = 0;              // expected PSN of the next request packet
+  bool nak_armed = true;     // only one NAK per out-of-sequence episode
+  // Requester role.
+  Psn next_psn = 0;          // PSN assigned to the next outgoing request packet
+  Psn oldest_unacked = 0;    // retransmission point
+};
+
+class StateTable {
+ public:
+  explicit StateTable(uint32_t max_qps) : entries_(max_qps) {}
+
+  uint32_t capacity() const { return static_cast<uint32_t>(entries_.size()); }
+
+  Status Activate(Qpn qpn, Psn initial_epsn, Psn initial_psn);
+  bool IsActive(Qpn qpn) const;
+
+  StateTableEntry& Entry(Qpn qpn);
+  const StateTableEntry& Entry(Qpn qpn) const;
+
+  // The Fig 3 check: classifies `psn` against the entry's ePSN.
+  PsnCheck CheckRequestPsn(Qpn qpn, Psn psn) const;
+
+ private:
+  std::vector<StateTableEntry> entries_;
+};
+
+struct MsnTableEntry {
+  uint32_t msn = 0;           // completed message count (returned in AETH)
+  VirtAddr dma_addr = 0;      // current write target for in-flight message
+  uint64_t bytes_remaining = 0;
+  bool in_message = false;    // between FIRST and LAST of a multi-packet write
+  uint32_t rpc_opcode = 0;    // in-flight RPC WRITE stream target kernel
+  bool rpc_in_flight = false;
+};
+
+class MsnTable {
+ public:
+  explicit MsnTable(uint32_t max_qps) : entries_(max_qps) {}
+
+  MsnTableEntry& Entry(Qpn qpn) { return entries_.at(qpn); }
+  const MsnTableEntry& Entry(Qpn qpn) const { return entries_.at(qpn); }
+
+ private:
+  std::vector<MsnTableEntry> entries_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_ROCE_STATE_TABLE_H_

@@ -1,0 +1,51 @@
+// Work requests posted to the NIC (by the host through the Controller, or by
+// StRoM kernels through the roceMeta/roceData streams) and RPC deliveries
+// handed from the RX path to the StRoM kernel dispatcher.
+#ifndef SRC_ROCE_WORK_REQUEST_H_
+#define SRC_ROCE_WORK_REQUEST_H_
+
+#include <functional>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace strom {
+
+struct WorkRequest {
+  enum class Kind {
+    kWrite,     // RDMA WRITE local_addr -> remote_addr
+    kRead,      // RDMA READ  remote_addr -> local_addr
+    kRpc,       // RDMA RPC: inline_data = parameters, remote_addr = RPC op-code
+    kRpcWrite,  // RDMA RPC WRITE: payload streamed to remote kernel
+  };
+
+  Kind kind = Kind::kWrite;
+  Qpn qpn = 0;
+  VirtAddr local_addr = 0;   // data source (write) or destination (read)
+  VirtAddr remote_addr = 0;  // remote VA; for RPC kinds: the RPC op-code
+  uint32_t length = 0;
+  // If non-empty, payload comes from this buffer instead of a DMA fetch
+  // (StRoM kernels emit data that never touches host memory).
+  ByteBuffer inline_data;
+  uint64_t wr_id = 0;
+  // Invoked when the message is network-complete: cumulative ACK received
+  // (writes, RPCs) or all response data placed in host memory (reads).
+  std::function<void(Status)> on_complete;
+};
+
+// One RX-path delivery to the StRoM dispatcher (paper §5.1): either the
+// parameter block of an RDMA RPC or one payload chunk of an RDMA RPC WRITE.
+struct RpcDelivery {
+  Qpn qpn = 0;
+  uint32_t rpc_opcode = 0;
+  ByteBuffer payload;
+  bool is_params = false;
+  bool first = true;
+  bool last = true;
+  uint32_t message_length = 0;  // total RPC WRITE payload (from RETH)
+};
+
+}  // namespace strom
+
+#endif  // SRC_ROCE_WORK_REQUEST_H_

@@ -1,0 +1,35 @@
+#include "src/sim/event_queue.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+void EventQueue::Push(SimTime when, Callback fn) {
+  heap_.push(Entry{when, next_seq_++, std::make_unique<Callback>(std::move(fn))});
+}
+
+SimTime EventQueue::NextTime() const {
+  STROM_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Event EventQueue::Pop() {
+  STROM_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out, which is
+  // safe because the entry is popped immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Event out{top.when, top.seq, std::move(*top.fn)};
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+}
+
+}  // namespace strom

@@ -1,0 +1,57 @@
+// Priority queue of timed events. Ties are broken by insertion order so the
+// simulation is fully deterministic.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace strom {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void Push(SimTime when, Callback fn);
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  SimTime NextTime() const;
+
+  // Pops and returns the earliest event. Precondition: !empty().
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Callback fn;
+  };
+  Event Pop();
+
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    // Stored out-of-line to keep heap moves cheap.
+    std::unique_ptr<Callback> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

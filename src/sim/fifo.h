@@ -1,0 +1,74 @@
+// Bounded FIFO with producer/consumer wake hooks. This is the software model
+// of the hardware `stream<T>` FIFOs connecting HLS dataflow stages
+// (paper Listing 1/2): bounded capacity gives back-pressure, the hooks let
+// stages wake when data or space becomes available.
+#ifndef SRC_SIM_FIFO_H_
+#define SRC_SIM_FIFO_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(size_t capacity, std::string name = "fifo")
+      : capacity_(capacity), name_(std::move(name)) {
+    STROM_CHECK_GT(capacity_, 0u);
+  }
+
+  const std::string& name() const { return name_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return items_.size(); }
+  bool Empty() const { return items_.empty(); }
+  bool Full() const { return items_.size() >= capacity_; }
+
+  // Pushes if space is available; fires on_push to wake the consumer.
+  bool Push(T item) {
+    if (Full()) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    if (on_push) {
+      on_push();
+    }
+    return true;
+  }
+
+  // Pops the head; fires on_pop to wake a back-pressured producer.
+  T Pop() {
+    STROM_CHECK(!items_.empty()) << "pop from empty fifo " << name_;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (on_pop) {
+      on_pop();
+    }
+    return item;
+  }
+
+  const T& Front() const {
+    STROM_CHECK(!items_.empty());
+    return items_.front();
+  }
+
+  void Clear() { items_.clear(); }
+
+  // Wake hooks; at most one subscriber each (the adjacent dataflow stage).
+  std::function<void()> on_push;
+  std::function<void()> on_pop;
+
+ private:
+  size_t capacity_;
+  std::string name_;
+  std::deque<T> items_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_SIM_FIFO_H_

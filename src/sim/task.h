@@ -1,0 +1,229 @@
+// C++20 coroutine tasks running on simulated time. A Task<T> is lazy: it
+// starts when awaited or when handed to Simulator::Spawn. Awaitables:
+//
+//   co_await sim.Delay(Us(3));        // sleep in simulated time
+//   co_await some_task;               // join a child task, get its value
+//   co_await event.Wait(sim);         // one-shot completion event
+//
+// Used by the host-side driver API, benchmarks, and examples so multi-step
+// distributed interactions read as straight-line code.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/simulator.h"
+
+namespace strom {
+
+namespace task_internal {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    h.promise().completed = true;
+    if (h.promise().continuation) {
+      return h.promise().continuation;
+    }
+    return std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  bool completed = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace task_internal
+
+template <typename T = void>
+class [[nodiscard]] ValueTask;
+
+// void specialization is the common `Task`.
+template <>
+class [[nodiscard]] ValueTask<void> {
+ public:
+  struct promise_type : task_internal::PromiseBase {
+    ValueTask get_return_object() {
+      return ValueTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ValueTask() = default;
+  explicit ValueTask(Handle h) : handle_(h) {}
+  ValueTask(ValueTask&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  ValueTask& operator=(ValueTask&& other) noexcept {
+    if (handle_) {
+      handle_.destroy();
+    }
+    handle_ = std::exchange(other.handle_, {});
+    return *this;
+  }
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ~ValueTask() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.promise().completed; }
+
+  void Start() {
+    if (handle_ && !started_) {
+      started_ = true;
+      handle_.resume();
+    }
+  }
+
+  struct Awaiter {
+    ValueTask& task;
+    bool await_ready() {
+      task.Start();
+      return task.done();
+    }
+    void await_suspend(std::coroutine_handle<> cont) {
+      task.handle_.promise().continuation = cont;
+    }
+    void await_resume() {}
+  };
+  Awaiter operator co_await() & { return Awaiter{*this}; }
+  Awaiter operator co_await() && { return Awaiter{*this}; }
+
+ private:
+  Handle handle_;
+  bool started_ = false;
+};
+
+using Task = ValueTask<void>;
+
+template <typename T>
+class [[nodiscard]] ValueTask {
+ public:
+  struct promise_type : task_internal::PromiseBase {
+    std::optional<T> value;
+    ValueTask get_return_object() {
+      return ValueTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ValueTask() = default;
+  explicit ValueTask(Handle h) : handle_(h) {}
+  ValueTask(ValueTask&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  ValueTask& operator=(ValueTask&& other) noexcept {
+    if (handle_) {
+      handle_.destroy();
+    }
+    handle_ = std::exchange(other.handle_, {});
+    return *this;
+  }
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ~ValueTask() {
+    if (handle_) {
+      handle_.destroy();
+    }
+  }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.promise().completed; }
+
+  void Start() {
+    if (handle_ && !started_) {
+      started_ = true;
+      handle_.resume();
+    }
+  }
+
+  // Retrieves the result after completion.
+  T& result() {
+    STROM_CHECK(done() && handle_.promise().value.has_value());
+    return *handle_.promise().value;
+  }
+
+  struct Awaiter {
+    ValueTask& task;
+    bool await_ready() {
+      task.Start();
+      return task.done();
+    }
+    void await_suspend(std::coroutine_handle<> cont) {
+      task.handle_.promise().continuation = cont;
+    }
+    T await_resume() { return std::move(*task.handle_.promise().value); }
+  };
+  Awaiter operator co_await() & { return Awaiter{*this}; }
+  Awaiter operator co_await() && { return Awaiter{*this}; }
+
+ private:
+  Handle handle_;
+  bool started_ = false;
+};
+
+// Awaitable sleep: co_await Delay(sim, Us(3)).
+struct DelayAwaiter {
+  Simulator& sim;
+  SimTime delay;
+  bool await_ready() const { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim.Schedule(delay, [h] { h.resume(); });
+  }
+  void await_resume() {}
+};
+
+inline DelayAwaiter Delay(Simulator& sim, SimTime delay) { return DelayAwaiter{sim, delay}; }
+
+// One-shot broadcast event: many waiters, a single Trigger releases them all.
+// Waiters that arrive after the trigger do not block.
+class SimEvent {
+ public:
+  explicit SimEvent(Simulator& sim) : sim_(sim) {}
+
+  bool fired() const { return fired_; }
+
+  void Trigger() {
+    if (fired_) {
+      return;
+    }
+    fired_ = true;
+    for (auto h : waiters_) {
+      sim_.Schedule(0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  void Reset() { fired_ = false; }
+
+  struct Awaiter {
+    SimEvent& event;
+    bool await_ready() const { return event.fired_; }
+    void await_suspend(std::coroutine_handle<> h) { event.waiters_.push_back(h); }
+    void await_resume() {}
+  };
+  Awaiter Wait() { return Awaiter{*this}; }
+
+ private:
+  Simulator& sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,40 @@
+// Simulated time: signed 64-bit picoseconds. Picosecond resolution represents
+// both NIC clocks exactly (156.25 MHz -> 6400 ps, 322 MHz -> 3106 ps) and keeps
+// all timing arithmetic in integers for determinism.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace strom {
+
+using SimTime = int64_t;  // picoseconds
+
+inline constexpr SimTime kPs = 1;
+inline constexpr SimTime kNs = 1'000;
+inline constexpr SimTime kUs = 1'000'000;
+inline constexpr SimTime kMs = 1'000'000'000;
+inline constexpr SimTime kSec = 1'000'000'000'000;
+
+inline constexpr SimTime Ps(int64_t n) { return n; }
+inline constexpr SimTime Ns(int64_t n) { return n * kNs; }
+inline constexpr SimTime Us(int64_t n) { return n * kUs; }
+inline constexpr SimTime Ms(int64_t n) { return n * kMs; }
+inline constexpr SimTime Sec(int64_t n) { return n * kSec; }
+
+inline constexpr double ToUs(SimTime t) { return static_cast<double>(t) / kUs; }
+inline constexpr double ToNs(SimTime t) { return static_cast<double>(t) / kNs; }
+inline constexpr double ToSec(SimTime t) { return static_cast<double>(t) / kSec; }
+
+// Time to serialize `bytes` at `bits_per_sec`, rounded up to whole ps.
+inline constexpr SimTime TransferTime(uint64_t bytes, uint64_t bits_per_sec) {
+  // ps = bytes * 8 bits * 1e12 / bits_per_sec
+  // Split the multiply to avoid overflow for multi-GiB transfers.
+  const unsigned __int128 num =
+      static_cast<unsigned __int128>(bytes) * 8 * 1'000'000'000'000ull;
+  return static_cast<SimTime>((num + bits_per_sec - 1) / bits_per_sec);
+}
+
+}  // namespace strom
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,29 @@
+#include "src/strom/dataflow.h"
+
+#include <algorithm>
+
+namespace strom {
+
+Stage::Stage(Simulator& sim, SimTime clock_ps, std::string name)
+    : sim_(sim), clock_ps_(clock_ps), name_(std::move(name)) {}
+
+void Stage::Wake() {
+  if (wake_pending_) {
+    return;
+  }
+  wake_pending_ = true;
+  const SimTime at = std::max(sim_.now(), ready_time_);
+  sim_.ScheduleAt(at, [this] { Run(); });
+}
+
+void Stage::Run() {
+  wake_pending_ = false;
+  const uint64_t cycles = Fire();
+  if (cycles > 0) {
+    ++firings_;
+    ready_time_ = sim_.now() + static_cast<SimTime>(cycles) * clock_ps_;
+    Wake();  // try the next item once this one has drained through
+  }
+}
+
+}  // namespace strom

@@ -1,0 +1,93 @@
+// HLS-dataflow execution model for StRoM kernels. A kernel is a set of
+// Stages connected by bounded Fifos, mirroring `#pragma HLS DATAFLOW` over
+// functions with `#pragma HLS PIPELINE II=1` (paper Listings 2-4): every
+// stage is an independently clocked hardware module that fires whenever its
+// input FIFOs have data and its output FIFOs have space.
+//
+// A Stage::Fire() attempt processes at most one stream item and returns the
+// number of clock cycles it occupies the module (0 = nothing consumed). The
+// scheduler re-arms the stage when those cycles elapse or when an adjacent
+// FIFO wakes it.
+#ifndef SRC_STROM_DATAFLOW_H_
+#define SRC_STROM_DATAFLOW_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/sim/fifo.h"
+#include "src/sim/simulator.h"
+
+namespace strom {
+
+class Stage {
+ public:
+  Stage(Simulator& sim, SimTime clock_ps, std::string name);
+  virtual ~Stage() = default;
+
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+
+  // Requests a firing attempt at the earliest legal cycle.
+  void Wake();
+
+  const std::string& name() const { return name_; }
+  uint64_t firings() const { return firings_; }
+
+  // Subscribes this stage to be woken when `fifo` receives data (its input)
+  // or when `fifo` frees space (its back-pressured output).
+  template <typename T>
+  void WakeOnPush(Fifo<T>& fifo) {
+    fifo.on_push = [this] { Wake(); };
+  }
+  template <typename T>
+  void WakeOnPop(Fifo<T>& fifo) {
+    fifo.on_pop = [this] { Wake(); };
+  }
+
+ protected:
+  // One firing attempt. Returns cycles consumed; 0 means the stage stays
+  // idle until the next wake.
+  virtual uint64_t Fire() = 0;
+
+  Simulator& sim() { return sim_; }
+  SimTime clock_ps() const { return clock_ps_; }
+
+ private:
+  void Run();
+
+  Simulator& sim_;
+  SimTime clock_ps_;
+  std::string name_;
+  SimTime ready_time_ = 0;
+  bool wake_pending_ = false;
+  uint64_t firings_ = 0;
+};
+
+// Stage defined by a callable — the common case for kernel pipeline stages.
+class LambdaStage : public Stage {
+ public:
+  using FireFn = std::function<uint64_t()>;
+
+  LambdaStage(Simulator& sim, SimTime clock_ps, std::string name, FireFn fire)
+      : Stage(sim, clock_ps, std::move(name)), fire_(std::move(fire)) {}
+
+ protected:
+  uint64_t Fire() override { return fire_(); }
+
+ private:
+  FireFn fire_;
+};
+
+// Cycles a word-serial module needs for `bytes` of stream data at the given
+// data-path width (>= 1 so zero-byte items still occupy a cycle).
+inline uint64_t WordsFor(uint64_t bytes, uint32_t width) {
+  if (bytes == 0) {
+    return 1;
+  }
+  return (bytes + width - 1) / width;
+}
+
+}  // namespace strom
+
+#endif  // SRC_STROM_DATAFLOW_H_

@@ -1,0 +1,213 @@
+#include "src/strom/engine.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+StromEngine::StromEngine(Simulator& sim, RoceStack& stack, DmaEngine& dma)
+    : sim_(sim), stack_(stack), dma_(dma) {
+  stack_.SetRpcHandler([this](RpcDelivery d) { return OnRpc(std::move(d)); });
+  stack_.SetStreamTap([this](Qpn qpn, const ByteBuffer& payload, bool last) {
+    OnWriteTap(qpn, payload, last);
+  });
+}
+
+Status StromEngine::DeployKernel(std::unique_ptr<StromKernel> kernel) {
+  const uint32_t opcode = kernel->rpc_opcode();
+  if (kernels_.count(opcode) != 0) {
+    return AlreadyExistsError("RPC op-code already deployed: " + std::to_string(opcode));
+  }
+  auto deployed = std::make_unique<Deployed>();
+  deployed->kernel = std::move(kernel);
+  Deployed* d = deployed.get();
+  KernelStreams& s = d->kernel->streams();
+
+  // Output side: engine drains kernel outputs as they appear.
+  s.dma_cmd_out.on_push = [this, d] { ServiceDmaCommands(*d); };
+  s.dma_data_out.on_push = [this, d] { CollectDmaWrites(*d); };
+  s.roce_meta_out.on_push = [this, d] { CollectResponses(*d); };
+  s.roce_data_out.on_push = [this, d] { CollectResponses(*d); };
+
+  // Input side: when the kernel pops and frees space, flush buffered items.
+  s.qpn_in.on_pop = [this, d] { FlushInboxes(*d); };
+  s.param_in.on_pop = [this, d] { FlushInboxes(*d); };
+  s.roce_data_in.on_pop = [this, d] { FlushInboxes(*d); };
+  s.dma_data_in.on_pop = [this, d] { FlushInboxes(*d); };
+
+  kernels_.emplace(opcode, std::move(deployed));
+  return Status::Ok();
+}
+
+StromKernel* StromEngine::FindKernel(uint32_t rpc_opcode) const {
+  auto it = kernels_.find(rpc_opcode);
+  return it == kernels_.end() ? nullptr : it->second->kernel.get();
+}
+
+bool StromEngine::OnRpc(RpcDelivery delivery) {
+  auto it = kernels_.find(delivery.rpc_opcode);
+  if (it == kernels_.end()) {
+    ++counters_.rpcs_unmatched;
+    return false;
+  }
+  Deployed& d = *it->second;
+  ++counters_.rpcs_dispatched;
+  if (delivery.is_params) {
+    DeliverParams(d, delivery.qpn, std::move(delivery.payload));
+  } else {
+    NetChunk chunk;
+    chunk.data = std::move(delivery.payload);
+    chunk.last = delivery.last;
+    DeliverData(d, std::move(chunk));
+  }
+  return true;
+}
+
+Status StromEngine::InvokeLocal(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params) {
+  auto it = kernels_.find(rpc_opcode);
+  if (it == kernels_.end()) {
+    return NotFoundError("no kernel deployed for RPC op-code " + std::to_string(rpc_opcode));
+  }
+  ++counters_.local_invocations;
+  DeliverParams(*it->second, qpn, std::move(params));
+  return Status::Ok();
+}
+
+Status StromEngine::AttachReceiveTap(Qpn qpn, uint32_t rpc_opcode) {
+  if (kernels_.count(rpc_opcode) == 0) {
+    return NotFoundError("no kernel deployed for RPC op-code " + std::to_string(rpc_opcode));
+  }
+  taps_[qpn] = rpc_opcode;
+  return Status::Ok();
+}
+
+void StromEngine::DetachReceiveTap(Qpn qpn) { taps_.erase(qpn); }
+
+void StromEngine::OnWriteTap(Qpn qpn, const ByteBuffer& payload, bool last) {
+  auto it = taps_.find(qpn);
+  if (it == taps_.end()) {
+    return;
+  }
+  Deployed& d = *kernels_.at(it->second);
+  ++counters_.tapped_chunks;
+  NetChunk chunk;
+  chunk.data = payload;
+  chunk.last = last;
+  DeliverData(d, std::move(chunk));
+}
+
+void StromEngine::DeliverParams(Deployed& d, Qpn qpn, ByteBuffer params) {
+  d.qpn_inbox.push_back(qpn);
+  d.param_inbox.push_back(std::move(params));
+  FlushInboxes(d);
+}
+
+void StromEngine::DeliverData(Deployed& d, NetChunk chunk) {
+  d.data_inbox.push_back(std::move(chunk));
+  FlushInboxes(d);
+}
+
+void StromEngine::FlushInboxes(Deployed& d) {
+  KernelStreams& s = d.kernel->streams();
+  while (!d.qpn_inbox.empty() && !s.qpn_in.Full() && !s.param_in.Full()) {
+    s.qpn_in.Push(d.qpn_inbox.front());
+    d.qpn_inbox.pop_front();
+    s.param_in.Push(std::move(d.param_inbox.front()));
+    d.param_inbox.pop_front();
+  }
+  while (!d.data_inbox.empty() && !s.roce_data_in.Full()) {
+    s.roce_data_in.Push(std::move(d.data_inbox.front()));
+    d.data_inbox.pop_front();
+  }
+  while (!d.dma_in_inbox.empty() && !s.dma_data_in.Full()) {
+    s.dma_data_in.Push(std::move(d.dma_in_inbox.front()));
+    d.dma_in_inbox.pop_front();
+  }
+}
+
+void StromEngine::ServiceDmaCommands(Deployed& d) {
+  KernelStreams& s = d.kernel->streams();
+  while (!s.dma_cmd_out.Empty()) {
+    MemCmd cmd = s.dma_cmd_out.Pop();
+    if (cmd.is_write) {
+      ++counters_.kernel_dma_writes;
+      PendingDmaWrite w;
+      w.addr = cmd.addr;
+      w.length = cmd.length;
+      w.collected.reserve(cmd.length);
+      d.dma_writes.push_back(std::move(w));
+    } else {
+      ++counters_.kernel_dma_reads;
+      Deployed* dp = &d;
+      dma_.Read(cmd.addr, cmd.length, [this, dp](Result<ByteBuffer> data) {
+        NetChunk chunk;
+        if (data.ok()) {
+          chunk.data = std::move(*data);
+        } else {
+          STROM_LOG(kError) << "kernel DMA read failed: " << data.status();
+        }
+        chunk.last = true;
+        dp->dma_in_inbox.push_back(std::move(chunk));
+        FlushInboxes(*dp);
+      });
+    }
+  }
+  CollectDmaWrites(d);
+}
+
+void StromEngine::CollectDmaWrites(Deployed& d) {
+  KernelStreams& s = d.kernel->streams();
+  while (!d.dma_writes.empty()) {
+    PendingDmaWrite& w = d.dma_writes.front();
+    while (w.collected.size() < w.length && !s.dma_data_out.Empty()) {
+      NetChunk chunk = s.dma_data_out.Pop();
+      w.collected.insert(w.collected.end(), chunk.data.begin(), chunk.data.end());
+    }
+    if (w.collected.size() < w.length) {
+      return;  // wait for more data from the kernel
+    }
+    STROM_CHECK_EQ(w.collected.size(), w.length)
+        << "kernel " << d.kernel->name() << " overfilled a DMA write";
+    dma_.Write(w.addr, std::move(w.collected), nullptr);
+    d.dma_writes.pop_front();
+  }
+}
+
+void StromEngine::CollectResponses(Deployed& d) {
+  KernelStreams& s = d.kernel->streams();
+  while (true) {
+    if (d.responses.empty()) {
+      if (s.roce_meta_out.Empty()) {
+        return;
+      }
+      PendingResponse r;
+      r.meta = s.roce_meta_out.Pop();
+      r.collected.reserve(r.meta.length);
+      d.responses.push_back(std::move(r));
+    }
+    PendingResponse& r = d.responses.front();
+    while (r.collected.size() < r.meta.length && !s.roce_data_out.Empty()) {
+      NetChunk chunk = s.roce_data_out.Pop();
+      r.collected.insert(r.collected.end(), chunk.data.begin(), chunk.data.end());
+    }
+    if (r.collected.size() < r.meta.length) {
+      return;  // wait for more response payload
+    }
+
+    WorkRequest wr;
+    wr.kind = WorkRequest::Kind::kWrite;
+    wr.qpn = r.meta.qpn;
+    wr.remote_addr = r.meta.addr;
+    wr.inline_data = std::move(r.collected);
+    wr.length = r.meta.length;
+    ++counters_.kernel_responses;
+    Status st = stack_.PostRequest(std::move(wr));
+    if (!st.ok()) {
+      STROM_LOG(kError) << "kernel response write rejected: " << st;
+    }
+    d.responses.pop_front();
+  }
+}
+
+}  // namespace strom

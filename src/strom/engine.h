@@ -1,0 +1,100 @@
+// StromEngine: the glue placed on the data path between the RoCE stack and
+// the DMA engine (paper Fig 1/4). It
+//   * deploys kernels and matches incoming RPC op-codes against them,
+//   * services kernel DMA commands (dmaCmdOut/dmaDataIn/dmaDataOut) through
+//     the shared DMA engine (the "DMA cmd merger" arbitration),
+//   * turns kernel roceMetaOut/roceDataOut output into RDMA WRITEs back to
+//     the requester (write semantics, so response size is run-time defined),
+//   * supports local invocation from the host Controller, and
+//   * can tap the plain RDMA WRITE receive path into a kernel
+//     (bump-in-the-wire stream processing, e.g. the HLL kernel).
+#ifndef SRC_STROM_ENGINE_H_
+#define SRC_STROM_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/pcie/dma_engine.h"
+#include "src/roce/stack.h"
+#include "src/strom/kernel.h"
+
+namespace strom {
+
+struct EngineCounters {
+  uint64_t rpcs_dispatched = 0;
+  uint64_t rpcs_unmatched = 0;
+  uint64_t local_invocations = 0;
+  uint64_t kernel_dma_reads = 0;
+  uint64_t kernel_dma_writes = 0;
+  uint64_t kernel_responses = 0;
+  uint64_t tapped_chunks = 0;
+};
+
+class StromEngine {
+ public:
+  StromEngine(Simulator& sim, RoceStack& stack, DmaEngine& dma);
+
+  StromEngine(const StromEngine&) = delete;
+  StromEngine& operator=(const StromEngine&) = delete;
+
+  // Deploys a kernel; its RPC op-code must be unique. (Run-time exchange via
+  // partial reconfiguration is modeled by deploying/replacing kernels.)
+  Status DeployKernel(std::unique_ptr<StromKernel> kernel);
+
+  StromKernel* FindKernel(uint32_t rpc_opcode) const;
+
+  // Local invocation (paper §3.5): the host posts an RPC to its own NIC.
+  Status InvokeLocal(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params);
+
+  // Routes payload of plain RDMA WRITEs arriving on `qpn` into the kernel's
+  // roceDataIn stream (receive kernel on the unmodified write path).
+  Status AttachReceiveTap(Qpn qpn, uint32_t rpc_opcode);
+  void DetachReceiveTap(Qpn qpn);
+
+  const EngineCounters& counters() const { return counters_; }
+
+ private:
+  struct PendingDmaWrite {
+    VirtAddr addr = 0;
+    uint32_t length = 0;
+    ByteBuffer collected;
+  };
+  struct PendingResponse {
+    RoceMeta meta;
+    ByteBuffer collected;
+  };
+  struct Deployed {
+    std::unique_ptr<StromKernel> kernel;
+    // Inboxes buffering pushes that found the kernel FIFO full.
+    std::deque<Qpn> qpn_inbox;
+    std::deque<ByteBuffer> param_inbox;
+    std::deque<NetChunk> data_inbox;
+    std::deque<NetChunk> dma_in_inbox;
+    // Output-side collection state.
+    std::deque<PendingDmaWrite> dma_writes;
+    std::deque<PendingResponse> responses;
+  };
+
+  bool OnRpc(RpcDelivery delivery);  // wired as the stack's RPC handler
+  void OnWriteTap(Qpn qpn, const ByteBuffer& payload, bool last);
+
+  void ServiceDmaCommands(Deployed& d);
+  void CollectDmaWrites(Deployed& d);
+  void CollectResponses(Deployed& d);
+  void FlushInboxes(Deployed& d);
+  void DeliverParams(Deployed& d, Qpn qpn, ByteBuffer params);
+  void DeliverData(Deployed& d, NetChunk chunk);
+
+  Simulator& sim_;
+  RoceStack& stack_;
+  DmaEngine& dma_;
+  std::map<uint32_t, std::unique_ptr<Deployed>> kernels_;  // by RPC op-code
+  std::map<Qpn, uint32_t> taps_;
+  EngineCounters counters_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_STROM_ENGINE_H_

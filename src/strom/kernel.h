@@ -1,0 +1,125 @@
+// The StRoM kernel hardware interface (paper §5.2, Listing 1, Fig 4).
+//
+//   void strom_kernel(stream<ap_uint<24>>&  qpnIn,        // 24b QPN bus
+//                     stream<ap_uint<256>>& paramIn,      // 32B parameter bus
+//                     stream<net_axis<512>>& roceDataIn,  // 64B data from RX
+//                     stream<memCmd>&       dmaCmdOut,    // 12B command bus
+//                     stream<net_axis<512>>& dmaDataOut,  // 64B data to DMA
+//                     stream<net_axis<512>>& dmaDataIn,   // 64B data from DMA
+//                     stream<roceMeta>&     roceMetaOut,  // 20B metadata bus
+//                     stream<net_axis<512>>& roceDataOut);// 64B data to TX
+//
+// Stream items here carry up to one MTU of bytes plus a `last` flag; stage
+// timing charges one cycle per data-path word, so the model behaves like the
+// word-serial hardware while keeping event counts proportional to packets.
+#ifndef SRC_STROM_KERNEL_H_
+#define SRC_STROM_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+#include "src/sim/fifo.h"
+#include "src/strom/dataflow.h"
+
+namespace strom {
+
+// One item on a 64B-wide data stream (net_axis<512>): a chunk of bytes plus
+// the end-of-message flag.
+struct NetChunk {
+  ByteBuffer data;
+  bool last = true;
+};
+
+// DMA command issued by a kernel over the 12B command bus: virtual address +
+// length (+ direction, encoded in the channel selector bit of the real bus).
+struct MemCmd {
+  VirtAddr addr = 0;
+  uint32_t length = 0;
+  bool is_write = false;
+};
+
+// Metadata for a kernel-initiated RDMA WRITE over the 20B bus: queue pair,
+// target virtual address, and length.
+struct RoceMeta {
+  Qpn qpn = 0;
+  VirtAddr addr = 0;
+  uint32_t length = 0;
+};
+
+struct KernelConfig {
+  SimTime clock_ps = 6400;  // matches the RoCE stack clock
+  uint32_t data_width = 8;  // bytes per cycle on the data streams
+};
+
+// The eight streams of the fixed hardware interface. Depths model the FIFO
+// sizing of the HLS implementation; data FIFOs are deeper because a chunk
+// here stands for many hardware words.
+struct KernelStreams {
+  Fifo<Qpn> qpn_in{64, "qpnIn"};
+  Fifo<ByteBuffer> param_in{64, "paramIn"};
+  Fifo<NetChunk> roce_data_in{4096, "roceDataIn"};
+  Fifo<MemCmd> dma_cmd_out{256, "dmaCmdOut"};
+  Fifo<NetChunk> dma_data_out{1024, "dmaDataOut"};
+  Fifo<NetChunk> dma_data_in{1024, "dmaDataIn"};
+  Fifo<RoceMeta> roce_meta_out{256, "roceMetaOut"};
+  Fifo<NetChunk> roce_data_out{1024, "roceDataOut"};
+};
+
+// Status word appended by kernels to their response writes so the requester
+// can poll an 8-byte completion and learn the outcome (found / not-found /
+// checksum-failed / error) plus an iteration count (traversal hops, CRC
+// retries, ...). Always non-zero, so polling a zeroed target word works.
+enum class KernelStatusCode : uint8_t {
+  kOk = 1,
+  kNotFound = 2,
+  kError = 3,
+  kChecksumFailed = 4,
+};
+
+inline uint64_t MakeStatusWord(KernelStatusCode code, uint32_t iterations, uint32_t extra = 0) {
+  return static_cast<uint64_t>(code) | (static_cast<uint64_t>(iterations & 0xFFFFFF) << 8) |
+         (static_cast<uint64_t>(extra) << 32);
+}
+inline KernelStatusCode StatusWordCode(uint64_t word) {
+  return static_cast<KernelStatusCode>(word & 0xFF);
+}
+inline uint32_t StatusWordIterations(uint64_t word) {
+  return static_cast<uint32_t>((word >> 8) & 0xFFFFFF);
+}
+inline uint32_t StatusWordExtra(uint64_t word) { return static_cast<uint32_t>(word >> 32); }
+inline constexpr size_t kStatusWordSize = 8;
+
+// Base class for deployable kernels. Subclasses build their stage pipeline
+// over `streams()` in the constructor; the StromEngine services the output
+// side (DMA commands, RDMA writes) and feeds the input side (RPC dispatch).
+class StromKernel {
+ public:
+  StromKernel(Simulator& sim, KernelConfig config) : sim_(sim), config_(config) {}
+  virtual ~StromKernel() = default;
+
+  StromKernel(const StromKernel&) = delete;
+  StromKernel& operator=(const StromKernel&) = delete;
+
+  // RPC op-code this kernel matches (paper §5.1: carried in the RETH address
+  // field, resembling Portals matching).
+  virtual uint32_t rpc_opcode() const = 0;
+  virtual std::string name() const = 0;
+
+  KernelStreams& streams() { return streams_; }
+
+ protected:
+  Simulator& sim() { return sim_; }
+  const KernelConfig& config() const { return config_; }
+  uint64_t Words(uint64_t bytes) const { return WordsFor(bytes, config_.data_width); }
+
+  Simulator& sim_;
+  KernelConfig config_;
+  KernelStreams streams_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_STROM_KERNEL_H_

@@ -1,0 +1,88 @@
+#include "src/tcp/rpc.h"
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+RpcServer::RpcServer(TcpStack& stack, uint16_t port, Handler handler)
+    : stack_(stack), handler_(std::move(handler)) {
+  stack_.Listen(port, [this](TcpConnection* conn) {
+    ClientState& state = clients_[conn];
+    conn->SetReceiveCallback([this, conn, &state](ByteBuffer data) {
+      OnBytes(conn, state, std::move(data));
+    });
+  });
+}
+
+void RpcServer::OnBytes(TcpConnection* conn, ClientState& state, ByteBuffer data) {
+  state.pending.insert(state.pending.end(), data.begin(), data.end());
+  while (state.pending.size() >= 4) {
+    const uint32_t length = LoadLe32(state.pending.data());
+    if (state.pending.size() < 4 + length || length < 4) {
+      return;
+    }
+    const uint32_t opcode = LoadLe32(state.pending.data() + 4);
+    ByteBuffer request(state.pending.begin() + 8, state.pending.begin() + 4 + length);
+    state.pending.erase(state.pending.begin(), state.pending.begin() + 4 + length);
+
+    // Unmarshal + execute + marshal, then send the response.
+    SimTime compute = stack_.cpu().RpcMarshal();
+    ByteBuffer payload = handler_(opcode, request, &compute);
+    ++calls_served_;
+
+    ByteBuffer response(4 + payload.size());
+    StoreLe32(response.data(), static_cast<uint32_t>(payload.size()));
+    std::copy(payload.begin(), payload.end(), response.begin() + 4);
+    stack_.sim().Schedule(compute, [conn, r = std::move(response)]() mutable {
+      conn->Send(std::move(r));
+    });
+  }
+}
+
+RpcClient::RpcClient(TcpStack& stack, Ipv4Addr server_ip, uint16_t port)
+    : stack_(stack), server_ip_(server_ip), port_(port), connected_(stack.sim()) {}
+
+ValueTask<ByteBuffer> RpcClient::Call(uint32_t opcode, ByteBuffer request) {
+  if (conn_ == nullptr) {
+    conn_ = stack_.Connect(server_ip_, port_);
+    conn_->SetEstablishedCallback([this] { connected_.Trigger(); });
+    conn_->SetReceiveCallback([this](ByteBuffer data) {
+      rx_pending_.insert(rx_pending_.end(), data.begin(), data.end());
+      if (rx_pending_.size() >= 4) {
+        const uint32_t length = LoadLe32(rx_pending_.data());
+        if (rx_pending_.size() >= 4 + length) {
+          response_.assign(rx_pending_.begin() + 4, rx_pending_.begin() + 4 + length);
+          rx_pending_.erase(rx_pending_.begin(), rx_pending_.begin() + 4 + length);
+          response_ready_ = true;
+          if (response_waiter_ != nullptr) {
+            response_waiter_->Trigger();
+          }
+        }
+      }
+    });
+  }
+  if (!conn_->established()) {
+    co_await connected_.Wait();
+  }
+
+  // Marshal the request (client-side XDR cost), then send. The response
+  // waiter is armed before the send so an early response cannot be missed.
+  co_await Delay(stack_.sim(), stack_.cpu().RpcMarshal());
+  ByteBuffer message(8 + request.size());
+  StoreLe32(message.data(), static_cast<uint32_t>(4 + request.size()));
+  StoreLe32(message.data() + 4, opcode);
+  std::copy(request.begin(), request.end(), message.begin() + 8);
+
+  response_ready_ = false;
+  SimEvent waiter(stack_.sim());
+  response_waiter_ = &waiter;
+  conn_->Send(std::move(message));
+  if (!response_ready_) {
+    co_await waiter.Wait();
+  }
+  response_waiter_ = nullptr;
+  co_await Delay(stack_.sim(), stack_.cpu().RpcMarshal());
+  co_return std::move(response_);
+}
+
+}  // namespace strom

@@ -1,0 +1,63 @@
+// rpcgen-style RPC over the TCP baseline stack (paper §6.2: "we use the
+// rpcgen compiler to generate RPCs that can be invoked over TCP on the
+// remote machine"). Wire format: [u32 length][u32 opcode][payload] for
+// requests, [u32 length][payload] for responses. Marshalling (XDR-class)
+// cost is charged on both sides; the server handler additionally reports the
+// simulated CPU time its work takes (e.g. list traversal at DRAM latency).
+#ifndef SRC_TCP_RPC_H_
+#define SRC_TCP_RPC_H_
+
+#include <functional>
+#include <map>
+
+#include "src/sim/task.h"
+#include "src/tcp/tcp_stack.h"
+
+namespace strom {
+
+class RpcServer {
+ public:
+  // Handler: consumes the request, returns the response payload, and adds
+  // its compute time to *compute_time (simulated host CPU work).
+  using Handler =
+      std::function<ByteBuffer(uint32_t opcode, ByteSpan request, SimTime* compute_time)>;
+
+  RpcServer(TcpStack& stack, uint16_t port, Handler handler);
+
+  uint64_t calls_served() const { return calls_served_; }
+
+ private:
+  struct ClientState {
+    ByteBuffer pending;
+  };
+
+  void OnBytes(TcpConnection* conn, ClientState& state, ByteBuffer data);
+
+  TcpStack& stack_;
+  Handler handler_;
+  std::map<TcpConnection*, ClientState> clients_;
+  uint64_t calls_served_ = 0;
+};
+
+class RpcClient {
+ public:
+  RpcClient(TcpStack& stack, Ipv4Addr server_ip, uint16_t port);
+
+  // Connects (once) and performs a call; returns the response payload.
+  ValueTask<ByteBuffer> Call(uint32_t opcode, ByteBuffer request);
+
+ private:
+  TcpStack& stack_;
+  Ipv4Addr server_ip_;
+  uint16_t port_;
+  TcpConnection* conn_ = nullptr;
+  SimEvent connected_;
+  ByteBuffer rx_pending_;
+  SimEvent* response_waiter_ = nullptr;
+  ByteBuffer response_;
+  bool response_ready_ = false;
+};
+
+}  // namespace strom
+
+#endif  // SRC_TCP_RPC_H_

@@ -1,0 +1,44 @@
+// TCP segment codec for the kernel-stack baseline: Eth | IPv4 | TCP | data.
+#ifndef SRC_TCP_SEGMENT_H_
+#define SRC_TCP_SEGMENT_H_
+
+#include "src/common/status.h"
+#include "src/proto/headers.h"
+
+namespace strom {
+
+struct TcpHeader {
+  static constexpr size_t kSize = 20;  // no options
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  bool syn = false;
+  bool ack_flag = false;
+  bool fin = false;
+  bool rst = false;
+  uint16_t window = 0xFFFF;
+
+  void Encode(WireWriter& w) const;
+  static TcpHeader Decode(WireReader& r);
+};
+
+struct TcpSegment {
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  TcpHeader tcp;
+  ByteBuffer payload;
+};
+
+ByteBuffer EncodeTcpFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                          const TcpSegment& seg);
+Result<TcpSegment> ParseTcpFrame(ByteSpan frame);
+
+// Signed distance in 32-bit sequence space.
+inline int32_t SeqDistance(uint32_t from, uint32_t to) {
+  return static_cast<int32_t>(to - from);
+}
+
+}  // namespace strom
+
+#endif  // SRC_TCP_SEGMENT_H_

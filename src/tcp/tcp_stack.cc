@@ -1,0 +1,236 @@
+#include "src/tcp/tcp_stack.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+TcpStack::TcpStack(Simulator& sim, const CpuModel& cpu, Ipv4Addr ip, MacAddr mac,
+                   const ArpTable& arp, TcpConfig config)
+    : sim_(sim), cpu_(cpu), ip_(ip), mac_(mac), arp_(arp), config_(config) {}
+
+void TcpStack::Listen(uint16_t port, AcceptCallback on_accept) {
+  listeners_[port] = std::move(on_accept);
+}
+
+TcpConnection* TcpStack::Connect(Ipv4Addr dst_ip, uint16_t dst_port) {
+  const uint16_t local_port = next_ephemeral_port_++;
+  auto conn = std::make_unique<TcpConnection>(
+      TcpConnection(*this, dst_ip, local_port, dst_port));
+  TcpConnection* ptr = conn.get();
+  connections_[ConnKey{dst_ip, local_port, dst_port}] = std::move(conn);
+
+  ptr->iss_ = next_iss_;
+  next_iss_ += 1'000'000;
+  ptr->snd_una_ = ptr->iss_;
+  ptr->snd_nxt_ = ptr->iss_ + 1;  // SYN consumes one sequence number
+  ptr->state_ = TcpConnection::State::kSynSent;
+  SendRawSegment(dst_ip, local_port, dst_port, /*syn=*/true, /*ack=*/false, ptr->iss_, 0, {});
+  ptr->ArmTimer();
+  return ptr;
+}
+
+void TcpStack::SendRawSegment(Ipv4Addr dst, uint16_t src_port, uint16_t dst_port, bool syn,
+                              bool ack, uint32_t seq, uint32_t ack_no, ByteBuffer payload) {
+  TcpSegment seg;
+  seg.src_ip = ip_;
+  seg.dst_ip = dst;
+  seg.tcp.src_port = src_port;
+  seg.tcp.dst_port = dst_port;
+  seg.tcp.syn = syn;
+  seg.tcp.ack_flag = ack;
+  seg.tcp.seq = seq;
+  seg.tcp.ack = ack_no;
+  seg.payload = std::move(payload);
+
+  MacAddr dst_mac;
+  STROM_CHECK(arp_.Lookup(dst, &dst_mac)) << "no ARP entry for " << IpToString(dst);
+  ByteBuffer frame = EncodeTcpFrame(mac_, dst_mac, seg);
+  ++counters_.segments_sent;
+  counters_.bytes_sent += seg.payload.size();
+
+  // Kernel TX path (header construction, qdisc) before the wire.
+  sim_.Schedule(config_.stack_tx_time, [this, f = std::move(frame)]() mutable {
+    if (send_frame_) {
+      send_frame_(std::move(f));
+    }
+  });
+}
+
+void TcpStack::OnFrame(ByteBuffer frame) {
+  Result<TcpSegment> parsed = ParseTcpFrame(frame);
+  if (!parsed.ok()) {
+    return;
+  }
+  ++counters_.segments_received;
+  const TcpSegment& seg = *parsed;
+
+  const ConnKey key{seg.src_ip, seg.tcp.dst_port, seg.tcp.src_port};
+  auto it = connections_.find(key);
+  if (it != connections_.end()) {
+    it->second->OnSegment(seg);
+    return;
+  }
+
+  // New connection: SYN to a listening port.
+  if (seg.tcp.syn && !seg.tcp.ack_flag) {
+    auto listener = listeners_.find(seg.tcp.dst_port);
+    if (listener == listeners_.end()) {
+      return;  // no RST handling needed for the baseline
+    }
+    auto conn = std::make_unique<TcpConnection>(
+        TcpConnection(*this, seg.src_ip, seg.tcp.dst_port, seg.tcp.src_port));
+    TcpConnection* ptr = conn.get();
+    connections_[key] = std::move(conn);
+    ptr->state_ = TcpConnection::State::kSynReceived;
+    ptr->rcv_nxt_ = seg.tcp.seq + 1;
+    ptr->iss_ = next_iss_;
+    next_iss_ += 1'000'000;
+    ptr->snd_una_ = ptr->iss_;
+    ptr->snd_nxt_ = ptr->iss_ + 1;
+    SendRawSegment(seg.src_ip, seg.tcp.dst_port, seg.tcp.src_port, /*syn=*/true,
+                   /*ack=*/true, ptr->iss_, ptr->rcv_nxt_, {});
+    listener->second(ptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpConnection
+// ---------------------------------------------------------------------------
+
+void TcpConnection::Send(ByteBuffer data) {
+  // Application send: syscall + copy into kernel socket buffer.
+  const SimTime cost =
+      stack_.cpu().SyscallOverhead() + stack_.cpu().MemcpyTime(data.size());
+  stack_.sim().Schedule(cost, [this, d = std::move(data)]() mutable {
+    send_buffer_.insert(send_buffer_.end(), d.begin(), d.end());
+    PumpSend();
+  });
+}
+
+void TcpConnection::PumpSend() {
+  if (state_ != State::kEstablished) {
+    return;
+  }
+  while (true) {
+    const uint64_t in_flight = snd_nxt_ - snd_una_;
+    const uint64_t unsent_offset = in_flight;  // bytes of send_buffer_ already sent
+    if (unsent_offset >= send_buffer_.size()) {
+      return;  // nothing new to send
+    }
+    if (in_flight >= stack_.config().window) {
+      return;  // window full
+    }
+    const uint64_t can_send =
+        std::min<uint64_t>({send_buffer_.size() - unsent_offset,
+                            stack_.config().window - in_flight, stack_.config().mss});
+    ByteBuffer payload(send_buffer_.begin() + static_cast<long>(unsent_offset),
+                       send_buffer_.begin() + static_cast<long>(unsent_offset + can_send));
+    stack_.SendRawSegment(peer_ip_, local_port_, peer_port_, /*syn=*/false, /*ack=*/true,
+                          snd_nxt_, rcv_nxt_, std::move(payload));
+    snd_nxt_ += static_cast<uint32_t>(can_send);
+    if (!timer_armed_) {
+      ArmTimer();
+    }
+  }
+}
+
+void TcpConnection::ArmTimer() {
+  timer_armed_ = true;
+  const uint64_t gen = ++timer_generation_;
+  stack_.sim().Schedule(stack_.config().rto, [this, gen] { OnTimeout(gen); });
+}
+
+void TcpConnection::OnTimeout(uint64_t generation) {
+  if (generation != timer_generation_ || snd_nxt_ == snd_una_) {
+    timer_armed_ = false;
+    return;
+  }
+  // Go-back-N: rewind to the oldest unacknowledged byte.
+  ++stack_.counters_.retransmits;
+  if (state_ == State::kSynSent) {
+    stack_.SendRawSegment(peer_ip_, local_port_, peer_port_, /*syn=*/true, /*ack=*/false,
+                          iss_, 0, {});
+  } else {
+    snd_nxt_ = snd_una_;
+    PumpSend();
+  }
+  ArmTimer();
+}
+
+void TcpConnection::OnSegment(const TcpSegment& seg) {
+  // Handshake progression.
+  if (state_ == State::kSynSent && seg.tcp.syn && seg.tcp.ack_flag) {
+    rcv_nxt_ = seg.tcp.seq + 1;
+    snd_una_ = seg.tcp.ack;
+    state_ = State::kEstablished;
+    stack_.SendRawSegment(peer_ip_, local_port_, peer_port_, false, true, snd_nxt_, rcv_nxt_,
+                          {});
+    if (on_established_) {
+      on_established_();
+    }
+    PumpSend();
+    return;
+  }
+  if (state_ == State::kSynReceived && seg.tcp.ack_flag && !seg.tcp.syn) {
+    state_ = State::kEstablished;
+    if (on_established_) {
+      on_established_();
+    }
+    // fall through: the ACK may carry data
+  }
+
+  // ACK processing.
+  if (seg.tcp.ack_flag && SeqDistance(snd_una_, seg.tcp.ack) > 0) {
+    const uint32_t acked = seg.tcp.ack - snd_una_;
+    const uint32_t from_buffer =
+        std::min<uint32_t>(acked, static_cast<uint32_t>(send_buffer_.size()));
+    send_buffer_.erase(send_buffer_.begin(), send_buffer_.begin() + from_buffer);
+    snd_una_ = seg.tcp.ack;
+    if (snd_nxt_ == snd_una_) {
+      timer_armed_ = false;
+      ++timer_generation_;  // cancel
+    } else {
+      ArmTimer();
+    }
+    PumpSend();
+  }
+
+  // Data processing.
+  if (seg.payload.empty()) {
+    return;
+  }
+  if (SeqDistance(rcv_nxt_, seg.tcp.seq) > 0) {
+    out_of_order_[seg.tcp.seq] = seg.payload;  // hold for reassembly
+  } else if (SeqDistance(seg.tcp.seq, rcv_nxt_) <=
+             static_cast<int32_t>(seg.payload.size()) - 1) {
+    // In-order (possibly partially duplicate) data.
+    const uint32_t skip = rcv_nxt_ - seg.tcp.seq;
+    ByteBuffer fresh(seg.payload.begin() + skip, seg.payload.end());
+    rcv_nxt_ += static_cast<uint32_t>(fresh.size());
+    // Merge any queued out-of-order segments that are now contiguous.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && SeqDistance(it->first, rcv_nxt_) >= 0) {
+      const int32_t overlap = SeqDistance(it->first, rcv_nxt_);
+      if (overlap < static_cast<int32_t>(it->second.size())) {
+        fresh.insert(fresh.end(), it->second.begin() + overlap, it->second.end());
+        rcv_nxt_ += static_cast<uint32_t>(it->second.size()) - overlap;
+      }
+      it = out_of_order_.erase(it);
+    }
+    // Interrupt + softirq + application wakeup before the app sees bytes.
+    stack_.counters_.bytes_delivered += fresh.size();
+    stack_.sim().Schedule(stack_.cpu().InterruptWakeup() +
+                              stack_.cpu().MemcpyTime(fresh.size()),
+                          [this, f = std::move(fresh)]() mutable {
+                            if (on_receive_) {
+                              on_receive_(std::move(f));
+                            }
+                          });
+  }
+  // ACK everything we have (immediate ACK policy).
+  stack_.SendRawSegment(peer_ip_, local_port_, peer_port_, false, true, snd_nxt_, rcv_nxt_, {});
+}
+
+}  // namespace strom

@@ -1,0 +1,36 @@
+#include "src/testbed/node.h"
+
+namespace strom {
+
+Node::Node(Simulator& sim, const Profile& profile, Ipv4Addr ip, MacAddr mac,
+           const ArpTable& arp)
+    : sim_(sim),
+      ip_(ip),
+      mac_(mac),
+      tlb_(Tlb::kDefaultCapacity),
+      dma_(sim, memory_, tlb_, profile.dma),
+      stack_(sim, profile.roce, dma_, ip, mac, arp),
+      engine_(sim, stack_, dma_),
+      controller_(sim, stack_, &engine_, profile.controller),
+      driver_(sim, memory_, tlb_, controller_),
+      tcp_(sim, cpu_, ip, mac, arp) {}
+
+void Node::OnFrame(ByteBuffer frame) {
+  // Peek at the IP protocol field (Eth 14 + IP offset 9).
+  if (frame.size() > EthHeader::kSize + 9 &&
+      LoadBe16(frame.data() + 12) == kEtherTypeIpv4) {
+    const uint8_t protocol = frame[EthHeader::kSize + 9];
+    if (protocol == kIpProtoTcp) {
+      tcp_.OnFrame(std::move(frame));
+      return;
+    }
+  }
+  stack_.OnFrame(std::move(frame));
+}
+
+void Node::SetFrameSender(std::function<void(ByteBuffer)> sender) {
+  stack_.SetFrameSender(sender);
+  tcp_.SetFrameSender(std::move(sender));
+}
+
+}  // namespace strom

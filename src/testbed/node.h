@@ -1,0 +1,67 @@
+// One simulated machine: host memory + CPU-side driver, and the StRoM NIC
+// (DMA engine, TLB, RoCE stack, kernel engine, controller) — the full Fig 1
+// assembly.
+#ifndef SRC_TESTBED_NODE_H_
+#define SRC_TESTBED_NODE_H_
+
+#include <memory>
+
+#include "src/cpu/cpu_model.h"
+#include "src/host/controller.h"
+#include "src/host/driver.h"
+#include "src/netsim/switch.h"
+#include "src/pcie/dma_engine.h"
+#include "src/pcie/host_memory.h"
+#include "src/pcie/tlb.h"
+#include "src/roce/stack.h"
+#include "src/strom/engine.h"
+#include "src/tcp/tcp_stack.h"
+#include "src/testbed/calibration.h"
+
+namespace strom {
+
+class Node {
+ public:
+  Node(Simulator& sim, const Profile& profile, Ipv4Addr ip, MacAddr mac, const ArpTable& arp);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Ipv4Addr ip() const { return ip_; }
+  const MacAddr& mac() const { return mac_; }
+
+  // Ingress demux: RoCE (UDP 4791) frames go to the NIC stack, TCP frames to
+  // the host kernel stack.
+  void OnFrame(ByteBuffer frame);
+  // Wires both stacks' egress to the given sender.
+  void SetFrameSender(std::function<void(ByteBuffer)> sender);
+
+  HostMemory& memory() { return memory_; }
+  Tlb& tlb() { return tlb_; }
+  DmaEngine& dma() { return dma_; }
+  RoceStack& stack() { return stack_; }
+  StromEngine& engine() { return engine_; }
+  Controller& controller() { return controller_; }
+  RoceDriver& driver() { return driver_; }
+  Simulator& sim() { return sim_; }
+  CpuModel& cpu() { return cpu_; }
+  TcpStack& tcp() { return tcp_; }
+
+ private:
+  Simulator& sim_;
+  Ipv4Addr ip_;
+  MacAddr mac_;
+  HostMemory memory_;
+  Tlb tlb_;
+  DmaEngine dma_;
+  RoceStack stack_;
+  StromEngine engine_;
+  Controller controller_;
+  RoceDriver driver_;
+  CpuModel cpu_;
+  TcpStack tcp_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_TESTBED_NODE_H_

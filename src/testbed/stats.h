@@ -1,0 +1,51 @@
+// Latency sample accumulation with the percentiles the paper reports
+// (median with 1st/99th-percentile whiskers).
+#ifndef SRC_TESTBED_STATS_H_
+#define SRC_TESTBED_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/time.h"
+
+namespace strom {
+
+class LatencyStats {
+ public:
+  void Add(SimTime sample) { samples_.push_back(sample); }
+  size_t count() const { return samples_.size(); }
+
+  SimTime Percentile(double p) const {
+    STROM_CHECK(!samples_.empty());
+    std::vector<SimTime> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<SimTime>(static_cast<double>(sorted[lo]) * (1 - frac) +
+                                static_cast<double>(sorted[hi]) * frac);
+  }
+
+  SimTime Median() const { return Percentile(50); }
+  SimTime P1() const { return Percentile(1); }
+  SimTime P99() const { return Percentile(99); }
+
+  double MeanUs() const {
+    STROM_CHECK(!samples_.empty());
+    double sum = 0;
+    for (SimTime s : samples_) {
+      sum += ToUs(s);
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+ private:
+  std::vector<SimTime> samples_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_TESTBED_STATS_H_

@@ -1,0 +1,59 @@
+#include "src/testbed/testbed.h"
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+namespace {
+
+MacAddr MacForIndex(int i) {
+  return MacAddr{0x02, 0x00, 0x00, 0x00, 0x00, static_cast<uint8_t>(i + 1)};
+}
+
+}  // namespace
+
+Testbed::Testbed(const Profile& profile, int num_nodes) : profile_(profile) {
+  STROM_CHECK_GE(num_nodes, 2);
+
+  for (int i = 0; i < num_nodes; ++i) {
+    const Ipv4Addr ip = MakeIp(10, 0, 0, static_cast<uint8_t>(i + 1));
+    arp_.Add(ip, MacForIndex(i));
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    const Ipv4Addr ip = MakeIp(10, 0, 0, static_cast<uint8_t>(i + 1));
+    nodes_.push_back(std::make_unique<Node>(sim_, profile, ip, MacForIndex(i), arp_));
+  }
+
+  if (num_nodes == 2) {
+    link_ = std::make_unique<PointToPointLink>(sim_, profile.link);
+    for (int i = 0; i < 2; ++i) {
+      Node* node = nodes_[i].get();
+      link_->Attach(i, [node](ByteBuffer frame) { node->OnFrame(std::move(frame)); });
+      PointToPointLink* link = link_.get();
+      node->SetFrameSender([link, i](ByteBuffer frame) { link->Send(i, std::move(frame)); });
+    }
+    return;
+  }
+
+  SwitchConfig sc;
+  sc.port_rate_bps = profile.link.rate_bps;
+  sc.ip_mtu = profile.link.ip_mtu;
+  switch_ = std::make_unique<EthernetSwitch>(sim_, sc);
+  for (int i = 0; i < num_nodes; ++i) {
+    const int port = switch_->AddPort();
+    PointToPointLink& link = switch_->PortLink(port);
+    Node* node = nodes_[i].get();
+    link.Attach(0, [node](ByteBuffer frame) { node->OnFrame(std::move(frame)); });
+    node->SetFrameSender([&link](ByteBuffer frame) { link.Send(0, std::move(frame)); });
+    switch_->AddStaticRoute(MacForIndex(i), port);
+  }
+}
+
+void Testbed::ConnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a, Psn psn_b) {
+  Status st = node(a).stack().ConnectQp(qpn_a, qpn_b, node(b).ip(), psn_a, psn_b);
+  STROM_CHECK(st.ok()) << st;
+  st = node(b).stack().ConnectQp(qpn_b, qpn_a, node(a).ip(), psn_b, psn_a);
+  STROM_CHECK(st.ok()) << st;
+}
+
+}  // namespace strom

@@ -1,0 +1,42 @@
+// Testbed topologies: two nodes on a direct cable (the paper's setup) or N
+// nodes behind a store-and-forward switch (multi-node examples).
+#ifndef SRC_TESTBED_TESTBED_H_
+#define SRC_TESTBED_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/netsim/link.h"
+#include "src/netsim/switch.h"
+#include "src/testbed/node.h"
+
+namespace strom {
+
+class Testbed {
+ public:
+  // num_nodes == 2 builds the paper's direct-cable topology; > 2 inserts a
+  // switch with one port per node.
+  explicit Testbed(const Profile& profile, int num_nodes = 2);
+
+  Simulator& sim() { return sim_; }
+  Node& node(int i) { return *nodes_.at(i); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Profile& profile() const { return profile_; }
+  PointToPointLink* direct_link() { return link_.get(); }
+
+  // Sets up a reliable connection between node `a` QP `qpn_a` and node `b`
+  // QP `qpn_b` (out-of-band exchange of QPNs and initial PSNs).
+  void ConnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a = 1000, Psn psn_b = 5000);
+
+ private:
+  Profile profile_;
+  Simulator sim_;
+  ArpTable arp_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<PointToPointLink> link_;          // 2-node topology
+  std::unique_ptr<EthernetSwitch> switch_;          // N-node topology
+};
+
+}  // namespace strom
+
+#endif  // SRC_TESTBED_TESTBED_H_

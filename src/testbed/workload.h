@@ -1,0 +1,62 @@
+// Deterministic workload generators for benches and tests.
+#ifndef SRC_TESTBED_WORKLOAD_H_
+#define SRC_TESTBED_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace strom {
+
+// Pseudo-random payload bytes.
+inline ByteBuffer RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ByteBuffer out(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    StoreLe64(out.data() + i, rng.Next());
+    i += 8;
+  }
+  while (i < n) {
+    out[i++] = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+// 8-byte tuples, uniformly random (shuffle / HLL workloads).
+inline std::vector<uint64_t> RandomTuples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) {
+    v = rng.Next();
+  }
+  return out;
+}
+
+// A stream of `n` 8-byte items drawn from a domain of `distinct` values, so
+// the exact cardinality of the stream is min(distinct, observed) — used to
+// validate HLL estimates.
+inline std::vector<uint64_t> TuplesWithCardinality(size_t n, uint64_t distinct, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  for (auto& v : out) {
+    // Spread the domain over the full 64-bit space deterministically.
+    v = Mix64(rng.Below(distinct) ^ (seed * 0x9E3779B97F4A7C15ull));
+  }
+  return out;
+}
+
+inline ByteBuffer TuplesToBytes(const std::vector<uint64_t>& tuples) {
+  ByteBuffer out(tuples.size() * 8);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    StoreLe64(out.data() + i * 8, tuples[i]);
+  }
+  return out;
+}
+
+}  // namespace strom
+
+#endif  // SRC_TESTBED_WORKLOAD_H_

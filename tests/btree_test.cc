@@ -1,0 +1,176 @@
+// Tests for the remote B-tree and the traversal kernel's two-phase descent
+// (paper §6.2's claim that the kernel's parameterization covers trees).
+#include <gtest/gtest.h>
+
+#include "src/kernels/traversal.h"
+#include "src/kvs/btree.h"
+#include "src/testbed/testbed.h"
+#include "src/testbed/workload.h"
+
+namespace strom {
+namespace {
+
+constexpr Qpn kQp = 1;
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : bed_(Profile10G()) {
+    bed_.ConnectQp(0, kQp, 1, kQp);
+    const KernelConfig kc{bed_.profile().roce.clock_ps, bed_.profile().roce.data_width};
+    EXPECT_TRUE(bed_.node(1)
+                    .engine()
+                    .DeployKernel(std::make_unique<TraversalKernel>(bed_.sim(), kc))
+                    .ok());
+    resp_ = bed_.node(0).driver().AllocBuffer(MiB(1))->addr;
+  }
+
+  uint64_t Lookup(const RemoteBTree& tree, uint64_t key) {
+    bed_.node(0).driver().FillHost(resp_, tree.value_size() + 8, 0);
+    bed_.node(0).driver().PostRpc(kTraversalRpcOpcode, kQp,
+                                  tree.LookupParams(key, resp_).Encode());
+    uint64_t status = 0;
+    bed_.sim().RunUntil([&] {
+      status = bed_.node(0).driver().ReadHostU64(resp_ + tree.value_size());
+      return status != 0;
+    });
+    EXPECT_NE(status, 0u) << "no response for key " << key;
+    return status;
+  }
+
+  Testbed bed_;
+  VirtAddr resp_ = 0;
+};
+
+TEST_F(BTreeTest, SingleLeafTree) {
+  auto tree = RemoteBTree::Build(bed_.node(1).driver(), {10, 20, 30}, 64, 1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->height(), 0u);
+
+  const uint64_t status = Lookup(*tree, 20);
+  EXPECT_EQ(StatusWordCode(status), KernelStatusCode::kOk);
+  EXPECT_EQ(StatusWordIterations(status), 1u);  // root is the leaf
+  EXPECT_EQ(*bed_.node(0).driver().ReadHost(resp_, 64), tree->ExpectedValue(20));
+}
+
+TEST_F(BTreeTest, MultiLevelDescentFindsEveryKey) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 200; ++k) {
+    keys.push_back(k * 10);
+  }
+  auto tree = RemoteBTree::Build(bed_.node(1).driver(), keys, 128, 2);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->height(), 3u);  // 200 keys / 3 per leaf / fanout 4
+
+  for (uint64_t k : {10ull, 500ull, 990ull, 1000ull, 2000ull}) {
+    const uint64_t status = Lookup(*tree, k);
+    EXPECT_EQ(StatusWordCode(status), KernelStatusCode::kOk) << "key " << k;
+    // Hop count: height internal nodes + 1 leaf.
+    EXPECT_EQ(StatusWordIterations(status), tree->height() + 1) << "key " << k;
+    EXPECT_EQ(*bed_.node(0).driver().ReadHost(resp_, 128), tree->ExpectedValue(k))
+        << "key " << k;
+  }
+}
+
+TEST_F(BTreeTest, AbsentKeysReportNotFound) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 60; ++k) {
+    keys.push_back(k * 100);
+  }
+  auto tree = RemoteBTree::Build(bed_.node(1).driver(), keys, 64, 3);
+  ASSERT_TRUE(tree.ok());
+
+  for (uint64_t k : {55ull, 150ull, 6100ull}) {  // below, between, above
+    const uint64_t status = Lookup(*tree, k);
+    EXPECT_EQ(StatusWordCode(status), KernelStatusCode::kNotFound) << "key " << k;
+  }
+}
+
+TEST_F(BTreeTest, KernelAgreesWithHostReferenceOnRandomTrees) {
+  Rng rng(99);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<uint64_t> keys;
+    const size_t n = 5 + rng.Below(150);
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back((rng.Next() >> 16) | 1);
+    }
+    auto tree = RemoteBTree::Build(bed_.node(1).driver(), keys, 64, round);
+    ASSERT_TRUE(tree.ok());
+
+    for (int probe = 0; probe < 12; ++probe) {
+      const bool present = rng.Chance(0.5);
+      const uint64_t key =
+          present ? tree->keys()[rng.Below(tree->keys().size())] : ((rng.Next() >> 16) | 1);
+      Result<VirtAddr> host = tree->HostLookup(key);
+
+      const uint64_t status = Lookup(*tree, key);
+      if (host.ok()) {
+        EXPECT_EQ(StatusWordCode(status), KernelStatusCode::kOk)
+            << "round " << round << " key " << key;
+        EXPECT_EQ(*bed_.node(0).driver().ReadHost(resp_, 64), tree->ExpectedValue(key));
+      } else {
+        EXPECT_EQ(StatusWordCode(status), KernelStatusCode::kNotFound)
+            << "round " << round << " key " << key;
+      }
+    }
+  }
+}
+
+TEST_F(BTreeTest, LookupLatencyIsOneRoundTripPlusPciePerLevel) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 1; k <= 150; ++k) {
+    keys.push_back(k);
+  }
+  auto tree = RemoteBTree::Build(bed_.node(1).driver(), keys, 64, 5);
+  ASSERT_TRUE(tree.ok());
+
+  const SimTime start = bed_.sim().now();
+  const uint64_t status = Lookup(*tree, 75);
+  const double us = ToUs(bed_.sim().now() - start);
+  EXPECT_EQ(StatusWordCode(status), KernelStatusCode::kOk);
+  // One network round trip (~5 us) + (height+1) PCIe reads (~1.3 us each):
+  // far below the (height+1) network round trips of the READ baseline.
+  const double read_baseline_us = (tree->height() + 1) * 4.0;
+  EXPECT_LT(us, read_baseline_us + 6.0);
+  EXPECT_GT(us, 5.0);
+}
+
+TEST_F(BTreeTest, LeavesAreChainedForRangeScans) {
+  std::vector<uint64_t> keys = {1, 2, 3, 4, 5, 6, 7};  // 3 leaves
+  auto tree = RemoteBTree::Build(bed_.node(1).driver(), keys, 64, 6);
+  ASSERT_TRUE(tree.ok());
+
+  // Walk the leaf chain on the host: leftmost leaf holds keys 1-3, then 4-6,
+  // then 7.
+  Result<VirtAddr> first_val = tree->HostLookup(1);
+  ASSERT_TRUE(first_val.ok());
+  // Find the leftmost leaf by descending with key 1.
+  VirtAddr addr = tree->root();
+  for (uint32_t level = 0; level < tree->height(); ++level) {
+    ByteBuffer node = *bed_.node(1).driver().ReadHost(addr, 64);
+    VirtAddr child = 0;
+    for (size_t j = 0; j < 3; ++j) {
+      const uint64_t sep = LoadLe64(node.data() + j * 8);
+      if (sep != 0 && sep > 1) {
+        child = LoadLe64(node.data() + (3 + j) * 8);
+        break;
+      }
+    }
+    if (child == 0) {
+      child = LoadLe64(node.data() + 6 * 8);
+    }
+    addr = child;
+  }
+  int leaves = 0;
+  uint64_t expected_first_key = 1;
+  while (addr != 0 && leaves < 10) {
+    ByteBuffer leaf = *bed_.node(1).driver().ReadHost(addr, 64);
+    EXPECT_EQ(LoadLe64(leaf.data()), expected_first_key);
+    expected_first_key += 3;
+    ++leaves;
+    addr = LoadLe64(leaf.data() + 6 * 8);
+  }
+  EXPECT_EQ(leaves, 3);
+}
+
+}  // namespace
+}  // namespace strom

@@ -1,0 +1,198 @@
+// Unit tests for src/common: byte I/O, CRC, hashing, RNG, status types.
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/crc.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace strom {
+namespace {
+
+TEST(Bytes, BigEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreBe16(buf, 0xBEEF);
+  EXPECT_EQ(LoadBe16(buf), 0xBEEF);
+  StoreBe24(buf, 0xABCDEF);
+  EXPECT_EQ(LoadBe24(buf), 0xABCDEFu);
+  StoreBe32(buf, 0xDEADBEEF);
+  EXPECT_EQ(LoadBe32(buf), 0xDEADBEEFu);
+  StoreBe64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(LoadBe64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(Bytes, LittleEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreLe32(buf, 0xCAFEBABE);
+  EXPECT_EQ(LoadLe32(buf), 0xCAFEBABEu);
+  StoreLe64(buf, 0xFEEDFACE12345678ull);
+  EXPECT_EQ(LoadLe64(buf), 0xFEEDFACE12345678ull);
+}
+
+TEST(Bytes, WireWriterReaderRoundTrip) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  w.U8(0x12);
+  w.U16(0x3456);
+  w.U24(0x789ABC);
+  w.U32(0xDEF01234);
+  w.U64(0x1122334455667788ull);
+  const uint8_t raw[3] = {1, 2, 3};
+  w.Bytes(ByteSpan(raw, 3));
+
+  WireReader r(buf);
+  EXPECT_EQ(r.U8(), 0x12);
+  EXPECT_EQ(r.U16(), 0x3456);
+  EXPECT_EQ(r.U24(), 0x789ABCu);
+  EXPECT_EQ(r.U32(), 0xDEF01234u);
+  EXPECT_EQ(r.U64(), 0x1122334455667788ull);
+  ByteSpan rest = r.Bytes(3);
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[2], 3);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, WireReaderOverrunSetsFailed) {
+  ByteBuffer buf = {1, 2};
+  WireReader r(buf);
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Bytes, HexDumpTruncates) {
+  ByteBuffer buf(100, 0xAB);
+  std::string dump = HexDump(buf, 4);
+  EXPECT_EQ(dump, "ab ab ab ab ...");
+}
+
+TEST(Crc32, KnownVector) {
+  // IEEE 802.3 check value for "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32::Compute(ByteSpan(reinterpret_cast<const uint8_t*>(s), 9)), 0xCBF43926u);
+}
+
+TEST(Crc64, KnownVector) {
+  // CRC-64/XZ check value for "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(Crc64::Compute(ByteSpan(reinterpret_cast<const uint8_t*>(s), 9)),
+            0x995DC9BBDF1939FAull);
+}
+
+TEST(Crc64, IncrementalMatchesOneShot) {
+  ByteBuffer data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  Crc64 crc;
+  crc.Update(ByteSpan(data.data(), 123));
+  crc.Update(ByteSpan(data.data() + 123, 456));
+  crc.Update(ByteSpan(data.data() + 579, data.size() - 579));
+  EXPECT_EQ(crc.Finish(), Crc64::Compute(data));
+}
+
+TEST(Crc64, DetectsSingleBitFlip) {
+  ByteBuffer data(64, 0x5A);
+  const uint64_t before = Crc64::Compute(data);
+  data[17] ^= 0x01;
+  EXPECT_NE(Crc64::Compute(data), before);
+}
+
+TEST(Crc32, ResetRestartsState) {
+  Crc32 crc;
+  crc.Update(ByteBuffer{1, 2, 3});
+  crc.Reset();
+  crc.Update(ByteBuffer{9});
+  EXPECT_EQ(crc.Finish(), Crc32::Compute(ByteBuffer{9}));
+}
+
+TEST(Hash, Mix64IsBijectiveOnSamples) {
+  // Distinct inputs map to distinct outputs (spot check).
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(Mix64(0), Mix64(0xFFFFFFFFFFFFFFFFull));
+  EXPECT_EQ(Mix64(42), Mix64(42));
+}
+
+TEST(Hash, HashBytesDependsOnAllBytes) {
+  ByteBuffer a(33, 0);
+  ByteBuffer b = a;
+  b[32] = 1;  // tail byte beyond the 8-byte chunks
+  EXPECT_NE(HashBytes(a), HashBytes(b));
+}
+
+TEST(Hash, SeedChangesHash) {
+  ByteBuffer data{1, 2, 3, 4};
+  EXPECT_NE(HashBytes(data, 1), HashBytes(data, 2));
+}
+
+TEST(Hash, RadixPartitionTakesLowBits) {
+  EXPECT_EQ(RadixPartition(0x12345678, 8), 0x78u);
+  EXPECT_EQ(RadixPartition(0xFFFF, 10), 0x3FFu);
+  EXPECT_EQ(RadixPartition(1024, 10), 0u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Chance(0.25)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = NotFoundError("missing key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: missing key");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad(InternalError("boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+}
+
+TEST(PsnArithmetic, WrapsAt24Bits) {
+  EXPECT_EQ(PsnAdd(0xFFFFFF, 1), 0u);
+  EXPECT_EQ(PsnAdd(0xFFFFFE, 3), 1u);
+}
+
+TEST(PsnArithmetic, DistanceIsSigned) {
+  EXPECT_EQ(PsnDistance(10, 15), 5);
+  EXPECT_EQ(PsnDistance(15, 10), -5);
+  EXPECT_EQ(PsnDistance(0xFFFFFF, 2), 3);   // across the wrap
+  EXPECT_EQ(PsnDistance(2, 0xFFFFFF), -3);
+}
+
+}  // namespace
+}  // namespace strom

@@ -1,0 +1,62 @@
+// Unit tests for the calibrated CPU cost model.
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/cpu/cpu_model.h"
+
+namespace strom {
+namespace {
+
+TEST(CpuModel, DramLatencyMatchesPaperFootnote) {
+  CpuModel cpu;
+  EXPECT_EQ(cpu.DramAccess(), Ns(80));
+}
+
+TEST(CpuModel, Crc64TimeScalesLinearly) {
+  CpuModel cpu;
+  const SimTime t1 = cpu.Crc64Time(4096);
+  const SimTime t2 = cpu.Crc64Time(8192);
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0, 0.01);
+  // ~1.4 GB/s: 4 KiB in ~2.9 us.
+  EXPECT_NEAR(ToUs(t1), 2.93, 0.1);
+}
+
+TEST(CpuModel, HllThroughputMatchesFig13aPoints) {
+  CpuModel cpu;
+  EXPECT_DOUBLE_EQ(cpu.HllThroughputGbps(1), 4.64);
+  EXPECT_DOUBLE_EQ(cpu.HllThroughputGbps(2), 9.28);
+  EXPECT_DOUBLE_EQ(cpu.HllThroughputGbps(4), 18.40);
+  EXPECT_DOUBLE_EQ(cpu.HllThroughputGbps(8), 24.40);
+}
+
+TEST(CpuModel, HllThroughputInterpolatesAndSaturates) {
+  CpuModel cpu;
+  const double t3 = cpu.HllThroughputGbps(3);
+  EXPECT_GT(t3, 9.28);
+  EXPECT_LT(t3, 18.40);
+  const double t6 = cpu.HllThroughputGbps(6);
+  EXPECT_GT(t6, 18.40);
+  EXPECT_LT(t6, 24.40);
+  EXPECT_DOUBLE_EQ(cpu.HllThroughputGbps(16), 24.40);  // plateau
+}
+
+TEST(CpuModel, HllTimeInvertsThroughput) {
+  CpuModel cpu;
+  // 1 Gbit of data at 4.64 Gbit/s ~ 0.2155 s.
+  const uint64_t bytes = 1'000'000'000 / 8;
+  EXPECT_NEAR(ToSec(cpu.HllTime(bytes, 1)), 1.0 / 4.64, 0.001);
+}
+
+TEST(CpuModel, PartitioningSlowerThanMemcpy) {
+  CpuModel cpu;
+  EXPECT_GT(cpu.PartitionTime(MiB(1)), cpu.MemcpyTime(MiB(1)));
+}
+
+TEST(CpuModel, KernelCrossingCostsAreMicrosecondClass) {
+  CpuModel cpu;
+  EXPECT_GE(cpu.InterruptWakeup(), Us(1));
+  EXPECT_LT(cpu.SyscallOverhead(), Us(10));
+}
+
+}  // namespace
+}  // namespace strom

@@ -1,0 +1,114 @@
+// Property tests for the HyperLogLog sketch: estimate accuracy across
+// cardinality scales, duplicate insensitivity, merge semantics.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/kernels/hll_sketch.h"
+
+namespace strom {
+namespace {
+
+TEST(HllSketch, EmptyEstimatesZero) {
+  HllSketch hll(14);
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HllSketch, SmallCardinalitiesExact) {
+  // Linear-counting regime: tiny sets should be near exact.
+  HllSketch hll(14);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    hll.Add(i * 0x9E3779B97F4A7C15ull);
+  }
+  EXPECT_NEAR(hll.Estimate(), 100.0, 3.0);
+}
+
+// Accuracy sweep: relative error within ~3x the theoretical standard error
+// (1.04/sqrt(m) ~ 0.81% at p=14).
+class HllAccuracy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HllAccuracy, RelativeErrorBounded) {
+  const uint64_t cardinality = GetParam();
+  HllSketch hll(14);
+  Rng rng(cardinality);
+  for (uint64_t i = 0; i < cardinality; ++i) {
+    hll.Add(rng.Next());
+  }
+  const double est = hll.Estimate();
+  const double err = std::abs(est - static_cast<double>(cardinality)) /
+                     static_cast<double>(cardinality);
+  EXPECT_LT(err, 0.03) << "estimate " << est << " for cardinality " << cardinality;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracy,
+                         ::testing::Values(1000, 10'000, 100'000, 1'000'000));
+
+TEST(HllSketch, DuplicatesDoNotInflate) {
+  HllSketch hll(14);
+  Rng rng(1);
+  std::vector<uint64_t> items(5000);
+  for (auto& v : items) {
+    v = rng.Next();
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t v : items) {
+      hll.Add(v);
+    }
+  }
+  EXPECT_NEAR(hll.Estimate(), 5000.0, 200.0);
+}
+
+TEST(HllSketch, ResetClears) {
+  HllSketch hll(14);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hll.Add(i * 7919);
+  }
+  hll.Reset();
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HllSketch, MergeEqualsUnion) {
+  HllSketch a(12);
+  HllSketch b(12);
+  HllSketch u(12);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.Next();
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    u.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(HllSketch, LowerPrecisionIsCoarser) {
+  HllSketch p8(8);
+  HllSketch p14(14);
+  Rng rng(5);
+  const uint64_t n = 50000;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t v = rng.Next();
+    p8.Add(v);
+    p14.Add(v);
+  }
+  const double err8 = std::abs(p8.Estimate() - static_cast<double>(n)) / n;
+  const double err14 = std::abs(p14.Estimate() - static_cast<double>(n)) / n;
+  EXPECT_LT(err8, 0.20);
+  EXPECT_LT(err14, 0.03);
+}
+
+TEST(HllSketch, DeterministicAcrossInstances) {
+  HllSketch a(14);
+  HllSketch b(14);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  EXPECT_EQ(a.registers(), b.registers());
+}
+
+}  // namespace
+}  // namespace strom

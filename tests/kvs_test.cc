@@ -1,0 +1,187 @@
+// Tests for the host-side remote data structures (linked list, hash tables,
+// versioned objects) independent of the kernels.
+#include <gtest/gtest.h>
+
+#include "src/common/crc.h"
+#include "src/kvs/hash_table.h"
+#include "src/kvs/linked_list.h"
+#include "src/kvs/versioned_object.h"
+#include "src/testbed/testbed.h"
+
+namespace strom {
+namespace {
+
+class KvsTest : public ::testing::Test {
+ protected:
+  KvsTest() : bed_(Profile10G()) {
+    region_ = bed_.node(1).driver().AllocBuffer(MiB(32))->addr;
+  }
+
+  RoceDriver& driver() { return bed_.node(1).driver(); }
+
+  Testbed bed_;
+  VirtAddr region_ = 0;
+};
+
+TEST_F(KvsTest, LinkedListLayoutMatchesFig6) {
+  std::vector<uint64_t> keys = {100, 200, 300};
+  auto list = RemoteLinkedList::Build(driver(), region_, region_ + MiB(1), keys, 64, 1);
+  ASSERT_TRUE(list.ok());
+
+  // Walk on the host: key slot 0, next slot 2, value slot 4.
+  VirtAddr addr = list->head();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ByteBuffer elem = *driver().ReadHost(addr, kTraversalElementSize);
+    EXPECT_EQ(LoadLe64(elem.data()), keys[i]);
+    const VirtAddr value_ptr = LoadLe64(elem.data() + 4 * 8);
+    ByteBuffer value = *driver().ReadHost(value_ptr, 64);
+    EXPECT_EQ(value, list->ExpectedValue(keys[i]));
+    addr = LoadLe64(elem.data() + 2 * 8);
+  }
+  EXPECT_EQ(addr, 0u);  // tail
+}
+
+TEST_F(KvsTest, LinkedListLookupParamsMatchPaperExample) {
+  std::vector<uint64_t> keys = {1};
+  auto list = RemoteLinkedList::Build(driver(), region_, region_ + MiB(1), keys, 64, 1);
+  ASSERT_TRUE(list.ok());
+  TraversalParams p = list->LookupParams(1, 0x1000);
+  // Paper §6.2: keyMask = 1, valuePtrPosition = 4, nextElementPtrPosition = 2.
+  EXPECT_EQ(p.search.key_mask, 1);
+  EXPECT_EQ(p.search.value_ptr_position, 4);
+  EXPECT_EQ(p.search.next_element_ptr_position, 2);
+  EXPECT_TRUE(p.search.next_element_ptr_valid);
+  EXPECT_FALSE(p.search.is_relative_position);
+}
+
+TEST_F(KvsTest, TraversalParamsEncodeDecodeRoundTrip) {
+  TraversalParams p;
+  p.target_addr = 0x12345678;
+  p.remote_address = 0x9ABCDEF0;
+  p.value_size = 4096;
+  p.key = 0xDEADBEEFCAFEF00Dull;
+  p.max_hops = 77;
+  p.descend_levels = 3;
+  p.descent.key_mask = 0b111;
+  p.descent.predicate = TraversalPredicate::kGreaterThan;
+  p.descent.value_ptr_position = 3;
+  p.descent.is_relative_position = true;
+  p.descent.next_element_ptr_position = 6;
+  p.descent.next_element_ptr_valid = true;
+  p.search.key_mask = 0b10101;
+  p.search.predicate = TraversalPredicate::kNotEqual;
+  p.search.value_ptr_position = 1;
+  p.search.is_relative_position = true;
+  p.search.next_element_ptr_position = 7;
+  p.search.next_element_ptr_valid = false;
+
+  auto decoded = TraversalParams::Decode(p.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->target_addr, p.target_addr);
+  EXPECT_EQ(decoded->remote_address, p.remote_address);
+  EXPECT_EQ(decoded->value_size, p.value_size);
+  EXPECT_EQ(decoded->key, p.key);
+  EXPECT_EQ(decoded->max_hops, p.max_hops);
+  EXPECT_EQ(decoded->descend_levels, p.descend_levels);
+  EXPECT_EQ(decoded->descent.key_mask, p.descent.key_mask);
+  EXPECT_EQ(decoded->descent.predicate, p.descent.predicate);
+  EXPECT_EQ(decoded->descent.value_ptr_position, p.descent.value_ptr_position);
+  EXPECT_EQ(decoded->descent.is_relative_position, p.descent.is_relative_position);
+  EXPECT_EQ(decoded->descent.next_element_ptr_position, p.descent.next_element_ptr_position);
+  EXPECT_EQ(decoded->descent.next_element_ptr_valid, p.descent.next_element_ptr_valid);
+  EXPECT_EQ(decoded->search.key_mask, p.search.key_mask);
+  EXPECT_EQ(decoded->search.predicate, p.search.predicate);
+  EXPECT_EQ(decoded->search.value_ptr_position, p.search.value_ptr_position);
+  EXPECT_EQ(decoded->search.is_relative_position, p.search.is_relative_position);
+  EXPECT_EQ(decoded->search.next_element_ptr_position, p.search.next_element_ptr_position);
+  EXPECT_EQ(decoded->search.next_element_ptr_valid, p.search.next_element_ptr_valid);
+}
+
+TEST_F(KvsTest, TraversalParamsRejectMalformed) {
+  EXPECT_FALSE(TraversalParams::Decode(ByteBuffer(10, 0)).has_value());
+  TraversalParams p;
+  p.search.value_ptr_position = 9;  // beyond the 8 slots
+  EXPECT_FALSE(TraversalParams::Decode(p.Encode()).has_value());
+  TraversalParams q;
+  q.descent.next_element_ptr_position = 8;
+  EXPECT_FALSE(TraversalParams::Decode(q.Encode()).has_value());
+}
+
+TEST_F(KvsTest, HashTablePutAndHostLookup) {
+  auto table = RemoteHashTable::Create(driver(), 64, 128, 500);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t k = 1; k <= 400; ++k) {
+    ASSERT_TRUE(table->Put(k, 9).ok()) << "key " << k;
+  }
+  for (uint64_t k = 1; k <= 400; ++k) {
+    Result<VirtAddr> ptr = table->HostLookup(k);
+    ASSERT_TRUE(ptr.ok()) << "key " << k;
+    ByteBuffer value = *driver().ReadHost(*ptr, 128);
+    EXPECT_EQ(value, table->ExpectedValue(k));
+  }
+  EXPECT_FALSE(table->HostLookup(9999).ok());
+  // 400 keys into 64 entries of 3 slots: chains must exist.
+  EXPECT_GT(table->chained_entries(), 0u);
+}
+
+TEST_F(KvsTest, HashTableRejectsReservedKeyZero) {
+  auto table = RemoteHashTable::Create(driver(), 16, 64, 100);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->Put(0, 1).ok());
+}
+
+TEST_F(KvsTest, GetHashTableMatchesListing2Layout) {
+  auto table = GetHashTable::Create(driver(), 256, 64, 100);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Put(77, 3).ok());
+  GetParams p = table->LookupParams(77, 0x5000);
+  ByteBuffer entry = *driver().ReadHost(p.ht_entry_addr, kGetHtEntrySize);
+  bool found = false;
+  for (size_t i = 0; i < kGetBuckets; ++i) {
+    if (LoadLe64(entry.data() + i * kGetBucketStride) == 77) {
+      found = true;
+      EXPECT_EQ(LoadLe32(entry.data() + i * kGetBucketStride + 16), 64u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(KvsTest, VersionedObjectConsistencyLifecycle) {
+  VersionedObjectStore store(driver(), region_, 256);
+  ASSERT_TRUE(store.WriteObject(3, 42).ok());
+  ByteBuffer object = *driver().ReadHost(store.ObjectAddr(3), 256);
+  EXPECT_TRUE(VersionedObjectStore::IsConsistent(object));
+
+  ASSERT_TRUE(store.TearObject(3, 43).ok());
+  object = *driver().ReadHost(store.ObjectAddr(3), 256);
+  EXPECT_FALSE(VersionedObjectStore::IsConsistent(object));
+
+  ASSERT_TRUE(store.RepairObject(3).ok());
+  object = *driver().ReadHost(store.ObjectAddr(3), 256);
+  EXPECT_TRUE(VersionedObjectStore::IsConsistent(object));
+  // The repaired object carries the *new* payload.
+  EXPECT_EQ(ByteBuffer(object.begin(), object.end() - 8), store.ExpectedPayload(3, 43));
+}
+
+TEST_F(KvsTest, VersionedObjectsAreIndependent) {
+  VersionedObjectStore store(driver(), region_, 128);
+  ASSERT_TRUE(store.WriteObject(0, 1).ok());
+  ASSERT_TRUE(store.WriteObject(1, 1).ok());
+  ASSERT_TRUE(store.TearObject(0, 2).ok());
+  EXPECT_FALSE(
+      VersionedObjectStore::IsConsistent(*driver().ReadHost(store.ObjectAddr(0), 128)));
+  EXPECT_TRUE(
+      VersionedObjectStore::IsConsistent(*driver().ReadHost(store.ObjectAddr(1), 128)));
+}
+
+TEST_F(KvsTest, MakeValueIsDeterministicAndNonZero) {
+  ByteBuffer a = MakeValueForKey(5, 64, 9);
+  ByteBuffer b = MakeValueForKey(5, 64, 9);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(MakeValueForKey(6, 64, 9), a);
+  // Last 8 bytes non-zero so status-word polling conventions hold.
+  EXPECT_NE(LoadLe64(a.data() + 56), 0u);
+}
+
+}  // namespace
+}  // namespace strom

@@ -1,0 +1,196 @@
+// Unit tests for the link and switch models: serialization timing,
+// propagation, loss/corruption injection, and MAC learning.
+#include <gtest/gtest.h>
+
+#include "src/netsim/link.h"
+#include "src/netsim/switch.h"
+#include "src/sim/simulator.h"
+
+namespace strom {
+namespace {
+
+TEST(Link, DeliversFramesWithSerializationAndPropagation) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = Gbps(10);
+  cfg.propagation = Ns(100);
+  PointToPointLink link(sim, cfg);
+
+  SimTime arrival = -1;
+  link.Attach(1, [&](ByteBuffer frame) {
+    arrival = sim.now();
+    EXPECT_EQ(frame.size(), 1226u);
+  });
+
+  link.Send(0, ByteBuffer(1226, 0xAB));
+  sim.RunUntilIdle();
+  // (1226 + 24 PHY overhead) bytes at 10 Gbit/s = 1 us, + 100 ns propagation.
+  EXPECT_EQ(arrival, Us(1) + Ns(100));
+}
+
+TEST(Link, BackToBackFramesQueueAtLineRate) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = Gbps(10);
+  cfg.propagation = 0;
+  PointToPointLink link(sim, cfg);
+
+  std::vector<SimTime> arrivals;
+  link.Attach(1, [&](ByteBuffer) { arrivals.push_back(sim.now()); });
+
+  link.Send(0, ByteBuffer(1226, 1));
+  link.Send(0, ByteBuffer(1226, 2));
+  sim.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[1] - arrivals[0], Us(1));
+}
+
+TEST(Link, FullDuplexDirectionsAreIndependent) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate_bps = Gbps(10);
+  cfg.propagation = 0;
+  PointToPointLink link(sim, cfg);
+
+  SimTime a = -1;
+  SimTime b = -1;
+  link.Attach(0, [&](ByteBuffer) { a = sim.now(); });
+  link.Attach(1, [&](ByteBuffer) { b = sim.now(); });
+  link.Send(0, ByteBuffer(1226, 1));
+  link.Send(1, ByteBuffer(1226, 2));
+  sim.RunUntilIdle();
+  EXPECT_EQ(a, b);  // no serialization interference
+}
+
+TEST(Link, DropNextDropsExactCount) {
+  Simulator sim;
+  PointToPointLink link(sim, LinkConfig{});
+  int received = 0;
+  link.Attach(1, [&](ByteBuffer) { ++received; });
+  link.DropNext(0, 2);
+  for (int i = 0; i < 5; ++i) {
+    link.Send(0, ByteBuffer(100, 0));
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 3);
+  EXPECT_EQ(link.counters(0).frames_dropped, 2u);
+  EXPECT_EQ(link.counters(0).frames_sent, 5u);
+}
+
+TEST(Link, RandomDropRoughlyMatchesProbability) {
+  Simulator sim;
+  PointToPointLink link(sim, LinkConfig{});
+  int received = 0;
+  link.Attach(1, [&](ByteBuffer) { ++received; });
+  link.SetDropProbability(0, 0.3, /*seed=*/42);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    link.Send(0, ByteBuffer(64, 0));
+    sim.RunUntilIdle();
+  }
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.03);
+}
+
+TEST(Link, CorruptNextFlipsPayloadByte) {
+  Simulator sim;
+  PointToPointLink link(sim, LinkConfig{});
+  ByteBuffer got;
+  link.Attach(1, [&](ByteBuffer f) { got = std::move(f); });
+  link.CorruptNext(0, 1);
+  ByteBuffer frame(100, 0x00);
+  link.Send(0, frame);
+  sim.RunUntilIdle();
+  ASSERT_EQ(got.size(), frame.size());
+  EXPECT_NE(got, frame);
+}
+
+TEST(Link, OversizeFrameDropped) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.ip_mtu = 1500;
+  PointToPointLink link(sim, cfg);
+  int received = 0;
+  link.Attach(1, [&](ByteBuffer) { ++received; });
+  link.Send(0, ByteBuffer(2000, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(link.counters(0).frames_oversize, 1u);
+}
+
+ByteBuffer FrameTo(const MacAddr& dst, const MacAddr& src) {
+  ByteBuffer f(64, 0);
+  std::copy(dst.begin(), dst.end(), f.begin());
+  std::copy(src.begin(), src.end(), f.begin() + 6);
+  return f;
+}
+
+TEST(Switch, ForwardsByStaticRoute) {
+  Simulator sim;
+  EthernetSwitch sw(sim, SwitchConfig{});
+  const int p0 = sw.AddPort();
+  const int p1 = sw.AddPort();
+  const int p2 = sw.AddPort();
+
+  MacAddr a{0x02, 0, 0, 0, 0, 1};
+  MacAddr b{0x02, 0, 0, 0, 0, 2};
+  MacAddr c{0x02, 0, 0, 0, 0, 3};
+  sw.AddStaticRoute(a, p0);
+  sw.AddStaticRoute(b, p1);
+  sw.AddStaticRoute(c, p2);
+
+  int got_b = 0;
+  int got_c = 0;
+  sw.PortLink(p1).Attach(0, [&](ByteBuffer) { ++got_b; });
+  sw.PortLink(p2).Attach(0, [&](ByteBuffer) { ++got_c; });
+
+  sw.PortLink(p0).Send(0, FrameTo(b, a));
+  sim.RunUntilIdle();
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 0);
+  EXPECT_EQ(sw.frames_forwarded(), 1u);
+}
+
+TEST(Switch, FloodsUnknownAndLearnsSource) {
+  Simulator sim;
+  EthernetSwitch sw(sim, SwitchConfig{});
+  const int p0 = sw.AddPort();
+  const int p1 = sw.AddPort();
+  const int p2 = sw.AddPort();
+
+  MacAddr a{0x02, 0, 0, 0, 0, 1};
+  MacAddr b{0x02, 0, 0, 0, 0, 2};
+
+  int got_p1 = 0;
+  int got_p2 = 0;
+  int got_p0 = 0;
+  sw.PortLink(p0).Attach(0, [&](ByteBuffer) { ++got_p0; });
+  sw.PortLink(p1).Attach(0, [&](ByteBuffer) { ++got_p1; });
+  sw.PortLink(p2).Attach(0, [&](ByteBuffer) { ++got_p2; });
+
+  // Unknown destination: flooded to all but the ingress port; source learned.
+  sw.PortLink(p0).Send(0, FrameTo(b, a));
+  sim.RunUntilIdle();
+  EXPECT_EQ(got_p0, 0);
+  EXPECT_EQ(got_p1, 1);
+  EXPECT_EQ(got_p2, 1);
+  EXPECT_EQ(sw.frames_flooded(), 1u);
+
+  // Reply to the learned address: unicast.
+  sw.PortLink(p1).Send(0, FrameTo(a, b));
+  sim.RunUntilIdle();
+  EXPECT_EQ(got_p0, 1);
+  EXPECT_EQ(got_p2, 1);  // unchanged
+}
+
+TEST(ArpTable, LookupFindsAdded) {
+  ArpTable arp;
+  MacAddr mac{1, 2, 3, 4, 5, 6};
+  arp.Add(MakeIp(10, 0, 0, 1), mac);
+  MacAddr out;
+  EXPECT_TRUE(arp.Lookup(MakeIp(10, 0, 0, 1), &out));
+  EXPECT_EQ(out, mac);
+  EXPECT_FALSE(arp.Lookup(MakeIp(10, 0, 0, 9), &out));
+}
+
+}  // namespace
+}  // namespace strom

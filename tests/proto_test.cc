@@ -1,0 +1,222 @@
+// Unit tests for the protocol codecs: header round trips, opcode property
+// tables, ICRC behaviour, and malformed-frame rejection.
+#include <gtest/gtest.h>
+
+#include "src/proto/headers.h"
+#include "src/proto/packet.h"
+
+namespace strom {
+namespace {
+
+RocePacket MakeWriteOnly() {
+  RocePacket pkt;
+  pkt.src_ip = MakeIp(10, 0, 0, 1);
+  pkt.dst_ip = MakeIp(10, 0, 0, 2);
+  pkt.bth.opcode = IbOpcode::kWriteOnly;
+  pkt.bth.dest_qp = 0x123;
+  pkt.bth.psn = 0x456;
+  pkt.bth.ack_request = true;
+  RethHeader reth;
+  reth.virt_addr = 0xDEADBEEF00;
+  reth.dma_length = 128;
+  pkt.reth = reth;
+  pkt.payload.assign(128, 0x7E);
+  return pkt;
+}
+
+const MacAddr kMacA = {0x02, 0, 0, 0, 0, 1};
+const MacAddr kMacB = {0x02, 0, 0, 0, 0, 2};
+
+TEST(Headers, IpToStringFormats) {
+  EXPECT_EQ(IpToString(MakeIp(192, 168, 1, 42)), "192.168.1.42");
+  EXPECT_EQ(MacToString(kMacA), "02:00:00:00:00:01");
+}
+
+TEST(Headers, Ipv4ChecksumValidatesOnDecode) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  Ipv4Header ip;
+  ip.src = MakeIp(1, 2, 3, 4);
+  ip.dst = MakeIp(5, 6, 7, 8);
+  ip.total_length = 100;
+  ip.Encode(w);
+
+  WireReader r(buf);
+  bool ok = false;
+  Ipv4Header decoded = Ipv4Header::Decode(r, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(decoded.src, ip.src);
+  EXPECT_EQ(decoded.dst, ip.dst);
+  EXPECT_EQ(decoded.total_length, 100);
+
+  buf[14] ^= 0x40;  // corrupt a source-address byte
+  WireReader r2(buf);
+  Ipv4Header::Decode(r2, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Headers, BthRoundTrip) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  BthHeader bth;
+  bth.opcode = IbOpcode::kReadRequest;
+  bth.dest_qp = 0xABCDEF;
+  bth.psn = 0x123456;
+  bth.ack_request = true;
+  bth.Encode(w);
+  ASSERT_EQ(buf.size(), BthHeader::kSize);
+
+  WireReader r(buf);
+  BthHeader decoded = BthHeader::Decode(r);
+  EXPECT_EQ(decoded.opcode, IbOpcode::kReadRequest);
+  EXPECT_EQ(decoded.dest_qp, 0xABCDEFu);
+  EXPECT_EQ(decoded.psn, 0x123456u);
+  EXPECT_TRUE(decoded.ack_request);
+}
+
+TEST(Headers, RethAndAethRoundTrip) {
+  ByteBuffer buf;
+  WireWriter w(buf);
+  RethHeader reth{0x1122334455667788ull, 0x99AABBCC, 0x01020304};
+  reth.Encode(w);
+  AethHeader aeth{AckSyndrome::kNakSequenceError, 0x123456};
+  aeth.Encode(w);
+
+  WireReader r(buf);
+  RethHeader reth2 = RethHeader::Decode(r);
+  AethHeader aeth2 = AethHeader::Decode(r);
+  EXPECT_EQ(reth2.virt_addr, reth.virt_addr);
+  EXPECT_EQ(reth2.rkey, reth.rkey);
+  EXPECT_EQ(reth2.dma_length, reth.dma_length);
+  EXPECT_EQ(aeth2.syndrome, AckSyndrome::kNakSequenceError);
+  EXPECT_EQ(aeth2.msn, 0x123456u);
+}
+
+TEST(Headers, StromOpcodesMatchTable1) {
+  // Paper Table 1: 11000 .. 11100.
+  EXPECT_EQ(static_cast<uint8_t>(IbOpcode::kRpcParams), 0b11000);
+  EXPECT_EQ(static_cast<uint8_t>(IbOpcode::kRpcWriteFirst), 0b11001);
+  EXPECT_EQ(static_cast<uint8_t>(IbOpcode::kRpcWriteMiddle), 0b11010);
+  EXPECT_EQ(static_cast<uint8_t>(IbOpcode::kRpcWriteLast), 0b11011);
+  EXPECT_EQ(static_cast<uint8_t>(IbOpcode::kRpcWriteOnly), 0b11100);
+}
+
+TEST(Headers, OpcodePropertyTables) {
+  EXPECT_TRUE(OpcodeHasReth(IbOpcode::kWriteFirst));
+  EXPECT_TRUE(OpcodeHasReth(IbOpcode::kWriteOnly));
+  EXPECT_FALSE(OpcodeHasReth(IbOpcode::kWriteMiddle));
+  EXPECT_FALSE(OpcodeHasReth(IbOpcode::kWriteLast));
+  EXPECT_TRUE(OpcodeHasReth(IbOpcode::kRpcParams));
+  EXPECT_TRUE(OpcodeHasAeth(IbOpcode::kAck));
+  EXPECT_TRUE(OpcodeHasAeth(IbOpcode::kReadRespOnly));
+  EXPECT_FALSE(OpcodeHasAeth(IbOpcode::kReadRespMiddle));
+  EXPECT_TRUE(OpcodeIsStrom(IbOpcode::kRpcWriteLast));
+  EXPECT_FALSE(OpcodeIsStrom(IbOpcode::kWriteOnly));
+  EXPECT_TRUE(OpcodeIsWriteLike(IbOpcode::kRpcWriteMiddle));
+  EXPECT_FALSE(OpcodeIsWriteLike(IbOpcode::kReadRequest));
+  EXPECT_TRUE(OpcodeStartsMessage(IbOpcode::kWriteFirst));
+  EXPECT_FALSE(OpcodeStartsMessage(IbOpcode::kWriteLast));
+  EXPECT_TRUE(OpcodeEndsMessage(IbOpcode::kWriteLast));
+  EXPECT_FALSE(OpcodeEndsMessage(IbOpcode::kWriteFirst));
+}
+
+TEST(Packet, EncodeParseRoundTrip) {
+  RocePacket pkt = MakeWriteOnly();
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  EXPECT_EQ(frame.size(), pkt.WireSize());
+
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->bth.opcode, IbOpcode::kWriteOnly);
+  EXPECT_EQ(parsed->bth.dest_qp, 0x123u);
+  EXPECT_EQ(parsed->bth.psn, 0x456u);
+  EXPECT_TRUE(parsed->bth.ack_request);
+  ASSERT_TRUE(parsed->reth.has_value());
+  EXPECT_EQ(parsed->reth->virt_addr, 0xDEADBEEF00ull);
+  EXPECT_EQ(parsed->reth->dma_length, 128u);
+  EXPECT_EQ(parsed->payload, pkt.payload);
+  EXPECT_EQ(parsed->src_ip, pkt.src_ip);
+  EXPECT_EQ(parsed->dst_ip, pkt.dst_ip);
+}
+
+TEST(Packet, AckRoundTrip) {
+  RocePacket pkt;
+  pkt.src_ip = MakeIp(10, 0, 0, 2);
+  pkt.dst_ip = MakeIp(10, 0, 0, 1);
+  pkt.bth.opcode = IbOpcode::kAck;
+  pkt.bth.dest_qp = 7;
+  pkt.bth.psn = 99;
+  AethHeader aeth;
+  aeth.syndrome = AckSyndrome::kAck;
+  aeth.msn = 12;
+  pkt.aeth = aeth;
+
+  ByteBuffer frame = EncodeRoceFrame(kMacB, kMacA, pkt);
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->aeth.has_value());
+  EXPECT_EQ(parsed->aeth->msn, 12u);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(Packet, PayloadCorruptionFailsIcrc) {
+  RocePacket pkt = MakeWriteOnly();
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  frame[frame.size() - 10] ^= 0x01;  // flip a payload bit
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Packet, IcrcIgnoresVariantFields) {
+  // Rewriting TTL (a router hop) must not invalidate the ICRC.
+  RocePacket pkt = MakeWriteOnly();
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  // TTL is at Eth(14) + offset 8; fixing up the IP checksum accordingly.
+  frame[14 + 8] -= 1;
+  // Recompute the IP header checksum.
+  frame[14 + 10] = 0;
+  frame[14 + 11] = 0;
+  uint16_t csum = Ipv4Header::Checksum(ByteSpan(frame.data() + 14, 20));
+  StoreBe16(frame.data() + 14 + 10, csum);
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+}
+
+TEST(Packet, TruncatedFrameRejected) {
+  RocePacket pkt = MakeWriteOnly();
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  frame.resize(frame.size() / 2);
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(Packet, NonRoceUdpPortRejected) {
+  RocePacket pkt = MakeWriteOnly();
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  // UDP dst port at Eth(14) + IP(20) + 2.
+  StoreBe16(frame.data() + 14 + 20 + 2, 1234);
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(Packet, WordsScalesWithWidth) {
+  RocePacket pkt = MakeWriteOnly();
+  const uint64_t w8 = pkt.Words(8);
+  const uint64_t w64 = pkt.Words(64);
+  EXPECT_GT(w8, w64);
+  // 8x wider path: about 8x fewer words (rounding aside).
+  EXPECT_NEAR(static_cast<double>(w8) / static_cast<double>(w64), 8.0, 1.0);
+}
+
+TEST(Packet, PayloadPerPacketLeavesHeaderRoom) {
+  const size_t payload = RocePayloadPerPacket(1500);
+  EXPECT_EQ(payload, 1500u - 20 - 8 - 12 - 16 - 4);
+  RocePacket pkt = MakeWriteOnly();
+  pkt.payload.assign(payload, 0xAA);
+  // Frame must fit in Ethernet MTU (1500 IP) + 14 Eth header.
+  EXPECT_LE(pkt.WireSize(), 1514u);
+}
+
+}  // namespace
+}  // namespace strom

@@ -1,0 +1,115 @@
+// Tests for the FPGA resource model: Table 3 anchors, §6.1 scaling claims,
+// and internal consistency.
+#include <gtest/gtest.h>
+
+#include "src/resmodel/resource_model.h"
+
+namespace strom {
+namespace {
+
+NicDesign Design10G() {
+  NicDesign d;
+  d.data_width_bytes = 8;
+  d.clock_mhz = 156;
+  d.num_qps = 500;
+  return d;
+}
+
+NicDesign Design100G() {
+  NicDesign d;
+  d.data_width_bytes = 64;
+  d.clock_mhz = 322;
+  d.num_qps = 500;
+  return d;
+}
+
+TEST(ResourceModel, Table3Anchor10G) {
+  const ResourceEstimate e = EstimateNic(Design10G());
+  EXPECT_NEAR(static_cast<double>(e.luts), 92'000, 92'000 * 0.02);
+  EXPECT_NEAR(static_cast<double>(e.brams), 181, 181 * 0.02);
+  EXPECT_NEAR(static_cast<double>(e.ffs), 115'000, 115'000 * 0.02);
+}
+
+TEST(ResourceModel, Table3Anchor100G) {
+  const ResourceEstimate e = EstimateNic(Design100G());
+  EXPECT_NEAR(static_cast<double>(e.luts), 122'000, 122'000 * 0.02);
+  EXPECT_NEAR(static_cast<double>(e.brams), 402, 402 * 0.02);
+  EXPECT_NEAR(static_cast<double>(e.ffs), 214'000, 214'000 * 0.02);
+}
+
+TEST(ResourceModel, Table3UtilizationPercentages) {
+  const FpgaDevice dev = UltraScalePlus_VU9P();
+  const ResourceEstimate e10 = EstimateNic(Design10G());
+  EXPECT_NEAR(e10.LutPct(dev), 7.8, 0.4);
+  EXPECT_NEAR(e10.BramPct(dev), 8.4, 0.4);
+  EXPECT_NEAR(e10.FfPct(dev), 4.8, 0.4);
+  const ResourceEstimate e100 = EstimateNic(Design100G());
+  EXPECT_NEAR(e100.LutPct(dev), 10.3, 0.5);
+  EXPECT_NEAR(e100.BramPct(dev), 18.6, 0.6);
+  EXPECT_NEAR(e100.FfPct(dev), 9.1, 0.5);
+}
+
+TEST(ResourceModel, Section71ResourceShiftClaims) {
+  // §7: on-chip memory and registers double, logic grows ~32%.
+  const ResourceEstimate e10 = EstimateNic(Design10G());
+  const ResourceEstimate e100 = EstimateNic(Design100G());
+  EXPECT_NEAR(static_cast<double>(e100.luts) / e10.luts, 1.32, 0.05);
+  EXPECT_NEAR(static_cast<double>(e100.brams) / e10.brams, 2.2, 0.3);
+  EXPECT_NEAR(static_cast<double>(e100.ffs) / e10.ffs, 1.86, 0.15);
+}
+
+TEST(ResourceModel, QpScalingMatchesSection61) {
+  // §6.1: 500 -> 16,000 QPs: logic stays within 1%, BRAM grows from 9% to
+  // ~20% on the Virtex-7 (+ ~162 blocks).
+  NicDesign small = Design10G();
+  NicDesign large = Design10G();
+  large.num_qps = 16'000;
+  const ResourceEstimate es = EstimateNic(small);
+  const ResourceEstimate el = EstimateNic(large);
+
+  const FpgaDevice v7 = Virtex7_690T();
+  EXPECT_LT((el.LutPct(v7) - es.LutPct(v7)), 1.0);
+  EXPECT_NEAR(static_cast<double>(el.brams - es.brams), 162, 15);
+}
+
+TEST(ResourceModel, BramScalesLinearlyWithQps) {
+  NicDesign d = Design10G();
+  std::vector<uint64_t> brams;
+  for (uint32_t qps : {1000u, 2000u, 4000u, 8000u}) {
+    d.num_qps = qps;
+    brams.push_back(EstimateNic(d).brams);
+  }
+  const int64_t d1 = static_cast<int64_t>(brams[1]) - static_cast<int64_t>(brams[0]);
+  const int64_t d2 = static_cast<int64_t>(brams[3]) - static_cast<int64_t>(brams[2]);
+  EXPECT_NEAR(static_cast<double>(d2), 4.0 * d1, 4.0);
+}
+
+TEST(ResourceModel, AllKernelsFitNextToTheNic) {
+  // §3.4: "the NIC functionality only occupies a minor amount of the total
+  // available resources" — all five kernels plus the NIC fit easily.
+  NicDesign d = Design100G();
+  d.kernels = {KernelKind::kTraversal, KernelKind::kConsistency, KernelKind::kShuffle,
+               KernelKind::kHll, KernelKind::kGet};
+  const ResourceEstimate total = EstimateTotal(d);
+  const FpgaDevice dev = UltraScalePlus_VU9P();
+  EXPECT_LT(total.LutPct(dev), 25.0);
+  EXPECT_LT(total.BramPct(dev), 30.0);
+  EXPECT_LT(total.FfPct(dev), 15.0);
+}
+
+TEST(ResourceModel, ShuffleBuffersDominateKernelBram) {
+  const ResourceEstimate shuffle = EstimateKernel(KernelKind::kShuffle, 8);
+  const ResourceEstimate get = EstimateKernel(KernelKind::kGet, 8);
+  EXPECT_GT(shuffle.brams, 10u * get.brams);  // 1 Mbit of partition buffers
+}
+
+TEST(ResourceModel, WiderDataPathCostsMoreLogic) {
+  for (KernelKind kind : {KernelKind::kTraversal, KernelKind::kConsistency,
+                          KernelKind::kShuffle, KernelKind::kHll, KernelKind::kGet}) {
+    EXPECT_GT(EstimateKernel(kind, 64).luts, EstimateKernel(kind, 8).luts)
+        << KernelKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace strom

@@ -1,0 +1,214 @@
+// Protocol-detail tests for the RoCE stack: ACK coalescing via the
+// ack-request bit, single-NAK-per-gap-episode, duplicate handling, and
+// requester/responder counter behaviour under injected faults.
+#include <gtest/gtest.h>
+
+#include "src/testbed/testbed.h"
+#include "src/testbed/workload.h"
+
+namespace strom {
+namespace {
+
+constexpr Qpn kQp = 1;
+
+class RoceProtocolTest : public ::testing::Test {
+ protected:
+  RoceProtocolTest() : bed_(Profile10G()) {
+    bed_.ConnectQp(0, kQp, 1, kQp);
+    local_ = bed_.node(0).driver().AllocBuffer(MiB(8))->addr;
+    remote_ = bed_.node(1).driver().AllocBuffer(MiB(8))->addr;
+  }
+
+  void WriteAndWait(size_t n, uint64_t seed) {
+    ByteBuffer data = RandomBytes(n, seed);
+    ASSERT_TRUE(bed_.node(0).driver().WriteHost(local_, data).ok());
+    bool done = false;
+    bed_.node(0).driver().PostWrite(kQp, local_, remote_, static_cast<uint32_t>(n),
+                                    [&](Status st) {
+                                      ASSERT_TRUE(st.ok()) << st;
+                                      done = true;
+                                    });
+    bed_.sim().RunUntil([&] { return done; });
+    ASSERT_TRUE(done);
+    bed_.sim().RunUntilIdle();
+    EXPECT_EQ(*bed_.node(1).driver().ReadHost(remote_, n), data);
+  }
+
+  Testbed bed_;
+  VirtAddr local_ = 0;
+  VirtAddr remote_ = 0;
+};
+
+TEST_F(RoceProtocolTest, AcksAreCoalescedOverLongMessages) {
+  // A ~100-packet message must not generate ~100 ACKs: the requester sets
+  // the ack-request bit every 32 packets plus on the last packet.
+  const uint32_t pmtu = bed_.node(0).stack().config().PayloadPerPacket();
+  const size_t n = 100 * pmtu;
+  WriteAndWait(n, 1);
+  const uint64_t acks = bed_.node(1).stack().counters().tx_acks;
+  EXPECT_GE(acks, 3u);   // 100/32 = 3 interval ACKs
+  EXPECT_LE(acks, 6u);   // plus the LAST-packet ACK, far fewer than 100
+  EXPECT_EQ(bed_.node(0).stack().counters().tx_packets, 100u);
+}
+
+TEST_F(RoceProtocolTest, SingleNakPerGapEpisode) {
+  // One lost packet in a 50-packet message: the responder NAKs once (the
+  // dropper suppresses further NAKs until the gap is filled), the requester
+  // retransmits from the gap, and all in-flight stale packets are dropped
+  // silently.
+  const uint32_t pmtu = bed_.node(0).stack().config().PayloadPerPacket();
+  bed_.direct_link()->DropNext(0, 0);  // no-op: keep interface symmetric
+  ByteBuffer data = RandomBytes(50 * pmtu, 2);
+  ASSERT_TRUE(bed_.node(0).driver().WriteHost(local_, data).ok());
+
+  // Drop the 10th data packet only.
+  bed_.sim().RunUntilIdle();
+  // Use a probability-free deterministic drop: skip 9, drop 1.
+  // (DropNext drops the *next* frames; we arrange this by posting, then
+  // dropping after 9 frames have been sent is not expressible — instead drop
+  // the first frame and rely on go-back-N.)
+  bed_.direct_link()->DropNext(0, 1);
+  bool done = false;
+  bed_.node(0).driver().PostWrite(kQp, local_, remote_, static_cast<uint32_t>(data.size()),
+                                  [&](Status st) {
+                                    ASSERT_TRUE(st.ok());
+                                    done = true;
+                                  });
+  bed_.sim().RunUntil([&] { return done; });
+  ASSERT_TRUE(done);
+  bed_.sim().RunUntilIdle();
+
+  EXPECT_EQ(bed_.node(1).stack().counters().tx_naks, 1u);
+  EXPECT_EQ(bed_.node(0).stack().counters().rx_naks, 1u);
+  // Packets in flight behind the lost one were out-of-order at the
+  // responder (the NAK-triggered retransmission catches up within a few
+  // packet times on a short link).
+  EXPECT_GE(bed_.node(1).stack().counters().psn_out_of_order_drops, 3u);
+  EXPECT_EQ(*bed_.node(1).driver().ReadHost(remote_, data.size()), data);
+}
+
+TEST_F(RoceProtocolTest, RetransmittedPacketsAreDuplicatesAtResponder) {
+  // Lose the ACK of a small write: the requester times out and resends; the
+  // responder sees a duplicate PSN, does not re-apply it, but re-ACKs.
+  ByteBuffer data = RandomBytes(128, 3);
+  ASSERT_TRUE(bed_.node(0).driver().WriteHost(local_, data).ok());
+  bed_.direct_link()->DropNext(1, 1);  // the ACK
+
+  bool done = false;
+  bed_.node(0).driver().PostWrite(kQp, local_, remote_, 128, [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    done = true;
+  });
+  bed_.sim().RunUntil([&] { return done; });
+  ASSERT_TRUE(done);
+
+  const auto& responder = bed_.node(1).stack().counters();
+  EXPECT_EQ(responder.duplicate_psn_packets, 1u);
+  EXPECT_GE(responder.tx_acks, 2u);  // original (lost) + re-ACK
+  EXPECT_EQ(bed_.node(0).stack().counters().timeouts, 1u);
+}
+
+TEST_F(RoceProtocolTest, ReadRequestsAreIdempotent) {
+  // Lose a read *request*: the requester times out and re-sends it; the
+  // response must arrive exactly once into the right buffer.
+  ByteBuffer data = RandomBytes(2048, 4);
+  ASSERT_TRUE(bed_.node(1).driver().WriteHost(remote_, data).ok());
+  bed_.direct_link()->DropNext(0, 1);  // the READ request
+
+  bool done = false;
+  bed_.node(0).driver().PostRead(kQp, local_, remote_, 2048, [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    done = true;
+  });
+  bed_.sim().RunUntil([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_EQ(*bed_.node(0).driver().ReadHost(local_, 2048), data);
+  EXPECT_EQ(bed_.node(0).stack().counters().timeouts, 1u);
+  EXPECT_EQ(bed_.node(0).stack().counters().read_messages_completed, 1u);
+}
+
+TEST_F(RoceProtocolTest, BackoffGrowsUnderRepeatedLoss) {
+  // Several consecutive losses of the same packet: exponential backoff means
+  // retransmissions spread out instead of hammering the link.
+  ByteBuffer data = RandomBytes(64, 5);
+  ASSERT_TRUE(bed_.node(0).driver().WriteHost(local_, data).ok());
+  bed_.direct_link()->DropNext(0, 3);  // original + 2 retransmits
+
+  bool done = false;
+  const SimTime start = bed_.sim().now();
+  bed_.node(0).driver().PostWrite(kQp, local_, remote_, 64, [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    done = true;
+  });
+  bed_.sim().RunUntil([&] { return done; });
+  ASSERT_TRUE(done);
+  const SimTime elapsed = bed_.sim().now() - start;
+  const SimTime rto = bed_.node(0).stack().config().retransmission_timeout;
+  // 1x + 2x + 4x RTO of waiting before the surviving attempt.
+  EXPECT_GE(elapsed, 7 * rto);
+  EXPECT_EQ(bed_.node(0).stack().counters().timeouts, 3u);
+}
+
+TEST_F(RoceProtocolTest, InterleavedWritesAndReadsKeepPsnOrder) {
+  // Alternating writes and reads on one QP share the PSN space; everything
+  // must complete in order without NAKs.
+  ByteBuffer wdata = RandomBytes(4096, 6);
+  ByteBuffer rdata = RandomBytes(4096, 7);
+  ASSERT_TRUE(bed_.node(0).driver().WriteHost(local_, wdata).ok());
+  ASSERT_TRUE(bed_.node(1).driver().WriteHost(remote_ + MiB(1), rdata).ok());
+
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    bed_.node(0).driver().PostWrite(kQp, local_, remote_ + i * 4096, 4096,
+                                    [&](Status st) {
+                                      ASSERT_TRUE(st.ok());
+                                      ++completed;
+                                    });
+    bed_.node(0).driver().PostRead(kQp, local_ + MiB(1) + i * 4096, remote_ + MiB(1), 4096,
+                                   [&](Status st) {
+                                     ASSERT_TRUE(st.ok());
+                                     ++completed;
+                                   });
+  }
+  bed_.sim().RunUntil([&] { return completed == 20; });
+  ASSERT_EQ(completed, 20);
+  EXPECT_EQ(bed_.node(0).stack().counters().rx_naks, 0u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*bed_.node(0).driver().ReadHost(local_ + MiB(1) + i * 4096, 4096), rdata);
+  }
+}
+
+TEST_F(RoceProtocolTest, CountersTrackBytesAndMessages) {
+  WriteAndWait(10'000, 8);
+  const auto& c = bed_.node(0).stack().counters();
+  EXPECT_EQ(c.tx_bytes, 10'000u);
+  EXPECT_EQ(c.write_messages_completed, 1u);
+  EXPECT_EQ(bed_.node(1).stack().counters().rx_payload_bytes, 10'000u);
+}
+
+TEST_F(RoceProtocolTest, HostQueriesNicCountersViaController) {
+  WriteAndWait(512, 9);
+  RoceCounters counters;
+  bool done = false;
+  struct Ctx {
+    Testbed& bed;
+    RoceCounters* out;
+    bool* done;
+  };
+  auto query = [](Ctx c) -> Task {
+    auto read = c.bed.node(0).driver().QueryNicCounters();
+    *c.out = co_await read;
+    *c.done = true;
+  };
+  const SimTime start = bed_.sim().now();
+  bed_.sim().Spawn(query(Ctx{bed_, &counters, &done}));
+  bed_.sim().RunUntil([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_EQ(counters.write_messages_completed, 1u);
+  EXPECT_EQ(counters.tx_bytes, 512u);
+  // The register read costs a non-posted MMIO round trip of host time.
+  EXPECT_GE(bed_.sim().now() - start, bed_.node(0).controller().counter_read_cost());
+}
+
+}  // namespace
+}  // namespace strom

@@ -1,0 +1,171 @@
+// Unit tests for the RoCE state-keeping structures: State Table, MSN Table,
+// Multi-Queue (the two-array linked-list structure), Retransmission Timer.
+#include <gtest/gtest.h>
+
+#include "src/roce/multi_queue.h"
+#include "src/roce/retrans_timer.h"
+#include "src/roce/state_table.h"
+#include "src/sim/simulator.h"
+
+namespace strom {
+namespace {
+
+TEST(StateTable, ActivateOnce) {
+  StateTable st(4);
+  EXPECT_TRUE(st.Activate(1, 100, 200).ok());
+  EXPECT_TRUE(st.IsActive(1));
+  EXPECT_FALSE(st.IsActive(2));
+  EXPECT_EQ(st.Activate(1, 0, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(st.Activate(9, 0, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StateTable, PsnRegions) {
+  StateTable st(4);
+  ASSERT_TRUE(st.Activate(0, 100, 0).ok());
+  EXPECT_EQ(st.CheckRequestPsn(0, 100), PsnCheck::kExpected);
+  EXPECT_EQ(st.CheckRequestPsn(0, 99), PsnCheck::kDuplicate);
+  EXPECT_EQ(st.CheckRequestPsn(0, 101), PsnCheck::kInvalid);
+}
+
+TEST(StateTable, PsnRegionsAcrossWrap) {
+  StateTable st(4);
+  ASSERT_TRUE(st.Activate(0, 0, 0).ok());
+  // ePSN = 0: PSN 0xFFFFFF is one behind (duplicate), 1 is ahead (invalid).
+  EXPECT_EQ(st.CheckRequestPsn(0, 0xFFFFFF), PsnCheck::kDuplicate);
+  EXPECT_EQ(st.CheckRequestPsn(0, 1), PsnCheck::kInvalid);
+}
+
+TEST(MultiQueue, PerQpFifoOrder) {
+  MultiQueue mq(4, 8);
+  ReadContext a;
+  a.wr_id = 1;
+  ReadContext b;
+  b.wr_id = 2;
+  EXPECT_TRUE(mq.Push(2, a));
+  EXPECT_TRUE(mq.Push(2, b));
+  EXPECT_EQ(mq.Size(2), 2u);
+  EXPECT_EQ(mq.Head(2).wr_id, 1u);
+  mq.PopHead(2);
+  EXPECT_EQ(mq.Head(2).wr_id, 2u);
+  mq.PopHead(2);
+  EXPECT_TRUE(mq.Empty(2));
+}
+
+TEST(MultiQueue, ListsAreIndependent) {
+  MultiQueue mq(4, 8);
+  ReadContext a;
+  a.wr_id = 10;
+  ReadContext b;
+  b.wr_id = 20;
+  EXPECT_TRUE(mq.Push(0, a));
+  EXPECT_TRUE(mq.Push(3, b));
+  EXPECT_EQ(mq.Head(0).wr_id, 10u);
+  EXPECT_EQ(mq.Head(3).wr_id, 20u);
+  mq.PopHead(0);
+  EXPECT_TRUE(mq.Empty(0));
+  EXPECT_FALSE(mq.Empty(3));
+}
+
+TEST(MultiQueue, CombinedCapacityIsFixed) {
+  // "the combined length of all linked lists is fixed" (paper §4.1).
+  MultiQueue mq(4, 3);
+  ReadContext ctx;
+  EXPECT_TRUE(mq.Push(0, ctx));
+  EXPECT_TRUE(mq.Push(1, ctx));
+  EXPECT_TRUE(mq.Push(2, ctx));
+  EXPECT_FALSE(mq.Push(3, ctx));  // all elements in use
+  EXPECT_EQ(mq.free_elements(), 0u);
+  mq.PopHead(1);
+  EXPECT_TRUE(mq.Push(3, ctx));  // slot recycled
+}
+
+TEST(MultiQueue, SlotRecyclingPreservesData) {
+  MultiQueue mq(2, 2);
+  for (int round = 0; round < 100; ++round) {
+    ReadContext ctx;
+    ctx.wr_id = static_cast<uint64_t>(round);
+    ctx.local_addr = static_cast<VirtAddr>(round) * 64;
+    ASSERT_TRUE(mq.Push(round % 2, ctx));
+    EXPECT_EQ(mq.Head(round % 2).wr_id, static_cast<uint64_t>(round));
+    mq.PopHead(round % 2);
+  }
+  EXPECT_EQ(mq.free_elements(), 2u);
+}
+
+TEST(RetransTimer, FiresAfterTimeout) {
+  Simulator sim;
+  RetransTimer timer(sim, 4, Us(10), Ms(1));
+  int fired = 0;
+  timer.SetExpiryHandler([&](Qpn qpn) {
+    EXPECT_EQ(qpn, 2u);
+    ++fired;
+  });
+  timer.Arm(2);
+  sim.RunFor(Us(9));
+  EXPECT_EQ(fired, 0);
+  sim.RunFor(Us(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.IsArmed(2));
+}
+
+TEST(RetransTimer, CancelPreventsExpiry) {
+  Simulator sim;
+  RetransTimer timer(sim, 4, Us(10), Ms(1));
+  int fired = 0;
+  timer.SetExpiryHandler([&](Qpn) { ++fired; });
+  timer.Arm(1);
+  sim.RunFor(Us(5));
+  timer.Cancel(1);
+  sim.RunFor(Us(20));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(RetransTimer, RearmResetsDeadline) {
+  Simulator sim;
+  RetransTimer timer(sim, 4, Us(10), Ms(1));
+  int fired = 0;
+  timer.SetExpiryHandler([&](Qpn) { ++fired; });
+  timer.Arm(0);
+  sim.RunFor(Us(8));
+  timer.Arm(0);  // fresh ACK progress: restart
+  sim.RunFor(Us(8));
+  EXPECT_EQ(fired, 0);
+  sim.RunFor(Us(3));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RetransTimer, BackoffDoublesUpToCap) {
+  Simulator sim;
+  RetransTimer timer(sim, 2, Us(10), Us(35));
+  std::vector<SimTime> expiries;
+  timer.SetExpiryHandler([&](Qpn qpn) {
+    expiries.push_back(sim.now());
+    if (expiries.size() < 4) {
+      timer.RearmBackoff(qpn);
+    }
+  });
+  timer.Arm(0);
+  sim.RunUntilIdle();
+  ASSERT_EQ(expiries.size(), 4u);
+  EXPECT_EQ(expiries[0], Us(10));
+  EXPECT_EQ(expiries[1] - expiries[0], Us(20));
+  EXPECT_EQ(expiries[2] - expiries[1], Us(35));  // capped
+  EXPECT_EQ(expiries[3] - expiries[2], Us(35));
+}
+
+TEST(RetransTimer, TimersPerQpAreIndependent) {
+  Simulator sim;
+  RetransTimer timer(sim, 4, Us(10), Ms(1));
+  std::vector<Qpn> fired;
+  timer.SetExpiryHandler([&](Qpn qpn) { fired.push_back(qpn); });
+  timer.Arm(0);
+  sim.RunFor(Us(5));
+  timer.Arm(1);
+  timer.Cancel(0);
+  sim.RunUntilIdle();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+}
+
+}  // namespace
+}  // namespace strom

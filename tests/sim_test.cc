@@ -1,0 +1,181 @@
+// Unit tests for the discrete-event simulator, coroutine tasks, and FIFOs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/fifo.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace strom {
+namespace {
+
+TEST(Time, TransferTimeMatchesRate) {
+  // 1250 bytes at 10 Gbit/s = 1 us.
+  EXPECT_EQ(TransferTime(1250, 10'000'000'000ull), Us(1));
+  // 64 bytes at 100 Gbit/s = 5.12 ns.
+  EXPECT_EQ(TransferTime(64, 100'000'000'000ull), Ps(5120));
+}
+
+TEST(Time, TransferTimeHandlesGigabyteTransfers) {
+  // 1 GiB at 10 Gbit/s ~ 0.859 s; must not overflow.
+  const SimTime t = TransferTime(1ull << 30, 10'000'000'000ull);
+  EXPECT_NEAR(ToSec(t), 0.8589934, 1e-4);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Ns(30), [&] { order.push_back(3); });
+  sim.Schedule(Ns(10), [&] { order.push_back(1); });
+  sim.Schedule(Ns(20), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Ns(30));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Ns(5), [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  SimTime fired_at = 0;
+  sim.Schedule(Ns(10), [&] {
+    sim.Schedule(Ns(10), [&] { fired_at = sim.now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired_at, Ns(20));
+}
+
+TEST(Simulator, RunForAdvancesClockToHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Ns(100), [&] { ++fired; });
+  sim.RunFor(Ns(50));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), Ns(50));
+  sim.RunFor(Ns(50));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtPredicate) {
+  Simulator sim;
+  int counter = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Ns(i + 1), [&] { ++counter; });
+  }
+  EXPECT_TRUE(sim.RunUntil([&] { return counter == 5; }));
+  EXPECT_EQ(counter, 5);
+  EXPECT_FALSE(sim.RunUntil([&] { return counter == 100; }));
+  EXPECT_EQ(counter, 10);
+}
+
+Task CountingTask(Simulator& sim, int* out) {
+  co_await Delay(sim, Us(1));
+  *out += 1;
+  co_await Delay(sim, Us(2));
+  *out += 10;
+}
+
+TEST(Task, DelaysAdvanceSimulatedTime) {
+  Simulator sim;
+  int state = 0;
+  sim.Spawn(CountingTask(sim, &state));
+  EXPECT_EQ(state, 0);
+  sim.RunUntilIdle();
+  EXPECT_EQ(state, 11);
+  EXPECT_EQ(sim.now(), Us(3));
+  EXPECT_EQ(sim.pending_tasks(), 0u);
+}
+
+ValueTask<int> InnerValue(Simulator& sim) {
+  co_await Delay(sim, Ns(500));
+  co_return 7;
+}
+
+Task OuterTask(Simulator& sim, int* out) {
+  const int v = co_await InnerValue(sim);
+  *out = v * 6;
+}
+
+TEST(Task, NestedAwaitPropagatesValues) {
+  Simulator sim;
+  int out = 0;
+  sim.Spawn(OuterTask(sim, &out));
+  sim.RunUntilIdle();
+  EXPECT_EQ(out, 42);
+}
+
+Task Waiter(SimEvent& ev, std::vector<int>* log, int id) {
+  co_await ev.Wait();
+  log->push_back(id);
+}
+
+TEST(Task, SimEventReleasesAllWaiters) {
+  Simulator sim;
+  SimEvent ev(sim);
+  std::vector<int> log;
+  sim.Spawn(Waiter(ev, &log, 1));
+  sim.Spawn(Waiter(ev, &log, 2));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(log.empty());
+  ev.Trigger();
+  sim.RunUntilIdle();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(Task, EventFiredBeforeWaitDoesNotBlock) {
+  Simulator sim;
+  SimEvent ev(sim);
+  ev.Trigger();
+  std::vector<int> log;
+  sim.Spawn(Waiter(ev, &log, 9));
+  sim.RunUntilIdle();
+  EXPECT_EQ(log, (std::vector<int>{9}));
+}
+
+TEST(Fifo, PushPopOrdering) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.Empty());
+  EXPECT_TRUE(f.Push(1));
+  EXPECT_TRUE(f.Push(2));
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.Pop(), 1);
+  EXPECT_EQ(f.Pop(), 2);
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(Fifo, RejectsPushWhenFull) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.Push(1));
+  EXPECT_TRUE(f.Push(2));
+  EXPECT_TRUE(f.Full());
+  EXPECT_FALSE(f.Push(3));
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Fifo, HooksFireOnPushAndPop) {
+  Fifo<int> f(2);
+  int pushes = 0;
+  int pops = 0;
+  f.on_push = [&] { ++pushes; };
+  f.on_pop = [&] { ++pops; };
+  f.Push(1);
+  f.Push(2);
+  f.Pop();
+  EXPECT_EQ(pushes, 2);
+  EXPECT_EQ(pops, 1);
+}
+
+}  // namespace
+}  // namespace strom

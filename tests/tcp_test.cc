@@ -1,0 +1,231 @@
+// Tests for the TCP baseline stack and the rpcgen-style RPC layer.
+#include <gtest/gtest.h>
+
+#include "src/tcp/rpc.h"
+#include "src/tcp/tcp_stack.h"
+#include "src/testbed/testbed.h"
+#include "src/testbed/workload.h"
+
+namespace strom {
+namespace {
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest() : bed_(Profile10G()) {}
+
+  TcpStack& client() { return bed_.node(0).tcp(); }
+  TcpStack& server() { return bed_.node(1).tcp(); }
+
+  Testbed bed_;
+};
+
+TEST_F(TcpTest, HandshakeEstablishesBothSides) {
+  TcpConnection* accepted = nullptr;
+  server().Listen(7000, [&](TcpConnection* c) { accepted = c; });
+  TcpConnection* conn = client().Connect(bed_.node(1).ip(), 7000);
+  bed_.sim().RunUntilIdle();
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_TRUE(conn->established());
+  EXPECT_TRUE(accepted->established());
+}
+
+TEST_F(TcpTest, SmallPayloadDeliveredInOrder) {
+  ByteBuffer received;
+  server().Listen(7000, [&](TcpConnection* c) {
+    c->SetReceiveCallback([&](ByteBuffer data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection* conn = client().Connect(bed_.node(1).ip(), 7000);
+  conn->Send(ByteBuffer{1, 2, 3, 4, 5});
+  bed_.sim().RunUntilIdle();
+  EXPECT_EQ(received, (ByteBuffer{1, 2, 3, 4, 5}));
+}
+
+TEST_F(TcpTest, LargeTransferSegmentsAndReassembles) {
+  const size_t n = 300 * 1000;  // ~208 MSS segments
+  ByteBuffer sent = RandomBytes(n, 3);
+  ByteBuffer received;
+  server().Listen(7000, [&](TcpConnection* c) {
+    c->SetReceiveCallback([&](ByteBuffer data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection* conn = client().Connect(bed_.node(1).ip(), 7000);
+  conn->Send(sent);
+  bed_.sim().RunUntilIdle();
+  EXPECT_EQ(received, sent);
+  EXPECT_GT(client().counters().segments_sent, 200u);
+}
+
+TEST_F(TcpTest, SurvivesDataSegmentLoss) {
+  const size_t n = 50 * 1000;
+  ByteBuffer sent = RandomBytes(n, 4);
+  ByteBuffer received;
+  server().Listen(7000, [&](TcpConnection* c) {
+    c->SetReceiveCallback([&](ByteBuffer data) {
+      received.insert(received.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection* conn = client().Connect(bed_.node(1).ip(), 7000);
+  bed_.sim().RunUntilIdle();  // establish first
+  bed_.direct_link()->DropNext(0, 2);
+  conn->Send(sent);
+  bed_.sim().RunUntilIdle();
+  EXPECT_EQ(received, sent);
+  EXPECT_GT(client().counters().retransmits, 0u);
+}
+
+TEST_F(TcpTest, SurvivesSynLoss) {
+  bed_.direct_link()->DropNext(0, 1);  // the SYN
+  bool established = false;
+  server().Listen(7000, [](TcpConnection*) {});
+  TcpConnection* conn = client().Connect(bed_.node(1).ip(), 7000);
+  conn->SetEstablishedCallback([&] { established = true; });
+  bed_.sim().RunUntilIdle();
+  EXPECT_TRUE(established);
+}
+
+TEST_F(TcpTest, BidirectionalStreams) {
+  ByteBuffer at_server;
+  ByteBuffer at_client;
+  TcpConnection* server_conn = nullptr;
+  server().Listen(7000, [&](TcpConnection* c) {
+    server_conn = c;
+    c->SetReceiveCallback([&](ByteBuffer data) {
+      at_server.insert(at_server.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection* conn = client().Connect(bed_.node(1).ip(), 7000);
+  conn->SetReceiveCallback([&](ByteBuffer data) {
+    at_client.insert(at_client.end(), data.begin(), data.end());
+  });
+  bed_.sim().RunUntilIdle();
+  conn->Send(ByteBuffer(1000, 0xAA));
+  server_conn->Send(ByteBuffer(2000, 0xBB));
+  bed_.sim().RunUntilIdle();
+  EXPECT_EQ(at_server, ByteBuffer(1000, 0xAA));
+  EXPECT_EQ(at_client, ByteBuffer(2000, 0xBB));
+}
+
+TEST_F(TcpTest, RpcRoundTripEcho) {
+  RpcServer rpc_server(server(), 8000,
+                       [](uint32_t opcode, ByteSpan request, SimTime*) -> ByteBuffer {
+                         ByteBuffer out(request.begin(), request.end());
+                         out.push_back(static_cast<uint8_t>(opcode));
+                         return out;
+                       });
+  RpcClient rpc_client(client(), bed_.node(1).ip(), 8000);
+
+  ByteBuffer response;
+  bool done = false;
+  struct Ctx {
+    RpcClient& c;
+    ByteBuffer* resp;
+    bool* done;
+  };
+  auto task = [](Ctx ctx) -> Task {
+    // Arguments built outside the co_await expression: GCC 12 miscompiles
+    // temporaries that must live across a suspension point.
+    ByteBuffer request{10, 20, 30};
+    auto call = ctx.c.Call(7, std::move(request));
+    *ctx.resp = co_await call;
+    *ctx.done = true;
+  };
+  bed_.sim().Spawn(task(Ctx{rpc_client, &response, &done}));
+  bed_.sim().RunUntilIdle();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(response, (ByteBuffer{10, 20, 30, 7}));
+  EXPECT_EQ(rpc_server.calls_served(), 1u);
+}
+
+TEST_F(TcpTest, RpcLatencyIsTensOfMicroseconds) {
+  // The TCP-based RPC baseline must sit an order of magnitude above RDMA
+  // (Fig 7's flat line): kernel crossings + marshalling dominate.
+  RpcServer rpc_server(server(), 8000,
+                       [](uint32_t, ByteSpan, SimTime*) { return ByteBuffer(64, 1); });
+  RpcClient rpc_client(client(), bed_.node(1).ip(), 8000);
+
+  std::vector<SimTime> latencies;
+  struct Ctx {
+    Testbed& bed;
+    RpcClient& c;
+    std::vector<SimTime>* lat;
+  };
+  auto task = [](Ctx ctx) -> Task {
+    for (int i = 0; i < 5; ++i) {
+      const SimTime start = ctx.bed.sim().now();
+      // Bound to locals: GCC 12 miscompiles temporaries living across
+      // suspension points.
+      ByteBuffer request(64, 2);
+      auto call = ctx.c.Call(1, std::move(request));
+      co_await call;
+      ctx.lat->push_back(ctx.bed.sim().now() - start);
+    }
+  };
+  bed_.sim().Spawn(task(Ctx{bed_, rpc_client, &latencies}));
+  bed_.sim().RunUntilIdle();
+  ASSERT_EQ(latencies.size(), 5u);
+  // Steady-state calls (post-handshake).
+  const double us = ToUs(latencies.back());
+  EXPECT_GT(us, 20.0);
+  EXPECT_LT(us, 120.0);
+}
+
+TEST_F(TcpTest, RpcSequentialCallsReuseConnection) {
+  RpcServer rpc_server(server(), 8000,
+                       [](uint32_t, ByteSpan req, SimTime*) {
+                         return ByteBuffer(req.begin(), req.end());
+                       });
+  RpcClient rpc_client(client(), bed_.node(1).ip(), 8000);
+  int completed = 0;
+  struct Ctx {
+    RpcClient& c;
+    int* completed;
+  };
+  auto task = [](Ctx ctx) -> Task {
+    for (int i = 0; i < 10; ++i) {
+      ByteBuffer request{static_cast<uint8_t>(i)};
+      auto call = ctx.c.Call(1, std::move(request));
+      ByteBuffer resp = co_await call;
+      EXPECT_EQ(resp[0], static_cast<uint8_t>(i));
+      ++*ctx.completed;
+    }
+  };
+  bed_.sim().Spawn(task(Ctx{rpc_client, &completed}));
+  bed_.sim().RunUntilIdle();
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(rpc_server.calls_served(), 10u);
+}
+
+TEST_F(TcpTest, TcpAndRoceCoexistOnTheLink) {
+  // RDMA write while a TCP transfer is in flight: both complete, each via
+  // its own stack (the Node demux).
+  ByteBuffer tcp_received;
+  server().Listen(7000, [&](TcpConnection* c) {
+    c->SetReceiveCallback([&](ByteBuffer data) {
+      tcp_received.insert(tcp_received.end(), data.begin(), data.end());
+    });
+  });
+  TcpConnection* conn = client().Connect(bed_.node(1).ip(), 7000);
+
+  bed_.ConnectQp(0, 1, 1, 1);
+  const VirtAddr local = bed_.node(0).driver().AllocBuffer(MiB(1))->addr;
+  const VirtAddr remote = bed_.node(1).driver().AllocBuffer(MiB(1))->addr;
+  ByteBuffer rdma_data = RandomBytes(8192, 5);
+  ASSERT_TRUE(bed_.node(0).driver().WriteHost(local, rdma_data).ok());
+
+  bool rdma_done = false;
+  bed_.node(0).driver().PostWrite(1, local, remote, 8192, [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    rdma_done = true;
+  });
+  conn->Send(ByteBuffer(10000, 0x77));
+  bed_.sim().RunUntilIdle();
+  EXPECT_TRUE(rdma_done);
+  EXPECT_EQ(tcp_received, ByteBuffer(10000, 0x77));
+  EXPECT_EQ(*bed_.node(1).driver().ReadHost(remote, 8192), rdma_data);
+}
+
+}  // namespace
+}  // namespace strom
