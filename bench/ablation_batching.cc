@@ -77,5 +77,3 @@ BENCHMARK(AblationBatching)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->I
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

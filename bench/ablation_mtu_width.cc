@@ -17,10 +17,10 @@ void AblationWidthLatency(benchmark::State& state) {
   profile.roce.data_width = width;
   // Wire rate fixed at 10 G: only the NIC-internal word count changes.
   for (auto _ : state) {
-    bench::ReportLatency(state, bench::MeasureWriteLatency(profile, payload, 100));
+    bench::ReportLatency(state, __func__, bench::MeasureWriteLatency(profile, payload, 100),
+                         {{"width_B", static_cast<double>(width)},
+                          {"payload_B", static_cast<double>(payload)}});
   }
-  state.counters["width_B"] = width;
-  state.counters["payload_B"] = static_cast<double>(payload);
 }
 
 void WidthArgs(benchmark::internal::Benchmark* b) {
@@ -35,5 +35,3 @@ BENCHMARK(AblationWidthLatency)->Apply(WidthArgs)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -25,5 +25,3 @@ BENCHMARK(AblationOutstandingReads)->RangeMultiplier(2)->Range(1, 64)->Iteration
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -138,5 +138,3 @@ BENCHMARK(AblationHll100G)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -1,6 +1,9 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/common/logging.h"
 #include "src/sim/task.h"
@@ -10,7 +13,66 @@ namespace strom::bench {
 
 namespace {
 constexpr Qpn kQp = 1;
+
+std::string g_trace_out;
+std::string g_metrics_out;
+
+// Consumes "--name=value" from argv; returns true and sets *value on match.
+bool TakeFlag(const char* arg, const char* name, std::string* value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') {
+    return false;
+  }
+  *value = arg + n + 1;
+  return true;
+}
+
 }  // namespace
+
+TelemetryCollector& Collector() {
+  static TelemetryCollector collector;
+  return collector;
+}
+
+void InitBenchTelemetry(int* argc, char** argv) {
+  std::string sample = "1";
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (TakeFlag(argv[i], "--trace-out", &g_trace_out) ||
+        TakeFlag(argv[i], "--metrics-out", &g_metrics_out) ||
+        TakeFlag(argv[i], "--trace-sample", &sample)) {
+      continue;  // telemetry flag: keep it away from google/benchmark
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+
+  TestbedTelemetryDefaults& defaults = Testbed::telemetry_defaults;
+  defaults.enable_trace = !g_trace_out.empty();
+  defaults.sample_every = std::max(1L, std::strtol(sample.c_str(), nullptr, 10));
+  if (!g_trace_out.empty() || !g_metrics_out.empty()) {
+    defaults.collector = &Collector();
+  }
+}
+
+int ExportBenchTelemetry() {
+  int rc = 0;
+  if (!g_trace_out.empty()) {
+    Status st = Collector().WriteChromeTrace(g_trace_out);
+    if (!st.ok()) {
+      STROM_LOG(kError) << "trace export failed: " << st;
+      rc = 1;
+    }
+  }
+  if (!g_metrics_out.empty()) {
+    Status st = Collector().WriteMetrics(g_metrics_out);
+    if (!st.ok()) {
+      STROM_LOG(kError) << "metrics export failed: " << st;
+      rc = 1;
+    }
+  }
+  return rc;
+}
 
 LatencyStats MeasureWriteLatency(const Profile& profile, size_t payload, int rounds) {
   Testbed bed(profile);
@@ -207,10 +269,24 @@ double IdealMsgRate(const Profile& profile, size_t payload) {
   return gbps * 1e9 / 8 / static_cast<double>(payload) / 1e6;  // Mmsg/s
 }
 
-void ReportLatency(benchmark::State& state, const LatencyStats& stats) {
+void ReportLatency(benchmark::State& state, const char* name, const LatencyStats& stats,
+                   std::initializer_list<std::pair<const char*, double>> extras) {
   state.counters["median_us"] = ToUs(stats.Median());
   state.counters["p1_us"] = ToUs(stats.P1());
   state.counters["p99_us"] = ToUs(stats.P99());
+  for (const auto& [key, value] : extras) {
+    state.counters[key] = value;
+  }
+  if (Testbed::telemetry_defaults.collector != nullptr) {
+    MetricsRegistry::Snapshot row;
+    row.gauges.emplace_back("median_us", ToUs(stats.Median()));
+    row.gauges.emplace_back("p1_us", ToUs(stats.P1()));
+    row.gauges.emplace_back("p99_us", ToUs(stats.P99()));
+    for (const auto& [key, value] : extras) {
+      row.gauges.emplace_back(key, value);
+    }
+    Testbed::telemetry_defaults.collector->Collect(name, std::move(row));
+  }
 }
 
 int MessagesForPayload(size_t payload) {

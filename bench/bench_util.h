@@ -7,10 +7,32 @@
 
 #include <benchmark/benchmark.h>
 
+#include <initializer_list>
+#include <utility>
+
+#include "src/telemetry/telemetry.h"
 #include "src/testbed/stats.h"
 #include "src/testbed/testbed.h"
 
 namespace strom::bench {
+
+// --- telemetry export (every bench binary gets these for free) --------------
+// bench_main.cc strips these flags before google/benchmark sees argv:
+//   --trace-out=<file>     write a Chrome-trace (Perfetto-loadable) JSON of
+//                          every testbed built during the run; enables tracing
+//   --trace-sample=<N>     trace 1-in-N messages (default 1 = all)
+//   --metrics-out=<file>   write per-run metrics; .csv suffix -> CSV else JSON
+
+// Process-wide collector that testbeds and ReportLatency deposit into.
+TelemetryCollector& Collector();
+
+// Parses and removes telemetry flags from argv, then configures
+// Testbed::telemetry_defaults accordingly.
+void InitBenchTelemetry(int* argc, char** argv);
+
+// Writes --trace-out / --metrics-out files if requested. Returns 0 on
+// success, 1 if a requested file could not be written.
+int ExportBenchTelemetry();
 
 // Median latency of an RDMA WRITE, measured as RTT/2 of the paper's §6.1
 // ping-pong (initiator writes, remote polls and writes back, initiator
@@ -38,8 +60,12 @@ Throughput MeasureReadThroughput(const Profile& profile, size_t payload, int mes
 double IdealGoodputGbps(const Profile& profile, size_t payload);
 double IdealMsgRate(const Profile& profile, size_t payload);
 
-// Registers median/p1/p99 (in microseconds) as benchmark counters.
-void ReportLatency(benchmark::State& state, const LatencyStats& stats);
+// Registers median/p1/p99 (in microseconds) plus any extra counters as
+// benchmark counters, and deposits the same row into the collector so it
+// lands in the --metrics-out file. `name` labels the row (call sites pass
+// __func__); parameterized runs are distinguished by their extras columns.
+void ReportLatency(benchmark::State& state, const char* name, const LatencyStats& stats,
+                   std::initializer_list<std::pair<const char*, double>> extras = {});
 
 // Number of messages needed so a throughput run covers a sensible horizon.
 int MessagesForPayload(size_t payload);

@@ -167,9 +167,8 @@ LatencyStats RunTcpRpc(int num_keys) {
   return stats;
 }
 
-void ReportWithHeight(benchmark::State& state, const LatencyStats& stats, int num_keys) {
-  bench::ReportLatency(state, stats);
-  state.counters["num_keys"] = num_keys;
+void ReportWithHeight(benchmark::State& state, const char* name, const LatencyStats& stats,
+                      int num_keys) {
   // Height of a fan-out-4 tree over ceil(n/3) leaves.
   int leaves = (num_keys + 2) / 3;
   int height = 0;
@@ -177,24 +176,25 @@ void ReportWithHeight(benchmark::State& state, const LatencyStats& stats, int nu
     leaves = (leaves + 3) / 4;
     ++height;
   }
-  state.counters["tree_height"] = height;
+  bench::ReportLatency(state, name, stats, {{"num_keys", static_cast<double>(num_keys)},
+                                      {"tree_height", static_cast<double>(height)}});
 }
 
 void ExtBTreeStrom(benchmark::State& state) {
   for (auto _ : state) {
-    ReportWithHeight(state, RunStrom(static_cast<int>(state.range(0))),
+    ReportWithHeight(state, __func__, RunStrom(static_cast<int>(state.range(0))),
                      static_cast<int>(state.range(0)));
   }
 }
 void ExtBTreeRdmaRead(benchmark::State& state) {
   for (auto _ : state) {
-    ReportWithHeight(state, RunRdmaRead(static_cast<int>(state.range(0))),
+    ReportWithHeight(state, __func__, RunRdmaRead(static_cast<int>(state.range(0))),
                      static_cast<int>(state.range(0)));
   }
 }
 void ExtBTreeTcpRpc(benchmark::State& state) {
   for (auto _ : state) {
-    ReportWithHeight(state, RunTcpRpc(static_cast<int>(state.range(0))),
+    ReportWithHeight(state, __func__, RunTcpRpc(static_cast<int>(state.range(0))),
                      static_cast<int>(state.range(0)));
   }
 }
@@ -205,5 +205,3 @@ BENCHMARK(ExtBTreeTcpRpc)->Arg(12)->Arg(100)->Arg(1000)->Arg(10000)->Iterations(
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -14,18 +14,16 @@ void Fig5aWrite(benchmark::State& state) {
   const size_t payload = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     LatencyStats stats = bench::MeasureWriteLatency(Profile10G(), payload, kRounds);
-    bench::ReportLatency(state, stats);
+    bench::ReportLatency(state, __func__, stats, {{"payload_B", static_cast<double>(payload)}});
   }
-  state.counters["payload_B"] = static_cast<double>(payload);
 }
 
 void Fig5aRead(benchmark::State& state) {
   const size_t payload = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
     LatencyStats stats = bench::MeasureReadLatency(Profile10G(), payload, kRounds);
-    bench::ReportLatency(state, stats);
+    bench::ReportLatency(state, __func__, stats, {{"payload_B", static_cast<double>(payload)}});
   }
-  state.counters["payload_B"] = static_cast<double>(payload);
 }
 
 BENCHMARK(Fig5aWrite)->RangeMultiplier(2)->Range(64, 1024)->Iterations(1)
@@ -35,5 +33,3 @@ BENCHMARK(Fig5aRead)->RangeMultiplier(2)->Range(64, 1024)->Iterations(1)
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -34,5 +34,3 @@ BENCHMARK(Fig5bRead)->RangeMultiplier(4)->Range(64, 1 << 20)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -33,5 +33,3 @@ BENCHMARK(Fig5cRead)->RangeMultiplier(4)->Range(64, 4096)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -186,21 +186,21 @@ LatencyStats RunTcpRpc(int length) {
 
 void Fig7RdmaRead(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, RunRdmaRead(static_cast<int>(state.range(0))));
+    bench::ReportLatency(state, __func__, RunRdmaRead(static_cast<int>(state.range(0))),
+                         {{"list_length", static_cast<double>(state.range(0))}});
   }
-  state.counters["list_length"] = static_cast<double>(state.range(0));
 }
 void Fig7Strom(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, RunStrom(static_cast<int>(state.range(0))));
+    bench::ReportLatency(state, __func__, RunStrom(static_cast<int>(state.range(0))),
+                         {{"list_length", static_cast<double>(state.range(0))}});
   }
-  state.counters["list_length"] = static_cast<double>(state.range(0));
 }
 void Fig7TcpRpc(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, RunTcpRpc(static_cast<int>(state.range(0))));
+    bench::ReportLatency(state, __func__, RunTcpRpc(static_cast<int>(state.range(0))),
+                         {{"list_length", static_cast<double>(state.range(0))}});
   }
-  state.counters["list_length"] = static_cast<double>(state.range(0));
 }
 
 BENCHMARK(Fig7RdmaRead)->RangeMultiplier(2)->Range(4, 32)->Iterations(1);
@@ -209,5 +209,3 @@ BENCHMARK(Fig7TcpRpc)->RangeMultiplier(2)->Range(4, 32)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -166,21 +166,21 @@ LatencyStats RunTcpRpc(uint32_t value_size) {
 
 void Fig8RdmaRead(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, RunRdmaRead(static_cast<uint32_t>(state.range(0))));
+    bench::ReportLatency(state, __func__, RunRdmaRead(static_cast<uint32_t>(state.range(0))),
+                         {{"value_B", static_cast<double>(state.range(0))}});
   }
-  state.counters["value_B"] = static_cast<double>(state.range(0));
 }
 void Fig8Strom(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, RunStrom(static_cast<uint32_t>(state.range(0))));
+    bench::ReportLatency(state, __func__, RunStrom(static_cast<uint32_t>(state.range(0))),
+                         {{"value_B", static_cast<double>(state.range(0))}});
   }
-  state.counters["value_B"] = static_cast<double>(state.range(0));
 }
 void Fig8TcpRpc(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, RunTcpRpc(static_cast<uint32_t>(state.range(0))));
+    bench::ReportLatency(state, __func__, RunTcpRpc(static_cast<uint32_t>(state.range(0))),
+                         {{"value_B", static_cast<double>(state.range(0))}});
   }
-  state.counters["value_B"] = static_cast<double>(state.range(0));
 }
 
 BENCHMARK(Fig8RdmaRead)->RangeMultiplier(2)->Range(64, 4096)->Iterations(1);
@@ -189,5 +189,3 @@ BENCHMARK(Fig8TcpRpc)->RangeMultiplier(2)->Range(64, 4096)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -98,21 +98,21 @@ LatencyStats Run(Mode mode, uint32_t object_size) {
 
 void Fig9Read(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, Run(Mode::kPlainRead, static_cast<uint32_t>(state.range(0))));
+    bench::ReportLatency(state, __func__, Run(Mode::kPlainRead, static_cast<uint32_t>(state.range(0))),
+                         {{"object_B", static_cast<double>(state.range(0))}});
   }
-  state.counters["object_B"] = static_cast<double>(state.range(0));
 }
 void Fig9ReadPlusSw(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, Run(Mode::kReadPlusSw, static_cast<uint32_t>(state.range(0))));
+    bench::ReportLatency(state, __func__, Run(Mode::kReadPlusSw, static_cast<uint32_t>(state.range(0))),
+                         {{"object_B", static_cast<double>(state.range(0))}});
   }
-  state.counters["object_B"] = static_cast<double>(state.range(0));
 }
 void Fig9Strom(benchmark::State& state) {
   for (auto _ : state) {
-    bench::ReportLatency(state, Run(Mode::kStrom, static_cast<uint32_t>(state.range(0))));
+    bench::ReportLatency(state, __func__, Run(Mode::kStrom, static_cast<uint32_t>(state.range(0))),
+                         {{"object_B", static_cast<double>(state.range(0))}});
   }
-  state.counters["object_B"] = static_cast<double>(state.range(0));
 }
 
 BENCHMARK(Fig9Read)->RangeMultiplier(2)->Range(64, 4096)->Iterations(1);
@@ -121,5 +121,3 @@ BENCHMARK(Fig9Strom)->RangeMultiplier(2)->Range(64, 4096)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -158,5 +158,3 @@ BENCHMARK(Fig10Strom)->Apply(FailureArgs)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

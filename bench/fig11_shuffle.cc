@@ -199,5 +199,3 @@ BENCHMARK(Fig11SwPlusWrite)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Iterations
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -14,16 +14,16 @@ constexpr int kRounds = 300;
 void Fig12aWriteLatency(benchmark::State& state) {
   const size_t payload = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
-    bench::ReportLatency(state, bench::MeasureWriteLatency(Profile100G(), payload, kRounds));
+    bench::ReportLatency(state, __func__, bench::MeasureWriteLatency(Profile100G(), payload, kRounds),
+                         {{"payload_B", static_cast<double>(payload)}});
   }
-  state.counters["payload_B"] = static_cast<double>(payload);
 }
 void Fig12aReadLatency(benchmark::State& state) {
   const size_t payload = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
-    bench::ReportLatency(state, bench::MeasureReadLatency(Profile100G(), payload, kRounds));
+    bench::ReportLatency(state, __func__, bench::MeasureReadLatency(Profile100G(), payload, kRounds),
+                         {{"payload_B", static_cast<double>(payload)}});
   }
-  state.counters["payload_B"] = static_cast<double>(payload);
 }
 
 void Fig12bWriteThroughput(benchmark::State& state) {
@@ -75,5 +75,3 @@ BENCHMARK(Fig12cReadMsgRate)->RangeMultiplier(4)->Range(64, 4096)->Iterations(1)
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

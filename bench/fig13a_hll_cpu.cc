@@ -75,5 +75,3 @@ BENCHMARK(Fig13aCpuHll)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

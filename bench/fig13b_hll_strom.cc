@@ -93,5 +93,3 @@ BENCHMARK(Fig13bWritePlusHll)->RangeMultiplier(4)->Range(64, 16384)->Iterations(
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

@@ -71,5 +71,3 @@ BENCHMARK(Table3)->Iterations(1);
 
 }  // namespace
 }  // namespace strom
-
-BENCHMARK_MAIN();

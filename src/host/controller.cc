@@ -11,6 +11,13 @@ Controller::Controller(Simulator& sim, RoceStack& stack, StromEngine* engine,
                        ControllerConfig config)
     : sim_(sim), stack_(stack), engine_(engine), config_(config) {}
 
+void Controller::AttachTelemetry(Telemetry* telemetry, const std::string& process) {
+  tracer_ = &telemetry->tracer;
+  track_ = tracer_->RegisterTrack(process, "host");
+  telemetry->metrics.AddGauge(process + ".host.commands_issued",
+                              [this] { return double(commands_issued_); });
+}
+
 SimTime Controller::ClaimIssueSlot() {
   const SimTime slot = std::max(sim_.now(), next_issue_);
   next_issue_ = slot + config_.cmd_issue_interval;
@@ -20,6 +27,9 @@ SimTime Controller::ClaimIssueSlot() {
 
 SimTime Controller::PostWork(WorkRequest wr) {
   const SimTime slot = ClaimIssueSlot();
+  if (wr.trace.sampled() && tracer_ != nullptr) {
+    tracer_->Span(wr.trace, track_, "cmd.issue", slot, slot + config_.mmio_latency);
+  }
   sim_.ScheduleAt(slot + config_.mmio_latency, [this, w = std::move(wr)]() mutable {
     Status st = stack_.PostRequest(std::move(w));
     if (!st.ok()) {
@@ -40,6 +50,14 @@ SimTime Controller::PostWorkBatch(std::vector<WorkRequest> batch) {
     commands_issued_ += n - 1;              // ClaimIssueSlot counted one
     std::vector<WorkRequest> block(std::make_move_iterator(batch.begin() + offset),
                                    std::make_move_iterator(batch.begin() + offset + n));
+    if (tracer_ != nullptr) {
+      for (const WorkRequest& wr : block) {
+        if (wr.trace.sampled()) {
+          tracer_->Span(wr.trace, track_, "cmd.issue", slot,
+                        slot + config_.mmio_latency + config_.wqe_fetch_latency);
+        }
+      }
+    }
     sim_.ScheduleAt(slot + config_.mmio_latency + config_.wqe_fetch_latency,
                     [this, b = std::move(block)]() mutable {
                       for (WorkRequest& wr : b) {
@@ -55,12 +73,16 @@ SimTime Controller::PostWorkBatch(std::vector<WorkRequest> batch) {
   return done;
 }
 
-SimTime Controller::PostLocalRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params) {
+SimTime Controller::PostLocalRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params,
+                                 TraceContext trace) {
   const SimTime slot = ClaimIssueSlot();
+  if (trace.sampled() && tracer_ != nullptr) {
+    tracer_->Span(trace, track_, "cmd.issue", slot, slot + config_.mmio_latency);
+  }
   sim_.ScheduleAt(slot + config_.mmio_latency,
-                  [this, rpc_opcode, qpn, p = std::move(params)]() mutable {
+                  [this, rpc_opcode, qpn, p = std::move(params), trace]() mutable {
                     STROM_CHECK(engine_ != nullptr) << "no StRoM engine deployed";
-                    Status st = engine_->InvokeLocal(rpc_opcode, qpn, std::move(p));
+                    Status st = engine_->InvokeLocal(rpc_opcode, qpn, std::move(p), trace);
                     if (!st.ok()) {
                       STROM_LOG(kWarning) << "local RPC rejected: " << st;
                     }

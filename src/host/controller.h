@@ -32,6 +32,9 @@ class Controller {
  public:
   Controller(Simulator& sim, RoceStack& stack, StromEngine* engine, ControllerConfig config);
 
+  // Registers the host command-issue track and the commands_issued gauge.
+  void AttachTelemetry(Telemetry* telemetry, const std::string& process);
+
   // Issues a work request. Returns the simulated time at which the host
   // thread has retired the store and may continue (callers in coroutines
   // should `co_await Delay(sim, IssueCost())` style via the driver API).
@@ -43,7 +46,8 @@ class Controller {
   SimTime PostWorkBatch(std::vector<WorkRequest> batch);
 
   // Posts an RPC to the *local* NIC (paper §3.5, local StRoM invocation).
-  SimTime PostLocalRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params);
+  SimTime PostLocalRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params,
+                       TraceContext trace = {});
 
   // Reads the NIC's status/performance registers (paper §4.3: "the host can
   // also retrieve status and performance metrics"). Each batch of register
@@ -64,6 +68,8 @@ class Controller {
   ControllerConfig config_;
   SimTime next_issue_ = 0;
   uint64_t commands_issued_ = 0;
+  Tracer* tracer_ = nullptr;
+  TrackId track_ = kInvalidTrack;
 };
 
 }  // namespace strom

@@ -10,6 +10,29 @@ RoceDriver::RoceDriver(Simulator& sim, HostMemory& memory, Tlb& tlb, Controller&
                        DriverConfig config)
     : sim_(sim), memory_(memory), tlb_(tlb), controller_(controller), config_(config) {}
 
+void RoceDriver::AttachTelemetry(Telemetry* telemetry, const std::string& process) {
+  tracer_ = &telemetry->tracer;
+  track_ = tracer_->RegisterTrack(process, "verbs");
+}
+
+void RoceDriver::BeginTrace(WorkRequest& wr, const char* verb) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  wr.trace = tracer_->StartTrace();
+  if (!wr.trace.sampled()) {
+    return;
+  }
+  const SimTime posted = sim_.now();
+  wr.on_complete = [this, trace = wr.trace, verb, posted,
+                    inner = std::move(wr.on_complete)](Status st) {
+    tracer_->Span(trace, track_, verb, posted, sim_.now());
+    if (inner) {
+      inner(st);
+    }
+  };
+}
+
 Result<RdmaBuffer> RoceDriver::AllocBuffer(uint64_t size) {
   if (size == 0) {
     return InvalidArgumentError("zero-size buffer");
@@ -96,22 +119,28 @@ WorkRequest RoceDriver::MakeRequest(WorkRequest::Kind kind, Qpn qpn, VirtAddr lo
 
 void RoceDriver::PostWrite(Qpn qpn, VirtAddr local, VirtAddr remote, uint32_t length,
                            std::function<void(Status)> done) {
-  controller_.PostWork(
-      MakeRequest(WorkRequest::Kind::kWrite, qpn, local, remote, length, std::move(done)));
+  WorkRequest wr =
+      MakeRequest(WorkRequest::Kind::kWrite, qpn, local, remote, length, std::move(done));
+  BeginTrace(wr, "write");
+  controller_.PostWork(std::move(wr));
 }
 
 void RoceDriver::PostRead(Qpn qpn, VirtAddr local, VirtAddr remote, uint32_t length,
                           std::function<void(Status)> done) {
-  controller_.PostWork(
-      MakeRequest(WorkRequest::Kind::kRead, qpn, local, remote, length, std::move(done)));
+  WorkRequest wr =
+      MakeRequest(WorkRequest::Kind::kRead, qpn, local, remote, length, std::move(done));
+  BeginTrace(wr, "read");
+  controller_.PostWork(std::move(wr));
 }
 
 void RoceDriver::PostWriteBatch(Qpn qpn, std::vector<BatchWrite> writes) {
   std::vector<WorkRequest> batch;
   batch.reserve(writes.size());
   for (BatchWrite& w : writes) {
-    batch.push_back(MakeRequest(WorkRequest::Kind::kWrite, qpn, w.local, w.remote, w.length,
-                                std::move(w.done)));
+    WorkRequest wr = MakeRequest(WorkRequest::Kind::kWrite, qpn, w.local, w.remote, w.length,
+                                 std::move(w.done));
+    BeginTrace(wr, "write");
+    batch.push_back(std::move(wr));
   }
   controller_.PostWorkBatch(std::move(batch));
 }
@@ -121,17 +150,27 @@ void RoceDriver::PostRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params,
   WorkRequest wr = MakeRequest(WorkRequest::Kind::kRpc, qpn, 0, rpc_opcode,
                                static_cast<uint32_t>(params.size()), std::move(done));
   wr.inline_data = std::move(params);
+  BeginTrace(wr, "rpc");
   controller_.PostWork(std::move(wr));
 }
 
 void RoceDriver::PostRpcWrite(uint32_t rpc_opcode, Qpn qpn, VirtAddr origin, uint32_t length,
                               std::function<void(Status)> done) {
-  controller_.PostWork(MakeRequest(WorkRequest::Kind::kRpcWrite, qpn, origin, rpc_opcode,
-                                   length, std::move(done)));
+  WorkRequest wr = MakeRequest(WorkRequest::Kind::kRpcWrite, qpn, origin, rpc_opcode, length,
+                               std::move(done));
+  BeginTrace(wr, "rpc_write");
+  controller_.PostWork(std::move(wr));
 }
 
 void RoceDriver::PostLocalRpc(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params) {
-  controller_.PostLocalRpc(rpc_opcode, qpn, std::move(params));
+  TraceContext trace;
+  if (tracer_ != nullptr) {
+    trace = tracer_->StartTrace();
+    if (trace.sampled()) {
+      tracer_->Instant(trace, track_, "local_rpc", sim_.now());
+    }
+  }
+  controller_.PostLocalRpc(rpc_opcode, qpn, std::move(params), trace);
 }
 
 ValueTask<RoceCounters> RoceDriver::QueryNicCounters() {

@@ -35,6 +35,11 @@ class RoceDriver {
   RoceDriver(Simulator& sim, HostMemory& memory, Tlb& tlb, Controller& controller,
              DriverConfig config = {});
 
+  // Registers the verbs track. Once attached, every posted verb draws a
+  // TraceContext from the tracer (subject to sampling) and records a
+  // whole-verb span from post to network completion.
+  void AttachTelemetry(Telemetry* telemetry, const std::string& process);
+
   // --- memory management ----------------------------------------------------
   // Allocates `size` bytes of pinned hugepage memory, maps every page in the
   // NIC TLB, and returns the virtual registration.
@@ -93,6 +98,9 @@ class RoceDriver {
  private:
   WorkRequest MakeRequest(WorkRequest::Kind kind, Qpn qpn, VirtAddr local, VirtAddr remote,
                           uint32_t length, std::function<void(Status)> done);
+  // Draws a trace context for `wr` and, when sampled, wraps on_complete to
+  // record the whole-verb span on completion.
+  void BeginTrace(WorkRequest& wr, const char* verb);
 
   Simulator& sim_;
   HostMemory& memory_;
@@ -101,6 +109,8 @@ class RoceDriver {
   DriverConfig config_;
   VirtAddr next_va_ = kHugePageSize;  // VA 0 reserved as "null"
   uint64_t next_wr_id_ = 1;
+  Tracer* tracer_ = nullptr;
+  TrackId track_ = kInvalidTrack;
 };
 
 }  // namespace strom

@@ -11,12 +11,32 @@ namespace strom {
 PointToPointLink::PointToPointLink(Simulator& sim, LinkConfig config)
     : sim_(sim), config_(config) {}
 
+void PointToPointLink::AttachTelemetry(Telemetry* telemetry, const std::string& process) {
+  tracer_ = &telemetry->tracer;
+  sides_[0].track = tracer_->RegisterTrack(process, "wire 0->1");
+  sides_[1].track = tracer_->RegisterTrack(process, "wire 1->0");
+  for (int side = 0; side < 2; ++side) {
+    const std::string prefix = process + ".link" + std::to_string(side) + ".";
+    const LinkCounters& c = sides_[side].counters;
+    telemetry->metrics.AddGauge(prefix + "frames_sent",
+                                [&c] { return double(c.frames_sent); });
+    telemetry->metrics.AddGauge(prefix + "bytes_sent",
+                                [&c] { return double(c.bytes_sent); });
+    telemetry->metrics.AddGauge(prefix + "frames_dropped",
+                                [&c] { return double(c.frames_dropped); });
+    telemetry->metrics.AddGauge(prefix + "frames_corrupted",
+                                [&c] { return double(c.frames_corrupted); });
+    telemetry->metrics.AddGauge(prefix + "frames_oversize",
+                                [&c] { return double(c.frames_oversize); });
+  }
+}
+
 void PointToPointLink::Attach(int side, RxHandler handler) {
   STROM_CHECK(side == 0 || side == 1);
   sides_[side].handler = std::move(handler);
 }
 
-void PointToPointLink::Send(int side, ByteBuffer frame) {
+void PointToPointLink::Send(int side, ByteBuffer frame, TraceContext trace) {
   STROM_CHECK(side == 0 || side == 1);
   Side& tx = sides_[side];
   Side& rx = sides_[1 - side];
@@ -56,10 +76,13 @@ void PointToPointLink::Send(int side, ByteBuffer frame) {
   }
 
   const SimTime arrival = tx_done + config_.propagation;
-  sim_.ScheduleAt(arrival, [this, side, f = std::move(frame)]() mutable {
+  if (trace.sampled() && tracer_ != nullptr) {
+    tracer_->Span(trace, tx.track, "wire", start, arrival);
+  }
+  sim_.ScheduleAt(arrival, [this, side, f = std::move(frame), trace]() mutable {
     Side& receiver = sides_[1 - side];
     if (receiver.handler) {
-      receiver.handler(std::move(f));
+      receiver.handler(std::move(f), trace);
     }
   });
   (void)rx;

@@ -14,6 +14,7 @@
 #include "src/common/units.h"
 #include "src/proto/headers.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 
 namespace strom {
 
@@ -35,18 +36,21 @@ struct LinkCounters {
 
 class PointToPointLink {
  public:
-  using RxHandler = std::function<void(ByteBuffer frame)>;
+  using RxHandler = std::function<void(ByteBuffer frame, TraceContext trace)>;
 
   PointToPointLink(Simulator& sim, LinkConfig config);
 
   const LinkConfig& config() const { return config_; }
+
+  // Registers the wire tracks and per-side counter gauges.
+  void AttachTelemetry(Telemetry* telemetry, const std::string& process);
 
   // side is 0 or 1. The handler receives frames sent from the other side.
   void Attach(int side, RxHandler handler);
 
   // Transmits a frame from `side`. Serialization is modeled with a per-side
   // busy-until cursor; frames queue behind each other at line rate.
-  void Send(int side, ByteBuffer frame);
+  void Send(int side, ByteBuffer frame, TraceContext trace = {});
 
   // Fault injection (applies to frames leaving `side`).
   void SetDropProbability(int side, double p, uint64_t seed = 1);
@@ -69,11 +73,13 @@ class PointToPointLink {
     int drop_next = 0;
     int corrupt_next = 0;
     LinkCounters counters;
+    TrackId track = kInvalidTrack;
   };
 
   Simulator& sim_;
   LinkConfig config_;
   std::array<Side, 2> sides_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace strom

@@ -16,14 +16,16 @@ int EthernetSwitch::AddPort() {
   lc.ip_mtu = config_.ip_mtu;
   Port p;
   p.link = std::make_unique<PointToPointLink>(sim_, lc);
-  p.link->Attach(1, [this, port](ByteBuffer frame) { OnFrame(port, std::move(frame)); });
+  p.link->Attach(1, [this, port](ByteBuffer frame, TraceContext trace) {
+    OnFrame(port, std::move(frame), trace);
+  });
   ports_.push_back(std::move(p));
   return port;
 }
 
 void EthernetSwitch::AddStaticRoute(const MacAddr& mac, int port) { mac_table_[mac] = port; }
 
-void EthernetSwitch::OnFrame(int in_port, ByteBuffer frame) {
+void EthernetSwitch::OnFrame(int in_port, ByteBuffer frame, TraceContext trace) {
   if (frame.size() < EthHeader::kSize) {
     return;
   }
@@ -36,21 +38,22 @@ void EthernetSwitch::OnFrame(int in_port, ByteBuffer frame) {
   auto it = mac_table_.find(dst);
   if (it != mac_table_.end()) {
     ++frames_forwarded_;
-    ForwardTo(it->second, std::move(frame));
+    ForwardTo(it->second, std::move(frame), trace);
     return;
   }
   ++frames_flooded_;
   for (size_t port = 0; port < ports_.size(); ++port) {
     if (static_cast<int>(port) != in_port) {
-      ForwardTo(static_cast<int>(port), frame);
+      ForwardTo(static_cast<int>(port), frame, trace);
     }
   }
 }
 
-void EthernetSwitch::ForwardTo(int out_port, ByteBuffer frame) {
+void EthernetSwitch::ForwardTo(int out_port, ByteBuffer frame, TraceContext trace) {
   STROM_CHECK_LT(static_cast<size_t>(out_port), ports_.size());
-  sim_.Schedule(config_.forwarding_latency, [this, out_port, f = std::move(frame)]() mutable {
-    ports_[out_port].link->Send(1, std::move(f));
+  sim_.Schedule(config_.forwarding_latency,
+                [this, out_port, f = std::move(frame), trace]() mutable {
+    ports_[out_port].link->Send(1, std::move(f), trace);
   });
 }
 

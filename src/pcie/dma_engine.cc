@@ -11,6 +11,24 @@ namespace strom {
 DmaEngine::DmaEngine(Simulator& sim, HostMemory& memory, Tlb& tlb, DmaConfig config)
     : sim_(sim), memory_(memory), tlb_(tlb), config_(config) {}
 
+void DmaEngine::AttachTelemetry(Telemetry* telemetry, const std::string& process) {
+  tracer_ = &telemetry->tracer;
+  track_ = tracer_->RegisterTrack(process, "dma");
+  const std::string prefix = process + ".dma.";
+  telemetry->metrics.AddGauge(prefix + "read_commands",
+                              [this] { return double(counters_.read_commands); });
+  telemetry->metrics.AddGauge(prefix + "write_commands",
+                              [this] { return double(counters_.write_commands); });
+  telemetry->metrics.AddGauge(prefix + "bytes_read",
+                              [this] { return double(counters_.bytes_read); });
+  telemetry->metrics.AddGauge(prefix + "bytes_written",
+                              [this] { return double(counters_.bytes_written); });
+  telemetry->metrics.AddGauge(prefix + "segment_splits",
+                              [this] { return double(counters_.segment_splits); });
+  telemetry->metrics.AddGauge(prefix + "errors",
+                              [this] { return double(counters_.errors); });
+}
+
 SimTime DmaEngine::ServiceTime(const std::vector<DmaSegment>& segments) const {
   SimTime t = 0;
   for (const DmaSegment& seg : segments) {
@@ -19,7 +37,7 @@ SimTime DmaEngine::ServiceTime(const std::vector<DmaSegment>& segments) const {
   return t;
 }
 
-void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done) {
+void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceContext trace) {
   ++counters_.read_commands;
   Result<std::vector<DmaSegment>> segments = tlb_.Resolve(virt, length);
   if (!segments.ok()) {
@@ -39,6 +57,9 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done) {
   read_busy_until_ = start + service;
   const SimTime complete =
       std::max(start + service + config_.read_latency, write_visible_at_);
+  if (trace.sampled() && tracer_ != nullptr) {
+    tracer_->Span(trace, track_, "dma.read", sim_.now(), complete);
+  }
 
   sim_.ScheduleAt(complete,
                   [this, segs = std::move(*segments), length, done = std::move(done)] {
@@ -52,7 +73,7 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done) {
                   });
 }
 
-void DmaEngine::Write(VirtAddr virt, ByteBuffer data, WriteCallback done) {
+void DmaEngine::Write(VirtAddr virt, ByteBuffer data, WriteCallback done, TraceContext trace) {
   ++counters_.write_commands;
   Result<std::vector<DmaSegment>> segments = tlb_.Resolve(virt, data.size());
   if (!segments.ok()) {
@@ -70,6 +91,9 @@ void DmaEngine::Write(VirtAddr virt, ByteBuffer data, WriteCallback done) {
   write_busy_until_ = start + service;
   const SimTime complete = start + service + config_.write_latency;
   write_visible_at_ = std::max(write_visible_at_, complete);
+  if (trace.sampled() && tracer_ != nullptr) {
+    tracer_->Span(trace, track_, "dma.write", sim_.now(), complete);
+  }
 
   sim_.ScheduleAt(complete, [this, segs = std::move(*segments), d = std::move(data),
                              done = std::move(done)] {

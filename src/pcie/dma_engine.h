@@ -16,6 +16,7 @@
 #include "src/pcie/host_memory.h"
 #include "src/pcie/tlb.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 
 namespace strom {
 
@@ -42,13 +43,16 @@ class DmaEngine {
 
   DmaEngine(Simulator& sim, HostMemory& memory, Tlb& tlb, DmaConfig config);
 
+  // Registers the DMA track and counter gauges under `process` (e.g. "node0").
+  void AttachTelemetry(Telemetry* telemetry, const std::string& process);
+
   // Fetches `length` bytes at virtual address `virt`; the callback runs when
   // the last data beat arrives on the card.
-  void Read(VirtAddr virt, uint64_t length, ReadCallback done);
+  void Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceContext trace = {});
 
   // Posts `data` to virtual address `virt`; the callback runs when the write
   // has been accepted by the host memory system.
-  void Write(VirtAddr virt, ByteBuffer data, WriteCallback done);
+  void Write(VirtAddr virt, ByteBuffer data, WriteCallback done, TraceContext trace = {});
 
   const DmaCounters& counters() const { return counters_; }
   const DmaConfig& config() const { return config_; }
@@ -65,6 +69,8 @@ class DmaEngine {
   Tlb& tlb_;
   DmaConfig config_;
   DmaCounters counters_;
+  Tracer* tracer_ = nullptr;
+  TrackId track_ = kInvalidTrack;
   SimTime read_busy_until_ = 0;
   SimTime write_busy_until_ = 0;
   // PCIe ordering: a read request pushes ahead posted writes — its data must

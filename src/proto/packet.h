@@ -9,6 +9,7 @@
 
 #include "src/common/status.h"
 #include "src/proto/headers.h"
+#include "src/telemetry/trace_context.h"
 
 namespace strom {
 
@@ -20,6 +21,9 @@ struct RocePacket {
   std::optional<RethHeader> reth;
   std::optional<AethHeader> aeth;
   ByteBuffer payload;
+  // Telemetry span context; carried beside the packet, never serialized into
+  // the frame, so tracing cannot perturb wire sizes or timing.
+  TraceContext trace;
 
   // Size of the encoded Ethernet frame in bytes (without PHY overhead).
   size_t WireSize() const;

@@ -39,6 +39,42 @@ RoceStack::RoceStack(Simulator& sim, RoceConfig config, DmaEngine& dma, Ipv4Addr
   timer_.SetExpiryHandler([this](Qpn qpn) { OnTimeout(qpn); });
 }
 
+void RoceStack::AttachTelemetry(Telemetry* telemetry, const std::string& process) {
+  tracer_ = &telemetry->tracer;
+  tx_track_ = tracer_->RegisterTrack(process, "nic.tx");
+  rx_track_ = tracer_->RegisterTrack(process, "nic.rx");
+  msg_track_ = tracer_->RegisterTrack(process, "nic.msg");
+
+  const std::string prefix = process + ".roce.";
+  auto gauge = [&](const char* name, const uint64_t& field) {
+    telemetry->metrics.AddGauge(prefix + name, [&field] { return double(field); });
+  };
+  gauge("tx_packets", counters_.tx_packets);
+  gauge("tx_bytes", counters_.tx_bytes);
+  gauge("rx_packets", counters_.rx_packets);
+  gauge("rx_payload_bytes", counters_.rx_payload_bytes);
+  gauge("tx_acks", counters_.tx_acks);
+  gauge("rx_acks", counters_.rx_acks);
+  gauge("tx_naks", counters_.tx_naks);
+  gauge("rx_naks", counters_.rx_naks);
+  gauge("retransmitted_packets", counters_.retransmitted_packets);
+  gauge("timeouts", counters_.timeouts);
+  gauge("icrc_drops", counters_.icrc_drops);
+  gauge("malformed_drops", counters_.malformed_drops);
+  gauge("psn_out_of_order_drops", counters_.psn_out_of_order_drops);
+  gauge("duplicate_psn_packets", counters_.duplicate_psn_packets);
+  gauge("unknown_qp_drops", counters_.unknown_qp_drops);
+  gauge("rpc_dispatched", counters_.rpc_dispatched);
+  gauge("rpc_unmatched", counters_.rpc_unmatched);
+  gauge("write_messages_completed", counters_.write_messages_completed);
+  gauge("read_messages_completed", counters_.read_messages_completed);
+
+  const std::vector<double> bounds = {1,  2,  3,   4,   5,   7.5, 10,  15,
+                                      20, 30, 50,  75,  100, 200, 500, 1000};
+  write_latency_us_ = telemetry->metrics.AddHistogram(prefix + "write_latency_us", bounds);
+  read_latency_us_ = telemetry->metrics.AddHistogram(prefix + "read_latency_us", bounds);
+}
+
 RoceStack::QpState& RoceStack::Qp(Qpn qpn) {
   STROM_CHECK_LT(qpn, qps_.size());
   return qps_[qpn];
@@ -83,6 +119,7 @@ Status RoceStack::PostRequest(WorkRequest wr) {
 
   auto pending = std::make_shared<PendingWr>();
   pending->req = std::move(wr);
+  pending->posted_at = sim_.now();
 
   StateTableEntry& st = state_table_.Entry(pending->req.qpn);
   pending->first_psn = st.next_psn;
@@ -201,7 +238,7 @@ void RoceStack::FetchPayloads() {
           wr->ready[idx] = std::move(*data);
         }
         PumpTx();
-      });
+      }, wr->req.trace);
     }
   }
 }
@@ -232,7 +269,7 @@ bool RoceStack::TrySendNextDataPacket() {
                     // Stale epoch: the queue was rebuilt; PumpTx re-fetches
                     // for whatever is at the front now.
                     PumpTx();
-                  });
+                  }, desc.wr->req.trace);
       }
       return false;
     }
@@ -252,6 +289,7 @@ bool RoceStack::TrySendNextDataPacket() {
       pkt.reth = reth;
     }
     pkt.payload = std::move(payload);
+    pkt.trace = desc.wr->req.trace;
     ++counters_.retransmitted_packets;
     retransmit_queue_.pop_front();
     EmitFrame(pkt);
@@ -279,6 +317,7 @@ bool RoceStack::TrySendNextDataPacket() {
   pkt.dst_ip = qp.remote_ip;
   pkt.bth.opcode = opcode;
   pkt.bth.dest_qp = qp.remote_qpn;
+  pkt.trace = wr->req.trace;
   pkt.bth.ack_request =
       !wr->is_read_response &&
       (last || (idx + 1) % config_.ack_request_interval == 0);
@@ -339,10 +378,27 @@ void RoceStack::CompleteWr(const WrPtr& wr, const Status& status) {
     return;
   }
   wr->completed = true;
-  if (wr->req.kind == WorkRequest::Kind::kRead) {
+  const bool is_read = wr->req.kind == WorkRequest::Kind::kRead;
+  if (is_read) {
     ++counters_.read_messages_completed;
   } else if (!wr->is_read_response) {
     ++counters_.write_messages_completed;
+  }
+  if (!wr->is_read_response) {
+    Histogram* hist = is_read ? read_latency_us_ : write_latency_us_;
+    if (hist != nullptr && status.ok()) {
+      hist->Observe(double(sim_.now() - wr->posted_at) / 1e6);
+    }
+    if (wr->req.trace.sampled() && tracer_ != nullptr) {
+      const char* name = "WRITE";
+      switch (wr->req.kind) {
+        case WorkRequest::Kind::kWrite:    name = "WRITE"; break;
+        case WorkRequest::Kind::kRead:     name = "READ"; break;
+        case WorkRequest::Kind::kRpc:      name = "RPC"; break;
+        case WorkRequest::Kind::kRpcWrite: name = "RPC_WRITE"; break;
+      }
+      tracer_->Span(wr->req.trace, msg_track_, name, wr->posted_at, sim_.now());
+    }
   }
   if (wr->req.on_complete) {
     wr->req.on_complete(status);
@@ -372,9 +428,13 @@ void RoceStack::EmitFrame(const RocePacket& pkt) {
   const SimTime words = static_cast<SimTime>(pkt.Words(config_.data_width));
   const SimTime latency = (config_.tx_pipeline_cycles + words) * config_.clock_ps;
   tx_order_cursor_ = std::max(tx_order_cursor_, sim_.now() + latency);
-  sim_.ScheduleAt(tx_order_cursor_, [this, f = std::move(frame)]() mutable {
+  if (pkt.trace.sampled() && tracer_ != nullptr) {
+    tracer_->Span(pkt.trace, tx_track_, std::string("tx:") + IbOpcodeName(pkt.bth.opcode),
+                  sim_.now(), tx_order_cursor_);
+  }
+  sim_.ScheduleAt(tx_order_cursor_, [this, f = std::move(frame), trace = pkt.trace]() mutable {
     if (send_frame_) {
-      send_frame_(std::move(f));
+      send_frame_(std::move(f), trace);
     }
   });
 
@@ -405,7 +465,7 @@ void RoceStack::PumpTx() {
 // RX path
 // ---------------------------------------------------------------------------
 
-void RoceStack::OnFrame(ByteBuffer frame) {
+void RoceStack::OnFrame(ByteBuffer frame, TraceContext trace) {
   Result<RocePacket> parsed = ParseRoceFrame(frame);
   if (!parsed.ok()) {
     if (parsed.status().code() == StatusCode::kDataLoss) {
@@ -416,11 +476,16 @@ void RoceStack::OnFrame(ByteBuffer frame) {
     return;
   }
   ++counters_.rx_packets;
+  parsed->trace = trace;
   // RX pipeline: parse stages + State Table FSM + store-and-forward ICRC.
   // The order cursor keeps the pipeline FIFO across packet sizes.
   const SimTime words = static_cast<SimTime>(parsed->Words(config_.data_width));
   const SimTime latency = (config_.rx_pipeline_cycles + words) * config_.clock_ps;
   rx_order_cursor_ = std::max(rx_order_cursor_, sim_.now() + latency);
+  if (trace.sampled() && tracer_ != nullptr) {
+    tracer_->Span(trace, rx_track_, std::string("rx:") + IbOpcodeName(parsed->bth.opcode),
+                  sim_.now(), rx_order_cursor_);
+  }
   sim_.ScheduleAt(rx_order_cursor_, [this, pkt = std::move(*parsed)]() mutable {
     ProcessPacket(std::move(pkt));
   });
@@ -468,6 +533,7 @@ void RoceStack::HandleResponderPacket(const RocePacket& pkt) {
       aeth.syndrome = AckSyndrome::kNakSequenceError;
       aeth.msn = msn_table_.Entry(qpn).msn;
       nak.aeth = aeth;
+      nak.trace = pkt.trace;
       SendControlPacket(std::move(nak));
     }
     return;
@@ -476,7 +542,7 @@ void RoceStack::HandleResponderPacket(const RocePacket& pkt) {
     ++counters_.duplicate_psn_packets;
     if (OpcodeIsWriteLike(pkt.bth.opcode)) {
       // Re-ACK so a requester whose ACK was lost can make progress.
-      SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck);
+      SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck, pkt.trace);
     } else if (pkt.bth.opcode == IbOpcode::kReadRequest) {
       HandleReadRequest(pkt);  // reads are idempotent: re-execute
     }
@@ -518,7 +584,7 @@ void RoceStack::HandleWritePayload(const RocePacket& pkt) {
 
   const bool ends = OpcodeEndsMessage(op);
   if (!pkt.payload.empty()) {
-    dma_.Write(target, pkt.payload, nullptr);
+    dma_.Write(target, pkt.payload, nullptr, pkt.trace);
   }
   if (stream_tap_) {
     stream_tap_(qpn, pkt.payload, ends);
@@ -528,7 +594,7 @@ void RoceStack::HandleWritePayload(const RocePacket& pkt) {
     ++msn.msn;
   }
   if (ends || pkt.bth.ack_request) {
-    SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck);
+    SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck, pkt.trace);
   }
 }
 
@@ -542,6 +608,8 @@ void RoceStack::HandleReadRequest(const RocePacket& pkt) {
   response->req.qpn = pkt.bth.dest_qp;
   response->req.local_addr = pkt.reth->virt_addr;
   response->req.length = pkt.reth->dma_length;
+  response->req.trace = pkt.trace;
+  response->posted_at = sim_.now();
   response->first_psn = pkt.bth.psn;
   response->send_pkts = config_.PacketsForLength(pkt.reth->dma_length);
   response->psn_span = response->send_pkts;
@@ -558,6 +626,7 @@ void RoceStack::HandleRpc(const RocePacket& pkt) {
   RpcDelivery delivery;
   delivery.qpn = qpn;
   delivery.payload = pkt.payload;
+  delivery.trace = pkt.trace;
 
   const IbOpcode op = pkt.bth.opcode;
   if (op == IbOpcode::kRpcParams) {
@@ -587,17 +656,17 @@ void RoceStack::HandleRpc(const RocePacket& pkt) {
   if (matched) {
     ++counters_.rpc_dispatched;
     if (ends || pkt.bth.ack_request) {
-      SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck);
+      SendAck(qpn, pkt.bth.psn, AckSyndrome::kAck, pkt.trace);
     }
   } else {
     // No deployed kernel matched the RPC op-code: report an error to the
     // requesting node (paper §5.1).
     ++counters_.rpc_unmatched;
-    SendAck(qpn, pkt.bth.psn, AckSyndrome::kNakInvalidRequest);
+    SendAck(qpn, pkt.bth.psn, AckSyndrome::kNakInvalidRequest, pkt.trace);
   }
 }
 
-void RoceStack::SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome) {
+void RoceStack::SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome, TraceContext trace) {
   QpState& qp = Qp(local_qpn);
   RocePacket ack;
   ack.src_ip = local_ip_;
@@ -605,6 +674,7 @@ void RoceStack::SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome) {
   ack.bth.opcode = IbOpcode::kAck;
   ack.bth.dest_qp = qp.remote_qpn;
   ack.bth.psn = psn;
+  ack.trace = trace;
   AethHeader aeth;
   aeth.syndrome = syndrome;
   aeth.msn = msn_table_.Entry(local_qpn).msn;
@@ -743,7 +813,7 @@ void RoceStack::HandleReadResponse(const RocePacket& pkt) {
         CompleteWr(read_wr, st);
       }
       PumpTx();  // multi-queue slot freed: retry blocked reads
-    });
+    }, pkt.trace);
   } else if (last && read_wr) {
     CompleteWr(read_wr, Status::Ok());
   }

@@ -27,12 +27,13 @@
 #include "src/roce/state_table.h"
 #include "src/roce/work_request.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/telemetry.h"
 
 namespace strom {
 
 class RoceStack {
  public:
-  using FrameSender = std::function<void(ByteBuffer)>;
+  using FrameSender = std::function<void(ByteBuffer, TraceContext)>;
   // Returns true if a deployed kernel matched the RPC op-code.
   using RpcHandler = std::function<bool(RpcDelivery)>;
   // Observes payload of plain RDMA WRITEs as it flows to the DMA engine
@@ -50,7 +51,11 @@ class RoceStack {
   void SetRpcHandler(RpcHandler handler) { rpc_handler_ = std::move(handler); }
   void SetStreamTap(StreamTap tap) { stream_tap_ = std::move(tap); }
   // Entry point for frames arriving from the Ethernet interface.
-  void OnFrame(ByteBuffer frame);
+  void OnFrame(ByteBuffer frame, TraceContext trace = {});
+
+  // Registers TX/RX/message tracks, RoceCounters gauges and per-verb latency
+  // histograms under `process` (e.g. "node0").
+  void AttachTelemetry(Telemetry* telemetry, const std::string& process);
 
   // --- control path (Controller) ------------------------------------------
   // Out-of-band QP setup, equivalent to the driver exchanging QP numbers and
@@ -83,6 +88,7 @@ class RoceStack {
     uint32_t next_send = 0;   // next packet index to transmit (in order)
     std::map<uint32_t, ByteBuffer> ready;  // fetched chunks keyed by index
     bool completed = false;
+    SimTime posted_at = 0;  // when PostRequest accepted the message
 
     uint32_t ChunkLen(uint32_t idx, uint32_t pmtu) const;
   };
@@ -125,7 +131,7 @@ class RoceStack {
   void HandleWritePayload(const RocePacket& pkt);
   void HandleReadRequest(const RocePacket& pkt);
   void HandleRpc(const RocePacket& pkt);
-  void SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome);
+  void SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome, TraceContext trace = {});
 
   // --- reliability ----------------------------------------------------------
   void RetransmitFrom(Qpn qpn, Psn psn);
@@ -172,6 +178,14 @@ class RoceStack {
   // store-and-forward latency is higher. These cursors enforce ordering.
   SimTime rx_order_cursor_ = 0;
   SimTime tx_order_cursor_ = 0;
+
+  // Telemetry (optional; null when the owning testbed has tracing off).
+  Tracer* tracer_ = nullptr;
+  TrackId tx_track_ = kInvalidTrack;
+  TrackId rx_track_ = kInvalidTrack;
+  TrackId msg_track_ = kInvalidTrack;
+  Histogram* write_latency_us_ = nullptr;
+  Histogram* read_latency_us_ = nullptr;
 
   const uint32_t pmtu_payload_;
 };

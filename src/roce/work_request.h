@@ -9,6 +9,7 @@
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/telemetry/trace_context.h"
 
 namespace strom {
 
@@ -32,6 +33,8 @@ struct WorkRequest {
   // Invoked when the message is network-complete: cumulative ACK received
   // (writes, RPCs) or all response data placed in host memory (reads).
   std::function<void(Status)> on_complete;
+  // Telemetry span context; zero (unsampled) unless tracing is enabled.
+  TraceContext trace;
 };
 
 // One RX-path delivery to the StRoM dispatcher (paper §5.1): either the
@@ -44,6 +47,7 @@ struct RpcDelivery {
   bool first = true;
   bool last = true;
   uint32_t message_length = 0;  // total RPC WRITE payload (from RETH)
+  TraceContext trace;
 };
 
 }  // namespace strom

@@ -14,6 +14,22 @@ StromEngine::StromEngine(Simulator& sim, RoceStack& stack, DmaEngine& dma)
   });
 }
 
+void StromEngine::AttachTelemetry(Telemetry* telemetry, const std::string& process) {
+  tracer_ = &telemetry->tracer;
+  track_ = tracer_->RegisterTrack(process, "kernel");
+  const std::string prefix = process + ".engine.";
+  auto gauge = [&](const char* name, const uint64_t& field) {
+    telemetry->metrics.AddGauge(prefix + name, [&field] { return double(field); });
+  };
+  gauge("rpcs_dispatched", counters_.rpcs_dispatched);
+  gauge("rpcs_unmatched", counters_.rpcs_unmatched);
+  gauge("local_invocations", counters_.local_invocations);
+  gauge("kernel_dma_reads", counters_.kernel_dma_reads);
+  gauge("kernel_dma_writes", counters_.kernel_dma_writes);
+  gauge("kernel_responses", counters_.kernel_responses);
+  gauge("tapped_chunks", counters_.tapped_chunks);
+}
+
 Status StromEngine::DeployKernel(std::unique_ptr<StromKernel> kernel) {
   const uint32_t opcode = kernel->rpc_opcode();
   if (kernels_.count(opcode) != 0) {
@@ -53,6 +69,10 @@ bool StromEngine::OnRpc(RpcDelivery delivery) {
   }
   Deployed& d = *it->second;
   ++counters_.rpcs_dispatched;
+  if (delivery.is_params || delivery.first) {
+    d.active_trace = delivery.trace;
+    d.rpc_started = sim_.now();
+  }
   if (delivery.is_params) {
     DeliverParams(d, delivery.qpn, std::move(delivery.payload));
   } else {
@@ -64,12 +84,15 @@ bool StromEngine::OnRpc(RpcDelivery delivery) {
   return true;
 }
 
-Status StromEngine::InvokeLocal(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params) {
+Status StromEngine::InvokeLocal(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params,
+                                TraceContext trace) {
   auto it = kernels_.find(rpc_opcode);
   if (it == kernels_.end()) {
     return NotFoundError("no kernel deployed for RPC op-code " + std::to_string(rpc_opcode));
   }
   ++counters_.local_invocations;
+  it->second->active_trace = trace;
+  it->second->rpc_started = sim_.now();
   DeliverParams(*it->second, qpn, std::move(params));
   return Status::Ok();
 }
@@ -150,7 +173,7 @@ void StromEngine::ServiceDmaCommands(Deployed& d) {
         chunk.last = true;
         dp->dma_in_inbox.push_back(std::move(chunk));
         FlushInboxes(*dp);
-      });
+      }, d.active_trace);
     }
   }
   CollectDmaWrites(d);
@@ -169,7 +192,7 @@ void StromEngine::CollectDmaWrites(Deployed& d) {
     }
     STROM_CHECK_EQ(w.collected.size(), w.length)
         << "kernel " << d.kernel->name() << " overfilled a DMA write";
-    dma_.Write(w.addr, std::move(w.collected), nullptr);
+    dma_.Write(w.addr, std::move(w.collected), nullptr, d.active_trace);
     d.dma_writes.pop_front();
   }
 }
@@ -201,7 +224,12 @@ void StromEngine::CollectResponses(Deployed& d) {
     wr.remote_addr = r.meta.addr;
     wr.inline_data = std::move(r.collected);
     wr.length = r.meta.length;
+    wr.trace = d.active_trace;
     ++counters_.kernel_responses;
+    if (d.active_trace.sampled() && tracer_ != nullptr) {
+      tracer_->Span(d.active_trace, track_, "kernel:" + d.kernel->name(), d.rpc_started,
+                    sim_.now());
+    }
     Status st = stack_.PostRequest(std::move(wr));
     if (!st.ok()) {
       STROM_LOG(kError) << "kernel response write rejected: " << st;

@@ -45,8 +45,12 @@ class StromEngine {
 
   StromKernel* FindKernel(uint32_t rpc_opcode) const;
 
+  // Registers the kernel track and EngineCounters gauges.
+  void AttachTelemetry(Telemetry* telemetry, const std::string& process);
+
   // Local invocation (paper §3.5): the host posts an RPC to its own NIC.
-  Status InvokeLocal(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params);
+  Status InvokeLocal(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params,
+                     TraceContext trace = {});
 
   // Routes payload of plain RDMA WRITEs arriving on `qpn` into the kernel's
   // roceDataIn stream (receive kernel on the unmodified write path).
@@ -75,6 +79,9 @@ class StromEngine {
     // Output-side collection state.
     std::deque<PendingDmaWrite> dma_writes;
     std::deque<PendingResponse> responses;
+    // Trace of the invocation currently flowing through the kernel.
+    TraceContext active_trace;
+    SimTime rpc_started = 0;
   };
 
   bool OnRpc(RpcDelivery delivery);  // wired as the stack's RPC handler
@@ -93,6 +100,8 @@ class StromEngine {
   std::map<uint32_t, std::unique_ptr<Deployed>> kernels_;  // by RPC op-code
   std::map<Qpn, uint32_t> taps_;
   EngineCounters counters_;
+  Tracer* tracer_ = nullptr;
+  TrackId track_ = kInvalidTrack;
 };
 
 }  // namespace strom

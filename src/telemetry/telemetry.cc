@@ -1,0 +1,63 @@
+#include "src/telemetry/telemetry.h"
+
+#include <fstream>
+#include <utility>
+
+namespace strom {
+
+void TelemetryCollector::Collect(const std::string& label, Telemetry& telemetry) {
+  runs_.push_back(Run{label, telemetry.metrics.Snap()});
+  if (!telemetry.tracer.events().empty()) {
+    TraceRun tr;
+    tr.label = label;
+    tr.tracks = telemetry.tracer.tracks();
+    tr.events = telemetry.tracer.events();
+    trace_runs_.push_back(std::move(tr));
+    telemetry.tracer.Clear();
+  }
+}
+
+void TelemetryCollector::Collect(const std::string& label,
+                                 MetricsRegistry::Snapshot snapshot) {
+  runs_.push_back(Run{label, std::move(snapshot)});
+}
+
+Status TelemetryCollector::WriteChromeTrace(const std::string& path) const {
+  return WriteChromeTraceFile(path, trace_runs_);
+}
+
+std::string TelemetryCollector::MetricsJson() const {
+  std::string out = "{\n\"runs\": [\n";
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    out += "{\n  \"label\": \"" + runs_[i].label + "\",\n  \"metrics\": ";
+    out += MetricsSnapshotToJson(runs_[i].metrics, 2);
+    out += "\n}";
+    out += i + 1 == runs_.size() ? "\n" : ",\n";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string TelemetryCollector::MetricsCsv() const {
+  std::string out = "run,kind,name,value\n";
+  for (const Run& run : runs_) {
+    MetricsSnapshotToCsv(run.label, run.metrics, &out);
+  }
+  return out;
+}
+
+Status TelemetryCollector::WriteMetrics(const std::string& path) const {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) {
+    return UnavailableError("cannot open metrics output file: " + path);
+  }
+  f << (csv ? MetricsCsv() : MetricsJson());
+  f.close();
+  if (!f) {
+    return UnavailableError("failed writing metrics output file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace strom

@@ -1,0 +1,53 @@
+// Telemetry bundle: one per simulation (the Testbed owns one and attaches
+// it to every component), plus a process-wide collector that harvests
+// finished runs so bench binaries can export a single trace/metrics file
+// covering every testbed they built.
+#ifndef SRC_TELEMETRY_TELEMETRY_H_
+#define SRC_TELEMETRY_TELEMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/telemetry/chrome_trace.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace strom {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+// Accumulates the telemetry of completed simulation runs. Not thread-safe;
+// the simulator is single-threaded and so are the benches.
+class TelemetryCollector {
+ public:
+  // Snapshots metrics and moves trace events out of `telemetry`.
+  void Collect(const std::string& label, Telemetry& telemetry);
+  // Deposits an already-built snapshot (e.g. one bench result row).
+  void Collect(const std::string& label, MetricsRegistry::Snapshot snapshot);
+
+  bool empty() const { return runs_.empty(); }
+  size_t run_count() const { return runs_.size(); }
+  const std::vector<TraceRun>& trace_runs() const { return trace_runs_; }
+
+  Status WriteChromeTrace(const std::string& path) const;
+  Status WriteMetrics(const std::string& path) const;  // .csv suffix -> CSV, else JSON
+
+  std::string MetricsJson() const;
+  std::string MetricsCsv() const;
+
+ private:
+  struct Run {
+    std::string label;
+    MetricsRegistry::Snapshot metrics;
+  };
+  std::vector<Run> runs_;
+  std::vector<TraceRun> trace_runs_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,36 @@
+#include "src/telemetry/trace.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+void Tracer::Enable(uint32_t sample_every) {
+  STROM_CHECK_GE(sample_every, 1u);
+  enabled_ = true;
+  sample_every_ = sample_every;
+}
+
+TrackId Tracer::RegisterTrack(std::string process, std::string name) {
+  tracks_.push_back(Track{std::move(process), std::move(name)});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void Tracer::Span(const TraceContext& ctx, TrackId track, std::string name, SimTime begin,
+                  SimTime end) {
+  if (!ctx.sampled() || track == kInvalidTrack) {
+    return;
+  }
+  STROM_CHECK_LT(static_cast<size_t>(track), tracks_.size());
+  STROM_CHECK_LE(begin, end);
+  events_.push_back(Event{track, std::move(name), ctx.id, begin, end});
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  started_ = 0;
+  next_trace_id_ = 1;
+}
+
+}  // namespace strom

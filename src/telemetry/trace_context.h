@@ -1,0 +1,23 @@
+// TraceContext: the per-message/per-packet tracing handle threaded through
+// the whole data path (driver -> controller -> RoCE TX -> wire -> RoCE RX ->
+// DMA / kernels). A real NIC would carry the id in a debug header; in the
+// simulation it rides next to the frame bytes so the wire format and all
+// timing stay exactly as without tracing. A zero id means "not sampled":
+// every instrumentation site guards on sampled() with a single branch, so
+// disabled tracing costs nothing on the hot path.
+#ifndef SRC_TELEMETRY_TRACE_CONTEXT_H_
+#define SRC_TELEMETRY_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace strom {
+
+struct TraceContext {
+  uint64_t id = 0;
+
+  bool sampled() const { return id != 0; }
+};
+
+}  // namespace strom
+
+#endif  // SRC_TELEMETRY_TRACE_CONTEXT_H_

@@ -15,7 +15,16 @@ Node::Node(Simulator& sim, const Profile& profile, Ipv4Addr ip, MacAddr mac,
       driver_(sim, memory_, tlb_, controller_),
       tcp_(sim, cpu_, ip, mac, arp) {}
 
-void Node::OnFrame(ByteBuffer frame) {
+void Node::AttachTelemetry(Telemetry* telemetry, int index) {
+  const std::string process = "node" + std::to_string(index);
+  driver_.AttachTelemetry(telemetry, process);
+  controller_.AttachTelemetry(telemetry, process);
+  stack_.AttachTelemetry(telemetry, process);
+  engine_.AttachTelemetry(telemetry, process);
+  dma_.AttachTelemetry(telemetry, process);
+}
+
+void Node::OnFrame(ByteBuffer frame, TraceContext trace) {
   // Peek at the IP protocol field (Eth 14 + IP offset 9).
   if (frame.size() > EthHeader::kSize + 9 &&
       LoadBe16(frame.data() + 12) == kEtherTypeIpv4) {
@@ -25,12 +34,13 @@ void Node::OnFrame(ByteBuffer frame) {
       return;
     }
   }
-  stack_.OnFrame(std::move(frame));
+  stack_.OnFrame(std::move(frame), trace);
 }
 
-void Node::SetFrameSender(std::function<void(ByteBuffer)> sender) {
+void Node::SetFrameSender(RoceStack::FrameSender sender) {
   stack_.SetFrameSender(sender);
-  tcp_.SetFrameSender(std::move(sender));
+  tcp_.SetFrameSender(
+      [sender](ByteBuffer frame) { sender(std::move(frame), TraceContext{}); });
 }
 
 }  // namespace strom

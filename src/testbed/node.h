@@ -30,11 +30,15 @@ class Node {
   Ipv4Addr ip() const { return ip_; }
   const MacAddr& mac() const { return mac_; }
 
+  // Attaches every component under the process name "node<index>".
+  void AttachTelemetry(Telemetry* telemetry, int index);
+
   // Ingress demux: RoCE (UDP 4791) frames go to the NIC stack, TCP frames to
   // the host kernel stack.
-  void OnFrame(ByteBuffer frame);
-  // Wires both stacks' egress to the given sender.
-  void SetFrameSender(std::function<void(ByteBuffer)> sender);
+  void OnFrame(ByteBuffer frame, TraceContext trace = {});
+  // Wires both stacks' egress to the given sender (TCP frames are sent with
+  // a null trace context).
+  void SetFrameSender(RoceStack::FrameSender sender);
 
   HostMemory& memory() { return memory_; }
   Tlb& tlb() { return tlb_; }

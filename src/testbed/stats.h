@@ -14,19 +14,27 @@ namespace strom {
 
 class LatencyStats {
  public:
-  void Add(SimTime sample) { samples_.push_back(sample); }
+  void Add(SimTime sample) {
+    samples_.push_back(sample);
+    sorted_valid_ = false;
+  }
   size_t count() const { return samples_.size(); }
 
   SimTime Percentile(double p) const {
     STROM_CHECK(!samples_.empty());
-    std::vector<SimTime> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    const double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
+    // Sort once, reuse across the median/p1/p99 calls every bench row makes;
+    // Add() invalidates the cache.
+    if (!sorted_valid_) {
+      sorted_ = samples_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
+    }
+    const double rank = p / 100.0 * (static_cast<double>(sorted_.size()) - 1);
     const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const size_t hi = std::min(lo + 1, sorted_.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return static_cast<SimTime>(static_cast<double>(sorted[lo]) * (1 - frac) +
-                                static_cast<double>(sorted[hi]) * frac);
+    return static_cast<SimTime>(static_cast<double>(sorted_[lo]) * (1 - frac) +
+                                static_cast<double>(sorted_[hi]) * frac);
   }
 
   SimTime Median() const { return Percentile(50); }
@@ -44,6 +52,8 @@ class LatencyStats {
 
  private:
   std::vector<SimTime> samples_;
+  mutable std::vector<SimTime> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace strom

@@ -12,8 +12,14 @@ MacAddr MacForIndex(int i) {
 
 }  // namespace
 
-Testbed::Testbed(const Profile& profile, int num_nodes) : profile_(profile) {
+TestbedTelemetryDefaults Testbed::telemetry_defaults;
+
+Testbed::Testbed(const Profile& profile, int num_nodes)
+    : profile_(profile), telemetry_(std::make_unique<Telemetry>()) {
   STROM_CHECK_GE(num_nodes, 2);
+  if (telemetry_defaults.enable_trace) {
+    telemetry_->tracer.Enable(telemetry_defaults.sample_every);
+  }
 
   for (int i = 0; i < num_nodes; ++i) {
     const Ipv4Addr ip = MakeIp(10, 0, 0, static_cast<uint8_t>(i + 1));
@@ -22,15 +28,21 @@ Testbed::Testbed(const Profile& profile, int num_nodes) : profile_(profile) {
   for (int i = 0; i < num_nodes; ++i) {
     const Ipv4Addr ip = MakeIp(10, 0, 0, static_cast<uint8_t>(i + 1));
     nodes_.push_back(std::make_unique<Node>(sim_, profile, ip, MacForIndex(i), arp_));
+    nodes_.back()->AttachTelemetry(telemetry_.get(), i);
   }
 
   if (num_nodes == 2) {
     link_ = std::make_unique<PointToPointLink>(sim_, profile.link);
+    link_->AttachTelemetry(telemetry_.get(), "network");
     for (int i = 0; i < 2; ++i) {
       Node* node = nodes_[i].get();
-      link_->Attach(i, [node](ByteBuffer frame) { node->OnFrame(std::move(frame)); });
+      link_->Attach(i, [node](ByteBuffer frame, TraceContext trace) {
+        node->OnFrame(std::move(frame), trace);
+      });
       PointToPointLink* link = link_.get();
-      node->SetFrameSender([link, i](ByteBuffer frame) { link->Send(i, std::move(frame)); });
+      node->SetFrameSender([link, i](ByteBuffer frame, TraceContext trace) {
+        link->Send(i, std::move(frame), trace);
+      });
     }
     return;
   }
@@ -42,10 +54,23 @@ Testbed::Testbed(const Profile& profile, int num_nodes) : profile_(profile) {
   for (int i = 0; i < num_nodes; ++i) {
     const int port = switch_->AddPort();
     PointToPointLink& link = switch_->PortLink(port);
+    link.AttachTelemetry(telemetry_.get(), "port" + std::to_string(i));
     Node* node = nodes_[i].get();
-    link.Attach(0, [node](ByteBuffer frame) { node->OnFrame(std::move(frame)); });
-    node->SetFrameSender([&link](ByteBuffer frame) { link.Send(0, std::move(frame)); });
+    link.Attach(0, [node](ByteBuffer frame, TraceContext trace) {
+      node->OnFrame(std::move(frame), trace);
+    });
+    node->SetFrameSender([&link](ByteBuffer frame, TraceContext trace) {
+      link.Send(0, std::move(frame), trace);
+    });
     switch_->AddStaticRoute(MacForIndex(i), port);
+  }
+}
+
+Testbed::~Testbed() {
+  if (telemetry_defaults.collector != nullptr) {
+    static uint64_t run_counter = 0;
+    const std::string label = "run" + std::to_string(run_counter++) + ":" + profile_.name;
+    telemetry_defaults.collector->Collect(label, *telemetry_);
   }
 }
 

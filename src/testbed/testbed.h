@@ -8,15 +8,33 @@
 
 #include "src/netsim/link.h"
 #include "src/netsim/switch.h"
+#include "src/telemetry/telemetry.h"
 #include "src/testbed/node.h"
 
 namespace strom {
+
+// Process-wide telemetry defaults applied to every Testbed at construction.
+// bench_util sets these from --trace-out/--metrics-out/--trace-sample so all
+// bench binaries gain telemetry export without per-bench changes.
+struct TestbedTelemetryDefaults {
+  bool enable_trace = false;
+  uint32_t sample_every = 1;
+  // When set, each destructed Testbed deposits its run here (metrics
+  // snapshot + trace events), labeled "run<N>:<profile name>".
+  TelemetryCollector* collector = nullptr;
+};
 
 class Testbed {
  public:
   // num_nodes == 2 builds the paper's direct-cable topology; > 2 inserts a
   // switch with one port per node.
   explicit Testbed(const Profile& profile, int num_nodes = 2);
+  ~Testbed();
+
+  static TestbedTelemetryDefaults telemetry_defaults;
+
+  Telemetry& telemetry() { return *telemetry_; }
+  Tracer& tracer() { return telemetry_->tracer; }
 
   Simulator& sim() { return sim_; }
   Node& node(int i) { return *nodes_.at(i); }
@@ -32,6 +50,7 @@ class Testbed {
   Profile profile_;
   Simulator sim_;
   ArpTable arp_;
+  std::unique_ptr<Telemetry> telemetry_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<PointToPointLink> link_;          // 2-node topology
   std::unique_ptr<EthernetSwitch> switch_;          // N-node topology

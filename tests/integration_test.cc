@@ -318,5 +318,113 @@ TEST(Profile100G, SaturatesNearLineRateForLargeWrites) {
   EXPECT_LT(gbps, 100.0);
 }
 
+// ---------------------------------------------------------------------------
+// End-to-end telemetry: a traced WRITE and READ leave spans along the whole
+// data path (host issue -> DMA fetch -> NIC TX -> wire -> NIC RX -> DMA
+// write) in causal order, and an untraced testbed records nothing.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryIntegration, WriteAndReadSpansAreCausallyOrdered) {
+  Testbed bed(Profile10G());
+  bed.tracer().Enable();
+  bed.ConnectQp(0, kQp, 1, kQp);
+  const VirtAddr local = bed.node(0).driver().AllocBuffer(MiB(1))->addr;
+  const VirtAddr remote = bed.node(1).driver().AllocBuffer(MiB(1))->addr;
+  ASSERT_TRUE(bed.node(0).driver().WriteHost(local, RandomBytes(4096, 7)).ok());
+
+  bool write_done = false;
+  bed.node(0).driver().PostWrite(kQp, local, remote, 4096, [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    write_done = true;
+  });
+  bed.sim().RunUntil([&] { return write_done; });
+
+  bool read_done = false;
+  bed.node(0).driver().PostRead(kQp, local, remote, 4096, [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    read_done = true;
+  });
+  bed.sim().RunUntil([&] { return read_done; });
+
+  const auto& tracks = bed.tracer().tracks();
+  const auto& events = bed.tracer().events();
+  ASSERT_FALSE(events.empty());
+  for (const Tracer::Event& e : events) {
+    EXPECT_GE(e.end, e.begin) << e.name;
+  }
+
+  // Earliest span of `id` on a track of `process` whose name starts with
+  // `prefix` and begins at or after `not_before`.
+  auto find = [&](uint64_t id, const std::string& process, const std::string& prefix,
+                  SimTime not_before = 0) -> const Tracer::Event* {
+    const Tracer::Event* best = nullptr;
+    for (const Tracer::Event& e : events) {
+      if (e.trace_id != id || tracks[static_cast<size_t>(e.track)].process != process ||
+          e.name.rfind(prefix, 0) != 0 || e.begin < not_before) {
+        continue;
+      }
+      if (best == nullptr || e.begin < best->begin) {
+        best = &e;
+      }
+    }
+    return best;
+  };
+  auto verb_span = [&](const std::string& verb) -> const Tracer::Event* {
+    for (const Tracer::Event& e : events) {
+      if (e.name == verb && tracks[static_cast<size_t>(e.track)].process == "node0") {
+        return &e;
+      }
+    }
+    return nullptr;
+  };
+
+  // WRITE: issue -> payload fetch -> TX -> wire -> RX -> remote DMA write.
+  const Tracer::Event* wr = verb_span("write");
+  ASSERT_NE(wr, nullptr);
+  const Tracer::Event* cmd = find(wr->trace_id, "node0", "cmd.issue");
+  ASSERT_NE(cmd, nullptr);
+  const Tracer::Event* fetch = find(wr->trace_id, "node0", "dma.read", cmd->begin);
+  ASSERT_NE(fetch, nullptr);
+  const Tracer::Event* tx = find(wr->trace_id, "node0", "tx:WRITE", fetch->begin);
+  ASSERT_NE(tx, nullptr);
+  const Tracer::Event* wire = find(wr->trace_id, "network", "wire", tx->begin);
+  ASSERT_NE(wire, nullptr);
+  const Tracer::Event* rx = find(wr->trace_id, "node1", "rx:WRITE", wire->begin);
+  ASSERT_NE(rx, nullptr);
+  const Tracer::Event* place = find(wr->trace_id, "node1", "dma.write", rx->begin);
+  ASSERT_NE(place, nullptr);
+  EXPECT_LE(place->end, wr->end);  // placed before the initiator saw completion
+
+  // READ: the same trace id covers the full round trip — request out,
+  // responder DMA fetch, response back, local DMA write.
+  const Tracer::Event* rd = verb_span("read");
+  ASSERT_NE(rd, nullptr);
+  EXPECT_NE(rd->trace_id, wr->trace_id);
+  const Tracer::Event* req_tx = find(rd->trace_id, "node0", "tx:READ_REQUEST");
+  ASSERT_NE(req_tx, nullptr);
+  const Tracer::Event* req_rx = find(rd->trace_id, "node1", "rx:READ_REQUEST", req_tx->begin);
+  ASSERT_NE(req_rx, nullptr);
+  const Tracer::Event* resp_fetch = find(rd->trace_id, "node1", "dma.read", req_rx->begin);
+  ASSERT_NE(resp_fetch, nullptr);
+  const Tracer::Event* resp_tx = find(rd->trace_id, "node1", "tx:READ_RESP", resp_fetch->begin);
+  ASSERT_NE(resp_tx, nullptr);
+  const Tracer::Event* resp_rx = find(rd->trace_id, "node0", "rx:READ_RESP", resp_tx->begin);
+  ASSERT_NE(resp_rx, nullptr);
+  const Tracer::Event* resp_place = find(rd->trace_id, "node0", "dma.write", resp_rx->begin);
+  ASSERT_NE(resp_place, nullptr);
+  EXPECT_LE(resp_place->end, rd->end);
+}
+
+TEST(TelemetryIntegration, UntracedRunRecordsZeroEvents) {
+  Testbed bed(Profile10G());  // tracing off by default
+  bed.ConnectQp(0, kQp, 1, kQp);
+  const VirtAddr local = bed.node(0).driver().AllocBuffer(MiB(1))->addr;
+  const VirtAddr remote = bed.node(1).driver().AllocBuffer(MiB(1))->addr;
+  bool done = false;
+  bed.node(0).driver().PostWrite(kQp, local, remote, 1024, [&](Status) { done = true; });
+  bed.sim().RunUntil([&] { return done; });
+  EXPECT_TRUE(bed.tracer().events().empty());
+}
+
 }  // namespace
 }  // namespace strom

@@ -17,7 +17,7 @@ TEST(Link, DeliversFramesWithSerializationAndPropagation) {
   PointToPointLink link(sim, cfg);
 
   SimTime arrival = -1;
-  link.Attach(1, [&](ByteBuffer frame) {
+  link.Attach(1, [&](ByteBuffer frame, TraceContext) {
     arrival = sim.now();
     EXPECT_EQ(frame.size(), 1226u);
   });
@@ -36,7 +36,7 @@ TEST(Link, BackToBackFramesQueueAtLineRate) {
   PointToPointLink link(sim, cfg);
 
   std::vector<SimTime> arrivals;
-  link.Attach(1, [&](ByteBuffer) { arrivals.push_back(sim.now()); });
+  link.Attach(1, [&](ByteBuffer, TraceContext) { arrivals.push_back(sim.now()); });
 
   link.Send(0, ByteBuffer(1226, 1));
   link.Send(0, ByteBuffer(1226, 2));
@@ -54,8 +54,8 @@ TEST(Link, FullDuplexDirectionsAreIndependent) {
 
   SimTime a = -1;
   SimTime b = -1;
-  link.Attach(0, [&](ByteBuffer) { a = sim.now(); });
-  link.Attach(1, [&](ByteBuffer) { b = sim.now(); });
+  link.Attach(0, [&](ByteBuffer, TraceContext) { a = sim.now(); });
+  link.Attach(1, [&](ByteBuffer, TraceContext) { b = sim.now(); });
   link.Send(0, ByteBuffer(1226, 1));
   link.Send(1, ByteBuffer(1226, 2));
   sim.RunUntilIdle();
@@ -66,7 +66,7 @@ TEST(Link, DropNextDropsExactCount) {
   Simulator sim;
   PointToPointLink link(sim, LinkConfig{});
   int received = 0;
-  link.Attach(1, [&](ByteBuffer) { ++received; });
+  link.Attach(1, [&](ByteBuffer, TraceContext) { ++received; });
   link.DropNext(0, 2);
   for (int i = 0; i < 5; ++i) {
     link.Send(0, ByteBuffer(100, 0));
@@ -81,7 +81,7 @@ TEST(Link, RandomDropRoughlyMatchesProbability) {
   Simulator sim;
   PointToPointLink link(sim, LinkConfig{});
   int received = 0;
-  link.Attach(1, [&](ByteBuffer) { ++received; });
+  link.Attach(1, [&](ByteBuffer, TraceContext) { ++received; });
   link.SetDropProbability(0, 0.3, /*seed=*/42);
   const int n = 10000;
   for (int i = 0; i < n; ++i) {
@@ -95,7 +95,7 @@ TEST(Link, CorruptNextFlipsPayloadByte) {
   Simulator sim;
   PointToPointLink link(sim, LinkConfig{});
   ByteBuffer got;
-  link.Attach(1, [&](ByteBuffer f) { got = std::move(f); });
+  link.Attach(1, [&](ByteBuffer f, TraceContext) { got = std::move(f); });
   link.CorruptNext(0, 1);
   ByteBuffer frame(100, 0x00);
   link.Send(0, frame);
@@ -110,7 +110,7 @@ TEST(Link, OversizeFrameDropped) {
   cfg.ip_mtu = 1500;
   PointToPointLink link(sim, cfg);
   int received = 0;
-  link.Attach(1, [&](ByteBuffer) { ++received; });
+  link.Attach(1, [&](ByteBuffer, TraceContext) { ++received; });
   link.Send(0, ByteBuffer(2000, 0));
   sim.RunUntilIdle();
   EXPECT_EQ(received, 0);
@@ -140,8 +140,8 @@ TEST(Switch, ForwardsByStaticRoute) {
 
   int got_b = 0;
   int got_c = 0;
-  sw.PortLink(p1).Attach(0, [&](ByteBuffer) { ++got_b; });
-  sw.PortLink(p2).Attach(0, [&](ByteBuffer) { ++got_c; });
+  sw.PortLink(p1).Attach(0, [&](ByteBuffer, TraceContext) { ++got_b; });
+  sw.PortLink(p2).Attach(0, [&](ByteBuffer, TraceContext) { ++got_c; });
 
   sw.PortLink(p0).Send(0, FrameTo(b, a));
   sim.RunUntilIdle();
@@ -163,9 +163,9 @@ TEST(Switch, FloodsUnknownAndLearnsSource) {
   int got_p1 = 0;
   int got_p2 = 0;
   int got_p0 = 0;
-  sw.PortLink(p0).Attach(0, [&](ByteBuffer) { ++got_p0; });
-  sw.PortLink(p1).Attach(0, [&](ByteBuffer) { ++got_p1; });
-  sw.PortLink(p2).Attach(0, [&](ByteBuffer) { ++got_p2; });
+  sw.PortLink(p0).Attach(0, [&](ByteBuffer, TraceContext) { ++got_p0; });
+  sw.PortLink(p1).Attach(0, [&](ByteBuffer, TraceContext) { ++got_p1; });
+  sw.PortLink(p2).Attach(0, [&](ByteBuffer, TraceContext) { ++got_p2; });
 
   // Unknown destination: flooded to all but the ingress port; source learned.
   sw.PortLink(p0).Send(0, FrameTo(b, a));
