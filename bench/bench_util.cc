@@ -16,6 +16,8 @@ constexpr Qpn kQp = 1;
 
 std::string g_trace_out;
 std::string g_metrics_out;
+std::string g_capture_out;
+SimTime g_sample_interval = 0;
 
 // Consumes "--name=value" from argv; returns true and sets *value on match.
 bool TakeFlag(const char* arg, const char* name, std::string* value) {
@@ -36,11 +38,16 @@ TelemetryCollector& Collector() {
 
 void InitBenchTelemetry(int* argc, char** argv) {
   std::string sample = "1";
+  std::string capture_runs = "1";
+  std::string sample_interval_us = "0";
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (TakeFlag(argv[i], "--trace-out", &g_trace_out) ||
         TakeFlag(argv[i], "--metrics-out", &g_metrics_out) ||
-        TakeFlag(argv[i], "--trace-sample", &sample)) {
+        TakeFlag(argv[i], "--trace-sample", &sample) ||
+        TakeFlag(argv[i], "--capture-out", &g_capture_out) ||
+        TakeFlag(argv[i], "--capture-runs", &capture_runs) ||
+        TakeFlag(argv[i], "--sample-interval-us", &sample_interval_us)) {
       continue;  // telemetry flag: keep it away from google/benchmark
     }
     argv[out++] = argv[i];
@@ -50,6 +57,11 @@ void InitBenchTelemetry(int* argc, char** argv) {
   TestbedTelemetryDefaults& defaults = Testbed::telemetry_defaults;
   defaults.enable_trace = !g_trace_out.empty();
   defaults.sample_every = std::max(1L, std::strtol(sample.c_str(), nullptr, 10));
+  defaults.capture_prefix = g_capture_out;
+  defaults.capture_runs =
+      static_cast<int>(std::max(1L, std::strtol(capture_runs.c_str(), nullptr, 10)));
+  g_sample_interval = Us(std::max(0L, std::strtol(sample_interval_us.c_str(), nullptr, 10)));
+  defaults.sample_interval = g_sample_interval;
   if (!g_trace_out.empty() || !g_metrics_out.empty()) {
     defaults.collector = &Collector();
   }
@@ -69,6 +81,19 @@ int ExportBenchTelemetry() {
     if (!st.ok()) {
       STROM_LOG(kError) << "metrics export failed: " << st;
       rc = 1;
+    }
+    if (g_sample_interval > 0) {
+      // Derive the sibling file: strip a trailing .csv/.json before appending.
+      std::string stem = g_metrics_out;
+      const size_t dot = stem.rfind('.');
+      if (dot != std::string::npos && stem.find('/', dot) == std::string::npos) {
+        stem.resize(dot);
+      }
+      st = Collector().WriteTimeSeries(stem + ".timeseries.csv");
+      if (!st.ok()) {
+        STROM_LOG(kError) << "time-series export failed: " << st;
+        rc = 1;
+      }
     }
   }
   return rc;

@@ -22,6 +22,14 @@ namespace strom::bench {
 //                          every testbed built during the run; enables tracing
 //   --trace-sample=<N>     trace 1-in-N messages (default 1 = all)
 //   --metrics-out=<file>   write per-run metrics; .csv suffix -> CSV else JSON
+//   --capture-out=<prefix> tap wire + NIC boundaries into pcapng files named
+//                          "<prefix>[.runN].{wire,node<i>.nic}.pcapng"
+//                          (inspect with tools/stromtrace or Wireshark)
+//   --capture-runs=<N>     capture the first N testbeds built (default 1;
+//                          benches build one testbed per iteration)
+//   --sample-interval-us=<T>  sample queue depths / occupancy / utilization
+//                          every T simulated microseconds; rows land next to
+//                          --metrics-out as "<stem>.timeseries.csv"
 
 // Process-wide collector that testbeds and ReportLatency deposit into.
 TelemetryCollector& Collector();

@@ -31,6 +31,31 @@ void PointToPointLink::AttachTelemetry(Telemetry* telemetry, const std::string& 
   }
 }
 
+void PointToPointLink::AttachCapture(PcapWriter* writer, const std::string& name_prefix) {
+  capture_ = writer;
+  sides_[0].capture_if = writer->AddInterface(name_prefix + ".0to1");
+  sides_[1].capture_if = writer->AddInterface(name_prefix + ".1to0");
+}
+
+void PointToPointLink::AttachSampler(Telemetry* telemetry, const std::string& process) {
+  for (int side = 0; side < 2; ++side) {
+    const Side& s = sides_[side];
+    const uint64_t rate_bps = config_.rate_bps;
+    telemetry->sampler.AddProbe(
+        process + ".link" + std::to_string(side) + ".utilization",
+        [&s, rate_bps, last_bytes = uint64_t{0}, last_t = SimTime{0}](SimTime now) mutable {
+          const uint64_t bytes = s.counters.bytes_sent - last_bytes;
+          const SimTime elapsed = now - last_t;
+          last_bytes = s.counters.bytes_sent;
+          last_t = now;
+          if (elapsed <= 0) {
+            return 0.0;
+          }
+          return double(bytes) * 8.0 / (double(rate_bps) * ToSec(elapsed));
+        });
+  }
+}
+
 void PointToPointLink::Attach(int side, RxHandler handler) {
   STROM_CHECK(side == 0 || side == 1);
   sides_[side].handler = std::move(handler);
@@ -45,6 +70,9 @@ void PointToPointLink::Send(int side, ByteBuffer frame, TraceContext trace) {
     ++tx.counters.frames_oversize;
     STROM_LOG(kWarning) << "dropping oversize frame: " << frame.size() << " > "
                         << config_.EthMtu();
+    if (capture_ != nullptr) {
+      capture_->WritePacket(tx.capture_if, sim_.now(), frame, "oversize");
+    }
     return;
   }
 
@@ -64,15 +92,38 @@ void PointToPointLink::Send(int side, ByteBuffer frame, TraceContext trace) {
   }
   if (drop) {
     ++tx.counters.frames_dropped;
+    if (capture_ != nullptr) {
+      std::string comment = "dropped";
+      if (trace.sampled()) {
+        comment += " trace_id=" + std::to_string(trace.id);
+      }
+      capture_->WritePacket(tx.capture_if, tx_done, frame, comment);
+    }
     return;
   }
 
+  bool corrupted = false;
   if (tx.corrupt_next > 0) {
     --tx.corrupt_next;
     ++tx.counters.frames_corrupted;
+    corrupted = true;
     // Flip a byte beyond the Ethernet header so the ICRC check catches it.
     size_t pos = std::min(frame.size() - 1, EthHeader::kSize + Ipv4Header::kSize + 5);
     frame[pos] ^= 0xA5;
+  }
+
+  if (capture_ != nullptr) {
+    std::string comment;
+    if (corrupted) {
+      comment = "corrupted";
+    }
+    if (trace.sampled()) {
+      if (!comment.empty()) {
+        comment += ' ';
+      }
+      comment += "trace_id=" + std::to_string(trace.id);
+    }
+    capture_->WritePacket(tx.capture_if, tx_done, frame, comment);
   }
 
   const SimTime arrival = tx_done + config_.propagation;

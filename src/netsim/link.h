@@ -14,6 +14,7 @@
 #include "src/common/units.h"
 #include "src/proto/headers.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/pcap_writer.h"
 #include "src/telemetry/telemetry.h"
 
 namespace strom {
@@ -45,6 +46,17 @@ class PointToPointLink {
   // Registers the wire tracks and per-side counter gauges.
   void AttachTelemetry(Telemetry* telemetry, const std::string& process);
 
+  // Taps both directions of the link into `writer` (one pcapng interface per
+  // direction, named "<name_prefix>.0to1" / "<name_prefix>.1to0"). Every
+  // frame entering Send() is captured — including dropped, corrupted and
+  // oversize ones, annotated via opt_comment — so the file shows what was
+  // put on the wire, not what survived it. Must be called before traffic.
+  void AttachCapture(PcapWriter* writer, const std::string& name_prefix);
+
+  // Registers per-side link-utilization probes (fraction of line rate used
+  // since the previous sample) with the telemetry sampler.
+  void AttachSampler(Telemetry* telemetry, const std::string& process);
+
   // side is 0 or 1. The handler receives frames sent from the other side.
   void Attach(int side, RxHandler handler);
 
@@ -74,12 +86,14 @@ class PointToPointLink {
     int corrupt_next = 0;
     LinkCounters counters;
     TrackId track = kInvalidTrack;
+    uint32_t capture_if = 0;
   };
 
   Simulator& sim_;
   LinkConfig config_;
   std::array<Side, 2> sides_;
   Tracer* tracer_ = nullptr;
+  PcapWriter* capture_ = nullptr;
 };
 
 }  // namespace strom

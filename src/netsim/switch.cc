@@ -25,6 +25,12 @@ int EthernetSwitch::AddPort() {
 
 void EthernetSwitch::AddStaticRoute(const MacAddr& mac, int port) { mac_table_[mac] = port; }
 
+void EthernetSwitch::AttachCapture(PcapWriter* writer) {
+  for (size_t port = 0; port < ports_.size(); ++port) {
+    ports_[port].link->AttachCapture(writer, "port" + std::to_string(port));
+  }
+}
+
 void EthernetSwitch::OnFrame(int in_port, ByteBuffer frame, TraceContext trace) {
   if (frame.size() < EthHeader::kSize) {
     return;

@@ -30,6 +30,10 @@ class EthernetSwitch {
   // Optional static forwarding entry.
   void AddStaticRoute(const MacAddr& mac, int port);
 
+  // Taps every port link into `writer` (interfaces "port<i>.0to1" /
+  // "port<i>.1to0"). Call after all ports are added and before traffic.
+  void AttachCapture(PcapWriter* writer);
+
   uint64_t frames_forwarded() const { return frames_forwarded_; }
   uint64_t frames_flooded() const { return frames_flooded_; }
 

@@ -29,6 +29,16 @@ void DmaEngine::AttachTelemetry(Telemetry* telemetry, const std::string& process
                               [this] { return double(counters_.errors); });
 }
 
+void DmaEngine::AttachSampler(Telemetry* telemetry, const std::string& process) {
+  const std::string prefix = process + ".dma.";
+  telemetry->sampler.AddProbe(prefix + "read_backlog_ns", [this](SimTime now) {
+    return read_busy_until_ > now ? ToNs(read_busy_until_ - now) : 0.0;
+  });
+  telemetry->sampler.AddProbe(prefix + "write_backlog_ns", [this](SimTime now) {
+    return write_busy_until_ > now ? ToNs(write_busy_until_ - now) : 0.0;
+  });
+}
+
 SimTime DmaEngine::ServiceTime(const std::vector<DmaSegment>& segments) const {
   SimTime t = 0;
   for (const DmaSegment& seg : segments) {

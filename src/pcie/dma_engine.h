@@ -46,6 +46,10 @@ class DmaEngine {
   // Registers the DMA track and counter gauges under `process` (e.g. "node0").
   void AttachTelemetry(Telemetry* telemetry, const std::string& process);
 
+  // Registers per-channel backlog probes (ns until the channel goes idle)
+  // with the telemetry sampler.
+  void AttachSampler(Telemetry* telemetry, const std::string& process);
+
   // Fetches `length` bytes at virtual address `virt`; the callback runs when
   // the last data beat arrives on the card.
   void Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceContext trace = {});

@@ -75,6 +75,34 @@ void RoceStack::AttachTelemetry(Telemetry* telemetry, const std::string& process
   read_latency_us_ = telemetry->metrics.AddHistogram(prefix + "read_latency_us", bounds);
 }
 
+void RoceStack::AttachCapture(PcapWriter* writer, const std::string& process) {
+  capture_ = writer;
+  capture_tx_if_ = writer->AddInterface(process + ".nic.tx");
+  capture_rx_if_ = writer->AddInterface(process + ".nic.rx");
+}
+
+void RoceStack::AttachSampler(Telemetry* telemetry, const std::string& process) {
+  const std::string prefix = process + ".roce.";
+  TimeSeriesSampler& s = telemetry->sampler;
+  s.AddProbe(prefix + "wr_queue_depth", [this](SimTime) { return double(wr_queue_.size()); });
+  s.AddProbe(prefix + "control_queue_depth",
+             [this](SimTime) { return double(control_queue_.size()); });
+  s.AddProbe(prefix + "retransmit_queue_depth",
+             [this](SimTime) { return double(retransmit_queue_.size()); });
+  s.AddProbe(prefix + "outstanding_packets", [this](SimTime) {
+    size_t n = 0;
+    for (const QpState& qp : qps_) {
+      n += qp.outstanding.size();
+    }
+    return double(n);
+  });
+  s.AddProbe(prefix + "outstanding_reads",
+             [this](SimTime) { return double(pending_reads_.size()); });
+  s.AddProbe(prefix + "multi_queue_occupancy", [this](SimTime) {
+    return double(multi_queue_.total_elements() - multi_queue_.free_elements());
+  });
+}
+
 RoceStack::QpState& RoceStack::Qp(Qpn qpn) {
   STROM_CHECK_LT(qpn, qps_.size());
   return qps_[qpn];
@@ -415,6 +443,11 @@ void RoceStack::EmitFrame(const RocePacket& pkt) {
   STROM_CHECK(arp_.Lookup(pkt.dst_ip, &dst_mac))
       << "no ARP entry for " << IpToString(pkt.dst_ip);
   ByteBuffer frame = EncodeRoceFrame(local_mac_, dst_mac, pkt);
+  if (capture_ != nullptr) {
+    capture_->WritePacket(capture_tx_if_, sim_.now(), frame,
+                          pkt.trace.sampled() ? "trace_id=" + std::to_string(pkt.trace.id)
+                                              : std::string());
+  }
   ++counters_.tx_packets;
   if (pkt.bth.opcode == IbOpcode::kAck) {
     ++counters_.tx_acks;
@@ -467,6 +500,20 @@ void RoceStack::PumpTx() {
 
 void RoceStack::OnFrame(ByteBuffer frame, TraceContext trace) {
   Result<RocePacket> parsed = ParseRoceFrame(frame);
+  if (capture_ != nullptr) {
+    std::string comment;
+    if (!parsed.ok()) {
+      comment = parsed.status().code() == StatusCode::kDataLoss ? "rx_drop=icrc"
+                                                                : "rx_drop=malformed";
+    }
+    if (trace.sampled()) {
+      if (!comment.empty()) {
+        comment += ' ';
+      }
+      comment += "trace_id=" + std::to_string(trace.id);
+    }
+    capture_->WritePacket(capture_rx_if_, sim_.now(), frame, comment);
+  }
   if (!parsed.ok()) {
     if (parsed.status().code() == StatusCode::kDataLoss) {
       ++counters_.icrc_drops;

@@ -27,6 +27,7 @@
 #include "src/roce/state_table.h"
 #include "src/roce/work_request.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/pcap_writer.h"
 #include "src/telemetry/telemetry.h"
 
 namespace strom {
@@ -56,6 +57,16 @@ class RoceStack {
   // Registers TX/RX/message tracks, RoceCounters gauges and per-verb latency
   // histograms under `process` (e.g. "node0").
   void AttachTelemetry(Telemetry* telemetry, const std::string& process);
+
+  // Taps the stack's NIC boundary into `writer`: interface "<process>.nic.tx"
+  // records every frame as encoded (pre-wire), "<process>.nic.rx" every frame
+  // as it arrives from the Ethernet interface (post-wire, before parsing).
+  // Diffing the two against the link capture separates stack bugs from wire
+  // faults. Must be called before traffic.
+  void AttachCapture(PcapWriter* writer, const std::string& process);
+
+  // Registers queue-depth and occupancy probes with the telemetry sampler.
+  void AttachSampler(Telemetry* telemetry, const std::string& process);
 
   // --- control path (Controller) ------------------------------------------
   // Out-of-band QP setup, equivalent to the driver exchanging QP numbers and
@@ -186,6 +197,9 @@ class RoceStack {
   TrackId msg_track_ = kInvalidTrack;
   Histogram* write_latency_us_ = nullptr;
   Histogram* read_latency_us_ = nullptr;
+  PcapWriter* capture_ = nullptr;
+  uint32_t capture_tx_if_ = 0;
+  uint32_t capture_rx_if_ = 0;
 
   const uint32_t pmtu_payload_;
 };

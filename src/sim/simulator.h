@@ -55,6 +55,12 @@ class Simulator {
   // Number of spawned tasks that have not yet completed.
   size_t pending_tasks() const;
 
+  // Number of events waiting in the queue. The running event has already
+  // been popped, so a periodic callback (e.g. the telemetry sampler) can
+  // stop rescheduling itself when this hits zero without wedging
+  // RunUntilIdle().
+  size_t pending_events() const { return queue_.size(); }
+
  private:
   void SweepTasks();
 

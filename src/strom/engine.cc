@@ -30,6 +30,21 @@ void StromEngine::AttachTelemetry(Telemetry* telemetry, const std::string& proce
   gauge("tapped_chunks", counters_.tapped_chunks);
 }
 
+void StromEngine::AttachSampler(Telemetry* telemetry, const std::string& process) {
+  telemetry->sampler.AddProbe(process + ".engine.stream_occupancy", [this](SimTime) {
+    size_t n = 0;
+    for (const auto& [opcode, d] : kernels_) {
+      const KernelStreams& st = d->kernel->streams();
+      n += st.qpn_in.size() + st.param_in.size() + st.roce_data_in.size() +
+           st.dma_cmd_out.size() + st.dma_data_out.size() + st.dma_data_in.size() +
+           st.roce_meta_out.size() + st.roce_data_out.size();
+      n += d->qpn_inbox.size() + d->param_inbox.size() + d->data_inbox.size() +
+           d->dma_in_inbox.size();
+    }
+    return double(n);
+  });
+}
+
 Status StromEngine::DeployKernel(std::unique_ptr<StromKernel> kernel) {
   const uint32_t opcode = kernel->rpc_opcode();
   if (kernels_.count(opcode) != 0) {

@@ -48,6 +48,10 @@ class StromEngine {
   // Registers the kernel track and EngineCounters gauges.
   void AttachTelemetry(Telemetry* telemetry, const std::string& process);
 
+  // Registers an aggregate kernel stream/inbox occupancy probe with the
+  // telemetry sampler.
+  void AttachSampler(Telemetry* telemetry, const std::string& process);
+
   // Local invocation (paper §3.5): the host posts an RPC to its own NIC.
   Status InvokeLocal(uint32_t rpc_opcode, Qpn qpn, ByteBuffer params,
                      TraceContext trace = {});

@@ -1,0 +1,38 @@
+// pcapng reader for the files PcapWriter produces (and any little-endian
+// Ethernet pcapng with power-of-ten timestamp resolution). Used by the
+// stromtrace inspector and the capture tests; unknown block and option types
+// are skipped, so files that passed through other tools still load.
+#ifndef SRC_TELEMETRY_PCAP_READER_H_
+#define SRC_TELEMETRY_PCAP_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sim/time.h"
+
+namespace strom {
+
+struct CapturedPacket {
+  uint32_t interface_id = 0;
+  SimTime timestamp = 0;  // picoseconds
+  ByteBuffer data;
+  std::string comment;  // opt_comment, empty if absent
+};
+
+struct CaptureFile {
+  std::vector<std::string> interfaces;  // if_name per IDB, in file order
+  std::vector<CapturedPacket> packets;
+
+  const std::string& InterfaceName(uint32_t id) const;
+};
+
+// Parses a pcapng capture. Fails on structural corruption (bad magic,
+// truncated blocks, packets referencing unknown interfaces).
+Result<CaptureFile> ReadPcapng(const std::string& path);
+Result<CaptureFile> ParsePcapng(ByteSpan data);
+
+}  // namespace strom
+
+#endif  // SRC_TELEMETRY_PCAP_READER_H_

@@ -1,0 +1,46 @@
+#include "src/telemetry/sampler.h"
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+void TimeSeriesSampler::AddProbe(const std::string& name, ProbeFn fn) {
+  STROM_CHECK(rows_.empty()) << "probes must be registered before sampling starts";
+  STROM_CHECK(fn != nullptr);
+  for (const std::string& existing : names_) {
+    STROM_CHECK(existing != name) << "duplicate probe: " << name;
+  }
+  names_.push_back(name);
+  probes_.push_back(std::move(fn));
+}
+
+void TimeSeriesSampler::Sample(SimTime now) {
+  Row row;
+  row.t = now;
+  row.values.reserve(probes_.size());
+  for (const ProbeFn& probe : probes_) {
+    row.values.push_back(probe(now));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TimeSeriesToCsv(const std::string& label, const std::vector<std::string>& names,
+                     const std::vector<TimeSeriesSampler::Row>& rows, std::string* out) {
+  char buf[64];
+  for (const TimeSeriesSampler::Row& row : rows) {
+    for (size_t i = 0; i < names.size() && i < row.values.size(); ++i) {
+      out->append(label);
+      out->push_back(',');
+      snprintf(buf, sizeof(buf), "%.3f", ToUs(row.t));
+      out->append(buf);
+      out->push_back(',');
+      out->append(names[i]);
+      out->push_back(',');
+      snprintf(buf, sizeof(buf), "%g", row.values[i]);
+      out->append(buf);
+      out->push_back('\n');
+    }
+  }
+}
+
+}  // namespace strom

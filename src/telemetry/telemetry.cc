@@ -15,6 +15,14 @@ void TelemetryCollector::Collect(const std::string& label, Telemetry& telemetry)
     trace_runs_.push_back(std::move(tr));
     telemetry.tracer.Clear();
   }
+  if (!telemetry.sampler.empty()) {
+    TimeSeriesRun ts;
+    ts.label = label;
+    ts.names = telemetry.sampler.names();
+    ts.rows = telemetry.sampler.rows();
+    timeseries_runs_.push_back(std::move(ts));
+    telemetry.sampler.ClearRows();
+  }
 }
 
 void TelemetryCollector::Collect(const std::string& label,
@@ -44,6 +52,27 @@ std::string TelemetryCollector::MetricsCsv() const {
     MetricsSnapshotToCsv(run.label, run.metrics, &out);
   }
   return out;
+}
+
+std::string TelemetryCollector::TimeSeriesCsv() const {
+  std::string out = "run,time_us,metric,value\n";
+  for (const TimeSeriesRun& run : timeseries_runs_) {
+    TimeSeriesToCsv(run.label, run.names, run.rows, &out);
+  }
+  return out;
+}
+
+Status TelemetryCollector::WriteTimeSeries(const std::string& path) const {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) {
+    return UnavailableError("cannot open time-series output file: " + path);
+  }
+  f << TimeSeriesCsv();
+  f.close();
+  if (!f) {
+    return UnavailableError("failed writing time-series output file: " + path);
+  }
+  return Status::Ok();
 }
 
 Status TelemetryCollector::WriteMetrics(const std::string& path) const {

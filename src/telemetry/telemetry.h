@@ -11,6 +11,7 @@
 #include "src/common/status.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/sampler.h"
 #include "src/telemetry/trace.h"
 
 namespace strom {
@@ -18,6 +19,7 @@ namespace strom {
 struct Telemetry {
   MetricsRegistry metrics;
   Tracer tracer;
+  TimeSeriesSampler sampler;
 };
 
 // Accumulates the telemetry of completed simulation runs. Not thread-safe;
@@ -29,15 +31,25 @@ class TelemetryCollector {
   // Deposits an already-built snapshot (e.g. one bench result row).
   void Collect(const std::string& label, MetricsRegistry::Snapshot snapshot);
 
+  // One run's worth of periodic sampler rows (queue depths, occupancy...).
+  struct TimeSeriesRun {
+    std::string label;
+    std::vector<std::string> names;
+    std::vector<TimeSeriesSampler::Row> rows;
+  };
+
   bool empty() const { return runs_.empty(); }
   size_t run_count() const { return runs_.size(); }
   const std::vector<TraceRun>& trace_runs() const { return trace_runs_; }
+  const std::vector<TimeSeriesRun>& timeseries_runs() const { return timeseries_runs_; }
 
   Status WriteChromeTrace(const std::string& path) const;
   Status WriteMetrics(const std::string& path) const;  // .csv suffix -> CSV, else JSON
+  Status WriteTimeSeries(const std::string& path) const;
 
   std::string MetricsJson() const;
   std::string MetricsCsv() const;
+  std::string TimeSeriesCsv() const;  // long format: label,time_us,metric,value
 
  private:
   struct Run {
@@ -46,6 +58,7 @@ class TelemetryCollector {
   };
   std::vector<Run> runs_;
   std::vector<TraceRun> trace_runs_;
+  std::vector<TimeSeriesRun> timeseries_runs_;
 };
 
 }  // namespace strom

@@ -24,6 +24,17 @@ void Node::AttachTelemetry(Telemetry* telemetry, int index) {
   dma_.AttachTelemetry(telemetry, process);
 }
 
+void Node::AttachCapture(PcapWriter* writer, int index) {
+  stack_.AttachCapture(writer, "node" + std::to_string(index));
+}
+
+void Node::AttachSampler(Telemetry* telemetry, int index) {
+  const std::string process = "node" + std::to_string(index);
+  stack_.AttachSampler(telemetry, process);
+  dma_.AttachSampler(telemetry, process);
+  engine_.AttachSampler(telemetry, process);
+}
+
 void Node::OnFrame(ByteBuffer frame, TraceContext trace) {
   // Peek at the IP protocol field (Eth 14 + IP offset 9).
   if (frame.size() > EthHeader::kSize + 9 &&

@@ -33,6 +33,12 @@ class Node {
   // Attaches every component under the process name "node<index>".
   void AttachTelemetry(Telemetry* telemetry, int index);
 
+  // Taps the NIC TX/RX boundary into `writer` (see RoceStack::AttachCapture).
+  void AttachCapture(PcapWriter* writer, int index);
+
+  // Registers queue/occupancy probes of every component with the sampler.
+  void AttachSampler(Telemetry* telemetry, int index);
+
   // Ingress demux: RoCE (UDP 4791) frames go to the NIC stack, TCP frames to
   // the host kernel stack.
   void OnFrame(ByteBuffer frame, TraceContext trace = {});

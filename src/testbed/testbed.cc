@@ -44,6 +44,7 @@ Testbed::Testbed(const Profile& profile, int num_nodes)
         link->Send(i, std::move(frame), trace);
       });
     }
+    InitObservability();
     return;
   }
 
@@ -64,6 +65,73 @@ Testbed::Testbed(const Profile& profile, int num_nodes)
     });
     switch_->AddStaticRoute(MacForIndex(i), port);
   }
+  InitObservability();
+}
+
+void Testbed::InitObservability() {
+  const TestbedTelemetryDefaults& d = telemetry_defaults;
+  if (!d.capture_prefix.empty()) {
+    static int capture_counter = 0;
+    if (capture_counter < d.capture_runs) {
+      std::string prefix = d.capture_prefix;
+      if (capture_counter > 0) {
+        prefix += ".run" + std::to_string(capture_counter);
+      }
+      EnableCapture(prefix);
+    }
+    ++capture_counter;
+  }
+  if (d.sample_interval > 0) {
+    StartSampling(d.sample_interval);
+  }
+}
+
+std::vector<std::string> Testbed::EnableCapture(const std::string& prefix) {
+  std::vector<std::string> paths;
+  auto add = [&](const std::string& path) -> PcapWriter* {
+    captures_.push_back(std::make_unique<PcapWriter>(path));
+    if (!captures_.back()->status().ok()) {
+      STROM_LOG(kWarning) << captures_.back()->status();
+    }
+    paths.push_back(path);
+    return captures_.back().get();
+  };
+  if (link_ != nullptr) {
+    link_->AttachCapture(add(prefix + ".wire.pcapng"), "wire");
+  } else if (switch_ != nullptr) {
+    switch_->AttachCapture(add(prefix + ".switch.pcapng"));
+  }
+  for (int i = 0; i < num_nodes(); ++i) {
+    nodes_[i]->AttachCapture(add(prefix + ".node" + std::to_string(i) + ".nic.pcapng"), i);
+  }
+  return paths;
+}
+
+void Testbed::StartSampling(SimTime interval) {
+  STROM_CHECK_GT(interval, 0);
+  for (int i = 0; i < num_nodes(); ++i) {
+    nodes_[i]->AttachSampler(telemetry_.get(), i);
+  }
+  if (link_ != nullptr) {
+    link_->AttachSampler(telemetry_.get(), "network");
+  } else if (switch_ != nullptr) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      switch_->PortLink(i).AttachSampler(telemetry_.get(), "port" + std::to_string(i));
+    }
+  }
+  ScheduleSample(interval);
+}
+
+void Testbed::ScheduleSample(SimTime interval) {
+  sim_.Schedule(interval, [this, interval] {
+    telemetry_->sampler.Sample(sim_.now());
+    // Re-arm only while the sim has other work: the running event has been
+    // popped already, so an empty queue here means everything else is done
+    // and RunUntilIdle() callers are not wedged by the sampler.
+    if (sim_.pending_events() > 0) {
+      ScheduleSample(interval);
+    }
+  });
 }
 
 Testbed::~Testbed() {

@@ -4,10 +4,12 @@
 #define SRC_TESTBED_TESTBED_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/netsim/link.h"
 #include "src/netsim/switch.h"
+#include "src/telemetry/pcap_writer.h"
 #include "src/telemetry/telemetry.h"
 #include "src/testbed/node.h"
 
@@ -22,6 +24,15 @@ struct TestbedTelemetryDefaults {
   // When set, each destructed Testbed deposits its run here (metrics
   // snapshot + trace events), labeled "run<N>:<profile name>".
   TelemetryCollector* collector = nullptr;
+  // When non-empty, the first `capture_runs` constructed Testbeds tap their
+  // wire and NIC boundaries into pcapng files named "<capture_prefix>[.runN]
+  // .{wire,switch,node<i>.nic}.pcapng". Benches build one Testbed per
+  // iteration, so the default of 1 captures only the first.
+  std::string capture_prefix;
+  int capture_runs = 1;
+  // When > 0, every Testbed samples queue depths / occupancy / utilization
+  // into its telemetry sampler at this simulated-time interval.
+  SimTime sample_interval = 0;
 };
 
 class Testbed {
@@ -46,7 +57,20 @@ class Testbed {
   // QP `qpn_b` (out-of-band exchange of QPNs and initial PSNs).
   void ConnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a = 1000, Psn psn_b = 5000);
 
+  // Taps the wire (direct link or every switch port) and each node's NIC
+  // boundary into pcapng files under `prefix`. Returns the created file
+  // paths. Call before generating traffic (interfaces precede packets).
+  std::vector<std::string> EnableCapture(const std::string& prefix);
+
+  // Registers every component's sampler probes and starts a periodic
+  // sampling event. The tick re-arms itself only while other events are
+  // pending, so RunUntilIdle() still terminates.
+  void StartSampling(SimTime interval);
+
  private:
+  void InitObservability();
+  void ScheduleSample(SimTime interval);
+
   Profile profile_;
   Simulator sim_;
   ArpTable arp_;
@@ -54,6 +78,7 @@ class Testbed {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<PointToPointLink> link_;          // 2-node topology
   std::unique_ptr<EthernetSwitch> switch_;          // N-node topology
+  std::vector<std::unique_ptr<PcapWriter>> captures_;
 };
 
 }  // namespace strom

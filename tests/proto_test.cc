@@ -218,5 +218,65 @@ TEST(Packet, PayloadPerPacketLeavesHeaderRoom) {
   EXPECT_LE(pkt.WireSize(), 1514u);
 }
 
+TEST(Packet, AckAndNakFramesRoundTrip) {
+  for (AckSyndrome syndrome :
+       {AckSyndrome::kAck, AckSyndrome::kRnrNak, AckSyndrome::kNakSequenceError,
+        AckSyndrome::kNakInvalidRequest, AckSyndrome::kNakRemoteAccess}) {
+    RocePacket ack;
+    ack.src_ip = MakeIp(10, 0, 0, 2);
+    ack.dst_ip = MakeIp(10, 0, 0, 1);
+    ack.bth.opcode = IbOpcode::kAck;
+    ack.bth.dest_qp = 7;
+    ack.bth.psn = 0xABC123;  // a NAK carries the responder's expected PSN
+    ack.aeth = AethHeader{syndrome, 0x00FEDCBA};
+
+    ByteBuffer frame = EncodeRoceFrame(kMacB, kMacA, ack);
+    Result<RocePacket> parsed = ParseRoceFrame(frame);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->bth.opcode, IbOpcode::kAck);
+    EXPECT_EQ(parsed->bth.psn, 0xABC123u);
+    ASSERT_TRUE(parsed->aeth.has_value());
+    EXPECT_EQ(parsed->aeth->syndrome, syndrome);
+    EXPECT_EQ(parsed->aeth->msn, 0x00FEDCBAu);
+    EXPECT_TRUE(parsed->payload.empty());
+  }
+}
+
+TEST(Packet, IcrcCoversZeroLengthPayload) {
+  RocePacket pkt = MakeWriteOnly();
+  pkt.payload.clear();
+  pkt.reth->dma_length = 0;
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->payload.empty());
+
+  // Even with no payload, the ICRC still covers the headers: flipping a bit
+  // in the RETH must be caught.
+  frame[14 + 20 + 8 + 12 + 3] ^= 0x01;
+  Result<RocePacket> corrupted = ParseRoceFrame(frame);
+  ASSERT_FALSE(corrupted.ok());
+  EXPECT_EQ(corrupted.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Packet, IcrcCoversMaxMtuPayload) {
+  const size_t payload = RocePayloadPerPacket(1500);
+  RocePacket pkt = MakeWriteOnly();
+  pkt.payload.assign(payload, 0x3C);
+  pkt.reth->dma_length = static_cast<uint32_t>(payload);
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  // A max-payload first/only packet fills the IP MTU exactly.
+  EXPECT_EQ(frame.size(), 1514u);
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->payload.size(), payload);
+
+  // Corrupt the last payload byte (just before the ICRC trailer).
+  frame[frame.size() - kIcrcSize - 1] ^= 0x80;
+  Result<RocePacket> corrupted = ParseRoceFrame(frame);
+  ASSERT_FALSE(corrupted.ok());
+  EXPECT_EQ(corrupted.status().code(), StatusCode::kDataLoss);
+}
+
 }  // namespace
 }  // namespace strom

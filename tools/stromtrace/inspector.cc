@@ -1,0 +1,406 @@
+#include "tools/stromtrace/inspector.h"
+
+#include <cstdio>
+#include <tuple>
+
+#include "src/proto/packet.h"
+
+namespace strom {
+
+namespace {
+
+const char* SyndromeName(AckSyndrome s) {
+  switch (s) {
+    case AckSyndrome::kAck:
+      return "ACK";
+    case AckSyndrome::kRnrNak:
+      return "RNR_NAK";
+    case AckSyndrome::kNakSequenceError:
+      return "NAK_SEQUENCE_ERROR";
+    case AckSyndrome::kNakInvalidRequest:
+      return "NAK_INVALID_REQUEST";
+    case AckSyndrome::kNakRemoteAccess:
+      return "NAK_REMOTE_ACCESS";
+  }
+  return "NAK_UNKNOWN";
+}
+
+bool KnownOpcode(uint8_t raw) {
+  switch (static_cast<IbOpcode>(raw)) {
+    case IbOpcode::kWriteFirst:
+    case IbOpcode::kWriteMiddle:
+    case IbOpcode::kWriteLast:
+    case IbOpcode::kWriteOnly:
+    case IbOpcode::kReadRequest:
+    case IbOpcode::kReadRespFirst:
+    case IbOpcode::kReadRespMiddle:
+    case IbOpcode::kReadRespLast:
+    case IbOpcode::kReadRespOnly:
+    case IbOpcode::kAck:
+    case IbOpcode::kRpcParams:
+    case IbOpcode::kRpcWriteFirst:
+    case IbOpcode::kRpcWriteMiddle:
+    case IbOpcode::kRpcWriteLast:
+    case IbOpcode::kRpcWriteOnly:
+      return true;
+  }
+  return false;
+}
+
+bool IsReadResponse(IbOpcode op) {
+  return op == IbOpcode::kReadRespFirst || op == IbOpcode::kReadRespMiddle ||
+         op == IbOpcode::kReadRespLast || op == IbOpcode::kReadRespOnly;
+}
+
+// One frame decoded far enough for conformance checking. Unlike
+// ParseRoceFrame, an ICRC mismatch does not abort the decode: the transport
+// headers are usually intact and the flow timeline stays coherent.
+struct Decoded {
+  enum class Kind { kRoce, kSkip, kMalformed };
+  Kind kind = Kind::kMalformed;
+  std::string error;
+  bool icrc_ok = true;
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  BthHeader bth;
+  std::optional<RethHeader> reth;
+  std::optional<AethHeader> aeth;
+  uint32_t payload_len = 0;
+};
+
+Decoded DecodeFrame(ByteSpan frame) {
+  Decoded d;
+  auto malformed = [&d](std::string why) {
+    d.kind = Decoded::Kind::kMalformed;
+    d.error = std::move(why);
+    return d;
+  };
+  WireReader r(frame);
+  EthHeader eth = EthHeader::Decode(r);
+  if (r.failed()) {
+    return malformed("truncated Ethernet header");
+  }
+  if (eth.ethertype != kEtherTypeIpv4) {
+    d.kind = Decoded::Kind::kSkip;
+    return d;
+  }
+  bool ip_csum_ok = false;
+  Ipv4Header ip = Ipv4Header::Decode(r, &ip_csum_ok);
+  if (r.failed()) {
+    return malformed("truncated IP header");
+  }
+  if (ip.protocol != kIpProtoUdp) {
+    d.kind = Decoded::Kind::kSkip;
+    return d;
+  }
+  UdpHeader udp = UdpHeader::Decode(r);
+  if (r.failed()) {
+    return malformed("truncated UDP header");
+  }
+  if (udp.dst_port != kRoceUdpPort) {
+    d.kind = Decoded::Kind::kSkip;
+    return d;
+  }
+  if (!ip_csum_ok) {
+    return malformed("IP header checksum mismatch");
+  }
+  const size_t ip_offset = EthHeader::kSize;
+  const size_t ip_total = ip.total_length;
+  if (ip_offset + ip_total > frame.size() ||
+      ip_total < Ipv4Header::kSize + UdpHeader::kSize + BthHeader::kSize + kIcrcSize) {
+    return malformed("bad IP total length");
+  }
+  ByteSpan covered = frame.subspan(ip_offset, ip_total - kIcrcSize);
+  const uint32_t wire_icrc = LoadBe32(frame.data() + ip_offset + ip_total - kIcrcSize);
+  d.icrc_ok = ComputeIcrc(covered) == wire_icrc;
+
+  d.bth = BthHeader::Decode(r);
+  if (r.failed()) {
+    return malformed("truncated BTH");
+  }
+  if (!KnownOpcode(static_cast<uint8_t>(d.bth.opcode))) {
+    char buf[48];
+    snprintf(buf, sizeof(buf), "unknown BTH opcode 0x%02x",
+             static_cast<unsigned>(d.bth.opcode));
+    return malformed(buf);
+  }
+  if (OpcodeHasReth(d.bth.opcode)) {
+    d.reth = RethHeader::Decode(r);
+  }
+  if (OpcodeHasAeth(d.bth.opcode)) {
+    d.aeth = AethHeader::Decode(r);
+  }
+  if (r.failed()) {
+    return malformed("truncated extended header");
+  }
+  const size_t payload_end = ip_offset + ip_total - kIcrcSize;
+  if (payload_end < r.position()) {
+    return malformed("inconsistent lengths");
+  }
+  d.payload_len = static_cast<uint32_t>(payload_end - r.position());
+  d.src_ip = ip.src;
+  d.dst_ip = ip.dst;
+  d.kind = Decoded::Kind::kRoce;
+  return d;
+}
+
+// PSN conformance state of one flow. Requests and read responses travel in
+// the same PSN space but on opposite flows of a QP pair, so each flow tracks
+// them independently; a response chain (First..Last) must be contiguous
+// while a new chain may legitimately jump forward past PSNs consumed by
+// writes that produce no response packets.
+struct FlowState {
+  FlowSummary summary;
+  bool req_init = false;
+  Psn req_expected = 0;
+  bool resp_init = false;
+  Psn resp_expected = 0;
+};
+
+std::string FormatUs(SimTime t) {
+  char buf[48];
+  snprintf(buf, sizeof(buf), "%.3f", ToUs(t));
+  return buf;
+}
+
+}  // namespace
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kMalformed:
+      return "malformed";
+    case AnomalyKind::kIcrcMismatch:
+      return "icrc_mismatch";
+    case AnomalyKind::kPsnGap:
+      return "psn_gap";
+    case AnomalyKind::kMtuViolation:
+      return "mtu_violation";
+    case AnomalyKind::kDroppedFrame:
+      return "dropped_frame";
+    case AnomalyKind::kDuplicatePsn:
+      return "duplicate_psn";
+    case AnomalyKind::kNak:
+      return "nak";
+  }
+  return "?";
+}
+
+bool AnomalyIsObservation(AnomalyKind kind) {
+  return kind == AnomalyKind::kDuplicatePsn || kind == AnomalyKind::kNak;
+}
+
+std::string FlowSummary::Name() const {
+  return IpToString(src_ip) + "->" + IpToString(dst_ip) + " qp" + std::to_string(dest_qp);
+}
+
+size_t Report::ErrorCount(bool strict) const {
+  size_t n = 0;
+  for (const Anomaly& a : anomalies) {
+    if (strict || !AnomalyIsObservation(a.kind)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Report InspectCapture(const CaptureFile& capture, const InspectOptions& options) {
+  Report report;
+  std::map<std::tuple<uint32_t, Ipv4Addr, Ipv4Addr, Qpn>, FlowState> flows;
+  const size_t payload_per_packet = RocePayloadPerPacket(options.ip_mtu);
+
+  for (size_t idx = 0; idx < capture.packets.size(); ++idx) {
+    const CapturedPacket& pkt = capture.packets[idx];
+    const std::string& iface = capture.InterfaceName(pkt.interface_id);
+    ++report.total_packets;
+
+    auto anomaly = [&](AnomalyKind kind, std::string detail) {
+      report.anomalies.push_back(Anomaly{kind, iface, idx, pkt.timestamp, std::move(detail)});
+    };
+
+    if (pkt.data.size() > options.ip_mtu + EthHeader::kSize) {
+      anomaly(AnomalyKind::kMtuViolation,
+              std::to_string(pkt.data.size()) + " bytes exceeds Ethernet MTU of " +
+                  std::to_string(options.ip_mtu + EthHeader::kSize));
+    }
+
+    const bool dropped = pkt.comment.rfind("dropped", 0) == 0;
+
+    Decoded d = DecodeFrame(pkt.data);
+    if (d.kind == Decoded::Kind::kSkip) {
+      ++report.skipped_packets;
+      continue;
+    }
+    if (d.kind == Decoded::Kind::kMalformed) {
+      anomaly(AnomalyKind::kMalformed, d.error);
+      continue;
+    }
+    ++report.roce_packets;
+
+    FlowState& flow =
+        flows[std::make_tuple(pkt.interface_id, d.src_ip, d.dst_ip, d.bth.dest_qp)];
+    FlowSummary& sum = flow.summary;
+    if (sum.packets == 0) {
+      sum.interface = iface;
+      sum.src_ip = d.src_ip;
+      sum.dst_ip = d.dst_ip;
+      sum.dest_qp = d.bth.dest_qp;
+      sum.first_psn = d.bth.psn;
+      sum.first_ts = pkt.timestamp;
+    }
+    ++sum.packets;
+    sum.payload_bytes += d.payload_len;
+    ++sum.opcode_counts[static_cast<uint8_t>(d.bth.opcode)];
+    sum.last_psn = d.bth.psn;
+    sum.last_ts = pkt.timestamp;
+
+    const std::string where = sum.Name() + " psn " + std::to_string(d.bth.psn) + " " +
+                              IbOpcodeName(d.bth.opcode);
+    std::string note;
+    auto add_note = [&note](const std::string& n) {
+      if (!note.empty()) {
+        note += ' ';
+      }
+      note += n;
+    };
+
+    if (dropped) {
+      add_note("dropped");
+      anomaly(AnomalyKind::kDroppedFrame, where + ": frame dropped by link");
+    }
+    if (!d.icrc_ok) {
+      add_note("icrc");
+      anomaly(AnomalyKind::kIcrcMismatch, where + ": recomputed ICRC differs from trailer");
+    }
+
+    const IbOpcode op = d.bth.opcode;
+    if (op == IbOpcode::kAck) {
+      if (d.aeth.has_value() && d.aeth->syndrome != AckSyndrome::kAck) {
+        ++sum.naks;
+        add_note(std::string("nak:") + SyndromeName(d.aeth->syndrome));
+        anomaly(AnomalyKind::kNak,
+                where + ": " + SyndromeName(d.aeth->syndrome) + " for psn " +
+                    std::to_string(d.bth.psn));
+      }
+    } else if (IsReadResponse(op)) {
+      const bool starts_chain =
+          op == IbOpcode::kReadRespFirst || op == IbOpcode::kReadRespOnly;
+      if (!flow.resp_init) {
+        flow.resp_init = true;
+        flow.resp_expected = d.bth.psn;
+      }
+      const int32_t dist = PsnDistance(flow.resp_expected, d.bth.psn);
+      if (dist < 0) {
+        ++sum.duplicates;
+        add_note("duplicate");
+        anomaly(AnomalyKind::kDuplicatePsn, where + ": retransmitted response");
+      } else if (dist > 0 && !starts_chain) {
+        // A new chain may jump forward over PSNs consumed by writes; a
+        // middle/last packet must continue the chain contiguously.
+        add_note("gap");
+        anomaly(AnomalyKind::kPsnGap, where + ": expected psn " +
+                                          std::to_string(flow.resp_expected) + ", gap of " +
+                                          std::to_string(dist));
+      }
+      if (dist >= 0) {
+        flow.resp_expected = PsnAdd(d.bth.psn, 1);
+      }
+    } else {
+      // Request class: writes, RPCs and read requests. A read request
+      // consumes one PSN per expected response packet.
+      uint32_t span = 1;
+      if (op == IbOpcode::kReadRequest && d.reth.has_value() && d.reth->dma_length > 0) {
+        span = static_cast<uint32_t>(
+            (d.reth->dma_length + payload_per_packet - 1) / payload_per_packet);
+      }
+      if (!flow.req_init) {
+        flow.req_init = true;
+        flow.req_expected = d.bth.psn;
+      }
+      const int32_t dist = PsnDistance(flow.req_expected, d.bth.psn);
+      if (dist < 0) {
+        ++sum.duplicates;
+        add_note("duplicate");
+        anomaly(AnomalyKind::kDuplicatePsn, where + ": retransmitted request");
+      } else if (dist > 0) {
+        add_note("gap");
+        anomaly(AnomalyKind::kPsnGap, where + ": expected psn " +
+                                          std::to_string(flow.req_expected) + ", gap of " +
+                                          std::to_string(dist));
+        flow.req_expected = PsnAdd(d.bth.psn, span);
+      } else {
+        flow.req_expected = PsnAdd(d.bth.psn, span);
+      }
+    }
+
+    sum.timeline.push_back(
+        FlowSummary::Event{pkt.timestamp, d.bth.psn, op, d.payload_len, std::move(note)});
+  }
+
+  report.flows.reserve(flows.size());
+  for (auto& [key, flow] : flows) {
+    report.flows.push_back(std::move(flow.summary));
+  }
+  return report;
+}
+
+Result<Report> InspectFile(const std::string& path, const InspectOptions& options) {
+  Result<CaptureFile> capture = ReadPcapng(path);
+  if (!capture.ok()) {
+    return capture.status();
+  }
+  return InspectCapture(*capture, options);
+}
+
+std::string FormatReport(const Report& report, bool timeline) {
+  std::string out;
+  out += "packets: " + std::to_string(report.total_packets) + " total, " +
+         std::to_string(report.roce_packets) + " roce, " +
+         std::to_string(report.skipped_packets) + " non-roce\n";
+
+  out += "flows: " + std::to_string(report.flows.size()) + "\n";
+  for (const FlowSummary& f : report.flows) {
+    out += "  [" + f.interface + "] " + f.Name() + ": " + std::to_string(f.packets) +
+           " pkts, " + std::to_string(f.payload_bytes) + " payload bytes, psn " +
+           std::to_string(f.first_psn) + ".." + std::to_string(f.last_psn) + ", t " +
+           FormatUs(f.first_ts) + ".." + FormatUs(f.last_ts) + " us";
+    if (f.naks > 0) {
+      out += ", " + std::to_string(f.naks) + " naks";
+    }
+    if (f.duplicates > 0) {
+      out += ", " + std::to_string(f.duplicates) + " retransmits";
+    }
+    out += "\n    opcodes:";
+    for (const auto& [opcode, count] : f.opcode_counts) {
+      out += std::string(" ") + IbOpcodeName(static_cast<IbOpcode>(opcode)) + " x" +
+             std::to_string(count);
+    }
+    out += "\n";
+    if (timeline) {
+      for (const FlowSummary::Event& e : f.timeline) {
+        out += "    " + FormatUs(e.t) + " us  psn " + std::to_string(e.psn) + "  " +
+               IbOpcodeName(e.opcode) + "  " + std::to_string(e.payload_len) + " B";
+        if (!e.note.empty()) {
+          out += "  [" + e.note + "]";
+        }
+        out += "\n";
+      }
+    }
+  }
+
+  size_t observations = 0;
+  for (const Anomaly& a : report.anomalies) {
+    if (AnomalyIsObservation(a.kind)) {
+      ++observations;
+    }
+  }
+  out += "anomalies: " + std::to_string(report.anomalies.size() - observations) +
+         " errors, " + std::to_string(observations) + " observations\n";
+  for (const Anomaly& a : report.anomalies) {
+    out += std::string("  [") + AnomalyKindName(a.kind) + "] " + a.interface + " #" +
+           std::to_string(a.packet_index) + " t=" + FormatUs(a.timestamp) + " us: " +
+           a.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace strom

@@ -1,0 +1,110 @@
+// Protocol inspector for pcapng captures of the simulated wire (stromtrace).
+// Decodes each frame down to the RoCE v2 transport headers, groups packets
+// into flows keyed by (capture interface, src IP, dst IP, dest QP), builds a
+// per-flow PSN timeline, and runs a conformance pass:
+//
+//   hard anomalies (always errors)
+//     malformed       frame that should be RoCE but does not decode
+//     icrc_mismatch   recomputed ICRC differs from the trailer
+//     psn_gap         request or response PSN jumps past the expected value
+//     mtu_violation   frame exceeds the configured Ethernet MTU
+//     dropped_frame   frame annotated "dropped" by the link fault hooks
+//
+//   observations (errors only under strict mode)
+//     duplicate_psn   PSN at or below the expected value — a retransmission
+//     nak             AETH with a non-ACK syndrome
+//
+// The split keeps legitimate loss recovery (go-back-N retransmits, NAK/ACK
+// sequences) from failing an inspection of a lossy run, while strict mode
+// lets CI assert that a clean run produced none of it.
+#ifndef TOOLS_STROMTRACE_INSPECTOR_H_
+#define TOOLS_STROMTRACE_INSPECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/proto/headers.h"
+#include "src/telemetry/pcap_reader.h"
+
+namespace strom {
+
+enum class AnomalyKind {
+  kMalformed,
+  kIcrcMismatch,
+  kPsnGap,
+  kMtuViolation,
+  kDroppedFrame,
+  kDuplicatePsn,  // observation
+  kNak,           // observation
+};
+
+const char* AnomalyKindName(AnomalyKind kind);
+// Observations describe legitimate protocol recovery, not defects.
+bool AnomalyIsObservation(AnomalyKind kind);
+
+struct Anomaly {
+  AnomalyKind kind = AnomalyKind::kMalformed;
+  std::string interface;   // capture interface the frame was seen on
+  size_t packet_index = 0; // index into CaptureFile::packets
+  SimTime timestamp = 0;
+  std::string detail;
+};
+
+struct FlowSummary {
+  struct Event {
+    SimTime t = 0;
+    Psn psn = 0;
+    IbOpcode opcode = IbOpcode::kWriteOnly;
+    uint32_t payload_len = 0;
+    std::string note;  // dropped / duplicate / gap / nak:<syndrome> / icrc
+  };
+
+  std::string interface;
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  Qpn dest_qp = 0;
+  uint64_t packets = 0;
+  uint64_t payload_bytes = 0;
+  std::map<uint8_t, uint64_t> opcode_counts;  // keyed by raw opcode value
+  Psn first_psn = 0;
+  Psn last_psn = 0;
+  SimTime first_ts = 0;
+  SimTime last_ts = 0;
+  uint64_t naks = 0;
+  uint64_t duplicates = 0;
+  std::vector<Event> timeline;  // one entry per packet, capture order
+
+  std::string Name() const;  // "a.b.c.d->e.f.g.h qp<N>"
+};
+
+struct InspectOptions {
+  size_t ip_mtu = 1500;  // frames larger than this + Eth header are flagged
+};
+
+struct Report {
+  uint64_t total_packets = 0;
+  uint64_t roce_packets = 0;
+  uint64_t skipped_packets = 0;  // non-RoCE (e.g. TCP sharing the wire)
+  std::vector<FlowSummary> flows;
+  std::vector<Anomaly> anomalies;
+
+  // Number of anomalies that count as errors; strict mode includes
+  // observations.
+  size_t ErrorCount(bool strict) const;
+};
+
+// Inspects an already-parsed capture.
+Report InspectCapture(const CaptureFile& capture, const InspectOptions& options = {});
+
+// Reads and inspects a pcapng file; fails only on unreadable/unparseable
+// files (protocol anomalies are reported in the Report, not as a Status).
+Result<Report> InspectFile(const std::string& path, const InspectOptions& options = {});
+
+// Human-readable report: flow table + anomaly list; with `timeline`, the
+// per-packet PSN timeline of every flow.
+std::string FormatReport(const Report& report, bool timeline = false);
+
+}  // namespace strom
+
+#endif  // TOOLS_STROMTRACE_INSPECTOR_H_

@@ -1,0 +1,86 @@
+// stromtrace: decode and conformance-check pcapng captures produced by the
+// simulator's wire taps (--capture-out on any bench, or
+// Testbed::EnableCapture).
+//
+//   stromtrace [--strict] [--mtu=N] [--timeline] [--quiet] <capture.pcapng>...
+//
+//   --strict    treat observations (retransmits, NAKs) as errors too; use in
+//               CI on captures of clean runs
+//   --mtu=N     IP MTU for the MTU-violation check and the read-request PSN
+//               span (default 1500)
+//   --timeline  print the per-packet PSN timeline of every flow
+//   --quiet     print nothing; the exit code is the verdict
+//
+// Exit status: 0 all captures clean, 1 anomalies found, 2 usage or file
+// error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/stromtrace/inspector.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: stromtrace [--strict] [--mtu=N] [--timeline] [--quiet] "
+               "<capture.pcapng>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  bool timeline = false;
+  bool quiet = false;
+  strom::InspectOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      timeline = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strncmp(arg, "--mtu=", 6) == 0) {
+      const long mtu = std::strtol(arg + 6, nullptr, 10);
+      if (mtu < 128) {
+        std::fprintf(stderr, "stromtrace: bad --mtu value: %s\n", arg + 6);
+        return 2;
+      }
+      options.ip_mtu = static_cast<size_t>(mtu);
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+
+  size_t total_errors = 0;
+  for (const std::string& path : paths) {
+    strom::Result<strom::Report> report = strom::InspectFile(path, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "stromtrace: %s: %s\n", path.c_str(),
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    const size_t errors = report->ErrorCount(strict);
+    total_errors += errors;
+    if (!quiet) {
+      std::printf("== %s ==\n%s", path.c_str(),
+                  strom::FormatReport(*report, timeline).c_str());
+      std::printf("verdict: %s (%zu error%s%s)\n\n",
+                  errors == 0 ? "CLEAN" : "ANOMALOUS", errors, errors == 1 ? "" : "s",
+                  strict ? ", strict" : "");
+    }
+  }
+  return total_errors == 0 ? 0 : 1;
+}
