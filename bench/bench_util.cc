@@ -1,11 +1,15 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/sim/perf_stats.h"
 #include "src/sim/task.h"
 #include "src/testbed/workload.h"
 
@@ -17,7 +21,11 @@ constexpr Qpn kQp = 1;
 std::string g_trace_out;
 std::string g_metrics_out;
 std::string g_capture_out;
+std::string g_perf_out;
 SimTime g_sample_interval = 0;
+int g_jobs = 1;
+std::chrono::steady_clock::time_point g_wall_start;
+double g_sweep_wall_seconds = 0;
 
 // Consumes "--name=value" from argv; returns true and sets *value on match.
 bool TakeFlag(const char* arg, const char* name, std::string* value) {
@@ -29,6 +37,17 @@ bool TakeFlag(const char* arg, const char* name, std::string* value) {
   return true;
 }
 
+struct SweepPoint {
+  std::string key;
+  std::function<std::vector<double>()> fn;
+  std::vector<double> result;
+};
+
+std::vector<SweepPoint>& SweepPoints() {
+  static std::vector<SweepPoint> points;
+  return points;
+}
+
 }  // namespace
 
 TelemetryCollector& Collector() {
@@ -36,10 +55,45 @@ TelemetryCollector& Collector() {
   return collector;
 }
 
+int SweepJobs() { return g_jobs; }
+
+void DefineSweepPoint(std::string key, std::function<std::vector<double>()> fn) {
+  SweepPoints().push_back(SweepPoint{std::move(key), std::move(fn), {}});
+}
+
+const std::vector<double>& SweepResult(const std::string& key) {
+  std::vector<SweepPoint>& points = SweepPoints();
+  static bool ran = false;
+  if (!ran) {
+    ran = true;
+    const auto start = std::chrono::steady_clock::now();
+    ParallelFor(points.size(), g_jobs, [&points](size_t i) {
+      // The ordinal makes every side effect of the point (run labels,
+      // collector merge order, capture gating) a function of its position in
+      // the sweep, independent of worker scheduling.
+      Testbed::run_ordinal = static_cast<int64_t>(i);
+      points[i].result = points[i].fn();
+      Testbed::run_ordinal = -1;
+    });
+    g_sweep_wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+  for (const SweepPoint& p : points) {
+    if (p.key == key) {
+      return p.result;
+    }
+  }
+  STROM_CHECK(false) << "unknown sweep point: " << key;
+  static const std::vector<double> empty;
+  return empty;
+}
+
 void InitBenchTelemetry(int* argc, char** argv) {
+  g_wall_start = std::chrono::steady_clock::now();
   std::string sample = "1";
   std::string capture_runs = "1";
   std::string sample_interval_us = "0";
+  std::string jobs = "1";
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (TakeFlag(argv[i], "--trace-out", &g_trace_out) ||
@@ -47,12 +101,15 @@ void InitBenchTelemetry(int* argc, char** argv) {
         TakeFlag(argv[i], "--trace-sample", &sample) ||
         TakeFlag(argv[i], "--capture-out", &g_capture_out) ||
         TakeFlag(argv[i], "--capture-runs", &capture_runs) ||
-        TakeFlag(argv[i], "--sample-interval-us", &sample_interval_us)) {
+        TakeFlag(argv[i], "--sample-interval-us", &sample_interval_us) ||
+        TakeFlag(argv[i], "--jobs", &jobs) ||
+        TakeFlag(argv[i], "--perf-out", &g_perf_out)) {
       continue;  // telemetry flag: keep it away from google/benchmark
     }
     argv[out++] = argv[i];
   }
   *argc = out;
+  g_jobs = static_cast<int>(std::max(1L, std::strtol(jobs.c_str(), nullptr, 10)));
 
   TestbedTelemetryDefaults& defaults = Testbed::telemetry_defaults;
   defaults.enable_trace = !g_trace_out.empty();
@@ -67,8 +124,44 @@ void InitBenchTelemetry(int* argc, char** argv) {
   }
 }
 
+namespace {
+
+// Simulator-performance report (BENCH_simperf.json in CI): how fast the
+// simulator itself ran, as opposed to the simulated metrics it produced.
+int WritePerfReport(const std::string& path) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - g_wall_start).count();
+  const SimPerfStats& stats = GlobalSimPerfStats();
+  const double events = static_cast<double>(stats.events_processed.load());
+  const double frames = static_cast<double>(stats.frames_sent.load());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    STROM_LOG(kError) << "cannot open perf report file: " << path;
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"jobs\": %d,\n"
+               "  \"wall_seconds\": %.3f,\n"
+               "  \"sweep_wall_seconds\": %.3f,\n"
+               "  \"events_processed\": %.0f,\n"
+               "  \"frames_sent\": %.0f,\n"
+               "  \"events_per_sec\": %.0f,\n"
+               "  \"frames_per_sec\": %.0f\n"
+               "}\n",
+               g_jobs, wall, g_sweep_wall_seconds, events, frames,
+               wall > 0 ? events / wall : 0.0, wall > 0 ? frames / wall : 0.0);
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+
 int ExportBenchTelemetry() {
   int rc = 0;
+  if (!g_perf_out.empty()) {
+    rc |= WritePerfReport(g_perf_out);
+  }
   if (!g_trace_out.empty()) {
     Status st = Collector().WriteChromeTrace(g_trace_out);
     if (!st.ok()) {

@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <initializer_list>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "src/telemetry/telemetry.h"
 #include "src/testbed/stats.h"
@@ -41,6 +44,32 @@ void InitBenchTelemetry(int* argc, char** argv);
 // Writes --trace-out / --metrics-out files if requested. Returns 0 on
 // success, 1 if a requested file could not be written.
 int ExportBenchTelemetry();
+
+// --- deterministic parallel sweep runner ------------------------------------
+// bench_main.cc also strips:
+//   --jobs=N          run registered sweep points on N worker threads
+//                     (default 1 = inline, in registration order)
+//   --perf-out=<file> write a simulator-performance report (wall seconds,
+//                     events/sec, frames/sec) after the run; the CI perf-smoke
+//                     job uploads it as BENCH_simperf.json
+//
+// A sweep bench registers every (benchmark, argument) point once at
+// static-init time and reads results inside the benchmark body. The first
+// SweepResult() call executes the whole batch: each point builds its own
+// Testbed/Simulator on whichever worker thread picks it up, so points share
+// no mutable state, and results are keyed by name — the reported numbers are
+// byte-identical for any --jobs value. Sweep benches must build exactly one
+// Testbed per point (the ordinal labels runs and gates pcapng capture).
+
+// Value of --jobs.
+int SweepJobs();
+
+// Registers a sweep point. Keys must be unique per binary; registration
+// order fixes the point's ordinal (run label, capture gating, merge order).
+void DefineSweepPoint(std::string key, std::function<std::vector<double>()> fn);
+
+// Result of the point registered under `key`; runs the batch on first call.
+const std::vector<double>& SweepResult(const std::string& key);
 
 // Median latency of an RDMA WRITE, measured as RTT/2 of the paper's §6.1
 // ping-pong (initiator writes, remote polls and writes back, initiator

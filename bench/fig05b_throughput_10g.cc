@@ -1,19 +1,44 @@
 // Figure 5b: throughput of RDMA READ and WRITE on the 10 G StRoM NIC,
 // payload 2^6 - 2^20 bytes. Large payloads approach the 9.4 Gbit/s wire
 // limit; small payloads are bound by the host command issue rate (Fig 5c).
+//
+// Every (direction, payload) pair is a registered sweep point, so the whole
+// figure parallelizes across --jobs worker threads; reported numbers are
+// identical for any job count.
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace strom {
 namespace {
 
+std::string WriteKey(size_t payload) { return "write/" + std::to_string(payload); }
+std::string ReadKey(size_t payload) { return "read/" + std::to_string(payload); }
+
+const bool kSweepRegistered = [] {
+  for (size_t payload = 64; payload <= (1u << 20); payload *= 4) {
+    bench::DefineSweepPoint(WriteKey(payload), [payload] {
+      bench::Throughput t = bench::MeasureWriteThroughput(Profile10G(), payload,
+                                                          bench::MessagesForPayload(payload));
+      return std::vector<double>{t.gbps};
+    });
+  }
+  for (size_t payload = 64; payload <= (1u << 20); payload *= 4) {
+    bench::DefineSweepPoint(ReadKey(payload), [payload] {
+      bench::Throughput t = bench::MeasureReadThroughput(Profile10G(), payload,
+                                                         bench::MessagesForPayload(payload));
+      return std::vector<double>{t.gbps};
+    });
+  }
+  return true;
+}();
+
 void Fig5bWrite(benchmark::State& state) {
   const size_t payload = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
-    bench::Throughput t = bench::MeasureWriteThroughput(Profile10G(), payload,
-                                                        bench::MessagesForPayload(payload));
-    state.counters["gbps"] = t.gbps;
+    state.counters["gbps"] = bench::SweepResult(WriteKey(payload))[0];
   }
   state.counters["payload_B"] = static_cast<double>(payload);
   state.counters["ideal_gbps"] = bench::IdealGoodputGbps(Profile10G(), payload);
@@ -22,9 +47,7 @@ void Fig5bWrite(benchmark::State& state) {
 void Fig5bRead(benchmark::State& state) {
   const size_t payload = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
-    bench::Throughput t = bench::MeasureReadThroughput(Profile10G(), payload,
-                                                       bench::MessagesForPayload(payload));
-    state.counters["gbps"] = t.gbps;
+    state.counters["gbps"] = bench::SweepResult(ReadKey(payload))[0];
   }
   state.counters["payload_B"] = static_cast<double>(payload);
 }

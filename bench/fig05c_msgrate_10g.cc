@@ -2,18 +2,40 @@
 // 64 B - 4 KiB payloads. Writes are limited by the rate at which the host
 // can issue commands via memory-mapped AVX2 stores (paper §7); reads by the
 // outstanding-read window over the round-trip time.
+//
+// Each (direction, payload) pair is a sweep point; see bench_util.h --jobs.
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "bench/bench_util.h"
 
 namespace strom {
 namespace {
 
+std::string WriteKey(size_t payload) { return "write/" + std::to_string(payload); }
+std::string ReadKey(size_t payload) { return "read/" + std::to_string(payload); }
+
+const bool kSweepRegistered = [] {
+  for (size_t payload = 64; payload <= 4096; payload *= 4) {
+    bench::DefineSweepPoint(WriteKey(payload), [payload] {
+      bench::Throughput t = bench::MeasureWriteThroughput(Profile10G(), payload, 6000);
+      return std::vector<double>{t.mmsg_per_sec};
+    });
+  }
+  for (size_t payload = 64; payload <= 4096; payload *= 4) {
+    bench::DefineSweepPoint(ReadKey(payload), [payload] {
+      bench::Throughput t = bench::MeasureReadThroughput(Profile10G(), payload, 6000);
+      return std::vector<double>{t.mmsg_per_sec};
+    });
+  }
+  return true;
+}();
+
 void Fig5cWrite(benchmark::State& state) {
   const size_t payload = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
-    bench::Throughput t = bench::MeasureWriteThroughput(Profile10G(), payload, 6000);
-    state.counters["mmsg_per_s"] = t.mmsg_per_sec;
+    state.counters["mmsg_per_s"] = bench::SweepResult(WriteKey(payload))[0];
   }
   state.counters["payload_B"] = static_cast<double>(payload);
   state.counters["ideal_mmsg_per_s"] = bench::IdealMsgRate(Profile10G(), payload);
@@ -22,8 +44,7 @@ void Fig5cWrite(benchmark::State& state) {
 void Fig5cRead(benchmark::State& state) {
   const size_t payload = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
-    bench::Throughput t = bench::MeasureReadThroughput(Profile10G(), payload, 6000);
-    state.counters["mmsg_per_s"] = t.mmsg_per_sec;
+    state.counters["mmsg_per_s"] = bench::SweepResult(ReadKey(payload))[0];
   }
   state.counters["payload_B"] = static_cast<double>(payload);
 }

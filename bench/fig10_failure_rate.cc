@@ -125,24 +125,50 @@ double RunStrom(uint32_t size, double failure_rate) {
   return total_us / kReads;
 }
 
+std::string PointKey(const char* approach, int64_t size, int64_t permille) {
+  return std::string(approach) + "/" + std::to_string(size) + "/" + std::to_string(permille);
+}
+
+// Each (approach, size, failure-rate) triple is a sweep point; see
+// bench_util.h --jobs.
+const bool kSweepRegistered = [] {
+  for (int64_t size : {64, 512, 4096}) {
+    for (int64_t permille : {0, 5, 50, 500}) {
+      bench::DefineSweepPoint(PointKey("sw", size, permille), [size, permille] {
+        return std::vector<double>{
+            RunReadPlusSw(static_cast<uint32_t>(size), static_cast<double>(permille) / 1000.0)};
+      });
+    }
+  }
+  for (int64_t size : {64, 512, 4096}) {
+    for (int64_t permille : {0, 5, 50, 500}) {
+      bench::DefineSweepPoint(PointKey("strom", size, permille), [size, permille] {
+        return std::vector<double>{
+            RunStrom(static_cast<uint32_t>(size), static_cast<double>(permille) / 1000.0)};
+      });
+    }
+  }
+  return true;
+}();
+
 // args: {size, failure_rate_permille}
 void Fig10ReadPlusSw(benchmark::State& state) {
-  const uint32_t size = static_cast<uint32_t>(state.range(0));
-  const double rate = static_cast<double>(state.range(1)) / 1000.0;
+  const int64_t size = state.range(0);
+  const int64_t permille = state.range(1);
   for (auto _ : state) {
-    state.counters["avg_us"] = RunReadPlusSw(size, rate);
+    state.counters["avg_us"] = bench::SweepResult(PointKey("sw", size, permille))[0];
   }
-  state.counters["object_B"] = size;
-  state.counters["failure_rate"] = rate;
+  state.counters["object_B"] = static_cast<double>(size);
+  state.counters["failure_rate"] = static_cast<double>(permille) / 1000.0;
 }
 void Fig10Strom(benchmark::State& state) {
-  const uint32_t size = static_cast<uint32_t>(state.range(0));
-  const double rate = static_cast<double>(state.range(1)) / 1000.0;
+  const int64_t size = state.range(0);
+  const int64_t permille = state.range(1);
   for (auto _ : state) {
-    state.counters["avg_us"] = RunStrom(size, rate);
+    state.counters["avg_us"] = bench::SweepResult(PointKey("strom", size, permille))[0];
   }
-  state.counters["object_B"] = size;
-  state.counters["failure_rate"] = rate;
+  state.counters["object_B"] = static_cast<double>(size);
+  state.counters["failure_rate"] = static_cast<double>(permille) / 1000.0;
 }
 
 void FailureArgs(benchmark::internal::Benchmark* b) {

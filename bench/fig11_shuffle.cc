@@ -171,26 +171,48 @@ double RunSwPlusWrite(size_t bytes) {
   return ToSec(elapsed);
 }
 
-void Fig11PlainWrite(benchmark::State& state) {
-  const size_t bytes = ScaledBytes(state.range(0));
-  for (auto _ : state) {
-    state.counters["exec_s"] = RunPlainWrite(bytes);
+std::string PointKey(const char* approach, int64_t mb) {
+  return std::string(approach) + "/" + std::to_string(mb);
+}
+
+// Each (approach, input size) pair is a sweep point; the 12 points dominate
+// the suite's wall clock and scale nearly linearly with --jobs.
+const bool kSweepRegistered = [] {
+  for (int64_t mb : {128, 256, 512, 1024}) {
+    bench::DefineSweepPoint(PointKey("plain", mb), [mb] {
+      return std::vector<double>{RunPlainWrite(ScaledBytes(mb))};
+    });
   }
-  state.counters["input_MB"] = static_cast<double>(bytes) / 1e6;
+  for (int64_t mb : {128, 256, 512, 1024}) {
+    bench::DefineSweepPoint(PointKey("strom", mb), [mb] {
+      return std::vector<double>{RunStrom(ScaledBytes(mb))};
+    });
+  }
+  for (int64_t mb : {128, 256, 512, 1024}) {
+    bench::DefineSweepPoint(PointKey("sw", mb), [mb] {
+      return std::vector<double>{RunSwPlusWrite(ScaledBytes(mb))};
+    });
+  }
+  return true;
+}();
+
+void Fig11PlainWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["exec_s"] = bench::SweepResult(PointKey("plain", state.range(0)))[0];
+  }
+  state.counters["input_MB"] = static_cast<double>(ScaledBytes(state.range(0))) / 1e6;
 }
 void Fig11Strom(benchmark::State& state) {
-  const size_t bytes = ScaledBytes(state.range(0));
   for (auto _ : state) {
-    state.counters["exec_s"] = RunStrom(bytes);
+    state.counters["exec_s"] = bench::SweepResult(PointKey("strom", state.range(0)))[0];
   }
-  state.counters["input_MB"] = static_cast<double>(bytes) / 1e6;
+  state.counters["input_MB"] = static_cast<double>(ScaledBytes(state.range(0))) / 1e6;
 }
 void Fig11SwPlusWrite(benchmark::State& state) {
-  const size_t bytes = ScaledBytes(state.range(0));
   for (auto _ : state) {
-    state.counters["exec_s"] = RunSwPlusWrite(bytes);
+    state.counters["exec_s"] = bench::SweepResult(PointKey("sw", state.range(0)))[0];
   }
-  state.counters["input_MB"] = static_cast<double>(bytes) / 1e6;
+  state.counters["input_MB"] = static_cast<double>(ScaledBytes(state.range(0))) / 1e6;
 }
 
 BENCHMARK(Fig11PlainWrite)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Iterations(1);

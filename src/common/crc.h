@@ -5,6 +5,11 @@
 //    consistency kernel and the Pilaf-style software baseline (paper §6.3).
 // Both support incremental updates so kernels can fold in one stream chunk at
 // a time, exactly like a word-serial hardware CRC unit.
+//
+// Bulk updates use slice-by-8 tables (8 bytes folded per iteration, one table
+// lookup per byte but only one shift/combine per 8); the result is bit-exact
+// with the classic byte-at-a-time loop, which is kept as a reference
+// implementation for the equivalence tests (crc_reference namespace).
 #ifndef SRC_COMMON_CRC_H_
 #define SRC_COMMON_CRC_H_
 
@@ -51,6 +56,14 @@ class Crc64 {
  private:
   uint64_t state_ = 0xFFFFFFFFFFFFFFFFull;
 };
+
+// Byte-at-a-time reference implementations (the pre-slice-by-8 code paths).
+// The unit tests assert the optimized Update() matches these bit-for-bit on
+// arbitrary lengths, alignments and chunkings.
+namespace crc_reference {
+uint32_t Crc32Update(uint32_t state, ByteSpan data);
+uint64_t Crc64Update(uint64_t state, ByteSpan data);
+}  // namespace crc_reference
 
 }  // namespace strom
 

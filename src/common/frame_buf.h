@@ -1,0 +1,245 @@
+// Ref-counted pooled frame buffer.
+//
+// A FrameBuf is a {block, offset, length} view over a pooled byte block. The
+// hot paths build a frame once (FrameBuilder + WireWriter) and then share it
+// by reference count across the link, switch ports, capture taps, and the
+// receiver — where the payload is carried onward as a SubSpan of the same
+// block rather than copied. Released blocks return to a thread-local free
+// list bucketed by capacity, so steady-state traffic allocates nothing.
+//
+// Threading model: the reference count is deliberately NOT atomic. A
+// Simulator and every frame it creates live on exactly one thread (the
+// parallel sweep runner gives each sweep point its own Simulator on its own
+// worker thread), so cross-thread sharing of a live FrameBuf cannot occur.
+// Blocks released on a different thread than they were allocated on simply
+// join that thread's pool, which is safe.
+#ifndef SRC_COMMON_FRAME_BUF_H_
+#define SRC_COMMON_FRAME_BUF_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/common/bytes.h"
+
+namespace strom {
+
+namespace internal {
+struct FrameBlock {
+  uint32_t refs = 0;
+  ByteBuffer storage;
+};
+// Pool interface (thread-local behind the scenes).
+FrameBlock* AcquireFrameBlock(size_t size);
+FrameBlock* AdoptFrameBlock(ByteBuffer&& data);
+void ReleaseFrameBlock(FrameBlock* block);
+}  // namespace internal
+
+class FrameBuf {
+ public:
+  FrameBuf() = default;
+
+  // A zero-filled frame of `size` bytes, intended to be overwritten. The
+  // explicit fill matters for determinism: a recycled block must not leak
+  // stale bytes from a previous frame.
+  static FrameBuf Allocate(size_t size) {
+    FrameBuf f;
+    if (size > 0) {
+      f.block_ = internal::AcquireFrameBlock(size);
+      f.block_->refs = 1;
+      f.len_ = static_cast<uint32_t>(size);
+      std::memset(f.data(), 0, size);
+    }
+    return f;
+  }
+
+  static FrameBuf Copy(ByteSpan data) {
+    FrameBuf f = Allocate(data.size());
+    if (!data.empty()) {
+      std::memcpy(f.data(), data.data(), data.size());
+    }
+    return f;
+  }
+
+  // Takes ownership of an existing buffer without copying. The buffer's heap
+  // allocation is recycled through the pool when the last reference drops.
+  static FrameBuf Adopt(ByteBuffer&& data) {
+    FrameBuf f;
+    if (!data.empty()) {
+      f.block_ = internal::AdoptFrameBlock(std::move(data));
+      f.block_->refs = 1;
+      f.len_ = static_cast<uint32_t>(f.block_->storage.size());
+    }
+    return f;
+  }
+
+  FrameBuf(const FrameBuf& other) noexcept
+      : block_(other.block_), off_(other.off_), len_(other.len_) {
+    if (block_ != nullptr) {
+      ++block_->refs;
+    }
+  }
+
+  FrameBuf& operator=(const FrameBuf& other) noexcept {
+    if (this != &other) {
+      Release();
+      block_ = other.block_;
+      off_ = other.off_;
+      len_ = other.len_;
+      if (block_ != nullptr) {
+        ++block_->refs;
+      }
+    }
+    return *this;
+  }
+
+  FrameBuf(FrameBuf&& other) noexcept
+      : block_(other.block_), off_(other.off_), len_(other.len_) {
+    other.block_ = nullptr;
+    other.off_ = 0;
+    other.len_ = 0;
+  }
+
+  FrameBuf& operator=(FrameBuf&& other) noexcept {
+    if (this != &other) {
+      Release();
+      block_ = other.block_;
+      off_ = other.off_;
+      len_ = other.len_;
+      other.block_ = nullptr;
+      other.off_ = 0;
+      other.len_ = 0;
+    }
+    return *this;
+  }
+
+  ~FrameBuf() { Release(); }
+
+  const uint8_t* data() const {
+    return block_ == nullptr ? nullptr : block_->storage.data() + off_;
+  }
+  // Mutable access; callers that might share the block must EnsureUnique()
+  // first (e.g. the link's corrupt-injection path).
+  uint8_t* data() {
+    return block_ == nullptr ? nullptr : block_->storage.data() + off_;
+  }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data()[i]; }
+  uint8_t& operator[](size_t i) { return data()[i]; }
+
+  const uint8_t* begin() const { return data(); }
+  const uint8_t* end() const { return data() + len_; }
+
+  ByteSpan span() const { return ByteSpan(data(), len_); }
+  operator ByteSpan() const { return span(); }  // NOLINT
+
+  // A view sharing the same block (refcount bump, no copy).
+  FrameBuf SubSpan(size_t offset, size_t length) const {
+    STROM_CHECK_LE(offset + length, len_);
+    FrameBuf f(*this);
+    f.off_ += static_cast<uint32_t>(offset);
+    f.len_ = static_cast<uint32_t>(length);
+    return f;
+  }
+
+  // Deep copy into a fresh pooled block.
+  FrameBuf Clone() const { return Copy(span()); }
+
+  // Copy-on-write: after this call the block is exclusively owned, so
+  // mutation cannot be observed through other references.
+  void EnsureUnique() {
+    if (block_ != nullptr && block_->refs > 1) {
+      *this = Copy(span());
+    }
+  }
+
+  ByteBuffer ToBuffer() const { return ByteBuffer(begin(), end()); }
+
+  // Vector-style conveniences (used heavily by tests building packets).
+  void assign(size_t n, uint8_t value) {
+    *this = Allocate(n);
+    if (n > 0) {
+      std::memset(data(), value, n);
+    }
+  }
+  void clear() { Release(); }
+
+ private:
+  friend class FrameBuilder;
+
+  void Release() {
+    if (block_ != nullptr && --block_->refs == 0) {
+      internal::ReleaseFrameBlock(block_);
+    }
+    block_ = nullptr;
+    off_ = 0;
+    len_ = 0;
+  }
+
+  internal::FrameBlock* block_ = nullptr;
+  uint32_t off_ = 0;
+  uint32_t len_ = 0;
+};
+
+inline bool operator==(const FrameBuf& a, const FrameBuf& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const FrameBuf& a, const FrameBuf& b) { return !(a == b); }
+inline bool operator==(const FrameBuf& a, const ByteBuffer& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator==(const ByteBuffer& a, const FrameBuf& b) { return b == a; }
+
+// Builds a frame in a pooled block with the existing WireWriter, then wraps
+// it as a FrameBuf without copying:
+//
+//   FrameBuilder b(wire_size_hint);
+//   WireWriter w(b.buffer());
+//   ... encode ...
+//   FrameBuf frame = std::move(b).Finish();
+class FrameBuilder {
+ public:
+  explicit FrameBuilder(size_t capacity_hint) {
+    block_ = internal::AcquireFrameBlock(capacity_hint);
+    block_->storage.clear();
+  }
+
+  ~FrameBuilder() {
+    if (block_ != nullptr) {
+      internal::ReleaseFrameBlock(block_);
+    }
+  }
+
+  FrameBuilder(const FrameBuilder&) = delete;
+  FrameBuilder& operator=(const FrameBuilder&) = delete;
+
+  ByteBuffer& buffer() { return block_->storage; }
+
+  FrameBuf Finish() && {
+    FrameBuf f;
+    if (!block_->storage.empty()) {
+      f.block_ = block_;
+      f.block_->refs = 1;
+      f.len_ = static_cast<uint32_t>(block_->storage.size());
+      block_ = nullptr;
+    }
+    return f;
+  }
+
+ private:
+  internal::FrameBlock* block_ = nullptr;
+};
+
+// Pool introspection for the microbench and tests.
+struct FramePoolStats {
+  uint64_t allocations = 0;  // blocks created with operator new
+  uint64_t reuses = 0;       // blocks served from the free list
+};
+FramePoolStats GetFramePoolStats();
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_FRAME_BUF_H_

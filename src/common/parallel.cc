@@ -1,0 +1,40 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace strom {
+
+void ParallelFor(size_t count, int jobs, const std::function<void(size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  const size_t workers = std::min<size_t>(jobs <= 1 ? 1 : jobs, count);
+  if (workers == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back(worker);
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace strom

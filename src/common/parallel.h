@@ -1,0 +1,24 @@
+// Minimal deterministic work distribution for the parallel sweep runner.
+//
+// ParallelFor runs fn(i) for i in [0, count) across `jobs` worker threads,
+// handing out indices from a shared atomic counter. Each fn(i) writes its
+// result into a caller-owned slot indexed by i, so the merged output is in
+// point order no matter which worker ran which point or in what order they
+// finished — this is the cornerstone of the `--jobs N` determinism rule.
+#ifndef SRC_COMMON_PARALLEL_H_
+#define SRC_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace strom {
+
+// Runs fn(0..count-1) on min(jobs, count) threads; jobs <= 1 runs inline on
+// the calling thread (still in index order). Blocks until all work is done.
+// fn must not throw.
+void ParallelFor(size_t count, int jobs, const std::function<void(size_t)>& fn);
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_PARALLEL_H_

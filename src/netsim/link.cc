@@ -4,12 +4,17 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/sim/perf_stats.h"
 #include "src/sim/time.h"
 
 namespace strom {
 
 PointToPointLink::PointToPointLink(Simulator& sim, LinkConfig config)
     : sim_(sim), config_(config) {}
+
+PointToPointLink::~PointToPointLink() {
+  AddSimFramesSent(sides_[0].counters.frames_sent + sides_[1].counters.frames_sent);
+}
 
 void PointToPointLink::AttachTelemetry(Telemetry* telemetry, const std::string& process) {
   tracer_ = &telemetry->tracer;
@@ -61,7 +66,7 @@ void PointToPointLink::Attach(int side, RxHandler handler) {
   sides_[side].handler = std::move(handler);
 }
 
-void PointToPointLink::Send(int side, ByteBuffer frame, TraceContext trace) {
+void PointToPointLink::Send(int side, FrameBuf frame, TraceContext trace) {
   STROM_CHECK(side == 0 || side == 1);
   Side& tx = sides_[side];
   Side& rx = sides_[1 - side];
@@ -108,6 +113,9 @@ void PointToPointLink::Send(int side, ByteBuffer frame, TraceContext trace) {
     ++tx.counters.frames_corrupted;
     corrupted = true;
     // Flip a byte beyond the Ethernet header so the ICRC check catches it.
+    // The sender may still hold a reference (e.g. for retransmission), so
+    // detach before mutating.
+    frame.EnsureUnique();
     size_t pos = std::min(frame.size() - 1, EthHeader::kSize + Ipv4Header::kSize + 5);
     frame[pos] ^= 0xA5;
   }

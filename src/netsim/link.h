@@ -10,6 +10,7 @@
 #include <map>
 
 #include "src/common/bytes.h"
+#include "src/common/frame_buf.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/proto/headers.h"
@@ -37,9 +38,10 @@ struct LinkCounters {
 
 class PointToPointLink {
  public:
-  using RxHandler = std::function<void(ByteBuffer frame, TraceContext trace)>;
+  using RxHandler = std::function<void(FrameBuf frame, TraceContext trace)>;
 
   PointToPointLink(Simulator& sim, LinkConfig config);
+  ~PointToPointLink();
 
   const LinkConfig& config() const { return config_; }
 
@@ -61,8 +63,9 @@ class PointToPointLink {
   void Attach(int side, RxHandler handler);
 
   // Transmits a frame from `side`. Serialization is modeled with a per-side
-  // busy-until cursor; frames queue behind each other at line rate.
-  void Send(int side, ByteBuffer frame, TraceContext trace = {});
+  // busy-until cursor; frames queue behind each other at line rate. The frame
+  // is shared by reference count with the capture tap and the receiver.
+  void Send(int side, FrameBuf frame, TraceContext trace = {});
 
   // Fault injection (applies to frames leaving `side`).
   void SetDropProbability(int side, double p, uint64_t seed = 1);

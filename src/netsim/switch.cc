@@ -16,7 +16,7 @@ int EthernetSwitch::AddPort() {
   lc.ip_mtu = config_.ip_mtu;
   Port p;
   p.link = std::make_unique<PointToPointLink>(sim_, lc);
-  p.link->Attach(1, [this, port](ByteBuffer frame, TraceContext trace) {
+  p.link->Attach(1, [this, port](FrameBuf frame, TraceContext trace) {
     OnFrame(port, std::move(frame), trace);
   });
   ports_.push_back(std::move(p));
@@ -31,7 +31,7 @@ void EthernetSwitch::AttachCapture(PcapWriter* writer) {
   }
 }
 
-void EthernetSwitch::OnFrame(int in_port, ByteBuffer frame, TraceContext trace) {
+void EthernetSwitch::OnFrame(int in_port, FrameBuf frame, TraceContext trace) {
   if (frame.size() < EthHeader::kSize) {
     return;
   }
@@ -48,6 +48,8 @@ void EthernetSwitch::OnFrame(int in_port, ByteBuffer frame, TraceContext trace) 
     return;
   }
   ++frames_flooded_;
+  // Flooding shares the frame across ports by reference count; no per-port
+  // copies.
   for (size_t port = 0; port < ports_.size(); ++port) {
     if (static_cast<int>(port) != in_port) {
       ForwardTo(static_cast<int>(port), frame, trace);
@@ -55,7 +57,7 @@ void EthernetSwitch::OnFrame(int in_port, ByteBuffer frame, TraceContext trace) 
   }
 }
 
-void EthernetSwitch::ForwardTo(int out_port, ByteBuffer frame, TraceContext trace) {
+void EthernetSwitch::ForwardTo(int out_port, FrameBuf frame, TraceContext trace) {
   STROM_CHECK_LT(static_cast<size_t>(out_port), ports_.size());
   sim_.Schedule(config_.forwarding_latency,
                 [this, out_port, f = std::move(frame), trace]() mutable {

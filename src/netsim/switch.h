@@ -38,8 +38,8 @@ class EthernetSwitch {
   uint64_t frames_flooded() const { return frames_flooded_; }
 
  private:
-  void OnFrame(int in_port, ByteBuffer frame, TraceContext trace);
-  void ForwardTo(int out_port, ByteBuffer frame, TraceContext trace);
+  void OnFrame(int in_port, FrameBuf frame, TraceContext trace);
+  void ForwardTo(int out_port, FrameBuf frame, TraceContext trace);
 
   struct Port {
     std::unique_ptr<PointToPointLink> link;

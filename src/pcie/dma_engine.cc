@@ -73,17 +73,20 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceCon
 
   sim_.ScheduleAt(complete,
                   [this, segs = std::move(*segments), length, done = std::move(done)] {
-                    ByteBuffer data;
-                    data.reserve(length);
+                    // One pooled buffer for the whole command; each segment
+                    // fills its slice in place.
+                    FrameBuf data = FrameBuf::Allocate(length);
+                    size_t offset = 0;
                     for (const DmaSegment& seg : segs) {
-                      ByteBuffer part = memory_.ReadBuffer(seg.phys, seg.length);
-                      data.insert(data.end(), part.begin(), part.end());
+                      memory_.Read(seg.phys,
+                                   MutableByteSpan(data.data() + offset, seg.length));
+                      offset += seg.length;
                     }
                     done(std::move(data));
                   });
 }
 
-void DmaEngine::Write(VirtAddr virt, ByteBuffer data, WriteCallback done, TraceContext trace) {
+void DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace) {
   ++counters_.write_commands;
   Result<std::vector<DmaSegment>> segments = tlb_.Resolve(virt, data.size());
   if (!segments.ok()) {

@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "src/common/frame_buf.h"
 #include "src/common/status.h"
 #include "src/pcie/host_memory.h"
 #include "src/pcie/tlb.h"
@@ -38,7 +39,7 @@ struct DmaCounters {
 
 class DmaEngine {
  public:
-  using ReadCallback = std::function<void(Result<ByteBuffer>)>;
+  using ReadCallback = std::function<void(Result<FrameBuf>)>;
   using WriteCallback = std::function<void(Status)>;
 
   DmaEngine(Simulator& sim, HostMemory& memory, Tlb& tlb, DmaConfig config);
@@ -55,8 +56,9 @@ class DmaEngine {
   void Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceContext trace = {});
 
   // Posts `data` to virtual address `virt`; the callback runs when the write
-  // has been accepted by the host memory system.
-  void Write(VirtAddr virt, ByteBuffer data, WriteCallback done, TraceContext trace = {});
+  // has been accepted by the host memory system. The data is shared, not
+  // copied — on the RX path it is a sub-span of the received wire frame.
+  void Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace = {});
 
   const DmaCounters& counters() const { return counters_; }
   const DmaConfig& config() const { return config_; }

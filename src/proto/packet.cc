@@ -1,5 +1,9 @@
 #include "src/proto/packet.h"
 
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
 #include "src/common/crc.h"
 #include "src/common/logging.h"
 
@@ -35,23 +39,32 @@ uint32_t ComputeIcrc(ByteSpan ip_through_payload) {
   // (offsets 10-11), UDP checksum (offsets 26-27), BTH byte 1 (flags, offset
   // 29) and BTH reserved byte (offset 32). Preceded by 8 bytes of 1s standing
   // in for the masked LRH/GRH fields, per the RoCE v2 ICRC definition.
-  ByteBuffer masked(ip_through_payload.begin(), ip_through_payload.end());
+  //
+  // Every masked offset is < 33, so only the header prefix is staged in a
+  // stack buffer; the payload is CRCed in place, avoiding a full-frame copy.
   static constexpr size_t kMaskedOffsets[] = {1, 8, 10, 11, 26, 27, 29, 32};
+  static constexpr size_t kMaskedHeadSize = 33;
+  uint8_t head[8 + kMaskedHeadSize];
+  std::memset(head, 0xFF, 8);
+  const size_t head_len = std::min(ip_through_payload.size(), kMaskedHeadSize);
+  if (head_len > 0) {
+    std::memcpy(head + 8, ip_through_payload.data(), head_len);
+  }
   for (size_t off : kMaskedOffsets) {
-    if (off < masked.size()) {
-      masked[off] = 0xFF;
+    if (off < head_len) {
+      head[8 + off] = 0xFF;
     }
   }
   Crc32 crc;
-  static constexpr uint8_t kOnes[8] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
-  crc.Update(ByteSpan(kOnes, sizeof(kOnes)));
-  crc.Update(masked);
+  crc.Update(ByteSpan(head, 8 + head_len));
+  crc.Update(ip_through_payload.subspan(head_len));
   return crc.Finish();
 }
 
-ByteBuffer EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
-                           const RocePacket& pkt) {
-  ByteBuffer frame;
+FrameBuf EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                         const RocePacket& pkt) {
+  FrameBuilder builder(pkt.WireSize());
+  ByteBuffer& frame = builder.buffer();
   frame.reserve(pkt.WireSize());
   WireWriter w(frame);
 
@@ -89,10 +102,14 @@ ByteBuffer EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
   const uint32_t icrc =
       ComputeIcrc(ByteSpan(frame.data() + EthHeader::kSize, frame.size() - EthHeader::kSize));
   w.U32(icrc);
-  return frame;
+  return std::move(builder).Finish();
 }
 
-Result<RocePacket> ParseRoceFrame(ByteSpan frame) {
+namespace {
+
+// Shared parse body; `frame_buf` is non-null when the caller holds a FrameBuf,
+// in which case the payload becomes a zero-copy sub-span of it.
+Result<RocePacket> ParseRoceFrameImpl(ByteSpan frame, const FrameBuf* frame_buf) {
   WireReader r(frame);
   EthHeader eth = EthHeader::Decode(r);
   if (r.failed() || eth.ethertype != kEtherTypeIpv4) {
@@ -150,9 +167,23 @@ Result<RocePacket> ParseRoceFrame(ByteSpan frame) {
   if (payload_end < r.position()) {
     return Status(StatusCode::kInvalidArgument, "inconsistent lengths");
   }
-  ByteSpan payload = frame.subspan(r.position(), payload_end - r.position());
-  pkt.payload.assign(payload.begin(), payload.end());
+  const size_t payload_len = payload_end - r.position();
+  if (frame_buf != nullptr) {
+    pkt.payload = frame_buf->SubSpan(r.position(), payload_len);
+  } else {
+    pkt.payload = FrameBuf::Copy(frame.subspan(r.position(), payload_len));
+  }
   return pkt;
+}
+
+}  // namespace
+
+Result<RocePacket> ParseRoceFrame(const FrameBuf& frame) {
+  return ParseRoceFrameImpl(frame.span(), &frame);
+}
+
+Result<RocePacket> ParseRoceFrame(ByteSpan frame) {
+  return ParseRoceFrameImpl(frame, nullptr);
 }
 
 size_t RocePayloadPerPacket(size_t ip_mtu) {

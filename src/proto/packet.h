@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "src/common/frame_buf.h"
 #include "src/common/status.h"
 #include "src/proto/headers.h"
 #include "src/telemetry/trace_context.h"
@@ -20,7 +21,9 @@ struct RocePacket {
   BthHeader bth;
   std::optional<RethHeader> reth;
   std::optional<AethHeader> aeth;
-  ByteBuffer payload;
+  // Ref-counted: on RX this is a sub-span of the received frame, so the
+  // payload is never copied between the wire and the DMA engine.
+  FrameBuf payload;
   // Telemetry span context; carried beside the packet, never serialized into
   // the frame, so tracing cannot perturb wire sizes or timing.
   TraceContext trace;
@@ -31,11 +34,15 @@ struct RocePacket {
   uint64_t Words(size_t width_bytes) const;
 };
 
-// Builds the full Ethernet frame including ICRC trailer.
-ByteBuffer EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
-                           const RocePacket& pkt);
+// Builds the full Ethernet frame including ICRC trailer in a pooled buffer.
+FrameBuf EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                         const RocePacket& pkt);
 
-// Parses a frame; verifies ethertype, IP checksum, UDP port and ICRC.
+// Parses a frame; verifies ethertype, IP checksum, UDP port and ICRC. The
+// returned packet's payload shares the frame's block (zero copy).
+Result<RocePacket> ParseRoceFrame(const FrameBuf& frame);
+// Span overload for callers without a FrameBuf (tools, tests); the payload
+// is copied into a fresh pooled buffer.
 Result<RocePacket> ParseRoceFrame(ByteSpan frame);
 
 // ICRC over an encoded frame (Eth header excluded, trailer excluded).

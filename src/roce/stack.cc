@@ -246,18 +246,18 @@ void RoceStack::FetchPayloads() {
     while (wr->next_fetch < wr->send_pkts && fetches_in_flight_ < config_.tx_fetch_window) {
       const uint32_t idx = wr->next_fetch++;
       if (wr->req.kind == WorkRequest::Kind::kRead) {
-        wr->ready[idx] = ByteBuffer{};  // read requests carry no payload
+        wr->ready[idx] = FrameBuf{};  // read requests carry no payload
         continue;
       }
       const uint32_t chunk = wr->ChunkLen(idx, pmtu_payload_);
       if (!wr->req.inline_data.empty() || chunk == 0) {
         const uint8_t* base = wr->req.inline_data.data() + static_cast<size_t>(idx) * pmtu_payload_;
-        wr->ready[idx] = ByteBuffer(base, base + chunk);
+        wr->ready[idx] = FrameBuf::Copy(ByteSpan(base, chunk));
         continue;
       }
       ++fetches_in_flight_;
       const VirtAddr src = wr->req.local_addr + static_cast<VirtAddr>(idx) * pmtu_payload_;
-      dma_.Read(src, chunk, [this, wr, idx](Result<ByteBuffer> data) {
+      dma_.Read(src, chunk, [this, wr, idx](Result<FrameBuf> data) {
         --fetches_in_flight_;
         if (!data.ok()) {
           STROM_LOG(kError) << "TX payload fetch failed: " << data.status();
@@ -275,12 +275,12 @@ bool RoceStack::TrySendNextDataPacket() {
   // Retransmissions take precedence over new data.
   if (!retransmit_queue_.empty()) {
     OutstandingPacket& desc = retransmit_queue_.front();
-    ByteBuffer payload;
+    FrameBuf payload;
     if (desc.opcode == IbOpcode::kReadRequest || desc.len == 0) {
       // no payload
     } else if (!desc.wr->req.inline_data.empty()) {
       const uint8_t* base = desc.wr->req.inline_data.data() + desc.offset;
-      payload.assign(base, base + desc.len);
+      payload = FrameBuf::Copy(ByteSpan(base, desc.len));
     } else if (retransmit_payload_.has_value()) {
       payload = std::move(*retransmit_payload_);
       retransmit_payload_.reset();
@@ -289,7 +289,7 @@ bool RoceStack::TrySendNextDataPacket() {
         retransmit_fetch_pending_ = true;
         const uint64_t epoch = retransmit_epoch_;
         dma_.Read(desc.wr->req.local_addr + desc.offset, desc.len,
-                  [this, epoch](Result<ByteBuffer> data) {
+                  [this, epoch](Result<FrameBuf> data) {
                     retransmit_fetch_pending_ = false;
                     if (epoch == retransmit_epoch_ && data.ok()) {
                       retransmit_payload_ = std::move(*data);
@@ -333,7 +333,7 @@ bool RoceStack::TrySendNextDataPacket() {
     return false;  // waiting for the payload fetch
   }
   const uint32_t idx = wr->next_send++;
-  ByteBuffer payload = std::move(it->second);
+  FrameBuf payload = std::move(it->second);
   wr->ready.erase(it);
 
   QpState& qp = Qp(wr->req.qpn);
@@ -442,7 +442,7 @@ void RoceStack::EmitFrame(const RocePacket& pkt) {
   MacAddr dst_mac;
   STROM_CHECK(arp_.Lookup(pkt.dst_ip, &dst_mac))
       << "no ARP entry for " << IpToString(pkt.dst_ip);
-  ByteBuffer frame = EncodeRoceFrame(local_mac_, dst_mac, pkt);
+  FrameBuf frame = EncodeRoceFrame(local_mac_, dst_mac, pkt);
   if (capture_ != nullptr) {
     capture_->WritePacket(capture_tx_if_, sim_.now(), frame,
                           pkt.trace.sampled() ? "trace_id=" + std::to_string(pkt.trace.id)
@@ -498,7 +498,7 @@ void RoceStack::PumpTx() {
 // RX path
 // ---------------------------------------------------------------------------
 
-void RoceStack::OnFrame(ByteBuffer frame, TraceContext trace) {
+void RoceStack::OnFrame(FrameBuf frame, TraceContext trace) {
   Result<RocePacket> parsed = ParseRoceFrame(frame);
   if (capture_ != nullptr) {
     std::string comment;

@@ -34,12 +34,12 @@ namespace strom {
 
 class RoceStack {
  public:
-  using FrameSender = std::function<void(ByteBuffer, TraceContext)>;
+  using FrameSender = std::function<void(FrameBuf, TraceContext)>;
   // Returns true if a deployed kernel matched the RPC op-code.
   using RpcHandler = std::function<bool(RpcDelivery)>;
   // Observes payload of plain RDMA WRITEs as it flows to the DMA engine
   // (bump-in-the-wire receive kernels, e.g. HLL).
-  using StreamTap = std::function<void(Qpn, const ByteBuffer&, bool last)>;
+  using StreamTap = std::function<void(Qpn, const FrameBuf&, bool last)>;
 
   RoceStack(Simulator& sim, RoceConfig config, DmaEngine& dma, Ipv4Addr local_ip,
             MacAddr local_mac, const ArpTable& arp);
@@ -52,7 +52,7 @@ class RoceStack {
   void SetRpcHandler(RpcHandler handler) { rpc_handler_ = std::move(handler); }
   void SetStreamTap(StreamTap tap) { stream_tap_ = std::move(tap); }
   // Entry point for frames arriving from the Ethernet interface.
-  void OnFrame(ByteBuffer frame, TraceContext trace = {});
+  void OnFrame(FrameBuf frame, TraceContext trace = {});
 
   // Registers TX/RX/message tracks, RoceCounters gauges and per-verb latency
   // histograms under `process` (e.g. "node0").
@@ -97,7 +97,7 @@ class RoceStack {
     bool is_read_response = false;  // responder role: PSNs preassigned, no ACK
     uint32_t next_fetch = 0;  // next packet index whose payload fetch is issued
     uint32_t next_send = 0;   // next packet index to transmit (in order)
-    std::map<uint32_t, ByteBuffer> ready;  // fetched chunks keyed by index
+    std::map<uint32_t, FrameBuf> ready;  // fetched chunks keyed by index
     bool completed = false;
     SimTime posted_at = 0;  // when PostRequest accepted the message
 
@@ -178,7 +178,7 @@ class RoceStack {
   std::deque<WrPtr> wr_queue_;            // messages not yet fully sent
   std::deque<RocePacket> control_queue_;  // ACKs/NAKs (no payload, no PSN order)
   std::deque<OutstandingPacket> retransmit_queue_;
-  std::optional<ByteBuffer> retransmit_payload_;  // fetched for queue front
+  std::optional<FrameBuf> retransmit_payload_;  // fetched for queue front
   bool retransmit_fetch_pending_ = false;
   // Bumped whenever the retransmit queue is rebuilt, so an in-flight payload
   // fetch for a previous queue front cannot be attached to a new packet.

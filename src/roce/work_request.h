@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "src/common/bytes.h"
+#include "src/common/frame_buf.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/telemetry/trace_context.h"
@@ -42,7 +43,9 @@ struct WorkRequest {
 struct RpcDelivery {
   Qpn qpn = 0;
   uint32_t rpc_opcode = 0;
-  ByteBuffer payload;
+  // Shares the received wire frame's block (no copy between RX and kernel
+  // dispatch; the engine copies once when feeding a kernel stream).
+  FrameBuf payload;
   bool is_params = false;
   bool first = true;
   bool last = true;

@@ -1,21 +1,25 @@
 // Priority queue of timed events. Ties are broken by insertion order so the
 // simulation is fully deterministic.
+//
+// Implemented as an indexed 4-ary min-heap: the heap array holds small
+// {when, seq, slot} nodes (cheap to move and compare), while the callbacks
+// live in a slab of SmallCallback slots recycled through a free list. With
+// the callback's inline buffer this makes the steady-state schedule/fire
+// cycle allocation-free.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "src/sim/small_callback.h"
 #include "src/sim/time.h"
 
 namespace strom {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
   void Push(SimTime when, Callback fn);
   bool empty() const { return heap_.empty(); }
@@ -33,22 +37,26 @@ class EventQueue {
   void Clear();
 
  private:
-  struct Entry {
+  struct HeapNode {
     SimTime when;
     uint64_t seq;
-    // Stored out-of-line to keep heap moves cheap.
-    std::unique_ptr<Callback> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
+    uint32_t slot;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Earlier time wins; same-time events fire in insertion (seq) order.
+  static bool Before(const HeapNode& a, const HeapNode& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    return a.seq < b.seq;
+  }
+
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::vector<HeapNode> heap_;
+  std::vector<Callback> slots_;
+  std::vector<uint32_t> free_slots_;
   uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,10 @@
+#include "src/sim/perf_stats.h"
+
+namespace strom {
+
+SimPerfStats& GlobalSimPerfStats() {
+  static SimPerfStats stats;
+  return stats;
+}
+
+}  // namespace strom

@@ -1,0 +1,33 @@
+// Process-wide wall-clock performance accounting for the simulator itself
+// (as opposed to the simulated metrics in src/telemetry/). Simulators and
+// links add their lifetime totals here on destruction; bench_main divides by
+// wall time to report events/sec and frames/sec in BENCH_simperf.json.
+//
+// Counters are atomic because the parallel sweep runner destroys Simulators
+// on worker threads.
+#ifndef SRC_SIM_PERF_STATS_H_
+#define SRC_SIM_PERF_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace strom {
+
+struct SimPerfStats {
+  std::atomic<uint64_t> events_processed{0};
+  std::atomic<uint64_t> frames_sent{0};
+};
+
+SimPerfStats& GlobalSimPerfStats();
+
+inline void AddSimEventsProcessed(uint64_t n) {
+  GlobalSimPerfStats().events_processed.fetch_add(n, std::memory_order_relaxed);
+}
+
+inline void AddSimFramesSent(uint64_t n) {
+  GlobalSimPerfStats().frames_sent.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace strom
+
+#endif  // SRC_SIM_PERF_STATS_H_

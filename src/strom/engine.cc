@@ -9,7 +9,7 @@ namespace strom {
 StromEngine::StromEngine(Simulator& sim, RoceStack& stack, DmaEngine& dma)
     : sim_(sim), stack_(stack), dma_(dma) {
   stack_.SetRpcHandler([this](RpcDelivery d) { return OnRpc(std::move(d)); });
-  stack_.SetStreamTap([this](Qpn qpn, const ByteBuffer& payload, bool last) {
+  stack_.SetStreamTap([this](Qpn qpn, const FrameBuf& payload, bool last) {
     OnWriteTap(qpn, payload, last);
   });
 }
@@ -88,11 +88,13 @@ bool StromEngine::OnRpc(RpcDelivery delivery) {
     d.active_trace = delivery.trace;
     d.rpc_started = sim_.now();
   }
+  // Kernel streams carry plain ByteBuffers; this is the single ingress copy
+  // from the ref-counted wire frame into the kernel's address space.
   if (delivery.is_params) {
-    DeliverParams(d, delivery.qpn, std::move(delivery.payload));
+    DeliverParams(d, delivery.qpn, delivery.payload.ToBuffer());
   } else {
     NetChunk chunk;
-    chunk.data = std::move(delivery.payload);
+    chunk.data = delivery.payload.ToBuffer();
     chunk.last = delivery.last;
     DeliverData(d, std::move(chunk));
   }
@@ -122,7 +124,7 @@ Status StromEngine::AttachReceiveTap(Qpn qpn, uint32_t rpc_opcode) {
 
 void StromEngine::DetachReceiveTap(Qpn qpn) { taps_.erase(qpn); }
 
-void StromEngine::OnWriteTap(Qpn qpn, const ByteBuffer& payload, bool last) {
+void StromEngine::OnWriteTap(Qpn qpn, const FrameBuf& payload, bool last) {
   auto it = taps_.find(qpn);
   if (it == taps_.end()) {
     return;
@@ -130,7 +132,7 @@ void StromEngine::OnWriteTap(Qpn qpn, const ByteBuffer& payload, bool last) {
   Deployed& d = *kernels_.at(it->second);
   ++counters_.tapped_chunks;
   NetChunk chunk;
-  chunk.data = payload;
+  chunk.data = payload.ToBuffer();
   chunk.last = last;
   DeliverData(d, std::move(chunk));
 }
@@ -178,10 +180,10 @@ void StromEngine::ServiceDmaCommands(Deployed& d) {
     } else {
       ++counters_.kernel_dma_reads;
       Deployed* dp = &d;
-      dma_.Read(cmd.addr, cmd.length, [this, dp](Result<ByteBuffer> data) {
+      dma_.Read(cmd.addr, cmd.length, [this, dp](Result<FrameBuf> data) {
         NetChunk chunk;
         if (data.ok()) {
-          chunk.data = std::move(*data);
+          chunk.data = data->ToBuffer();
         } else {
           STROM_LOG(kError) << "kernel DMA read failed: " << data.status();
         }
@@ -207,7 +209,7 @@ void StromEngine::CollectDmaWrites(Deployed& d) {
     }
     STROM_CHECK_EQ(w.collected.size(), w.length)
         << "kernel " << d.kernel->name() << " overfilled a DMA write";
-    dma_.Write(w.addr, std::move(w.collected), nullptr, d.active_trace);
+    dma_.Write(w.addr, FrameBuf::Adopt(std::move(w.collected)), nullptr, d.active_trace);
     d.dma_writes.pop_front();
   }
 }

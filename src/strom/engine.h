@@ -89,7 +89,7 @@ class StromEngine {
   };
 
   bool OnRpc(RpcDelivery delivery);  // wired as the stack's RPC handler
-  void OnWriteTap(Qpn qpn, const ByteBuffer& payload, bool last);
+  void OnWriteTap(Qpn qpn, const FrameBuf& payload, bool last);
 
   void ServiceDmaCommands(Deployed& d);
   void CollectDmaWrites(Deployed& d);

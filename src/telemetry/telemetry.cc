@@ -1,18 +1,41 @@
 #include "src/telemetry/telemetry.h"
 
+#include <algorithm>
 #include <fstream>
+#include <numeric>
 #include <utility>
 
 namespace strom {
 
-void TelemetryCollector::Collect(const std::string& label, Telemetry& telemetry) {
-  runs_.push_back(Run{label, telemetry.metrics.Snap()});
+namespace {
+
+// Index order that sorts `orders` ascending, stable in arrival order.
+std::vector<size_t> SortedIndex(const std::vector<int64_t>& orders) {
+  std::vector<size_t> idx(orders.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](size_t a, size_t b) { return orders[a] < orders[b]; });
+  return idx;
+}
+
+}  // namespace
+
+int64_t TelemetryCollector::ResolveOrder(int64_t order) {
+  return order >= 0 ? order : next_serial_order_++;
+}
+
+void TelemetryCollector::Collect(const std::string& label, Telemetry& telemetry,
+                                 int64_t order) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t key = ResolveOrder(order);
+  runs_.push_back(Run{label, telemetry.metrics.Snap(), key});
   if (!telemetry.tracer.events().empty()) {
     TraceRun tr;
     tr.label = label;
     tr.tracks = telemetry.tracer.tracks();
     tr.events = telemetry.tracer.events();
     trace_runs_.push_back(std::move(tr));
+    trace_orders_.push_back(key);
     telemetry.tracer.Clear();
   }
   if (!telemetry.sampler.empty()) {
@@ -21,42 +44,65 @@ void TelemetryCollector::Collect(const std::string& label, Telemetry& telemetry)
     ts.names = telemetry.sampler.names();
     ts.rows = telemetry.sampler.rows();
     timeseries_runs_.push_back(std::move(ts));
+    timeseries_orders_.push_back(key);
     telemetry.sampler.ClearRows();
   }
 }
 
 void TelemetryCollector::Collect(const std::string& label,
-                                 MetricsRegistry::Snapshot snapshot) {
-  runs_.push_back(Run{label, std::move(snapshot)});
+                                 MetricsRegistry::Snapshot snapshot, int64_t order) {
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_.push_back(Run{label, std::move(snapshot), ResolveOrder(order)});
 }
 
 Status TelemetryCollector::WriteChromeTrace(const std::string& path) const {
-  return WriteChromeTraceFile(path, trace_runs_);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceRun> sorted;
+  sorted.reserve(trace_runs_.size());
+  for (size_t i : SortedIndex(trace_orders_)) {
+    sorted.push_back(trace_runs_[i]);
+  }
+  return WriteChromeTraceFile(path, sorted);
 }
 
 std::string TelemetryCollector::MetricsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> orders;
+  orders.reserve(runs_.size());
+  for (const Run& run : runs_) {
+    orders.push_back(run.order);
+  }
+  const std::vector<size_t> idx = SortedIndex(orders);
   std::string out = "{\n\"runs\": [\n";
-  for (size_t i = 0; i < runs_.size(); ++i) {
-    out += "{\n  \"label\": \"" + runs_[i].label + "\",\n  \"metrics\": ";
-    out += MetricsSnapshotToJson(runs_[i].metrics, 2);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    out += "{\n  \"label\": \"" + runs_[idx[i]].label + "\",\n  \"metrics\": ";
+    out += MetricsSnapshotToJson(runs_[idx[i]].metrics, 2);
     out += "\n}";
-    out += i + 1 == runs_.size() ? "\n" : ",\n";
+    out += i + 1 == idx.size() ? "\n" : ",\n";
   }
   out += "]\n}\n";
   return out;
 }
 
 std::string TelemetryCollector::MetricsCsv() const {
-  std::string out = "run,kind,name,value\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> orders;
+  orders.reserve(runs_.size());
   for (const Run& run : runs_) {
-    MetricsSnapshotToCsv(run.label, run.metrics, &out);
+    orders.push_back(run.order);
+  }
+  std::string out = "run,kind,name,value\n";
+  for (size_t i : SortedIndex(orders)) {
+    MetricsSnapshotToCsv(runs_[i].label, runs_[i].metrics, &out);
   }
   return out;
 }
 
 std::string TelemetryCollector::TimeSeriesCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "run,time_us,metric,value\n";
-  for (const TimeSeriesRun& run : timeseries_runs_) {
+  for (size_t i : SortedIndex(timeseries_orders_)) {
+    const TimeSeriesRun& run = timeseries_runs_[i];
     TimeSeriesToCsv(run.label, run.names, run.rows, &out);
   }
   return out;

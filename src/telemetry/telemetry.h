@@ -5,6 +5,8 @@
 #ifndef SRC_TELEMETRY_TELEMETRY_H_
 #define SRC_TELEMETRY_TELEMETRY_H_
 
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,14 +24,19 @@ struct Telemetry {
   TimeSeriesSampler sampler;
 };
 
-// Accumulates the telemetry of completed simulation runs. Not thread-safe;
-// the simulator is single-threaded and so are the benches.
+// Accumulates the telemetry of completed simulation runs. Deposits are
+// serialized with an internal mutex so the parallel sweep runner's workers
+// can collect concurrently; exports order runs by the deposit `order` key
+// (sweep-point ordinal), not completion order, so the output is identical
+// whether the sweep ran on one thread or many.
 class TelemetryCollector {
  public:
-  // Snapshots metrics and moves trace events out of `telemetry`.
-  void Collect(const std::string& label, Telemetry& telemetry);
+  // Snapshots metrics and moves trace events out of `telemetry`. `order` < 0
+  // means "after every explicitly-ordered run, in arrival order".
+  void Collect(const std::string& label, Telemetry& telemetry, int64_t order = -1);
   // Deposits an already-built snapshot (e.g. one bench result row).
-  void Collect(const std::string& label, MetricsRegistry::Snapshot snapshot);
+  void Collect(const std::string& label, MetricsRegistry::Snapshot snapshot,
+               int64_t order = -1);
 
   // One run's worth of periodic sampler rows (queue depths, occupancy...).
   struct TimeSeriesRun {
@@ -55,10 +62,19 @@ class TelemetryCollector {
   struct Run {
     std::string label;
     MetricsRegistry::Snapshot metrics;
+    int64_t order = 0;
   };
+  // Maps order = -1 to a monotonically increasing key past every sweep
+  // ordinal. Caller must hold mu_.
+  int64_t ResolveOrder(int64_t order);
+
+  mutable std::mutex mu_;
+  int64_t next_serial_order_ = int64_t{1} << 40;
   std::vector<Run> runs_;
   std::vector<TraceRun> trace_runs_;
+  std::vector<int64_t> trace_orders_;  // parallel to trace_runs_
   std::vector<TimeSeriesRun> timeseries_runs_;
+  std::vector<int64_t> timeseries_orders_;  // parallel to timeseries_runs_
 };
 
 }  // namespace strom

@@ -35,13 +35,14 @@ void Node::AttachSampler(Telemetry* telemetry, int index) {
   engine_.AttachSampler(telemetry, process);
 }
 
-void Node::OnFrame(ByteBuffer frame, TraceContext trace) {
+void Node::OnFrame(FrameBuf frame, TraceContext trace) {
   // Peek at the IP protocol field (Eth 14 + IP offset 9).
   if (frame.size() > EthHeader::kSize + 9 &&
       LoadBe16(frame.data() + 12) == kEtherTypeIpv4) {
     const uint8_t protocol = frame[EthHeader::kSize + 9];
     if (protocol == kIpProtoTcp) {
-      tcp_.OnFrame(std::move(frame));
+      // The TCP stack still speaks ByteBuffer; convert at this boundary.
+      tcp_.OnFrame(frame.ToBuffer());
       return;
     }
   }
@@ -50,8 +51,9 @@ void Node::OnFrame(ByteBuffer frame, TraceContext trace) {
 
 void Node::SetFrameSender(RoceStack::FrameSender sender) {
   stack_.SetFrameSender(sender);
-  tcp_.SetFrameSender(
-      [sender](ByteBuffer frame) { sender(std::move(frame), TraceContext{}); });
+  tcp_.SetFrameSender([sender](ByteBuffer frame) {
+    sender(FrameBuf::Adopt(std::move(frame)), TraceContext{});
+  });
 }
 
 }  // namespace strom

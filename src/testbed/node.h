@@ -41,7 +41,7 @@ class Node {
 
   // Ingress demux: RoCE (UDP 4791) frames go to the NIC stack, TCP frames to
   // the host kernel stack.
-  void OnFrame(ByteBuffer frame, TraceContext trace = {});
+  void OnFrame(FrameBuf frame, TraceContext trace = {});
   // Wires both stacks' egress to the given sender (TCP frames are sent with
   // a null trace context).
   void SetFrameSender(RoceStack::FrameSender sender);

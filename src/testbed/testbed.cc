@@ -13,6 +13,7 @@ MacAddr MacForIndex(int i) {
 }  // namespace
 
 TestbedTelemetryDefaults Testbed::telemetry_defaults;
+thread_local int64_t Testbed::run_ordinal = -1;
 
 Testbed::Testbed(const Profile& profile, int num_nodes)
     : profile_(profile), telemetry_(std::make_unique<Telemetry>()) {
@@ -36,11 +37,11 @@ Testbed::Testbed(const Profile& profile, int num_nodes)
     link_->AttachTelemetry(telemetry_.get(), "network");
     for (int i = 0; i < 2; ++i) {
       Node* node = nodes_[i].get();
-      link_->Attach(i, [node](ByteBuffer frame, TraceContext trace) {
+      link_->Attach(i, [node](FrameBuf frame, TraceContext trace) {
         node->OnFrame(std::move(frame), trace);
       });
       PointToPointLink* link = link_.get();
-      node->SetFrameSender([link, i](ByteBuffer frame, TraceContext trace) {
+      node->SetFrameSender([link, i](FrameBuf frame, TraceContext trace) {
         link->Send(i, std::move(frame), trace);
       });
     }
@@ -57,10 +58,10 @@ Testbed::Testbed(const Profile& profile, int num_nodes)
     PointToPointLink& link = switch_->PortLink(port);
     link.AttachTelemetry(telemetry_.get(), "port" + std::to_string(i));
     Node* node = nodes_[i].get();
-    link.Attach(0, [node](ByteBuffer frame, TraceContext trace) {
+    link.Attach(0, [node](FrameBuf frame, TraceContext trace) {
       node->OnFrame(std::move(frame), trace);
     });
-    node->SetFrameSender([&link](ByteBuffer frame, TraceContext trace) {
+    node->SetFrameSender([&link](FrameBuf frame, TraceContext trace) {
       link.Send(0, std::move(frame), trace);
     });
     switch_->AddStaticRoute(MacForIndex(i), port);
@@ -71,15 +72,20 @@ Testbed::Testbed(const Profile& profile, int num_nodes)
 void Testbed::InitObservability() {
   const TestbedTelemetryDefaults& d = telemetry_defaults;
   if (!d.capture_prefix.empty()) {
-    static int capture_counter = 0;
-    if (capture_counter < d.capture_runs) {
+    // The sweep ordinal (when set) decides which runs capture; the static
+    // counter is the serial fallback and is never touched by sweep workers.
+    int64_t ordinal = run_ordinal;
+    if (ordinal < 0) {
+      static int capture_counter = 0;
+      ordinal = capture_counter++;
+    }
+    if (ordinal < d.capture_runs) {
       std::string prefix = d.capture_prefix;
-      if (capture_counter > 0) {
-        prefix += ".run" + std::to_string(capture_counter);
+      if (ordinal > 0) {
+        prefix += ".run" + std::to_string(ordinal);
       }
       EnableCapture(prefix);
     }
-    ++capture_counter;
   }
   if (d.sample_interval > 0) {
     StartSampling(d.sample_interval);
@@ -136,9 +142,13 @@ void Testbed::ScheduleSample(SimTime interval) {
 
 Testbed::~Testbed() {
   if (telemetry_defaults.collector != nullptr) {
-    static uint64_t run_counter = 0;
-    const std::string label = "run" + std::to_string(run_counter++) + ":" + profile_.name;
-    telemetry_defaults.collector->Collect(label, *telemetry_);
+    int64_t ordinal = run_ordinal;
+    if (ordinal < 0) {
+      static uint64_t run_counter = 0;
+      ordinal = static_cast<int64_t>(run_counter++);
+    }
+    const std::string label = "run" + std::to_string(ordinal) + ":" + profile_.name;
+    telemetry_defaults.collector->Collect(label, *telemetry_, run_ordinal);
   }
 }
 

@@ -44,6 +44,14 @@ class Testbed {
 
   static TestbedTelemetryDefaults telemetry_defaults;
 
+  // Sweep-point ordinal of the current thread, set by the parallel sweep
+  // runner around each point (-1 = serial execution). It replaces the
+  // process-wide run/capture counters so run labels ("run<N>:<profile>"),
+  // collector merge order, and which runs get pcapng captures depend only on
+  // the point's position in the sweep — never on worker scheduling — making
+  // --jobs N output byte-identical to --jobs 1.
+  static thread_local int64_t run_ordinal;
+
   Telemetry& telemetry() { return *telemetry_; }
   Tracer& tracer() { return telemetry_->tracer; }
 

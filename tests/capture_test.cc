@@ -159,7 +159,7 @@ TEST(Inspector, FlagsInjectedPsnGapAndIcrcCorruption) {
     // PSN 1002 never appears: a gap the responder would NAK.
     writer.WritePacket(i, Us(3), frame_at(1003, IbOpcode::kWriteLast));
     // Valid PSN but a corrupted payload byte: ICRC no longer matches.
-    ByteBuffer corrupt = frame_at(1004, IbOpcode::kWriteOnly);
+    FrameBuf corrupt = frame_at(1004, IbOpcode::kWriteOnly);
     corrupt[corrupt.size() - kIcrcSize - 1] ^= 0x01;
     writer.WritePacket(i, Us(4), corrupt);
     ASSERT_TRUE(writer.Close().ok());

@@ -1,6 +1,8 @@
 // Unit tests for src/common: byte I/O, CRC, hashing, RNG, status types.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/common/bytes.h"
 #include "src/common/crc.h"
 #include "src/common/hash.h"
@@ -106,6 +108,74 @@ TEST(Crc32, ResetRestartsState) {
   crc.Reset();
   crc.Update(ByteBuffer{9});
   EXPECT_EQ(crc.Finish(), Crc32::Compute(ByteBuffer{9}));
+}
+
+// The slice-by-8 tables must be bit-exact with the byte-at-a-time reference
+// for every length (the bulk loop kicks in at >= 8 bytes and leaves a 0-7
+// byte tail) and every source alignment (the span start need not be
+// word-aligned).
+TEST(Crc, SliceBy8MatchesReferenceOnRandomLengthsAndAlignments) {
+  Rng rng(0xC5C5C5C5ull);
+  ByteBuffer pool(70000);
+  for (auto& b : pool) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  // Exhaust the short lengths (tail-only path) at several alignments.
+  for (size_t len = 0; len <= 32; ++len) {
+    for (size_t off = 0; off < 9; ++off) {
+      const ByteSpan span(pool.data() + off, len);
+      EXPECT_EQ(Crc32::Compute(span),
+                crc_reference::Crc32Update(0xFFFFFFFFu, span) ^ 0xFFFFFFFFu);
+      EXPECT_EQ(Crc64::Compute(span),
+                crc_reference::Crc64Update(~0ull, span) ^ ~0ull);
+    }
+  }
+  // Random larger lengths and alignments.
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = rng.Below(65000);
+    const size_t off = rng.Below(64);
+    const ByteSpan span(pool.data() + off, len);
+    ASSERT_EQ(Crc32::Compute(span),
+              crc_reference::Crc32Update(0xFFFFFFFFu, span) ^ 0xFFFFFFFFu)
+        << "len=" << len << " off=" << off;
+    ASSERT_EQ(Crc64::Compute(span),
+              crc_reference::Crc64Update(~0ull, span) ^ ~0ull)
+        << "len=" << len << " off=" << off;
+  }
+}
+
+// Incremental Update() must carry state across arbitrary chunk boundaries
+// exactly like the reference does — kernels fold in one stream beat at a
+// time, so mid-word splits are the common case.
+TEST(Crc, ChunkedUpdatesMatchReferenceAcrossArbitrarySplits) {
+  Rng rng(7);
+  ByteBuffer data(4096);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Crc32 c32;
+    Crc64 c64;
+    uint32_t r32 = 0xFFFFFFFFu;
+    uint64_t r64 = ~0ull;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      const size_t n = std::min<size_t>(data.size() - pos, rng.Range(1, 23));
+      const ByteSpan chunk(data.data() + pos, n);
+      if (n == 1 && rng.Chance(0.5)) {
+        c32.Update(data[pos]);  // exercise the single-byte overload too
+        c64.Update(data[pos]);
+      } else {
+        c32.Update(chunk);
+        c64.Update(chunk);
+      }
+      r32 = crc_reference::Crc32Update(r32, chunk);
+      r64 = crc_reference::Crc64Update(r64, chunk);
+      pos += n;
+    }
+    EXPECT_EQ(c32.Finish(), r32 ^ 0xFFFFFFFFu);
+    EXPECT_EQ(c64.Finish(), r64 ^ ~0ull);
+  }
 }
 
 TEST(Hash, Mix64IsBijectiveOnSamples) {

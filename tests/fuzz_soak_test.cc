@@ -38,10 +38,10 @@ TEST(ParserFuzz, MutatedValidFramesAreRejectedOrEquivalent) {
   reth.virt_addr = 0x1000;
   reth.dma_length = 64;
   pkt.reth = reth;
-  pkt.payload = RandomBytes(64, 9);
+  pkt.payload = FrameBuf::Adopt(RandomBytes(64, 9));
   const MacAddr a{2, 0, 0, 0, 0, 1};
   const MacAddr b{2, 0, 0, 0, 0, 2};
-  const ByteBuffer valid = EncodeRoceFrame(a, b, pkt);
+  const ByteBuffer valid = EncodeRoceFrame(a, b, pkt).ToBuffer();
 
   const Result<RocePacket> reference = ParseRoceFrame(valid);
   ASSERT_TRUE(reference.ok());

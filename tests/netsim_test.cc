@@ -17,12 +17,12 @@ TEST(Link, DeliversFramesWithSerializationAndPropagation) {
   PointToPointLink link(sim, cfg);
 
   SimTime arrival = -1;
-  link.Attach(1, [&](ByteBuffer frame, TraceContext) {
+  link.Attach(1, [&](FrameBuf frame, TraceContext) {
     arrival = sim.now();
     EXPECT_EQ(frame.size(), 1226u);
   });
 
-  link.Send(0, ByteBuffer(1226, 0xAB));
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(1226, 0xAB)));
   sim.RunUntilIdle();
   // (1226 + 24 PHY overhead) bytes at 10 Gbit/s = 1 us, + 100 ns propagation.
   EXPECT_EQ(arrival, Us(1) + Ns(100));
@@ -36,10 +36,10 @@ TEST(Link, BackToBackFramesQueueAtLineRate) {
   PointToPointLink link(sim, cfg);
 
   std::vector<SimTime> arrivals;
-  link.Attach(1, [&](ByteBuffer, TraceContext) { arrivals.push_back(sim.now()); });
+  link.Attach(1, [&](FrameBuf, TraceContext) { arrivals.push_back(sim.now()); });
 
-  link.Send(0, ByteBuffer(1226, 1));
-  link.Send(0, ByteBuffer(1226, 2));
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(1226, 1)));
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(1226, 2)));
   sim.RunUntilIdle();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_EQ(arrivals[1] - arrivals[0], Us(1));
@@ -54,10 +54,10 @@ TEST(Link, FullDuplexDirectionsAreIndependent) {
 
   SimTime a = -1;
   SimTime b = -1;
-  link.Attach(0, [&](ByteBuffer, TraceContext) { a = sim.now(); });
-  link.Attach(1, [&](ByteBuffer, TraceContext) { b = sim.now(); });
-  link.Send(0, ByteBuffer(1226, 1));
-  link.Send(1, ByteBuffer(1226, 2));
+  link.Attach(0, [&](FrameBuf, TraceContext) { a = sim.now(); });
+  link.Attach(1, [&](FrameBuf, TraceContext) { b = sim.now(); });
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(1226, 1)));
+  link.Send(1, FrameBuf::Adopt(ByteBuffer(1226, 2)));
   sim.RunUntilIdle();
   EXPECT_EQ(a, b);  // no serialization interference
 }
@@ -66,10 +66,10 @@ TEST(Link, DropNextDropsExactCount) {
   Simulator sim;
   PointToPointLink link(sim, LinkConfig{});
   int received = 0;
-  link.Attach(1, [&](ByteBuffer, TraceContext) { ++received; });
+  link.Attach(1, [&](FrameBuf, TraceContext) { ++received; });
   link.DropNext(0, 2);
   for (int i = 0; i < 5; ++i) {
-    link.Send(0, ByteBuffer(100, 0));
+    link.Send(0, FrameBuf::Adopt(ByteBuffer(100, 0)));
   }
   sim.RunUntilIdle();
   EXPECT_EQ(received, 3);
@@ -81,11 +81,11 @@ TEST(Link, RandomDropRoughlyMatchesProbability) {
   Simulator sim;
   PointToPointLink link(sim, LinkConfig{});
   int received = 0;
-  link.Attach(1, [&](ByteBuffer, TraceContext) { ++received; });
+  link.Attach(1, [&](FrameBuf, TraceContext) { ++received; });
   link.SetDropProbability(0, 0.3, /*seed=*/42);
   const int n = 10000;
   for (int i = 0; i < n; ++i) {
-    link.Send(0, ByteBuffer(64, 0));
+    link.Send(0, FrameBuf::Adopt(ByteBuffer(64, 0)));
     sim.RunUntilIdle();
   }
   EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.03);
@@ -95,10 +95,10 @@ TEST(Link, CorruptNextFlipsPayloadByte) {
   Simulator sim;
   PointToPointLink link(sim, LinkConfig{});
   ByteBuffer got;
-  link.Attach(1, [&](ByteBuffer f, TraceContext) { got = std::move(f); });
+  link.Attach(1, [&](FrameBuf f, TraceContext) { got = f.ToBuffer(); });
   link.CorruptNext(0, 1);
   ByteBuffer frame(100, 0x00);
-  link.Send(0, frame);
+  link.Send(0, FrameBuf::Copy(frame));
   sim.RunUntilIdle();
   ASSERT_EQ(got.size(), frame.size());
   EXPECT_NE(got, frame);
@@ -110,8 +110,8 @@ TEST(Link, OversizeFrameDropped) {
   cfg.ip_mtu = 1500;
   PointToPointLink link(sim, cfg);
   int received = 0;
-  link.Attach(1, [&](ByteBuffer, TraceContext) { ++received; });
-  link.Send(0, ByteBuffer(2000, 0));
+  link.Attach(1, [&](FrameBuf, TraceContext) { ++received; });
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(2000, 0)));
   sim.RunUntilIdle();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(link.counters(0).frames_oversize, 1u);
@@ -140,10 +140,10 @@ TEST(Switch, ForwardsByStaticRoute) {
 
   int got_b = 0;
   int got_c = 0;
-  sw.PortLink(p1).Attach(0, [&](ByteBuffer, TraceContext) { ++got_b; });
-  sw.PortLink(p2).Attach(0, [&](ByteBuffer, TraceContext) { ++got_c; });
+  sw.PortLink(p1).Attach(0, [&](FrameBuf, TraceContext) { ++got_b; });
+  sw.PortLink(p2).Attach(0, [&](FrameBuf, TraceContext) { ++got_c; });
 
-  sw.PortLink(p0).Send(0, FrameTo(b, a));
+  sw.PortLink(p0).Send(0, FrameBuf::Adopt(FrameTo(b, a)));
   sim.RunUntilIdle();
   EXPECT_EQ(got_b, 1);
   EXPECT_EQ(got_c, 0);
@@ -163,12 +163,12 @@ TEST(Switch, FloodsUnknownAndLearnsSource) {
   int got_p1 = 0;
   int got_p2 = 0;
   int got_p0 = 0;
-  sw.PortLink(p0).Attach(0, [&](ByteBuffer, TraceContext) { ++got_p0; });
-  sw.PortLink(p1).Attach(0, [&](ByteBuffer, TraceContext) { ++got_p1; });
-  sw.PortLink(p2).Attach(0, [&](ByteBuffer, TraceContext) { ++got_p2; });
+  sw.PortLink(p0).Attach(0, [&](FrameBuf, TraceContext) { ++got_p0; });
+  sw.PortLink(p1).Attach(0, [&](FrameBuf, TraceContext) { ++got_p1; });
+  sw.PortLink(p2).Attach(0, [&](FrameBuf, TraceContext) { ++got_p2; });
 
   // Unknown destination: flooded to all but the ingress port; source learned.
-  sw.PortLink(p0).Send(0, FrameTo(b, a));
+  sw.PortLink(p0).Send(0, FrameBuf::Adopt(FrameTo(b, a)));
   sim.RunUntilIdle();
   EXPECT_EQ(got_p0, 0);
   EXPECT_EQ(got_p1, 1);
@@ -176,7 +176,7 @@ TEST(Switch, FloodsUnknownAndLearnsSource) {
   EXPECT_EQ(sw.frames_flooded(), 1u);
 
   // Reply to the learned address: unicast.
-  sw.PortLink(p1).Send(0, FrameTo(a, b));
+  sw.PortLink(p1).Send(0, FrameBuf::Adopt(FrameTo(a, b)));
   sim.RunUntilIdle();
   EXPECT_EQ(got_p0, 1);
   EXPECT_EQ(got_p2, 1);  // unchanged

@@ -142,7 +142,7 @@ TEST_F(DmaTest, WriteThenReadRoundTrip) {
     data[i] = static_cast<uint8_t>(i);
   }
   bool wrote = false;
-  dma_.Write(100, data, [&](Status st) {
+  dma_.Write(100, FrameBuf::Copy(data), [&](Status st) {
     EXPECT_TRUE(st.ok());
     wrote = true;
   });
@@ -150,9 +150,9 @@ TEST_F(DmaTest, WriteThenReadRoundTrip) {
   EXPECT_TRUE(wrote);
 
   ByteBuffer got;
-  dma_.Read(100, 256, [&](Result<ByteBuffer> r) {
+  dma_.Read(100, 256, [&](Result<FrameBuf> r) {
     ASSERT_TRUE(r.ok());
-    got = std::move(*r);
+    got = r->ToBuffer();
   });
   sim_.RunUntilIdle();
   EXPECT_EQ(got, data);
@@ -160,7 +160,7 @@ TEST_F(DmaTest, WriteThenReadRoundTrip) {
 
 TEST_F(DmaTest, ReadLatencyMatchesModel) {
   SimTime done_at = -1;
-  dma_.Read(0, 64, [&](Result<ByteBuffer>) { done_at = sim_.now(); });
+  dma_.Read(0, 64, [&](Result<FrameBuf>) { done_at = sim_.now(); });
   sim_.RunUntilIdle();
   // max(80ns overhead, 64B transfer) + 1200ns latency.
   EXPECT_EQ(done_at, Ns(80) + Ns(1200));
@@ -169,8 +169,8 @@ TEST_F(DmaTest, ReadLatencyMatchesModel) {
 TEST_F(DmaTest, CommandsQueueOnSharedChannel) {
   SimTime first = -1;
   SimTime second = -1;
-  dma_.Read(0, 64, [&](Result<ByteBuffer>) { first = sim_.now(); });
-  dma_.Read(64, 64, [&](Result<ByteBuffer>) { second = sim_.now(); });
+  dma_.Read(0, 64, [&](Result<FrameBuf>) { first = sim_.now(); });
+  dma_.Read(64, 64, [&](Result<FrameBuf>) { second = sim_.now(); });
   sim_.RunUntilIdle();
   // Service times serialize (80 ns each); latency overlaps.
   EXPECT_EQ(second - first, Ns(80));
@@ -178,12 +178,12 @@ TEST_F(DmaTest, CommandsQueueOnSharedChannel) {
 
 TEST_F(DmaTest, CrossPageCommandSplitsAndStaysCorrect) {
   ByteBuffer data(4000, 0xEE);
-  dma_.Write(kHugePageSize - 2000, data, nullptr);
+  dma_.Write(kHugePageSize - 2000, FrameBuf::Copy(data), nullptr);
   sim_.RunUntilIdle();
   ByteBuffer got;
-  dma_.Read(kHugePageSize - 2000, 4000, [&](Result<ByteBuffer> r) {
+  dma_.Read(kHugePageSize - 2000, 4000, [&](Result<FrameBuf> r) {
     ASSERT_TRUE(r.ok());
-    got = std::move(*r);
+    got = r->ToBuffer();
   });
   sim_.RunUntilIdle();
   EXPECT_EQ(got, data);
@@ -192,7 +192,7 @@ TEST_F(DmaTest, CrossPageCommandSplitsAndStaysCorrect) {
 
 TEST_F(DmaTest, UnmappedAddressFailsWithCallback) {
   bool failed = false;
-  dma_.Read(kHugePageSize * 100, 64, [&](Result<ByteBuffer> r) {
+  dma_.Read(kHugePageSize * 100, 64, [&](Result<FrameBuf> r) {
     EXPECT_FALSE(r.ok());
     failed = true;
   });
@@ -205,7 +205,7 @@ TEST_F(DmaTest, PerCommandOverheadDominatesSmallTransfers) {
   // 64 random 128 B writes: each pays the 80 ns overhead, so the write
   // channel is busy ~64*80 ns even though the bytes would take far less.
   for (int i = 0; i < 64; ++i) {
-    dma_.Write(static_cast<VirtAddr>(i) * 4096, ByteBuffer(128, 1), nullptr);
+    dma_.Write(static_cast<VirtAddr>(i) * 4096, FrameBuf::Copy(ByteBuffer(128, 1)), nullptr);
   }
   const SimTime busy_until = dma_.WriteChannelIdleAt();
   EXPECT_GE(busy_until, Ns(80) * 64);
@@ -215,11 +215,11 @@ TEST_F(DmaTest, ReadObservesEarlierPostedWrite) {
   // PCIe ordering: a read issued after a posted write must return the
   // written data, even though the channels are otherwise independent.
   ByteBuffer data(512, 0x42);
-  dma_.Write(1000, data, nullptr);
+  dma_.Write(1000, FrameBuf::Copy(data), nullptr);
   ByteBuffer got;
-  dma_.Read(1000, 512, [&](Result<ByteBuffer> r) {
+  dma_.Read(1000, 512, [&](Result<FrameBuf> r) {
     ASSERT_TRUE(r.ok());
-    got = std::move(*r);
+    got = r->ToBuffer();
   });
   sim_.RunUntilIdle();
   EXPECT_EQ(got, data);
@@ -228,7 +228,7 @@ TEST_F(DmaTest, ReadObservesEarlierPostedWrite) {
 TEST_F(DmaTest, LargeTransferThroughputMatchesBandwidth) {
   const size_t n = 1 << 20;  // 1 MiB within the two mapped pages
   SimTime done_at = -1;
-  dma_.Write(0, ByteBuffer(n, 7), [&](Status) { done_at = sim_.now(); });
+  dma_.Write(0, FrameBuf::Copy(ByteBuffer(n, 7)), [&](Status) { done_at = sim_.now(); });
   sim_.RunUntilIdle();
   const double secs = ToSec(done_at - Ns(500));
   const double gbps = static_cast<double>(n) * 8 / secs / 1e9;

@@ -122,7 +122,7 @@ TEST(Headers, OpcodePropertyTables) {
 
 TEST(Packet, EncodeParseRoundTrip) {
   RocePacket pkt = MakeWriteOnly();
-  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt).ToBuffer();
   EXPECT_EQ(frame.size(), pkt.WireSize());
 
   Result<RocePacket> parsed = ParseRoceFrame(frame);
@@ -151,7 +151,7 @@ TEST(Packet, AckRoundTrip) {
   aeth.msn = 12;
   pkt.aeth = aeth;
 
-  ByteBuffer frame = EncodeRoceFrame(kMacB, kMacA, pkt);
+  ByteBuffer frame = EncodeRoceFrame(kMacB, kMacA, pkt).ToBuffer();
   Result<RocePacket> parsed = ParseRoceFrame(frame);
   ASSERT_TRUE(parsed.ok());
   ASSERT_TRUE(parsed->aeth.has_value());
@@ -161,7 +161,7 @@ TEST(Packet, AckRoundTrip) {
 
 TEST(Packet, PayloadCorruptionFailsIcrc) {
   RocePacket pkt = MakeWriteOnly();
-  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt).ToBuffer();
   frame[frame.size() - 10] ^= 0x01;  // flip a payload bit
   Result<RocePacket> parsed = ParseRoceFrame(frame);
   EXPECT_FALSE(parsed.ok());
@@ -171,7 +171,7 @@ TEST(Packet, PayloadCorruptionFailsIcrc) {
 TEST(Packet, IcrcIgnoresVariantFields) {
   // Rewriting TTL (a router hop) must not invalidate the ICRC.
   RocePacket pkt = MakeWriteOnly();
-  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt).ToBuffer();
   // TTL is at Eth(14) + offset 8; fixing up the IP checksum accordingly.
   frame[14 + 8] -= 1;
   // Recompute the IP header checksum.
@@ -185,7 +185,7 @@ TEST(Packet, IcrcIgnoresVariantFields) {
 
 TEST(Packet, TruncatedFrameRejected) {
   RocePacket pkt = MakeWriteOnly();
-  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt).ToBuffer();
   frame.resize(frame.size() / 2);
   Result<RocePacket> parsed = ParseRoceFrame(frame);
   EXPECT_FALSE(parsed.ok());
@@ -193,7 +193,7 @@ TEST(Packet, TruncatedFrameRejected) {
 
 TEST(Packet, NonRoceUdpPortRejected) {
   RocePacket pkt = MakeWriteOnly();
-  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt).ToBuffer();
   // UDP dst port at Eth(14) + IP(20) + 2.
   StoreBe16(frame.data() + 14 + 20 + 2, 1234);
   Result<RocePacket> parsed = ParseRoceFrame(frame);
@@ -230,7 +230,7 @@ TEST(Packet, AckAndNakFramesRoundTrip) {
     ack.bth.psn = 0xABC123;  // a NAK carries the responder's expected PSN
     ack.aeth = AethHeader{syndrome, 0x00FEDCBA};
 
-    ByteBuffer frame = EncodeRoceFrame(kMacB, kMacA, ack);
+    ByteBuffer frame = EncodeRoceFrame(kMacB, kMacA, ack).ToBuffer();
     Result<RocePacket> parsed = ParseRoceFrame(frame);
     ASSERT_TRUE(parsed.ok()) << parsed.status();
     EXPECT_EQ(parsed->bth.opcode, IbOpcode::kAck);
@@ -246,7 +246,7 @@ TEST(Packet, IcrcCoversZeroLengthPayload) {
   RocePacket pkt = MakeWriteOnly();
   pkt.payload.clear();
   pkt.reth->dma_length = 0;
-  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt).ToBuffer();
   Result<RocePacket> parsed = ParseRoceFrame(frame);
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   EXPECT_TRUE(parsed->payload.empty());
@@ -264,7 +264,7 @@ TEST(Packet, IcrcCoversMaxMtuPayload) {
   RocePacket pkt = MakeWriteOnly();
   pkt.payload.assign(payload, 0x3C);
   pkt.reth->dma_length = static_cast<uint32_t>(payload);
-  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt);
+  ByteBuffer frame = EncodeRoceFrame(kMacA, kMacB, pkt).ToBuffer();
   // A max-payload first/only packet fills the IP MTU exactly.
   EXPECT_EQ(frame.size(), 1514u);
   Result<RocePacket> parsed = ParseRoceFrame(frame);

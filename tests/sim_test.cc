@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/sim/event_queue.h"
 #include "src/sim/fifo.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
@@ -33,6 +34,54 @@ TEST(Simulator, EventsRunInTimeOrder) {
   sim.RunUntilIdle();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(sim.now(), Ns(30));
+}
+
+// Regression for the old priority_queue Pop() (const-cast move out of
+// top()): same-timestamp events interleaved with other timestamps and with
+// pops must still come out in insertion order. The indexed heap breaks ties
+// on a monotone sequence number, so order survives arbitrary sift paths.
+TEST(EventQueue, InterleavedSameTimestampPopsInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  // Interleave pushes at t=10 with pushes at surrounding timestamps so the
+  // t=10 entries are scattered through the heap array, not adjacent.
+  for (int i = 0; i < 16; ++i) {
+    q.Push(Ns(20), [&fired, v = 100 + i] { fired.push_back(v); });
+    q.Push(Ns(10), [&fired, i] { fired.push_back(i); });
+    q.Push(Ns(30), [&fired, v = 200 + i] { fired.push_back(v); });
+  }
+  // Drain half of t=10 while pushing more events at the same timestamp; the
+  // new ones must fire after every earlier t=10 event.
+  for (int k = 0; k < 8; ++k) {
+    EventQueue::Event ev = q.Pop();
+    EXPECT_EQ(ev.when, Ns(10));
+    ev.fn();
+    q.Push(Ns(10), [&fired, v = 16 + k] { fired.push_back(v); });
+  }
+  while (!q.empty()) {
+    q.Pop().fn();
+  }
+  std::vector<int> expect;
+  for (int i = 0; i < 24; ++i) expect.push_back(i);          // all t=10
+  for (int i = 0; i < 16; ++i) expect.push_back(100 + i);    // then t=20
+  for (int i = 0; i < 16; ++i) expect.push_back(200 + i);    // then t=30
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(EventQueue, PopReturnsMonotoneSeqForSameTimestamp) {
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) {
+    q.Push(Us(1), [] {});
+  }
+  uint64_t prev_seq = 0;
+  for (int i = 0; i < 64; ++i) {
+    EventQueue::Event ev = q.Pop();
+    if (i > 0) {
+      EXPECT_GT(ev.seq, prev_seq);
+    }
+    prev_seq = ev.seq;
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(Simulator, TiesBreakByInsertionOrder) {
