@@ -9,6 +9,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
+#include "src/common/paranoid.h"
 #include "src/sim/perf_stats.h"
 #include "src/sim/task.h"
 #include "src/testbed/workload.h"
@@ -105,6 +106,10 @@ void InitBenchTelemetry(int* argc, char** argv) {
         TakeFlag(argv[i], "--jobs", &jobs) ||
         TakeFlag(argv[i], "--perf-out", &g_perf_out)) {
       continue;  // telemetry flag: keep it away from google/benchmark
+    }
+    if (std::strcmp(argv[i], "--paranoid") == 0) {
+      SetParanoidMode(true);  // disable fast-path caches, cross-check them
+      continue;
     }
     argv[out++] = argv[i];
   }

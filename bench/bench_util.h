@@ -33,6 +33,10 @@ namespace strom::bench {
 //   --sample-interval-us=<T>  sample queue depths / occupancy / utilization
 //                          every T simulated microseconds; rows land next to
 //                          --metrics-out as "<stem>.timeseries.csv"
+//   --paranoid             disable the per-packet fast-path caches and
+//                          cross-check every cached value against the wire
+//                          bytes (equivalent to STROM_PARANOID=1; aborts on
+//                          divergence). Simulated output must be identical.
 
 // Process-wide collector that testbeds and ReportLatency deposit into.
 TelemetryCollector& Collector();

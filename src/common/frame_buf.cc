@@ -52,6 +52,9 @@ struct FramePool {
         bucket.pop_back();
         ++stats.reuses;
         block->storage.resize(size);
+        // The memo object (if any) is kept for allocation reuse, but it
+        // describes the block's previous life: never serve it as valid.
+        block->memo_valid = false;
         return block;
       }
     }
@@ -78,6 +81,7 @@ struct FramePool {
       block = new FrameBlock;
     }
     block->storage = std::move(data);
+    block->memo_valid = false;
     return block;
   }
 

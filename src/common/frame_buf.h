@@ -17,16 +17,35 @@
 #define SRC_COMMON_FRAME_BUF_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "src/common/bytes.h"
 
 namespace strom {
 
+// Base class for memoized per-frame side-state (e.g. the RoCE encoder caches
+// the ICRC and a decoded-header view, see src/proto/packet.h). A memo is pure
+// memoization: the wire bytes stay authoritative, and ANY mutation of the
+// frame — mutable data()/operator[], assign, pool recycling — marks the memo
+// invalid so later consumers fall back to recomputing from bytes. The memo
+// object itself survives pool recycling so steady-state traffic reuses its
+// allocation.
+struct FrameMemo {
+  virtual ~FrameMemo() = default;
+};
+
 namespace internal {
 struct FrameBlock {
   uint32_t refs = 0;
   ByteBuffer storage;
+  // Memoized side-state for the frame view [memo_off, memo_off + memo_len)
+  // over `storage`. Valid only while memo_valid is set; the object outlives
+  // invalidation so its allocation can be reused by the next producer.
+  std::unique_ptr<FrameMemo> memo;
+  uint32_t memo_off = 0;
+  uint32_t memo_len = 0;
+  bool memo_valid = false;
 };
 // Pool interface (thread-local behind the scenes).
 FrameBlock* AcquireFrameBlock(size_t size);
@@ -52,8 +71,21 @@ class FrameBuf {
     return f;
   }
 
+  // Like Allocate but skips the zero fill. Only for callers that overwrite
+  // every byte before the frame escapes (Copy, DMA read completion); recycled
+  // blocks may otherwise leak stale bytes from a previous frame.
+  static FrameBuf AllocateUninit(size_t size) {
+    FrameBuf f;
+    if (size > 0) {
+      f.block_ = internal::AcquireFrameBlock(size);
+      f.block_->refs = 1;
+      f.len_ = static_cast<uint32_t>(size);
+    }
+    return f;
+  }
+
   static FrameBuf Copy(ByteSpan data) {
-    FrameBuf f = Allocate(data.size());
+    FrameBuf f = AllocateUninit(data.size());
     if (!data.empty()) {
       std::memcpy(f.data(), data.data(), data.size());
     }
@@ -118,9 +150,15 @@ class FrameBuf {
     return block_ == nullptr ? nullptr : block_->storage.data() + off_;
   }
   // Mutable access; callers that might share the block must EnsureUnique()
-  // first (e.g. the link's corrupt-injection path).
+  // first (e.g. the link's corrupt-injection path). Handing out a mutable
+  // pointer invalidates any memo on the block: cached side-state must never
+  // outlive a byte mutation.
   uint8_t* data() {
-    return block_ == nullptr ? nullptr : block_->storage.data() + off_;
+    if (block_ == nullptr) {
+      return nullptr;
+    }
+    block_->memo_valid = false;
+    return block_->storage.data() + off_;
   }
   size_t size() const { return len_; }
   bool empty() const { return len_ == 0; }
@@ -145,6 +183,58 @@ class FrameBuf {
 
   // Deep copy into a fresh pooled block.
   FrameBuf Clone() const { return Copy(span()); }
+
+  // -------------------------------------------------------------------------
+  // Memoized side-state (see FrameMemo above). A memo is only visible through
+  // views with the exact extent it was committed for, so a payload SubSpan of
+  // a frame never sees the frame's memo and vice versa.
+  // -------------------------------------------------------------------------
+
+  // Typed read access to a committed, still-valid memo; nullptr on a memo
+  // miss (no memo, invalidated by mutation/recycling, extent mismatch, or a
+  // different concrete type).
+  template <typename T>
+  const T* GetMemo() const {
+    if (block_ == nullptr || !block_->memo_valid || block_->memo_off != off_ ||
+        block_->memo_len != len_) {
+      return nullptr;
+    }
+    return dynamic_cast<const T*>(block_->memo.get());
+  }
+
+  // Producer side: returns a memo object of type T to fill in, reusing the
+  // block's previous memo allocation when the type matches. The memo stays
+  // invalid until CommitMemo() is called, so a half-written memo can never be
+  // observed.
+  template <typename T>
+  T* EditMemo() {
+    if (block_ == nullptr) {
+      return nullptr;
+    }
+    block_->memo_valid = false;
+    T* typed = dynamic_cast<T*>(block_->memo.get());
+    if (typed == nullptr) {
+      auto fresh = std::make_unique<T>();
+      typed = fresh.get();
+      block_->memo = std::move(fresh);
+    }
+    return typed;
+  }
+
+  // Marks the memo valid for this view's exact extent.
+  void CommitMemo() {
+    if (block_ != nullptr && block_->memo != nullptr) {
+      block_->memo_off = off_;
+      block_->memo_len = len_;
+      block_->memo_valid = true;
+    }
+  }
+
+  void InvalidateMemo() {
+    if (block_ != nullptr) {
+      block_->memo_valid = false;
+    }
+  }
 
   // Copy-on-write: after this call the block is exclusively owned, so
   // mutation cannot be observed through other references.

@@ -1,0 +1,26 @@
+#include "src/common/paranoid.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace strom {
+
+namespace {
+
+bool EnvParanoid() {
+  const char* env = std::getenv("STROM_PARANOID");
+  return env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0';
+}
+
+bool& ParanoidFlag() {
+  static bool flag = EnvParanoid();
+  return flag;
+}
+
+}  // namespace
+
+bool ParanoidMode() { return ParanoidFlag(); }
+
+void SetParanoidMode(bool enabled) { ParanoidFlag() = enabled; }
+
+}  // namespace strom

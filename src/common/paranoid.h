@@ -1,0 +1,22 @@
+// Paranoid cross-check mode for the per-packet fast path.
+//
+// The simulator memoizes per-frame side-state (ICRC, decoded headers) at TX
+// encode and reuses it at later hops instead of recomputing from wire bytes.
+// Paranoid mode keeps that honest: when enabled, every consumer recomputes
+// from the authoritative wire bytes, compares against the cached value, and
+// aborts on divergence. Enable with STROM_PARANOID=1 in the environment or
+// --paranoid on any bench binary.
+#ifndef SRC_COMMON_PARANOID_H_
+#define SRC_COMMON_PARANOID_H_
+
+namespace strom {
+
+// True when paranoid mode is active. First call latches the STROM_PARANOID
+// environment variable; SetParanoidMode overrides it (used by --paranoid and
+// by tests that toggle the mode in-process).
+bool ParanoidMode();
+void SetParanoidMode(bool enabled);
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_PARANOID_H_

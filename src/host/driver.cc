@@ -63,8 +63,7 @@ Status RoceDriver::WriteHost(VirtAddr addr, ByteSpan data) {
 }
 
 Result<ByteBuffer> RoceDriver::ReadHost(VirtAddr addr, uint64_t len) const {
-  ByteBuffer out;
-  out.reserve(len);
+  ByteBuffer out(len);
   uint64_t done = 0;
   while (done < len) {
     Result<PhysAddr> phys = tlb_.Translate(addr + done);
@@ -72,14 +71,20 @@ Result<ByteBuffer> RoceDriver::ReadHost(VirtAddr addr, uint64_t len) const {
       return phys.status();
     }
     const uint64_t chunk = std::min<uint64_t>(len - done, kHugePageSize - HugePageOffset(addr + done));
-    ByteBuffer part = memory_.ReadBuffer(*phys, chunk);
-    out.insert(out.end(), part.begin(), part.end());
+    memory_.Read(*phys, MutableByteSpan(out.data() + done, chunk));
     done += chunk;
   }
   return out;
 }
 
 uint64_t RoceDriver::ReadHostU64(VirtAddr addr) const {
+  // Hot polling path (PollU64 spins on this): one translate, one in-place
+  // page read, no buffer. Words straddling a page take the general path.
+  if (HugePageOffset(addr) + 8 <= kHugePageSize) {
+    Result<PhysAddr> phys = tlb_.Translate(addr);
+    STROM_CHECK(phys.ok()) << phys.status();
+    return memory_.ReadU64(*phys);
+  }
   Result<ByteBuffer> data = ReadHost(addr, 8);
   STROM_CHECK(data.ok()) << data.status();
   return LoadLe64(data->data());

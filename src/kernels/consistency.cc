@@ -39,7 +39,7 @@ ConsistencyKernel::ConsistencyKernel(Simulator& sim, KernelConfig config, uint32
   fsm_->WakeOnPop(streams_.roce_data_out);
 }
 
-void ConsistencyKernel::Respond(KernelStatusCode code, const ByteBuffer& object) {
+void ConsistencyKernel::Respond(KernelStatusCode code, const FrameBuf& object) {
   uint8_t status[kStatusWordSize];
   StoreLe64(status, MakeStatusWord(code, attempts_, params_.length));
 
@@ -54,7 +54,7 @@ void ConsistencyKernel::Respond(KernelStatusCode code, const ByteBuffer& object)
   streams_.roce_data_out.Push(std::move(object_chunk));
 
   NetChunk status_chunk;
-  status_chunk.data.assign(status, status + kStatusWordSize);
+  status_chunk.data = FrameBuf::Copy(ByteSpan(status, kStatusWordSize));
   status_chunk.last = true;
   streams_.roce_data_out.Push(std::move(status_chunk));
   streams_.roce_meta_out.Push(meta);
@@ -99,9 +99,9 @@ uint64_t ConsistencyKernel::Fire() {
       // Word-serial CRC64 over the payload; the stored checksum occupies the
       // last 8 bytes (Pilaf layout).
       const size_t payload_len = params_.length - 8;
-      const uint64_t computed =
-          Crc64::Compute(ByteSpan(object.data.data(), payload_len));
-      const uint64_t stored = LoadLe64(object.data.data() + payload_len);
+      const ByteSpan bytes = object.data.span();
+      const uint64_t computed = Crc64::Compute(bytes.subspan(0, payload_len));
+      const uint64_t stored = LoadLe64(bytes.data() + payload_len);
 
       if (computed == stored) {
         Respond(KernelStatusCode::kOk, object.data);

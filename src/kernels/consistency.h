@@ -52,7 +52,7 @@ class ConsistencyKernel : public StromKernel {
   enum class State { kIdle, kWaitObject };
 
   uint64_t Fire();
-  void Respond(KernelStatusCode code, const ByteBuffer& object);
+  void Respond(KernelStatusCode code, const FrameBuf& object);
 
   uint32_t rpc_opcode_;
   std::unique_ptr<LambdaStage> fsm_;

@@ -99,8 +99,9 @@ uint64_t GetKernel::ParseHtEntry() {
 
   bool match[kGetBuckets];
   GetBucket buckets[kGetBuckets];
+  const ByteSpan entry_bytes = entry.data.span();
   for (size_t i = 0; i < kGetBuckets; ++i) {  // UNROLL
-    const uint8_t* b = entry.data.data() + i * kGetBucketStride;
+    const uint8_t* b = entry_bytes.data() + i * kGetBucketStride;
     buckets[i].key = LoadLe64(b);
     buckets[i].value_ptr = LoadLe64(b + 8);
     buckets[i].value_len = LoadLe32(b + 16);
@@ -168,7 +169,7 @@ uint64_t GetKernel::SplitReadData() {
   uint8_t status[kStatusWordSize];
   StoreLe64(status, status_fifo_.Pop());
   NetChunk status_chunk;
-  status_chunk.data.assign(status, status + kStatusWordSize);
+  status_chunk.data = FrameBuf::Copy(ByteSpan(status, kStatusWordSize));
   status_chunk.last = true;
   streams_.roce_data_out.Push(std::move(status_chunk));
   ++gets_served_;

@@ -64,11 +64,14 @@ uint64_t HistogramKernel::Fire() {
     return 0;
   }
 
+  // The chunk is a zero-copy sub-span of the received wire frame; bin the
+  // items straight out of it.
   NetChunk chunk = streams_.roce_data_in.Pop();
   const uint64_t mask = bins_.size() - 1;
-  const size_t items = chunk.data.size() / 8;
+  const ByteSpan items_bytes = chunk.data.span();
+  const size_t items = items_bytes.size() / 8;
   for (size_t i = 0; i < items; ++i) {
-    const uint64_t value = LoadLe64(chunk.data.data() + i * 8);
+    const uint64_t value = LoadLe64(items_bytes.data() + i * 8);
     ++bins_[(value >> params_.shift) & mask];
   }
   items_processed_ += items;
@@ -87,7 +90,7 @@ uint64_t HistogramKernel::Fire() {
     meta.addr = params_.target_addr;
     meta.length = static_cast<uint32_t>(response.size());
     NetChunk out;
-    out.data = std::move(response);
+    out.data = FrameBuf::Adopt(std::move(response));
     out.last = true;
     streams_.roce_data_out.Push(std::move(out));
     streams_.roce_meta_out.Push(meta);

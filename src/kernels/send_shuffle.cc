@@ -63,7 +63,7 @@ bool SendShuffleKernel::EmitPartition(uint32_t p, bool allow_partial) {
   meta.addr = params_.targets[p].remote_addr + cursors_[p];
   meta.length = static_cast<uint32_t>(buf.size());
   NetChunk chunk;
-  chunk.data = buf;
+  chunk.data = FrameBuf::Copy(buf);
   chunk.last = true;
   streams_.roce_data_out.Push(std::move(chunk));
   streams_.roce_meta_out.Push(meta);
@@ -84,7 +84,7 @@ void SendShuffleKernel::Finish() {
                                    static_cast<uint32_t>(tuples_sent_)));
   streams_.dma_cmd_out.Push(MemCmd{params_.status_addr, kStatusWordSize, /*is_write=*/true});
   NetChunk chunk;
-  chunk.data.assign(status, status + kStatusWordSize);
+  chunk.data = FrameBuf::Copy(ByteSpan(status, kStatusWordSize));
   chunk.last = true;
   streams_.dma_data_out.Push(std::move(chunk));
   state_ = State::kIdle;
@@ -140,12 +140,14 @@ uint64_t SendShuffleKernel::Fire() {
       }
 
       NetChunk chunk = streams_.dma_data_in.Pop();
-      const size_t tuples = chunk.data.size() / 8;
+      const ByteSpan tuple_bytes = chunk.data.span();
+      const size_t tuples = tuple_bytes.size() / 8;
       for (size_t i = 0; i < tuples; ++i) {
-        const uint64_t value = LoadLe64(chunk.data.data() + i * 8);
+        const uint8_t* tuple = tuple_bytes.data() + i * 8;
+        const uint64_t value = LoadLe64(tuple);
         const uint32_t p = RadixPartition(value, partition_bits_);
         ByteBuffer& buf = buffers_[p];
-        buf.insert(buf.end(), chunk.data.begin() + i * 8, chunk.data.begin() + (i + 1) * 8);
+        buf.insert(buf.end(), tuple, tuple + 8);
         if (buf.size() >= kSendShuffleBufferBytes) {
           EmitPartition(p, /*allow_partial=*/false);
         }

@@ -72,7 +72,7 @@ void ShuffleKernel::FlushPartition(uint32_t p) {
   }
   streams_.dma_cmd_out.Push(MemCmd{dest, static_cast<uint32_t>(buf.size()), true});
   NetChunk chunk;
-  chunk.data = buf;
+  chunk.data = FrameBuf::Copy(buf);
   chunk.last = true;
   streams_.dma_data_out.Push(std::move(chunk));
   cursors_[p] += buf.size();
@@ -93,7 +93,7 @@ void ShuffleKernel::FinishStream() {
   meta.addr = params_.target_addr;
   meta.length = kStatusWordSize;
   NetChunk chunk;
-  chunk.data.assign(status, status + kStatusWordSize);
+  chunk.data = FrameBuf::Copy(ByteSpan(status, kStatusWordSize));
   chunk.last = true;
   streams_.roce_data_out.Push(std::move(chunk));
   streams_.roce_meta_out.Push(meta);
@@ -123,14 +123,18 @@ uint64_t ShuffleKernel::Fire() {
     return 1;
   }
 
+  // Partition tuples straight out of the wire-frame sub-span: one load for
+  // the radix decision, one 8-byte append into the partition buffer.
   NetChunk chunk = streams_.roce_data_in.Pop();
-  const size_t tuples = chunk.data.size() / 8;
+  const ByteSpan tuple_bytes = chunk.data.span();
+  const size_t tuples = tuple_bytes.size() / 8;
   const uint32_t mask_bits = params_.partition_bits;
   for (size_t i = 0; i < tuples; ++i) {
-    const uint64_t value = LoadLe64(chunk.data.data() + i * 8);
+    const uint8_t* tuple = tuple_bytes.data() + i * 8;
+    const uint64_t value = LoadLe64(tuple);
     const uint32_t p = RadixPartition(value, mask_bits);
     ByteBuffer& buf = buffers_[p];
-    buf.insert(buf.end(), chunk.data.begin() + i * 8, chunk.data.begin() + (i + 1) * 8);
+    buf.insert(buf.end(), tuple, tuple + 8);
     if (buf.size() >= kShuffleBufferTuples * 8) {
       FlushPartition(p);
     }

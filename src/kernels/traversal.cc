@@ -85,7 +85,7 @@ bool TraversalKernel::EvaluatePredicate(TraversalPredicate predicate,
   return false;
 }
 
-void TraversalKernel::Respond(KernelStatusCode code, const ByteBuffer* value) {
+void TraversalKernel::Respond(KernelStatusCode code, const FrameBuf* value) {
   uint8_t status[kStatusWordSize];
   StoreLe64(status, MakeStatusWord(code, hops_, value != nullptr ? params_.value_size : 0));
 
@@ -105,7 +105,7 @@ void TraversalKernel::Respond(KernelStatusCode code, const ByteBuffer* value) {
     meta.length = kStatusWordSize;
   }
   NetChunk status_chunk;
-  status_chunk.data.assign(status, status + kStatusWordSize);
+  status_chunk.data = FrameBuf::Copy(ByteSpan(status, kStatusWordSize));
   status_chunk.last = true;
   streams_.roce_data_out.Push(std::move(status_chunk));
   streams_.roce_meta_out.Push(meta);
@@ -148,6 +148,7 @@ uint64_t TraversalKernel::Fire() {
         Respond(KernelStatusCode::kError, nullptr);
         return 1;
       }
+      const ByteSpan slots = element.data.span();
       const bool descending = levels_left_ > 0;
       const TraversalPhase& phase = descending ? params_.descent : params_.search;
 
@@ -157,7 +158,7 @@ uint64_t TraversalKernel::Fire() {
         if ((phase.key_mask & (1u << i)) == 0) {
           continue;
         }
-        const uint64_t slot_key = LoadLe64(element.data.data() + i * 8);
+        const uint64_t slot_key = LoadLe64(slots.data() + i * 8);
         if (slot_key != 0 && EvaluatePredicate(phase.predicate, slot_key)) {
           matched_slot = static_cast<int>(i);
           break;
@@ -170,7 +171,7 @@ uint64_t TraversalKernel::Fire() {
         if (phase.is_relative_position) {
           value_slot = (static_cast<size_t>(matched_slot) + value_slot) % kTraversalSlots;
         }
-        follow = LoadLe64(element.data.data() + value_slot * 8);
+        follow = LoadLe64(slots.data() + value_slot * 8);
         if (!descending) {
           // Search phase: the match points at the final value.
           if (follow == 0 || params_.value_size == 0) {
@@ -182,7 +183,7 @@ uint64_t TraversalKernel::Fire() {
           return Words(kTraversalElementSize);
         }
       } else if (phase.next_element_ptr_valid) {
-        follow = LoadLe64(element.data.data() + phase.next_element_ptr_position * 8);
+        follow = LoadLe64(slots.data() + phase.next_element_ptr_position * 8);
       }
 
       if (follow != 0 && hops_ < params_.max_hops) {

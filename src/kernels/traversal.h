@@ -86,7 +86,7 @@ class TraversalKernel : public StromKernel {
 
   uint64_t Fire();
   bool EvaluatePredicate(TraversalPredicate predicate, uint64_t element_key) const;
-  void Respond(KernelStatusCode code, const ByteBuffer* value);
+  void Respond(KernelStatusCode code, const FrameBuf* value);
 
   uint32_t rpc_opcode_;
   std::unique_ptr<LambdaStage> fsm_;

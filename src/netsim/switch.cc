@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/paranoid.h"
+#include "src/proto/packet.h"
 
 namespace strom {
 
@@ -37,8 +39,21 @@ void EthernetSwitch::OnFrame(int in_port, FrameBuf frame, TraceContext trace) {
   }
   MacAddr dst;
   MacAddr src;
-  std::copy(frame.begin(), frame.begin() + 6, dst.begin());
-  std::copy(frame.begin() + 6, frame.begin() + 12, src.begin());
+  // Fast path: the TX encoder memoized the MACs; reuse them instead of
+  // re-reading the Ethernet header on every hop. Wire bytes stay
+  // authoritative — a mutated frame has no memo and takes the byte path.
+  if (const RoceFrameMemo* memo = frame.GetMemo<RoceFrameMemo>();
+      memo != nullptr && !ParanoidMode()) {
+    dst = memo->dst_mac;
+    src = memo->src_mac;
+  } else {
+    std::copy(frame.begin(), frame.begin() + 6, dst.begin());
+    std::copy(frame.begin() + 6, frame.begin() + 12, src.begin());
+    if (const RoceFrameMemo* memo = frame.GetMemo<RoceFrameMemo>()) {
+      STROM_CHECK(memo->dst_mac == dst && memo->src_mac == src)
+          << "paranoid: memo MACs diverge from wire Ethernet header";
+    }
+  }
   mac_table_[src] = in_port;  // learn
 
   auto it = mac_table_.find(dst);

@@ -1,6 +1,7 @@
 #include "src/pcie/dma_engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -39,7 +40,7 @@ void DmaEngine::AttachSampler(Telemetry* telemetry, const std::string& process) 
   });
 }
 
-SimTime DmaEngine::ServiceTime(const std::vector<DmaSegment>& segments) const {
+SimTime DmaEngine::ServiceTime(const SegmentVec& segments) const {
   SimTime t = 0;
   for (const DmaSegment& seg : segments) {
     t += std::max(config_.per_command_overhead, TransferTime(seg.length, config_.bandwidth_bps));
@@ -49,21 +50,22 @@ SimTime DmaEngine::ServiceTime(const std::vector<DmaSegment>& segments) const {
 
 void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceContext trace) {
   ++counters_.read_commands;
-  Result<std::vector<DmaSegment>> segments = tlb_.Resolve(virt, length);
-  if (!segments.ok()) {
+  SegmentVec segments;
+  Status resolved = tlb_.ResolveInto(virt, length, segments);
+  if (!resolved.ok()) {
     ++counters_.errors;
-    sim_.Schedule(config_.read_latency, [done = std::move(done), st = segments.status()] {
+    sim_.Schedule(config_.read_latency, [done = std::move(done), st = std::move(resolved)] {
       done(st);
     });
     return;
   }
-  counters_.segment_splits += segments->size() > 1 ? segments->size() - 1 : 0;
+  counters_.segment_splits += segments.size() > 1 ? segments.size() - 1 : 0;
   counters_.bytes_read += length;
 
   // Reads push ahead posted writes (PCIe ordering): the completion may not
   // overtake data written before the read was issued.
   const SimTime start = std::max(sim_.now(), read_busy_until_);
-  const SimTime service = ServiceTime(*segments);
+  const SimTime service = ServiceTime(segments);
   read_busy_until_ = start + service;
   const SimTime complete =
       std::max(start + service + config_.read_latency, write_visible_at_);
@@ -71,36 +73,50 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceCon
     tracer_->Span(trace, track_, "dma.read", sim_.now(), complete);
   }
 
-  sim_.ScheduleAt(complete,
-                  [this, segs = std::move(*segments), length, done = std::move(done)] {
-                    // One pooled buffer for the whole command; each segment
-                    // fills its slice in place.
-                    FrameBuf data = FrameBuf::Allocate(length);
-                    size_t offset = 0;
-                    for (const DmaSegment& seg : segs) {
-                      memory_.Read(seg.phys,
-                                   MutableByteSpan(data.data() + offset, seg.length));
-                      offset += seg.length;
-                    }
-                    done(std::move(data));
-                  });
+  // The capture re-resolves `virt` instead of carrying the SegmentVec: the
+  // TLB is populated once by the driver, so the completion-time resolution is
+  // identical to the issue-time one, and the small capture keeps the callback
+  // in SmallCallback's inline buffer (no heap allocation per DMA).
+  sim_.ScheduleAt(complete, [this, virt, length, done = std::move(done)] {
+    SegmentVec segs;
+    Status st = tlb_.ResolveInto(virt, length, segs);
+    if (!st.ok()) {
+      done(std::move(st));
+      return;
+    }
+    // One pooled buffer for the whole command, filled in place from the host
+    // pages (no intermediate vector, no zero fill: every byte is written
+    // below).
+    FrameBuf data = FrameBuf::AllocateUninit(length);
+    uint8_t* dst = data.data();
+    size_t offset = 0;
+    for (const DmaSegment& seg : segs) {
+      memory_.VisitRead(seg.phys, seg.length,
+                        [dst, offset](size_t at, ByteSpan src) {
+                          std::memcpy(dst + offset + at, src.data(), src.size());
+                        });
+      offset += seg.length;
+    }
+    done(std::move(data));
+  });
 }
 
 void DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace) {
   ++counters_.write_commands;
-  Result<std::vector<DmaSegment>> segments = tlb_.Resolve(virt, data.size());
-  if (!segments.ok()) {
+  SegmentVec segments;
+  Status resolved = tlb_.ResolveInto(virt, data.size(), segments);
+  if (!resolved.ok()) {
     ++counters_.errors;
-    sim_.Schedule(config_.write_latency, [done = std::move(done), st = segments.status()] {
+    sim_.Schedule(config_.write_latency, [done = std::move(done), st = std::move(resolved)] {
       done(st);
     });
     return;
   }
-  counters_.segment_splits += segments->size() > 1 ? segments->size() - 1 : 0;
+  counters_.segment_splits += segments.size() > 1 ? segments.size() - 1 : 0;
   counters_.bytes_written += data.size();
 
   const SimTime start = std::max(sim_.now(), write_busy_until_);
-  const SimTime service = ServiceTime(*segments);
+  const SimTime service = ServiceTime(segments);
   write_busy_until_ = start + service;
   const SimTime complete = start + service + config_.write_latency;
   write_visible_at_ = std::max(write_visible_at_, complete);
@@ -108,11 +124,24 @@ void DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceCon
     tracer_->Span(trace, track_, "dma.write", sim_.now(), complete);
   }
 
-  sim_.ScheduleAt(complete, [this, segs = std::move(*segments), d = std::move(data),
-                             done = std::move(done)] {
+  // As in Read: re-resolve instead of capturing the SegmentVec, so the
+  // completion fits in SmallCallback's inline buffer.
+  sim_.ScheduleAt(complete, [this, virt, d = std::move(data), done = std::move(done)] {
+    SegmentVec segs;
+    Status st = tlb_.ResolveInto(virt, d.size(), segs);
+    if (!st.ok()) {
+      if (done) {
+        done(std::move(st));
+      }
+      return;
+    }
+    const uint8_t* src = d.data();
     size_t offset = 0;
     for (const DmaSegment& seg : segs) {
-      memory_.Write(seg.phys, ByteSpan(d.data() + offset, seg.length));
+      memory_.VisitWrite(seg.phys, seg.length,
+                         [src, offset](size_t at, MutableByteSpan dst) {
+                           std::memcpy(dst.data(), src + offset + at, dst.size());
+                         });
       offset += seg.length;
     }
     if (done) {

@@ -68,7 +68,7 @@ class DmaEngine {
   SimTime WriteChannelIdleAt() const { return write_busy_until_; }
 
  private:
-  SimTime ServiceTime(const std::vector<DmaSegment>& segments) const;
+  SimTime ServiceTime(const SegmentVec& segments) const;
 
   Simulator& sim_;
   HostMemory& memory_;

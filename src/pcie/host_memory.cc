@@ -9,6 +9,9 @@ namespace strom {
 
 uint8_t* HostMemory::PageFor(PhysAddr addr, bool create) {
   const uint64_t base = HugePageBase(addr);
+  if (base == cached_base_) {
+    return cached_page_;
+  }
   auto it = pages_.find(base);
   if (it == pages_.end()) {
     if (!create) {
@@ -18,46 +21,44 @@ uint8_t* HostMemory::PageFor(PhysAddr addr, bool create) {
     std::memset(page.get(), 0, kHugePageSize);
     it = pages_.emplace(base, std::move(page)).first;
   }
-  return it->second.get();
+  cached_base_ = base;
+  cached_page_ = it->second.get();
+  return cached_page_;
 }
 
 const uint8_t* HostMemory::PageForRead(PhysAddr addr) const {
-  auto it = pages_.find(HugePageBase(addr));
-  return it == pages_.end() ? nullptr : it->second.get();
+  const uint64_t base = HugePageBase(addr);
+  if (base == cached_base_) {
+    return cached_page_;
+  }
+  auto it = pages_.find(base);
+  if (it == pages_.end()) {
+    return nullptr;
+  }
+  cached_base_ = base;
+  cached_page_ = it->second.get();
+  return cached_page_;
+}
+
+const uint8_t* HostMemory::ZeroPage() {
+  static const std::unique_ptr<uint8_t[]> zero = [] {
+    auto page = std::make_unique<uint8_t[]>(kHugePageSize);
+    std::memset(page.get(), 0, kHugePageSize);
+    return page;
+  }();
+  return zero.get();
 }
 
 void HostMemory::Write(PhysAddr addr, ByteSpan data) {
-  size_t done = 0;
-  while (done < data.size()) {
-    const PhysAddr cur = addr + done;
-    const uint64_t off = HugePageOffset(cur);
-    const size_t chunk = std::min<size_t>(data.size() - done, kHugePageSize - off);
-    uint8_t* page = PageFor(cur, /*create=*/true);
-    std::memcpy(page + off, data.data() + done, chunk);
-    done += chunk;
-  }
+  VisitWrite(addr, data.size(), [&data](size_t done, MutableByteSpan dst) {
+    std::memcpy(dst.data(), data.data() + done, dst.size());
+  });
 }
 
 void HostMemory::Read(PhysAddr addr, MutableByteSpan out) const {
-  size_t done = 0;
-  while (done < out.size()) {
-    const PhysAddr cur = addr + done;
-    const uint64_t off = HugePageOffset(cur);
-    const size_t chunk = std::min<size_t>(out.size() - done, kHugePageSize - off);
-    const uint8_t* page = PageForRead(cur);
-    if (page == nullptr) {
-      std::memset(out.data() + done, 0, chunk);  // untouched memory reads as zero
-    } else {
-      std::memcpy(out.data() + done, page + off, chunk);
-    }
-    done += chunk;
-  }
-}
-
-ByteBuffer HostMemory::ReadBuffer(PhysAddr addr, size_t len) const {
-  ByteBuffer out(len);
-  Read(addr, MutableByteSpan(out.data(), out.size()));
-  return out;
+  VisitRead(addr, out.size(), [&out](size_t done, ByteSpan src) {
+    std::memcpy(out.data() + done, src.data(), src.size());
+  });
 }
 
 void HostMemory::WriteU64(PhysAddr addr, uint64_t value) {
@@ -67,21 +68,23 @@ void HostMemory::WriteU64(PhysAddr addr, uint64_t value) {
 }
 
 uint64_t HostMemory::ReadU64(PhysAddr addr) const {
+  // Poll loops spin on this: for the common page-interior word, skip the
+  // visitor machinery and load straight from the page.
+  const uint64_t off = HugePageOffset(addr);
+  if (off + 8 <= kHugePageSize) {
+    const uint8_t* page = PageForRead(addr);
+    static constexpr uint8_t kZeros[8] = {};
+    return LoadLe64(page == nullptr ? kZeros : page + off);
+  }
   uint8_t buf[8];
   Read(addr, MutableByteSpan(buf, 8));
   return LoadLe64(buf);
 }
 
 void HostMemory::Fill(PhysAddr addr, size_t len, uint8_t value) {
-  size_t done = 0;
-  while (done < len) {
-    const PhysAddr cur = addr + done;
-    const uint64_t off = HugePageOffset(cur);
-    const size_t chunk = std::min<size_t>(len - done, kHugePageSize - off);
-    uint8_t* page = PageFor(cur, /*create=*/true);
-    std::memset(page + off, value, chunk);
-    done += chunk;
-  }
+  VisitWrite(addr, len, [value](size_t, MutableByteSpan dst) {
+    std::memset(dst.data(), value, dst.size());
+  });
 }
 
 PhysAddr HostMemory::AllocPage() {

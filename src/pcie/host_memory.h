@@ -5,6 +5,7 @@
 #ifndef SRC_PCIE_HOST_MEMORY_H_
 #define SRC_PCIE_HOST_MEMORY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,7 +30,40 @@ class HostMemory {
 
   void Write(PhysAddr addr, ByteSpan data);
   void Read(PhysAddr addr, MutableByteSpan out) const;
-  ByteBuffer ReadBuffer(PhysAddr addr, size_t len) const;
+
+  // Scatter/gather span iteration: visits the range [addr, addr + len) as one
+  // ByteSpan per touched page, in address order, without materializing a
+  // buffer. Consumers (DmaEngine, StRoM kernels) read the pages in place.
+  // Unmapped memory reads as zero (the visitor sees a span of a shared zero
+  // page). visit(offset_in_range, span_of_bytes).
+  template <typename Fn>
+  void VisitRead(PhysAddr addr, size_t len, Fn&& visit) const {
+    size_t done = 0;
+    while (done < len) {
+      const PhysAddr cur = addr + done;
+      const uint64_t off = HugePageOffset(cur);
+      const size_t chunk = std::min<size_t>(len - done, kHugePageSize - off);
+      const uint8_t* page = PageForRead(cur);
+      visit(done, ByteSpan(page == nullptr ? ZeroPage() : page + off, chunk));
+      done += chunk;
+    }
+  }
+
+  // Write-side counterpart: visits the same page decomposition with mutable
+  // spans, materializing pages on first touch. visit must fill every byte of
+  // the span it is handed.
+  template <typename Fn>
+  void VisitWrite(PhysAddr addr, size_t len, Fn&& visit) {
+    size_t done = 0;
+    while (done < len) {
+      const PhysAddr cur = addr + done;
+      const uint64_t off = HugePageOffset(cur);
+      const size_t chunk = std::min<size_t>(len - done, kHugePageSize - off);
+      uint8_t* page = PageFor(cur, /*create=*/true);
+      visit(done, MutableByteSpan(page + off, chunk));
+      done += chunk;
+    }
+  }
 
   // Convenience scalar accessors (little-endian, matching x86 host layout).
   void WriteU64(PhysAddr addr, uint64_t value);
@@ -50,9 +84,17 @@ class HostMemory {
  private:
   uint8_t* PageFor(PhysAddr addr, bool create);
   const uint8_t* PageForRead(PhysAddr addr) const;
+  // Shared all-zero page backing reads of unmapped memory.
+  static const uint8_t* ZeroPage();
 
   std::map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
   uint64_t next_page_index_ = 1;
+  // One-entry lookup cache: DMA bursts and poll loops hammer the same page,
+  // and the std::map find dominated the access cost. Map nodes are stable
+  // under insertion (and pages are never erased), so the cached pointer can
+  // not dangle. Only mapped pages are cached — a miss stays a map lookup.
+  mutable uint64_t cached_base_ = ~uint64_t{0};
+  mutable uint8_t* cached_page_ = nullptr;
 };
 
 }  // namespace strom

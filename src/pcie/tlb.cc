@@ -12,20 +12,26 @@ Status Tlb::Map(VirtAddr virt, PhysAddr phys) {
     return ResourceExhaustedError("TLB full");
   }
   entries_[virt] = phys;
+  cached_vbase_ = ~uint64_t{0};
   return Status::Ok();
 }
 
 Result<PhysAddr> Tlb::Translate(VirtAddr virt) const {
   ++lookups_;
-  auto it = entries_.find(HugePageBase(virt));
+  const uint64_t vbase = HugePageBase(virt);
+  if (vbase == cached_vbase_) {
+    return cached_pbase_ + HugePageOffset(virt);
+  }
+  auto it = entries_.find(vbase);
   if (it == entries_.end()) {
     return NotFoundError("TLB miss (page not pinned)");
   }
-  return it->second + HugePageOffset(virt);
+  cached_vbase_ = vbase;
+  cached_pbase_ = it->second;
+  return cached_pbase_ + HugePageOffset(virt);
 }
 
-Result<std::vector<DmaSegment>> Tlb::Resolve(VirtAddr virt, uint64_t length) const {
-  std::vector<DmaSegment> segments;
+Status Tlb::ResolveInto(VirtAddr virt, uint64_t length, SegmentVec& out) const {
   uint64_t done = 0;
   while (done < length) {
     const VirtAddr cur = virt + done;
@@ -35,22 +41,23 @@ Result<std::vector<DmaSegment>> Tlb::Resolve(VirtAddr virt, uint64_t length) con
     }
     const uint64_t in_page = kHugePageSize - HugePageOffset(cur);
     const uint64_t chunk = std::min(length - done, in_page);
-    if (!segments.empty() &&
-        segments.back().phys + segments.back().length == *phys) {
-      segments.back().length += chunk;  // physically contiguous: merge
+    if (!out.empty() && out.back().phys + out.back().length == *phys) {
+      out.back().length += chunk;  // physically contiguous: merge
     } else {
-      if (!segments.empty()) {
+      if (!out.empty()) {
         ++boundary_splits_;
       }
-      segments.push_back(DmaSegment{*phys, chunk});
+      out.push_back(DmaSegment{*phys, chunk});
     }
     done += chunk;
   }
-  if (segments.empty()) {
-    segments.push_back(DmaSegment{0, 0});
-    segments.clear();
-  }
-  return segments;
+  return Status::Ok();
+}
+
+Result<std::vector<DmaSegment>> Tlb::Resolve(VirtAddr virt, uint64_t length) const {
+  SegmentVec segments;
+  STROM_RETURN_IF_ERROR(ResolveInto(virt, length, segments));
+  return std::vector<DmaSegment>(segments.begin(), segments.end());
 }
 
 }  // namespace strom

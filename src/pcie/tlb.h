@@ -5,6 +5,7 @@
 #ifndef SRC_PCIE_TLB_H_
 #define SRC_PCIE_TLB_H_
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,43 @@ struct DmaSegment {
   uint64_t length = 0;
 };
 
+// Segment list with inline storage: after merging, DMA commands nearly always
+// resolve to one or two segments, so the per-command std::vector allocation
+// the hot path used to pay is gone. Spills to the heap past kInline.
+class SegmentVec {
+ public:
+  static constexpr size_t kInline = 4;
+
+  void push_back(const DmaSegment& seg) {
+    if (spill_.empty() && size_ < kInline) {
+      inline_[size_++] = seg;
+      return;
+    }
+    if (spill_.empty()) {
+      spill_.assign(inline_.begin(), inline_.begin() + size_);
+    }
+    spill_.push_back(seg);
+    size_ = spill_.size();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  DmaSegment& back() { return data()[size_ - 1]; }
+  const DmaSegment& operator[](size_t i) const { return data()[i]; }
+  const DmaSegment* begin() const { return data(); }
+  const DmaSegment* end() const { return data() + size_; }
+
+ private:
+  DmaSegment* data() { return spill_.empty() ? inline_.data() : spill_.data(); }
+  const DmaSegment* data() const {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+
+  std::array<DmaSegment, kInline> inline_;
+  std::vector<DmaSegment> spill_;
+  size_t size_ = 0;
+};
+
 class Tlb {
  public:
   static constexpr size_t kDefaultCapacity = 16384;  // 32 GiB of 2 MiB pages
@@ -33,7 +71,8 @@ class Tlb {
 
   // Splits [virt, virt+length) into segments, none crossing a page boundary
   // (adjacent physically contiguous pages are merged, as real DMA bridges
-  // do after translation).
+  // do after translation). Appends to `out` without clearing it.
+  Status ResolveInto(VirtAddr virt, uint64_t length, SegmentVec& out) const;
   Result<std::vector<DmaSegment>> Resolve(VirtAddr virt, uint64_t length) const;
 
   size_t entry_count() const { return entries_.size(); }
@@ -46,6 +85,10 @@ class Tlb {
   std::unordered_map<uint64_t, PhysAddr> entries_;  // va page -> pa page
   mutable uint64_t lookups_ = 0;
   mutable uint64_t boundary_splits_ = 0;
+  // One-entry translation cache (the real TLB's L0): polls and sequential DMA
+  // hit the same page repeatedly. Reset by Map, which may remap the page.
+  mutable uint64_t cached_vbase_ = ~uint64_t{0};
+  mutable PhysAddr cached_pbase_ = 0;
 };
 
 }  // namespace strom

@@ -6,6 +6,7 @@
 
 #include "src/common/crc.h"
 #include "src/common/logging.h"
+#include "src/common/paranoid.h"
 
 namespace strom {
 
@@ -102,7 +103,26 @@ FrameBuf EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
   const uint32_t icrc =
       ComputeIcrc(ByteSpan(frame.data() + EthHeader::kSize, frame.size() - EthHeader::kSize));
   w.U32(icrc);
-  return std::move(builder).Finish();
+  FrameBuf out = std::move(builder).Finish();
+
+  // Memoize what was just encoded so later hops (switch MAC lookup, RX
+  // verify+decode) can reuse it instead of re-deriving it from the bytes.
+  // Committed last: any mutation after this point invalidates it.
+  if (RoceFrameMemo* memo = out.EditMemo<RoceFrameMemo>()) {
+    memo->src_mac = src_mac;
+    memo->dst_mac = dst_mac;
+    memo->src_ip = pkt.src_ip;
+    memo->dst_ip = pkt.dst_ip;
+    memo->src_udp_port = pkt.src_udp_port;
+    memo->bth = pkt.bth;
+    memo->reth = pkt.reth;
+    memo->aeth = pkt.aeth;
+    memo->icrc = icrc;
+    memo->payload_len = static_cast<uint32_t>(pkt.payload.size());
+    memo->payload_off = static_cast<uint32_t>(out.size() - kIcrcSize - pkt.payload.size());
+    out.CommitMemo();
+  }
+  return out;
 }
 
 namespace {
@@ -176,10 +196,75 @@ Result<RocePacket> ParseRoceFrameImpl(ByteSpan frame, const FrameBuf* frame_buf)
   return pkt;
 }
 
+// Builds a packet straight from the memo; the only byte-level work is the
+// wire-trailer compare in the caller.
+RocePacket PacketFromMemo(const RoceFrameMemo& memo, const FrameBuf& frame) {
+  RocePacket pkt;
+  pkt.src_ip = memo.src_ip;
+  pkt.dst_ip = memo.dst_ip;
+  pkt.src_udp_port = memo.src_udp_port;
+  pkt.bth = memo.bth;
+  pkt.reth = memo.reth;
+  pkt.aeth = memo.aeth;
+  pkt.payload = frame.SubSpan(memo.payload_off, memo.payload_len);
+  return pkt;
+}
+
+// Paranoid mode: the byte-level parse already ran; insist the memo agrees
+// with it field for field. A divergence means a cache outlived a mutation,
+// which breaks the fast path's core invariant — abort loudly.
+void CrossCheckRoceMemo(const RoceFrameMemo& memo, const RocePacket& parsed,
+                        const FrameBuf& frame) {
+  STROM_CHECK_EQ(memo.src_ip, parsed.src_ip) << "paranoid: memo src_ip diverges from wire";
+  STROM_CHECK_EQ(memo.dst_ip, parsed.dst_ip) << "paranoid: memo dst_ip diverges from wire";
+  STROM_CHECK_EQ(memo.src_udp_port, parsed.src_udp_port)
+      << "paranoid: memo udp port diverges from wire";
+  STROM_CHECK(memo.bth.opcode == parsed.bth.opcode && memo.bth.psn == parsed.bth.psn &&
+              memo.bth.dest_qp == parsed.bth.dest_qp &&
+              memo.bth.ack_request == parsed.bth.ack_request)
+      << "paranoid: memo BTH diverges from wire";
+  STROM_CHECK_EQ(memo.reth.has_value(), parsed.reth.has_value())
+      << "paranoid: memo RETH presence diverges from wire";
+  if (memo.reth.has_value()) {
+    STROM_CHECK(memo.reth->virt_addr == parsed.reth->virt_addr &&
+                memo.reth->rkey == parsed.reth->rkey &&
+                memo.reth->dma_length == parsed.reth->dma_length)
+        << "paranoid: memo RETH diverges from wire";
+  }
+  STROM_CHECK_EQ(memo.aeth.has_value(), parsed.aeth.has_value())
+      << "paranoid: memo AETH presence diverges from wire";
+  if (memo.aeth.has_value()) {
+    STROM_CHECK(memo.aeth->syndrome == parsed.aeth->syndrome && memo.aeth->msn == parsed.aeth->msn)
+        << "paranoid: memo AETH diverges from wire";
+  }
+  STROM_CHECK_EQ(memo.payload_len, parsed.payload.size())
+      << "paranoid: memo payload length diverges from wire";
+  STROM_CHECK_EQ(memo.icrc, LoadBe32(frame.data() + frame.size() - kIcrcSize))
+      << "paranoid: memo ICRC diverges from wire trailer";
+  const uint32_t recomputed = ComputeIcrc(
+      ByteSpan(frame.data() + EthHeader::kSize, frame.size() - EthHeader::kSize - kIcrcSize));
+  STROM_CHECK_EQ(memo.icrc, recomputed) << "paranoid: memo ICRC diverges from recomputed ICRC";
+}
+
 }  // namespace
 
 Result<RocePacket> ParseRoceFrame(const FrameBuf& frame) {
-  return ParseRoceFrameImpl(frame.span(), &frame);
+  const RoceFrameMemo* memo = frame.GetMemo<RoceFrameMemo>();
+  if (memo != nullptr && !ParanoidMode()) {
+    // The wire bytes stay authoritative: re-check the ICRC trailer against
+    // the cached value before trusting the memo. The invalidation rules make
+    // a mismatch impossible, so this compare is belt and braces, not a
+    // correctness gate for mutated frames (mutation already dropped the memo).
+    if (memo->payload_off + memo->payload_len + kIcrcSize <= frame.size() &&
+        LoadBe32(frame.data() + frame.size() - kIcrcSize) == memo->icrc) {
+      return PacketFromMemo(*memo, frame);
+    }
+  }
+  Result<RocePacket> parsed = ParseRoceFrameImpl(frame.span(), &frame);
+  if (memo != nullptr && ParanoidMode() && parsed.ok()) {
+    CrossCheckRoceMemo(*memo, *parsed, frame);
+  }
+  return parsed;
 }
 
 Result<RocePacket> ParseRoceFrame(ByteSpan frame) {

@@ -34,12 +34,36 @@ struct RocePacket {
   uint64_t Words(size_t width_bytes) const;
 };
 
-// Builds the full Ethernet frame including ICRC trailer in a pooled buffer.
+// Memoized side-state attached to an encoded RoCE frame (see FrameMemo in
+// frame_buf.h): the ICRC and a decoded-header view, computed once at TX
+// encode and reused by switch forwarding and RX verify. The wire bytes stay
+// authoritative — any frame mutation invalidates this memo, and paranoid mode
+// (src/common/paranoid.h) re-derives everything from bytes and cross-checks.
+struct RoceFrameMemo : FrameMemo {
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  uint16_t src_udp_port = 0;
+  BthHeader bth;
+  std::optional<RethHeader> reth;
+  std::optional<AethHeader> aeth;
+  uint32_t icrc = 0;
+  uint32_t payload_off = 0;
+  uint32_t payload_len = 0;
+};
+
+// Builds the full Ethernet frame including ICRC trailer in a pooled buffer
+// and commits a RoceFrameMemo for the fast path.
 FrameBuf EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
                          const RocePacket& pkt);
 
 // Parses a frame; verifies ethertype, IP checksum, UDP port and ICRC. The
-// returned packet's payload shares the frame's block (zero copy).
+// returned packet's payload shares the frame's block (zero copy). When the
+// frame carries a valid RoceFrameMemo the decode and ICRC recompute are
+// skipped (after re-checking the wire ICRC trailer against the cached value);
+// in paranoid mode the full byte-level parse always runs and is cross-checked
+// against the memo, aborting on divergence.
 Result<RocePacket> ParseRoceFrame(const FrameBuf& frame);
 // Span overload for callers without a FrameBuf (tools, tests); the payload
 // is copied into a fresh pooled buffer.

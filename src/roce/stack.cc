@@ -238,8 +238,17 @@ IbOpcode RoceStack::DataOpcode(const PendingWr& wr, uint32_t idx) const {
 
 void RoceStack::FetchPayloads() {
   // Pipeline payload fetches across queued messages so back-to-back small
-  // messages are not serialized on PCIe read latency.
-  for (WrPtr& wr : wr_queue_) {
+  // messages are not serialized on PCIe read latency. The cursor skips the
+  // fully fetched prefix of the queue (same fetch order as scanning from the
+  // front, since WRs ahead of the cursor have nothing left to fetch).
+  for (size_t qi = fetch_cursor_; qi < wr_queue_.size(); ++qi) {
+    WrPtr& wr = wr_queue_[qi];
+    if (wr->next_fetch >= wr->send_pkts) {
+      if (qi == fetch_cursor_) {
+        ++fetch_cursor_;
+      }
+      continue;
+    }
     if (fetches_in_flight_ >= config_.tx_fetch_window) {
       return;
     }
@@ -395,6 +404,9 @@ bool RoceStack::TrySendNextDataPacket() {
 void RoceStack::FinishSending(const WrPtr& wr) {
   STROM_CHECK(!wr_queue_.empty() && wr_queue_.front() == wr);
   wr_queue_.pop_front();
+  if (fetch_cursor_ > 0) {
+    --fetch_cursor_;
+  }
   if (wr->is_read_response || wr->req.kind == WorkRequest::Kind::kRead) {
     return;  // responses need no ACK; reads complete via response data
   }

@@ -184,6 +184,10 @@ class RoceStack {
   // fetch for a previous queue front cannot be attached to a new packet.
   uint64_t retransmit_epoch_ = 0;
   uint32_t fetches_in_flight_ = 0;
+  // Index into wr_queue_ of the first WR that may still need payload fetches;
+  // everything before it is fully fetched. FetchPayloads runs on every TX
+  // pump, so without this cursor it rescans the whole queue each time.
+  size_t fetch_cursor_ = 0;
   bool tx_busy_ = false;
   // Pipelines are FIFO: a short packet must not overtake a long one whose
   // store-and-forward latency is higher. These cursors enforce ordering.

@@ -16,9 +16,10 @@ namespace strom {
 
 class SmallCallback {
  public:
-  // Sized for the largest hot-path capture set; larger callables fall back
-  // to the heap transparently.
-  static constexpr size_t kInlineSize = 48;
+  // Sized for the largest hot-path capture set (the DMA completions carry
+  // `this` + an address + a FrameBuf + a std::function, 64 bytes); larger
+  // callables fall back to the heap transparently.
+  static constexpr size_t kInlineSize = 64;
 
   SmallCallback() noexcept = default;
 

@@ -88,13 +88,14 @@ bool StromEngine::OnRpc(RpcDelivery delivery) {
     d.active_trace = delivery.trace;
     d.rpc_started = sim_.now();
   }
-  // Kernel streams carry plain ByteBuffers; this is the single ingress copy
-  // from the ref-counted wire frame into the kernel's address space.
+  // Data chunks share the ref-counted wire frame (zero-copy ingress); only
+  // the parameter bus still materializes a ByteBuffer, matching the separate
+  // 32B-word param FIFO of the hardware interface.
   if (delivery.is_params) {
     DeliverParams(d, delivery.qpn, delivery.payload.ToBuffer());
   } else {
     NetChunk chunk;
-    chunk.data = delivery.payload.ToBuffer();
+    chunk.data = delivery.payload;
     chunk.last = delivery.last;
     DeliverData(d, std::move(chunk));
   }
@@ -132,7 +133,7 @@ void StromEngine::OnWriteTap(Qpn qpn, const FrameBuf& payload, bool last) {
   Deployed& d = *kernels_.at(it->second);
   ++counters_.tapped_chunks;
   NetChunk chunk;
-  chunk.data = payload.ToBuffer();
+  chunk.data = payload;
   chunk.last = last;
   DeliverData(d, std::move(chunk));
 }
@@ -183,7 +184,7 @@ void StromEngine::ServiceDmaCommands(Deployed& d) {
       dma_.Read(cmd.addr, cmd.length, [this, dp](Result<FrameBuf> data) {
         NetChunk chunk;
         if (data.ok()) {
-          chunk.data = data->ToBuffer();
+          chunk.data = std::move(*data);
         } else {
           STROM_LOG(kError) << "kernel DMA read failed: " << data.status();
         }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/frame_buf.h"
 #include "src/common/types.h"
 #include "src/sim/fifo.h"
 #include "src/strom/dataflow.h"
@@ -27,9 +28,11 @@
 namespace strom {
 
 // One item on a 64B-wide data stream (net_axis<512>): a chunk of bytes plus
-// the end-of-message flag.
+// the end-of-message flag. The chunk is a ref-counted FrameBuf view, so RPC
+// payloads and DMA read data flow into kernels without an ingress copy —
+// kernels read wire bytes in place via span().
 struct NetChunk {
-  ByteBuffer data;
+  FrameBuf data;
   bool last = true;
 };
 

@@ -36,10 +36,13 @@ void Node::AttachSampler(Telemetry* telemetry, int index) {
 }
 
 void Node::OnFrame(FrameBuf frame, TraceContext trace) {
-  // Peek at the IP protocol field (Eth 14 + IP offset 9).
+  // Peek at the IP protocol field (Eth 14 + IP offset 9). Read-only access
+  // must go through the const accessors: mutable data() would invalidate the
+  // frame's memoized header/ICRC cache on every received frame.
+  const FrameBuf& peek = frame;
   if (frame.size() > EthHeader::kSize + 9 &&
-      LoadBe16(frame.data() + 12) == kEtherTypeIpv4) {
-    const uint8_t protocol = frame[EthHeader::kSize + 9];
+      LoadBe16(peek.data() + 12) == kEtherTypeIpv4) {
+    const uint8_t protocol = peek[EthHeader::kSize + 9];
     if (protocol == kIpProtoTcp) {
       // The TCP stack still speaks ByteBuffer; convert at this boundary.
       tcp_.OnFrame(frame.ToBuffer());

@@ -120,8 +120,10 @@ TEST(Crc, SliceBy8MatchesReferenceOnRandomLengthsAndAlignments) {
   for (auto& b : pool) {
     b = static_cast<uint8_t>(rng.Next());
   }
-  // Exhaust the short lengths (tail-only path) at several alignments.
-  for (size_t len = 0; len <= 32; ++len) {
+  // Exhaust the short lengths at several alignments: covers the tail-only
+  // path, the slice-by-8 threshold (8), and the clmul fold threshold (64)
+  // plus its 16-byte block boundaries.
+  for (size_t len = 0; len <= 192; ++len) {
     for (size_t off = 0; off < 9; ++off) {
       const ByteSpan span(pool.data() + off, len);
       EXPECT_EQ(Crc32::Compute(span),

@@ -1,0 +1,157 @@
+// Tests for the per-packet fast path: the RoCE frame memo (cached ICRC +
+// decoded-header view committed at TX encode) must be served only while the
+// wire bytes it describes are untouched. Any mutation — fault injection on
+// the link, a kernel rewriting payload bytes in place, pool recycling — has
+// to invalidate it, so cached state can never mask a corrupted frame.
+#include <gtest/gtest.h>
+
+#include "src/common/frame_buf.h"
+#include "src/common/paranoid.h"
+#include "src/proto/packet.h"
+#include "src/testbed/testbed.h"
+#include "src/testbed/workload.h"
+
+namespace strom {
+namespace {
+
+constexpr Qpn kQp = 1;
+
+FrameBuf EncodeTestFrame(size_t payload_bytes, uint64_t seed) {
+  RocePacket pkt;
+  pkt.src_ip = 0x0A000001;
+  pkt.dst_ip = 0x0A000002;
+  pkt.bth.opcode = IbOpcode::kWriteOnly;
+  pkt.bth.dest_qp = kQp;
+  pkt.bth.psn = 42;
+  RethHeader reth;
+  reth.virt_addr = 0x2000;
+  reth.dma_length = static_cast<uint32_t>(payload_bytes);
+  pkt.reth = reth;
+  pkt.payload = FrameBuf::Copy(RandomBytes(payload_bytes, seed));
+  return EncodeRoceFrame(MacAddr{0, 0, 0, 0, 0, 1}, MacAddr{0, 0, 0, 0, 0, 2}, pkt);
+}
+
+TEST(FastPath, EncodeCommitsMemoAndParseUsesIt) {
+  const FrameBuf frame = EncodeTestFrame(1024, 1);
+  const RoceFrameMemo* memo = frame.GetMemo<RoceFrameMemo>();
+  ASSERT_NE(memo, nullptr);
+  EXPECT_EQ(memo->bth.psn, 42u);
+  EXPECT_EQ(memo->payload_len, 1024u);
+
+  Result<RocePacket> fast = ParseRoceFrame(frame);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+
+  // The slow path (a clone never carries the original's memo) must agree on
+  // every field — the memo is memoization, not an alternate truth.
+  const FrameBuf cold = frame.Clone();
+  EXPECT_EQ(cold.GetMemo<RoceFrameMemo>(), nullptr);
+  Result<RocePacket> slow = ParseRoceFrame(cold);
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_EQ(fast->bth.psn, slow->bth.psn);
+  EXPECT_EQ(fast->src_ip, slow->src_ip);
+  EXPECT_EQ(fast->reth->virt_addr, slow->reth->virt_addr);
+  EXPECT_EQ(fast->payload, slow->payload);
+}
+
+TEST(FastPath, ConstAccessKeepsMemoValid) {
+  // Read-only peeks (switch forwarding, the node's protocol dispatch) must
+  // not disturb the memo: only mutable access invalidates.
+  const FrameBuf frame = EncodeTestFrame(256, 2);
+  ASSERT_NE(frame.GetMemo<RoceFrameMemo>(), nullptr);
+  uint8_t sink = 0;
+  sink ^= frame.data()[12];
+  sink ^= frame[14];
+  for (uint8_t b : frame) {
+    sink ^= b;
+  }
+  (void)frame.span();
+  EXPECT_NE(frame.GetMemo<RoceFrameMemo>(), nullptr) << "const access killed the memo";
+  (void)sink;
+}
+
+TEST(FastPath, MutationInvalidatesMemoAndParseFailsClosed) {
+  FrameBuf frame = EncodeTestFrame(512, 3);
+  ASSERT_NE(frame.GetMemo<RoceFrameMemo>(), nullptr);
+
+  // Flip one payload byte through the mutable accessor (what the link's
+  // corrupt-injection path does). The memo must die with the mutation, and
+  // the subsequent parse must recompute from wire bytes and reject.
+  frame[frame.size() - 8] ^= 0x01;
+  EXPECT_EQ(frame.GetMemo<RoceFrameMemo>(), nullptr);
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  EXPECT_FALSE(parsed.ok()) << "corrupted frame accepted";
+}
+
+TEST(FastPath, InPlacePayloadRewriteThroughSubSpanInvalidatesFrameMemo) {
+  // A kernel that takes the zero-copy payload view and rewrites bytes in
+  // place shares the frame's block. Mutable access through the sub-span must
+  // invalidate the frame-extent memo too — the cached ICRC describes bytes
+  // that no longer exist.
+  FrameBuf frame = EncodeTestFrame(512, 4);
+  ASSERT_NE(frame.GetMemo<RoceFrameMemo>(), nullptr);
+  const RoceFrameMemo* memo = frame.GetMemo<RoceFrameMemo>();
+  FrameBuf payload = frame.SubSpan(memo->payload_off, memo->payload_len);
+  EXPECT_EQ(payload.GetMemo<RoceFrameMemo>(), nullptr) << "sub-span saw the frame's memo";
+
+  payload.data()[0] ^= 0xFF;  // in-place rewrite, no EnsureUnique
+  EXPECT_EQ(frame.GetMemo<RoceFrameMemo>(), nullptr);
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  EXPECT_FALSE(parsed.ok()) << "stale ICRC cache masked an in-place payload rewrite";
+}
+
+TEST(FastPath, PoolRecyclingNeverLeaksMemoToNextFrame) {
+  uint32_t first_icrc = 0;
+  {
+    const FrameBuf frame = EncodeTestFrame(128, 5);
+    first_icrc = frame.GetMemo<RoceFrameMemo>()->icrc;
+  }
+  // The released block goes back to the pool; a fresh allocation of the same
+  // size will likely reuse it. Whatever it gets, it must not be born with a
+  // valid memo from the previous life.
+  FrameBuf recycled = FrameBuf::Allocate(EncodeTestFrame(128, 5).size());
+  EXPECT_EQ(recycled.GetMemo<RoceFrameMemo>(), nullptr);
+  (void)first_icrc;
+}
+
+TEST(FastPath, ParanoidModeCrossChecksAndStillParses) {
+  SetParanoidMode(true);
+  const FrameBuf frame = EncodeTestFrame(2048, 6);
+  // Paranoid mode re-derives everything from wire bytes and cross-checks the
+  // memo; a clean frame must still parse to the same packet.
+  Result<RocePacket> parsed = ParseRoceFrame(frame);
+  SetParanoidMode(false);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->bth.psn, 42u);
+  EXPECT_EQ(parsed->payload.size(), 2048u);
+}
+
+// End-to-end fail-closed check: corrupt one frame on the wire (the capture
+// tap records it as "corrupted") and assert the receiver's ICRC verification
+// rejects it even though the frame was encoded with a committed memo. The
+// write still completes via retransmission.
+TEST(FastPath, LinkCorruptionRejectedAtRxDespiteTxMemo) {
+  Testbed bed(Profile10G());
+  bed.ConnectQp(0, kQp, 1, kQp);
+  const VirtAddr local = bed.node(0).driver().AllocBuffer(KiB(64))->addr;
+  const VirtAddr remote = bed.node(1).driver().AllocBuffer(KiB(64))->addr;
+  ByteBuffer data = RandomBytes(KiB(8), 11);
+  ASSERT_TRUE(bed.node(0).driver().WriteHost(local, data).ok());
+
+  bed.direct_link()->CorruptNext(0, 1);
+  bool done = false;
+  bed.node(0).driver().PostWrite(kQp, local, remote, static_cast<uint32_t>(data.size()),
+                                 [&](Status st) {
+                                   EXPECT_TRUE(st.ok()) << st;
+                                   done = true;
+                                 });
+  const SimTime deadline = bed.sim().now() + Sec(1);
+  while (!done && bed.sim().now() < deadline && bed.sim().Step()) {
+  }
+  ASSERT_TRUE(done) << "write never completed";
+  EXPECT_GT(bed.node(1).stack().counters().icrc_drops, 0u)
+      << "corrupted frame was not rejected — cached ICRC masked it";
+  EXPECT_EQ(*bed.node(1).driver().ReadHost(remote, data.size()), data);
+}
+
+}  // namespace
+}  // namespace strom

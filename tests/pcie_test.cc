@@ -10,18 +10,53 @@
 namespace strom {
 namespace {
 
+ByteBuffer ReadAll(const HostMemory& mem, PhysAddr addr, size_t len) {
+  ByteBuffer out(len);
+  mem.Read(addr, MutableByteSpan(out.data(), out.size()));
+  return out;
+}
+
 TEST(HostMemory, ReadBackWhatWasWritten) {
   HostMemory mem;
   const PhysAddr page = mem.AllocPage();
   ByteBuffer data = {1, 2, 3, 4, 5};
   mem.Write(page + 100, data);
-  EXPECT_EQ(mem.ReadBuffer(page + 100, 5), data);
+  EXPECT_EQ(ReadAll(mem, page + 100, 5), data);
 }
 
 TEST(HostMemory, UntouchedMemoryReadsZero) {
   HostMemory mem;
-  ByteBuffer out = mem.ReadBuffer(0x7000000, 16);
-  EXPECT_EQ(out, ByteBuffer(16, 0));
+  EXPECT_EQ(ReadAll(mem, 0x7000000, 16), ByteBuffer(16, 0));
+}
+
+TEST(HostMemory, VisitReadSeesPagesInPlace) {
+  HostMemory mem;
+  const PhysAddr page = mem.AllocPage();
+  ByteBuffer data(4096, 0xEE);
+  const PhysAddr addr = page + kHugePageSize - 1024;  // spans into next page
+  mem.Write(addr, data);
+  size_t chunks = 0;
+  size_t total = 0;
+  mem.VisitRead(addr, 4096, [&](size_t off, ByteSpan span) {
+    EXPECT_EQ(off, total);
+    for (uint8_t b : span) {
+      EXPECT_EQ(b, 0xEE);
+    }
+    ++chunks;
+    total += span.size();
+  });
+  EXPECT_EQ(chunks, 2u);  // one span per touched page
+  EXPECT_EQ(total, 4096u);
+}
+
+TEST(HostMemory, VisitReadUnmappedYieldsZeros) {
+  HostMemory mem;
+  mem.VisitRead(0x9000000, 64, [](size_t, ByteSpan span) {
+    for (uint8_t b : span) {
+      EXPECT_EQ(b, 0);
+    }
+  });
+  EXPECT_EQ(mem.materialized_pages(), 0u);  // reads must not materialize pages
 }
 
 TEST(HostMemory, CrossPageWriteAndRead) {
@@ -30,7 +65,7 @@ TEST(HostMemory, CrossPageWriteAndRead) {
   ByteBuffer data(4096, 0xCD);
   const PhysAddr addr = page + kHugePageSize - 2048;  // spans into next page
   mem.Write(addr, data);
-  EXPECT_EQ(mem.ReadBuffer(addr, 4096), data);
+  EXPECT_EQ(ReadAll(mem, addr, 4096), data);
 }
 
 TEST(HostMemory, U64Accessors) {

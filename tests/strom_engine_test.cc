@@ -86,7 +86,7 @@ TEST_F(EngineTest, DmaWriteCollectedAcrossMultipleChunks) {
     self.s().dma_cmd_out.Push(MemCmd{remote_, 24, /*is_write=*/true});
     for (uint8_t i = 0; i < 3; ++i) {
       NetChunk chunk;
-      chunk.data = ByteBuffer(8, static_cast<uint8_t>(0xA0 + i));
+      chunk.data = FrameBuf::Adopt(ByteBuffer(8, static_cast<uint8_t>(0xA0 + i)));
       chunk.last = i == 2;
       self.s().dma_data_out.Push(std::move(chunk));
     }
@@ -112,11 +112,11 @@ TEST_F(EngineTest, ResponseAssembledFromMultipleChunks) {
     // Meta first, data dribbles in afterwards.
     self.s().roce_meta_out.Push(meta);
     NetChunk a;
-    a.data = ByteBuffer(8, 0x11);
+    a.data = FrameBuf::Adopt(ByteBuffer(8, 0x11));
     a.last = false;
     self.s().roce_data_out.Push(std::move(a));
     NetChunk b;
-    b.data = ByteBuffer(8, 0x22);
+    b.data = FrameBuf::Adopt(ByteBuffer(8, 0x22));
     b.last = true;
     self.s().roce_data_out.Push(std::move(b));
     return 1;
