@@ -10,6 +10,7 @@
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/common/paranoid.h"
+#include "src/faults/fault_plan.h"
 #include "src/sim/perf_stats.h"
 #include "src/sim/task.h"
 #include "src/testbed/workload.h"
@@ -95,6 +96,7 @@ void InitBenchTelemetry(int* argc, char** argv) {
   std::string capture_runs = "1";
   std::string sample_interval_us = "0";
   std::string jobs = "1";
+  std::string fault_plan_path;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (TakeFlag(argv[i], "--trace-out", &g_trace_out) ||
@@ -104,7 +106,8 @@ void InitBenchTelemetry(int* argc, char** argv) {
         TakeFlag(argv[i], "--capture-runs", &capture_runs) ||
         TakeFlag(argv[i], "--sample-interval-us", &sample_interval_us) ||
         TakeFlag(argv[i], "--jobs", &jobs) ||
-        TakeFlag(argv[i], "--perf-out", &g_perf_out)) {
+        TakeFlag(argv[i], "--perf-out", &g_perf_out) ||
+        TakeFlag(argv[i], "--fault-plan", &fault_plan_path)) {
       continue;  // telemetry flag: keep it away from google/benchmark
     }
     if (std::strcmp(argv[i], "--paranoid") == 0) {
@@ -126,6 +129,11 @@ void InitBenchTelemetry(int* argc, char** argv) {
   defaults.sample_interval = g_sample_interval;
   if (!g_trace_out.empty() || !g_metrics_out.empty()) {
     defaults.collector = &Collector();
+  }
+  if (!fault_plan_path.empty()) {
+    Result<FaultPlan> plan = FaultPlan::Load(fault_plan_path);
+    STROM_CHECK(plan.ok()) << "--fault-plan: " << plan.status();
+    defaults.fault_plan = std::make_shared<const FaultPlan>(std::move(*plan));
   }
 }
 

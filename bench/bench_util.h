@@ -37,6 +37,12 @@ namespace strom::bench {
 //                          cross-check every cached value against the wire
 //                          bytes (equivalent to STROM_PARANOID=1; aborts on
 //                          divergence). Simulated output must be identical.
+//   --fault-plan=<file>    load a fault plan (see src/faults/fault_plan.h for
+//                          the grammar) and run it against every testbed's
+//                          links and DMA engines: burst loss, reordering,
+//                          duplication, jitter, link flaps, DMA errors.
+//                          Without the flag the fault machinery stays fully
+//                          unhooked and traffic is byte-identical.
 
 // Process-wide collector that testbeds and ReportLatency deposit into.
 TelemetryCollector& Collector();

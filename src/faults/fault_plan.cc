@@ -1,0 +1,339 @@
+#include "src/faults/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/rng.h"
+
+namespace strom {
+namespace {
+
+struct TypeInfo {
+  const char* name;
+  FaultType type;
+  bool link;
+};
+
+constexpr TypeInfo kTypes[] = {
+    {"burst_loss", FaultType::kBurstLoss, true},
+    {"reorder", FaultType::kReorder, true},
+    {"duplicate", FaultType::kDuplicate, true},
+    {"jitter", FaultType::kJitter, true},
+    {"down", FaultType::kLinkDown, true},
+    {"read_error", FaultType::kDmaReadError, false},
+    {"write_error", FaultType::kDmaWriteError, false},
+};
+
+bool ParseTime(const std::string& tok, SimTime* out) {
+  if (tok == "-") {
+    *out = -1;
+    return true;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || v < 0) {
+    return false;
+  }
+  const std::string unit(end);
+  double scale = 0;
+  if (unit == "ns") {
+    scale = kNs;
+  } else if (unit == "us") {
+    scale = kUs;
+  } else if (unit == "ms") {
+    scale = kMs;
+  } else if (unit == "s") {
+    scale = kSec;
+  } else {
+    return false;
+  }
+  *out = SimTime(v * scale);
+  return true;
+}
+
+std::string FormatTime(SimTime t) {
+  if (t < 0) {
+    return "-";
+  }
+  // Pick the largest unit that divides t exactly so ToString round-trips.
+  if (t % kSec == 0) {
+    return std::to_string(t / kSec) + "s";
+  }
+  if (t % kMs == 0) {
+    return std::to_string(t / kMs) + "ms";
+  }
+  if (t % kUs == 0) {
+    return std::to_string(t / kUs) + "us";
+  }
+  return std::to_string(t / kNs) + "ns";
+}
+
+std::string FormatProb(double p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+bool ParseProb(const std::string& tok, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0' || v < 0 || v > 1) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+Status LineError(int line, const std::string& msg) {
+  return InvalidArgumentError("fault plan line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+const char* FaultTypeName(FaultType type) {
+  for (const TypeInfo& info : kTypes) {
+    if (info.type == type) {
+      return info.name;
+    }
+  }
+  return "?";
+}
+
+bool IsLinkFault(FaultType type) {
+  for (const TypeInfo& info : kTypes) {
+    if (info.type == type) {
+      return info.link;
+    }
+  }
+  return false;
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.resize(hash);
+    }
+    std::istringstream line(raw);
+    std::vector<std::string> tok;
+    std::string t;
+    while (line >> t) {
+      tok.push_back(t);
+    }
+    if (tok.empty()) {
+      continue;
+    }
+    if (tok[0] == "seed") {
+      if (tok.size() != 2) {
+        return LineError(lineno, "expected 'seed <N>'");
+      }
+      char* end = nullptr;
+      plan.seed = std::strtoull(tok[1].c_str(), &end, 10);
+      if (*end != '\0') {
+        return LineError(lineno, "bad seed '" + tok[1] + "'");
+      }
+      continue;
+    }
+    if (tok.size() < 4) {
+      return LineError(lineno, "expected '<target> <type> <start> <end> [key=value ...]'");
+    }
+    FaultEpisode ep;
+    // Target.
+    const std::string& target = tok[0];
+    bool target_is_link;
+    std::string index;
+    if (target.rfind("link", 0) == 0) {
+      target_is_link = true;
+      index = target.substr(4);
+    } else if (target.rfind("dma", 0) == 0) {
+      target_is_link = false;
+      index = target.substr(3);
+    } else {
+      return LineError(lineno, "unknown target '" + target + "'");
+    }
+    if (index == "*") {
+      ep.target = -1;
+    } else {
+      char* end = nullptr;
+      ep.target = int(std::strtol(index.c_str(), &end, 10));
+      if (index.empty() || *end != '\0' || ep.target < 0) {
+        return LineError(lineno, "bad target index '" + target + "'");
+      }
+    }
+    // Type.
+    const TypeInfo* info = nullptr;
+    for (const TypeInfo& candidate : kTypes) {
+      if (tok[1] == candidate.name) {
+        info = &candidate;
+        break;
+      }
+    }
+    if (info == nullptr) {
+      return LineError(lineno, "unknown fault type '" + tok[1] + "'");
+    }
+    if (info->link != target_is_link) {
+      return LineError(lineno, std::string("fault type '") + info->name +
+                                   "' does not apply to target '" + target + "'");
+    }
+    ep.type = info->type;
+    // Window.
+    if (!ParseTime(tok[2], &ep.start) || ep.start < 0) {
+      return LineError(lineno, "bad start time '" + tok[2] + "'");
+    }
+    if (!ParseTime(tok[3], &ep.end)) {
+      return LineError(lineno, "bad end time '" + tok[3] + "'");
+    }
+    if (ep.end >= 0 && ep.end < ep.start) {
+      return LineError(lineno, "episode ends before it starts");
+    }
+    // key=value parameters.
+    for (size_t i = 4; i < tok.size(); ++i) {
+      const size_t eq = tok[i].find('=');
+      if (eq == std::string::npos) {
+        return LineError(lineno, "expected key=value, got '" + tok[i] + "'");
+      }
+      const std::string key = tok[i].substr(0, eq);
+      const std::string value = tok[i].substr(eq + 1);
+      bool ok = false;
+      if (key == "p_gb") {
+        ok = ParseProb(value, &ep.p_good_to_bad);
+      } else if (key == "p_bg") {
+        ok = ParseProb(value, &ep.p_bad_to_good);
+      } else if (key == "loss_good") {
+        ok = ParseProb(value, &ep.loss_good);
+      } else if (key == "loss_bad") {
+        ok = ParseProb(value, &ep.loss_bad);
+      } else if (key == "p") {
+        ok = ParseProb(value, &ep.p);
+      } else if (key == "delay" || key == "max") {
+        ok = ParseTime(value, &ep.delay) && ep.delay >= 0;
+      } else {
+        return LineError(lineno, "unknown key '" + key + "'");
+      }
+      if (!ok) {
+        return LineError(lineno, "bad value for '" + key + "': '" + value + "'");
+      }
+    }
+    plan.episodes.push_back(ep);
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open fault plan '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<FaultPlan> plan = Parse(text.str());
+  if (!plan.ok()) {
+    return Status(plan.status().code(), path + ": " + plan.status().message());
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "seed " << seed << "\n";
+  for (const FaultEpisode& ep : episodes) {
+    os << (IsLinkFault(ep.type) ? "link" : "dma");
+    if (ep.target < 0) {
+      os << "*";
+    } else {
+      os << ep.target;
+    }
+    os << ' ' << FaultTypeName(ep.type) << ' ' << FormatTime(ep.start) << ' '
+       << FormatTime(ep.end);
+    switch (ep.type) {
+      case FaultType::kBurstLoss:
+        os << " p_gb=" << FormatProb(ep.p_good_to_bad) << " p_bg=" << FormatProb(ep.p_bad_to_good)
+           << " loss_good=" << FormatProb(ep.loss_good) << " loss_bad=" << FormatProb(ep.loss_bad);
+        break;
+      case FaultType::kReorder:
+        os << " p=" << FormatProb(ep.p) << " delay=" << FormatTime(ep.delay);
+        break;
+      case FaultType::kDuplicate:
+      case FaultType::kDmaReadError:
+      case FaultType::kDmaWriteError:
+        os << " p=" << FormatProb(ep.p);
+        break;
+      case FaultType::kJitter:
+        os << " max=" << FormatTime(ep.delay);
+        break;
+      case FaultType::kLinkDown:
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+FaultPlan MakeRandomPlan(uint64_t seed, SimTime horizon) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xC845u);
+  // Windows are drawn in whole nanoseconds: SimTime ticks are picoseconds,
+  // but the plan text format bottoms out at "ns", and generated plans must
+  // survive the ToString() -> Parse() round trip exactly (CI replays dumped
+  // plan artifacts).
+  const auto window = [&](SimTime min_len, SimTime max_len) {
+    FaultEpisode ep;
+    ep.start = Ns(int64_t(rng.Below(uint64_t(horizon / 2 / kNs))));
+    ep.end = ep.start + Ns(int64_t(rng.Range(uint64_t(min_len / kNs), uint64_t(max_len / kNs))));
+    return ep;
+  };
+  const int n = int(rng.Range(2, 5));
+  for (int i = 0; i < n; ++i) {
+    FaultEpisode ep = window(horizon / 20, horizon / 4);
+    ep.target = -1;  // all link sides
+    switch (rng.Below(4)) {
+      case 0:
+        ep.type = FaultType::kBurstLoss;
+        ep.p_good_to_bad = 0.01 + 0.04 * rng.NextDouble();
+        ep.p_bad_to_good = 0.2 + 0.3 * rng.NextDouble();
+        ep.loss_good = 0;
+        ep.loss_bad = 0.3 + 0.4 * rng.NextDouble();
+        break;
+      case 1:
+        ep.type = FaultType::kReorder;
+        ep.p = 0.02 + 0.05 * rng.NextDouble();
+        ep.delay = Us(int64_t(rng.Range(2, 20)));
+        break;
+      case 2:
+        ep.type = FaultType::kDuplicate;
+        ep.p = 0.02 + 0.08 * rng.NextDouble();
+        break;
+      default:
+        ep.type = FaultType::kJitter;
+        ep.delay = Ns(int64_t(rng.Range(100, 3000)));
+        break;
+    }
+    plan.episodes.push_back(ep);
+  }
+  // A short, hard link flap: long enough to force retransmissions, short
+  // enough that the default retry budget usually (but not always) survives.
+  {
+    FaultEpisode ep = window(horizon / 50, horizon / 10);
+    ep.target = -1;
+    ep.type = FaultType::kLinkDown;
+    plan.episodes.push_back(ep);
+  }
+  if (rng.Chance(0.5)) {
+    FaultEpisode ep = window(horizon / 20, horizon / 5);
+    ep.target = -1;
+    ep.type = rng.Chance(0.5) ? FaultType::kDmaReadError : FaultType::kDmaWriteError;
+    ep.p = 0.05 + 0.1 * rng.NextDouble();
+    plan.episodes.push_back(ep);
+  }
+  return plan;
+}
+
+}  // namespace strom

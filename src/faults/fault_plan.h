@@ -1,0 +1,105 @@
+// Deterministic fault plans: a small text format describing timed, seeded
+// fault episodes against link sides or the PCIe/DMA path. A plan is pure
+// data — the FaultEngine (fault_engine.h) interprets it against a testbed.
+//
+// Grammar (one directive per line, '#' starts a comment):
+//
+//   seed <N>
+//   <target> <type> <start> <end> [key=value ...]
+//
+// target:  linkK   one transmit direction (K is a global side index: the
+//                  direct link's sides are link0/link1; switch-port links
+//                  continue the numbering)
+//          link*   every link side
+//          dmaK    node K's DMA engine
+//          dma*    every DMA engine
+//   times: an integer with a unit suffix (ns|us|ms|s), or '-' for an
+//          open-ended episode.
+//   types (link targets):
+//     burst_loss  p_gb= p_bg= loss_good= loss_bad=   Gilbert–Elliott loss;
+//                 state evolves once per frame entering Send()
+//     reorder     p= delay=<time>    chance p to hold a frame back by delay
+//     duplicate   p=                 chance p to deliver a frame twice
+//     jitter      max=<time>         uniform extra delay in [0, max]
+//     down        (no params)        drop everything: a timed link flap
+//   types (dma targets):
+//     read_error  p=                 chance p a DMA read completes in error
+//     write_error p=                 chance p a DMA write completes in error
+//
+// Example:
+//   seed 7
+//   link0 burst_loss 10us 4ms p_gb=0.02 p_bg=0.3 loss_good=0 loss_bad=0.5
+//   link* jitter 0us - max=2us
+//   dma1 read_error 1ms 2ms p=0.1
+#ifndef SRC_FAULTS_FAULT_PLAN_H_
+#define SRC_FAULTS_FAULT_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/time.h"
+
+namespace strom {
+
+enum class FaultType {
+  kBurstLoss,
+  kReorder,
+  kDuplicate,
+  kJitter,
+  kLinkDown,
+  kDmaReadError,
+  kDmaWriteError,
+};
+
+const char* FaultTypeName(FaultType type);
+bool IsLinkFault(FaultType type);
+
+struct FaultEpisode {
+  FaultType type = FaultType::kLinkDown;
+  int target = -1;       // link side / node index; -1 = wildcard
+  SimTime start = 0;
+  SimTime end = -1;      // -1 = open-ended
+  // Gilbert–Elliott burst loss.
+  double p_good_to_bad = 0;
+  double p_bad_to_good = 0;
+  double loss_good = 0;
+  double loss_bad = 0;
+  // reorder / duplicate / dma errors.
+  double p = 0;
+  // reorder hold-back time / jitter bound.
+  SimTime delay = 0;
+
+  bool ActiveAt(SimTime now) const {
+    return now >= start && (end < 0 || now < end);
+  }
+  bool Matches(int target_index) const {
+    return target < 0 || target == target_index;
+  }
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<FaultEpisode> episodes;
+
+  // Parses the text grammar above. Returns the first syntax error with its
+  // line number.
+  static Result<FaultPlan> Parse(const std::string& text);
+  // Reads `path` and parses it.
+  static Result<FaultPlan> Load(const std::string& path);
+
+  // Serializes back to the text grammar (round-trips through Parse); used to
+  // dump failing plans as CI artifacts.
+  std::string ToString() const;
+};
+
+// Generates a small randomized plan from `seed` for chaos soaks: 2–5 link
+// episodes plus an optional DMA-error episode, with probabilities moderate
+// enough that traffic keeps making progress between faults. Deterministic in
+// `seed` and `horizon`.
+FaultPlan MakeRandomPlan(uint64_t seed, SimTime horizon);
+
+}  // namespace strom
+
+#endif  // SRC_FAULTS_FAULT_PLAN_H_

@@ -55,6 +55,18 @@ class Controller {
   RoceCounters ReadNicCounters();
   SimTime counter_read_cost() const { return 2 * config_.mmio_latency; }
 
+  // Installs the application's QP-error callback: fires when the NIC moves a
+  // QP to the Error state (retry exhaustion, remote operational NAK, local
+  // DMA failure). Errored completions for flushed WRs are delivered before
+  // the handler runs.
+  void SetQpErrorHandler(RoceStack::QpErrorHandler handler) {
+    stack_.SetQpErrorHandler(std::move(handler));
+  }
+
+  // Resets an errored QP to a fresh state (new PSNs, empty queues). Both
+  // ends must reset before traffic can resume.
+  Status ResetQp(Qpn qpn) { return stack_.ResetQp(qpn); }
+
   uint64_t commands_issued() const { return commands_issued_; }
   const ControllerConfig& config() const { return config_; }
 

@@ -82,6 +82,18 @@ class RoceDriver {
   // round-trip to the calling coroutine.
   ValueTask<RoceCounters> QueryNicCounters();
 
+  // --- error handling --------------------------------------------------------
+  // Application callback for QPs the NIC moves to the Error state. All
+  // flushed WRs complete with an error status before the handler fires; the
+  // handler should schedule recovery (ResetQp + peer resync), not reconnect
+  // inline.
+  void SetQpErrorHandler(RoceStack::QpErrorHandler handler) {
+    controller_.SetQpErrorHandler(std::move(handler));
+  }
+  // Resets an errored QP back to a fresh state (PSN resync). The peer must
+  // reset too before traffic resumes.
+  Status ResetQp(Qpn qpn) { return controller_.ResetQp(qpn); }
+
   // --- coroutine wrappers ----------------------------------------------------
   ValueTask<Status> Write(Qpn qpn, VirtAddr local, VirtAddr remote, uint32_t length);
   ValueTask<Status> Read(Qpn qpn, VirtAddr local, VirtAddr remote, uint32_t length);

@@ -91,8 +91,12 @@ uint64_t ConsistencyKernel::Fire() {
       }
       NetChunk object = streams_.dma_data_in.Pop();
       ++attempts_;
-      if (object.data.size() != params_.length) {
-        Respond(KernelStatusCode::kError, object.data);
+      if (object.error || object.data.size() != params_.length) {
+        // Failed or short read: respond with a zero-filled object so the
+        // response still carries exactly meta.length bytes (a short chunk
+        // would wedge the engine's response collector).
+        ByteBuffer zeros(params_.length, 0);
+        Respond(KernelStatusCode::kError, FrameBuf::Adopt(std::move(zeros)));
         return 1;
       }
 

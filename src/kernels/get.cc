@@ -90,12 +90,28 @@ uint64_t GetKernel::FetchHtEntry() {
 // hardware), emits the value-read command and the RoCE response metadata.
 uint64_t GetKernel::ParseHtEntry() {
   if (meta_fifo_.Empty() || ht_entry_fifo_.Empty() || value_cmd_fifo_.Full() ||
-      streams_.roce_meta_out.Full() || status_fifo_.Full()) {
+      streams_.roce_meta_out.Full() || streams_.roce_data_out.Full() ||
+      status_fifo_.Full()) {
     return 0;
   }
   const InternalMeta meta = meta_fifo_.Pop();
   NetChunk entry = ht_entry_fifo_.Pop();
-  STROM_CHECK_GE(entry.data.size(), kGetHtEntrySize);
+  if (entry.error || entry.data.size() < kGetHtEntrySize) {
+    // Hash-table read failed: status-only error response so the client's
+    // completion poll still fires.
+    RoceMeta out;
+    out.qpn = meta.qpn;
+    out.addr = meta.target_addr;
+    out.length = kStatusWordSize;
+    uint8_t status[kStatusWordSize];
+    StoreLe64(status, MakeStatusWord(KernelStatusCode::kError, 1, 0));
+    NetChunk status_chunk;
+    status_chunk.data = FrameBuf::Copy(ByteSpan(status, kStatusWordSize));
+    status_chunk.last = true;
+    streams_.roce_data_out.Push(std::move(status_chunk));
+    streams_.roce_meta_out.Push(out);
+    return 1;
+  }
 
   bool match[kGetBuckets];
   GetBucket buckets[kGetBuckets];
@@ -162,12 +178,21 @@ uint64_t GetKernel::SplitReadData() {
   }
   read_src_fifo_.Pop();
   NetChunk value = streams_.dma_data_in.Pop();
+  uint64_t status_word = status_fifo_.Pop();
+  if (value.error || value.data.size() < StatusWordExtra(status_word)) {
+    // Value read failed: substitute a zero-filled value and flip the status
+    // to kError so the response still carries exactly meta.length bytes.
+    const uint32_t value_len = StatusWordExtra(status_word);
+    ByteBuffer zeros(value_len, 0);
+    value.data = FrameBuf::Adopt(std::move(zeros));
+    status_word = MakeStatusWord(KernelStatusCode::kError, 1, value_len);
+  }
   const uint64_t cycles = Words(value.data.size());
   value.last = false;
   streams_.roce_data_out.Push(std::move(value));
 
   uint8_t status[kStatusWordSize];
-  StoreLe64(status, status_fifo_.Pop());
+  StoreLe64(status, status_word);
   NetChunk status_chunk;
   status_chunk.data = FrameBuf::Copy(ByteSpan(status, kStatusWordSize));
   status_chunk.last = true;

@@ -140,6 +140,15 @@ uint64_t SendShuffleKernel::Fire() {
       }
 
       NetChunk chunk = streams_.dma_data_in.Pop();
+      if (chunk.error) {
+        // Failed read: account for the bytes that should have arrived so the
+        // stream still terminates; the affected tuples are skipped.
+        bytes_processed_ += std::min(kReadChunk, params_.length - bytes_processed_);
+        if (bytes_processed_ >= params_.length) {
+          Finish();
+        }
+        return 1;
+      }
       const ByteSpan tuple_bytes = chunk.data.span();
       const size_t tuples = tuple_bytes.size() / 8;
       for (size_t i = 0; i < tuples; ++i) {

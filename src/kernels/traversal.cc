@@ -144,7 +144,9 @@ uint64_t TraversalKernel::Fire() {
       }
       NetChunk element = streams_.dma_data_in.Pop();
       ++hops_;
-      if (element.data.size() < kTraversalElementSize) {
+      if (element.error || element.data.size() < kTraversalElementSize) {
+        // The underlying READ failed (or returned short data): the traversal
+        // must complete with an error status, never stall the invoker.
         Respond(KernelStatusCode::kError, nullptr);
         return 1;
       }
@@ -206,6 +208,12 @@ uint64_t TraversalKernel::Fire() {
         return 0;
       }
       NetChunk value = streams_.dma_data_in.Pop();
+      if (value.error || value.data.size() < params_.value_size) {
+        // A short value would leave the engine collecting response bytes
+        // that never come; fail the whole invocation instead.
+        Respond(KernelStatusCode::kError, nullptr);
+        return 1;
+      }
       Respond(KernelStatusCode::kOk, &value.data);
       return Words(value.data.size());
     }

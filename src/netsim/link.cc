@@ -33,6 +33,10 @@ void PointToPointLink::AttachTelemetry(Telemetry* telemetry, const std::string& 
                                 [&c] { return double(c.frames_corrupted); });
     telemetry->metrics.AddGauge(prefix + "frames_oversize",
                                 [&c] { return double(c.frames_oversize); });
+    telemetry->metrics.AddGauge(prefix + "frames_reordered",
+                                [&c] { return double(c.frames_reordered); });
+    telemetry->metrics.AddGauge(prefix + "frames_duplicated",
+                                [&c] { return double(c.frames_duplicated); });
   }
 }
 
@@ -58,6 +62,17 @@ void PointToPointLink::AttachSampler(Telemetry* telemetry, const std::string& pr
           }
           return double(bytes) * 8.0 / (double(rate_bps) * ToSec(elapsed));
         });
+    // Cumulative fault counters, so chaos runs show up in .timeseries.csv.
+    const std::string prefix = process + ".link" + std::to_string(side) + ".";
+    const LinkCounters& c = s.counters;
+    telemetry->sampler.AddProbe(prefix + "frames_dropped",
+                                [&c](SimTime) { return double(c.frames_dropped); });
+    telemetry->sampler.AddProbe(prefix + "frames_corrupted",
+                                [&c](SimTime) { return double(c.frames_corrupted); });
+    telemetry->sampler.AddProbe(prefix + "frames_reordered",
+                                [&c](SimTime) { return double(c.frames_reordered); });
+    telemetry->sampler.AddProbe(prefix + "frames_duplicated",
+                                [&c](SimTime) { return double(c.frames_duplicated); });
   }
 }
 
@@ -95,6 +110,22 @@ void PointToPointLink::Send(int side, FrameBuf frame, TraceContext trace) {
   } else if (tx.drop_probability > 0 && tx.drop_rng.Chance(tx.drop_probability)) {
     drop = true;
   }
+  // Consult the fault hook unconditionally so its RNG streams see every
+  // frame, regardless of what the deterministic knobs decided.
+  LinkFaultDecision fault;
+  if (fault_hook_) {
+    fault = fault_hook_(side, sim_.now());
+    drop = drop || fault.drop;
+  }
+  if (tx.delay_next > 0) {
+    --tx.delay_next;
+    fault.reorder = true;
+    fault.extra_delay += tx.delay_next_amount;
+  }
+  if (tx.duplicate_next > 0) {
+    --tx.duplicate_next;
+    fault.duplicate = true;
+  }
   if (drop) {
     ++tx.counters.frames_dropped;
     if (capture_ != nullptr) {
@@ -120,10 +151,20 @@ void PointToPointLink::Send(int side, FrameBuf frame, TraceContext trace) {
     frame[pos] ^= 0xA5;
   }
 
+  if (fault.extra_delay > 0 || fault.reorder) {
+    ++tx.counters.frames_reordered;
+  }
+
   if (capture_ != nullptr) {
     std::string comment;
     if (corrupted) {
       comment = "corrupted";
+    }
+    if (fault.extra_delay > 0 || fault.reorder) {
+      if (!comment.empty()) {
+        comment += ' ';
+      }
+      comment += "delayed";
     }
     if (trace.sampled()) {
       if (!comment.empty()) {
@@ -134,9 +175,26 @@ void PointToPointLink::Send(int side, FrameBuf frame, TraceContext trace) {
     capture_->WritePacket(tx.capture_if, tx_done, frame, comment);
   }
 
-  const SimTime arrival = tx_done + config_.propagation;
+  const SimTime arrival = tx_done + config_.propagation + fault.extra_delay;
   if (trace.sampled() && tracer_ != nullptr) {
     tracer_->Span(trace, tx.track, "wire", start, arrival);
+  }
+  if (fault.duplicate) {
+    // Deliver a second copy one serialization time later, as if the frame
+    // had been put on the wire twice back-to-back. Duplication is a fault
+    // artifact, so it doesn't consume transmit bandwidth (busy_until).
+    ++tx.counters.frames_duplicated;
+    const SimTime dup_arrival = arrival + TransferTime(wire_bytes, config_.rate_bps);
+    if (capture_ != nullptr) {
+      capture_->WritePacket(tx.capture_if, dup_arrival - config_.propagation, frame,
+                            "duplicated");
+    }
+    sim_.ScheduleAt(dup_arrival, [this, side, f = frame, trace]() mutable {
+      Side& receiver = sides_[1 - side];
+      if (receiver.handler) {
+        receiver.handler(std::move(f), trace);
+      }
+    });
   }
   sim_.ScheduleAt(arrival, [this, side, f = std::move(frame), trace]() mutable {
     Side& receiver = sides_[1 - side];
@@ -147,6 +205,13 @@ void PointToPointLink::Send(int side, FrameBuf frame, TraceContext trace) {
   (void)rx;
 }
 
+void PointToPointLink::SetDropProbability(int side, double p) {
+  // Deliberately leaves drop_rng alone: repeated calls (e.g. sweeping loss
+  // rates in one process) continue the same stream instead of silently
+  // restarting it mid-run.
+  sides_[side].drop_probability = p;
+}
+
 void PointToPointLink::SetDropProbability(int side, double p, uint64_t seed) {
   sides_[side].drop_probability = p;
   sides_[side].drop_rng = Rng(seed);
@@ -155,5 +220,16 @@ void PointToPointLink::SetDropProbability(int side, double p, uint64_t seed) {
 void PointToPointLink::DropNext(int side, int count) { sides_[side].drop_next += count; }
 
 void PointToPointLink::CorruptNext(int side, int count) { sides_[side].corrupt_next += count; }
+
+void PointToPointLink::DuplicateNext(int side, int count) {
+  sides_[side].duplicate_next += count;
+}
+
+void PointToPointLink::DelayNext(int side, int count, SimTime delay) {
+  sides_[side].delay_next += count;
+  sides_[side].delay_next_amount = delay;
+}
+
+void PointToPointLink::SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
 }  // namespace strom

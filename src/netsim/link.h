@@ -34,11 +34,24 @@ struct LinkCounters {
   uint64_t frames_dropped = 0;
   uint64_t frames_corrupted = 0;
   uint64_t frames_oversize = 0;
+  uint64_t frames_reordered = 0;   // delivered late (reorder/jitter/DelayNext)
+  uint64_t frames_duplicated = 0;  // delivered twice
+};
+
+// Per-frame verdict of an attached fault hook (see FaultEngine). Consulted
+// for every frame entering Send(), after the deterministic DropNext /
+// CorruptNext knobs and the legacy drop probability.
+struct LinkFaultDecision {
+  bool drop = false;
+  bool duplicate = false;      // deliver the frame twice
+  bool reorder = false;        // attribute extra_delay to reordering
+  SimTime extra_delay = 0;     // added to the propagation delay
 };
 
 class PointToPointLink {
  public:
   using RxHandler = std::function<void(FrameBuf frame, TraceContext trace)>;
+  using FaultHook = std::function<LinkFaultDecision(int side, SimTime now)>;
 
   PointToPointLink(Simulator& sim, LinkConfig config);
   ~PointToPointLink();
@@ -67,12 +80,28 @@ class PointToPointLink {
   // is shared by reference count with the capture tap and the receiver.
   void Send(int side, FrameBuf frame, TraceContext trace = {});
 
-  // Fault injection (applies to frames leaving `side`).
-  void SetDropProbability(int side, double p, uint64_t seed = 1);
+  // Fault injection (applies to frames leaving `side`). The two-argument
+  // form updates the probability without touching the RNG stream, so
+  // sweeping loss rates mid-run stays deterministic point-to-point; pass a
+  // seed explicitly to (re)start the stream.
+  void SetDropProbability(int side, double p);
+  void SetDropProbability(int side, double p, uint64_t seed);
   // Drops the next `count` frames leaving `side` deterministically.
   void DropNext(int side, int count);
   // Flips one payload byte in the next `count` frames leaving `side`.
   void CorruptNext(int side, int count);
+  // Delivers the next `count` frames leaving `side` twice.
+  void DuplicateNext(int side, int count);
+  // Holds the next `count` frames leaving `side` back by `delay` beyond the
+  // normal propagation time (later traffic overtakes them).
+  void DelayNext(int side, int count, SimTime delay);
+  // Installs a per-frame fault hook (at most one; driven by FaultEngine).
+  // Evaluation order in Send(): oversize check, serialization accounting,
+  // DropNext, drop probability, hook.drop, CorruptNext, hook delay /
+  // duplication. The hook is consulted for every frame that reaches the
+  // drop stage — even ones the deterministic knobs already dropped — so its
+  // RNG streams advance as a pure function of the frame sequence.
+  void SetFaultHook(FaultHook hook);
 
   const LinkCounters& counters(int side) const { return sides_[side].counters; }
 
@@ -87,6 +116,9 @@ class PointToPointLink {
     Rng drop_rng{1};
     int drop_next = 0;
     int corrupt_next = 0;
+    int duplicate_next = 0;
+    int delay_next = 0;
+    SimTime delay_next_amount = 0;
     LinkCounters counters;
     TrackId track = kInvalidTrack;
     uint32_t capture_if = 0;
@@ -97,6 +129,7 @@ class PointToPointLink {
   std::array<Side, 2> sides_;
   Tracer* tracer_ = nullptr;
   PcapWriter* capture_ = nullptr;
+  FaultHook fault_hook_;
 };
 
 }  // namespace strom

@@ -50,6 +50,16 @@ SimTime DmaEngine::ServiceTime(const SegmentVec& segments) const {
 
 void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceContext trace) {
   ++counters_.read_commands;
+  if (fault_hook_) {
+    Status injected = fault_hook_(/*is_write=*/false);
+    if (!injected.ok()) {
+      ++counters_.errors;
+      sim_.Schedule(config_.read_latency, [done = std::move(done), st = std::move(injected)] {
+        done(st);
+      });
+      return;
+    }
+  }
   SegmentVec segments;
   Status resolved = tlb_.ResolveInto(virt, length, segments);
   if (!resolved.ok()) {
@@ -101,8 +111,18 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceCon
   });
 }
 
-void DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace) {
+Status DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace) {
   ++counters_.write_commands;
+  if (fault_hook_) {
+    Status injected = fault_hook_(/*is_write=*/true);
+    if (!injected.ok()) {
+      // Rejected at issue time: nothing reaches host memory and the caller
+      // learns synchronously (the RX path has no completion callback to
+      // deliver an async error to).
+      ++counters_.errors;
+      return injected;
+    }
+  }
   SegmentVec segments;
   Status resolved = tlb_.ResolveInto(virt, data.size(), segments);
   if (!resolved.ok()) {
@@ -110,7 +130,7 @@ void DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceCon
     sim_.Schedule(config_.write_latency, [done = std::move(done), st = std::move(resolved)] {
       done(st);
     });
-    return;
+    return Status::Ok();
   }
   counters_.segment_splits += segments.size() > 1 ? segments.size() - 1 : 0;
   counters_.bytes_written += data.size();
@@ -148,6 +168,7 @@ void DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceCon
       done(Status::Ok());
     }
   });
+  return Status::Ok();
 }
 
 }  // namespace strom

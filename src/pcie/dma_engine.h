@@ -41,6 +41,9 @@ class DmaEngine {
  public:
   using ReadCallback = std::function<void(Result<FrameBuf>)>;
   using WriteCallback = std::function<void(Status)>;
+  // Consulted once per command at issue time; a non-OK status fails the
+  // command (driven by FaultEngine — see src/faults/).
+  using FaultHook = std::function<Status(bool is_write)>;
 
   DmaEngine(Simulator& sim, HostMemory& memory, Tlb& tlb, DmaConfig config);
 
@@ -58,7 +61,13 @@ class DmaEngine {
   // Posts `data` to virtual address `virt`; the callback runs when the write
   // has been accepted by the host memory system. The data is shared, not
   // copied — on the RX path it is a sub-span of the received wire frame.
-  void Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace = {});
+  // Returns non-OK iff an injected fault rejects the command at issue time
+  // (nothing is written and `done` never runs); translation errors are still
+  // delivered asynchronously through `done`, as on real hardware.
+  Status Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace = {});
+
+  // Installs a per-command fault hook (at most one; driven by FaultEngine).
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   const DmaCounters& counters() const { return counters_; }
   const DmaConfig& config() const { return config_; }
@@ -75,6 +84,7 @@ class DmaEngine {
   Tlb& tlb_;
   DmaConfig config_;
   DmaCounters counters_;
+  FaultHook fault_hook_;
   Tracer* tracer_ = nullptr;
   TrackId track_ = kInvalidTrack;
   SimTime read_busy_until_ = 0;

@@ -155,6 +155,7 @@ enum class AckSyndrome : uint8_t {
   kNakSequenceError = 0x60,   // PSN gap: requester must retransmit
   kNakRemoteAccess = 0x63,
   kNakInvalidRequest = 0x61,  // e.g. unmatched StRoM RPC op-code
+  kNakRemoteOperationalError = 0x62,  // responder DMA failed: fatal, no retry
 };
 
 struct AethHeader {

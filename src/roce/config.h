@@ -24,6 +24,10 @@ struct RoceConfig {
   // Requester retransmission timeout and cap on exponential backoff.
   SimTime retransmission_timeout = Us(100);
   SimTime retransmission_timeout_max = Ms(5);
+  // Consecutive retransmission timeouts without forward progress before the
+  // QP transitions to Error and flushes its work queue (IB retry_cnt
+  // analogue; 7 is the verbs maximum).
+  uint32_t retry_limit = 7;
   // Fixed pipeline depths in cycles. RX: Process IP + UDP + BTH (incl. the
   // 5-cycle State Table interaction of Fig 3) + RETH/AETH FSM. TX: Request
   // Handler + Generate RETH/AETH + BTH + UDP + IP.
@@ -69,6 +73,11 @@ struct RoceCounters {
   uint64_t rpc_unmatched = 0;
   uint64_t write_messages_completed = 0;
   uint64_t read_messages_completed = 0;
+  uint64_t qp_errors = 0;            // QPs transitioned to the Error state
+  uint64_t qp_resets = 0;            // ResetQp calls
+  uint64_t wrs_flushed = 0;          // work requests completed-in-error by a flush
+  uint64_t qp_error_drops = 0;       // packets dropped because the QP is in Error
+  uint64_t rx_operational_errors = 0;  // NAK(remote operational error) received
 };
 
 }  // namespace strom

@@ -68,6 +68,11 @@ void RoceStack::AttachTelemetry(Telemetry* telemetry, const std::string& process
   gauge("rpc_unmatched", counters_.rpc_unmatched);
   gauge("write_messages_completed", counters_.write_messages_completed);
   gauge("read_messages_completed", counters_.read_messages_completed);
+  gauge("qp_errors", counters_.qp_errors);
+  gauge("qp_resets", counters_.qp_resets);
+  gauge("wrs_flushed", counters_.wrs_flushed);
+  gauge("qp_error_drops", counters_.qp_error_drops);
+  gauge("rx_operational_errors", counters_.rx_operational_errors);
 
   const std::vector<double> bounds = {1,  2,  3,   4,   5,   7.5, 10,  15,
                                       20, 30, 50,  75,  100, 200, 500, 1000};
@@ -137,6 +142,9 @@ Status RoceStack::PostRequest(WorkRequest wr) {
   };
   if (!QpConnected(wr.qpn)) {
     return fail(FailedPreconditionError("QP not connected"));
+  }
+  if (state_table_.Entry(wr.qpn).phase == QpPhase::kError) {
+    return fail(FailedPreconditionError("QP in Error state (ResetQp + ConnectQp required)"));
   }
   if (!wr.inline_data.empty()) {
     wr.length = static_cast<uint32_t>(wr.inline_data.size());
@@ -270,7 +278,7 @@ void RoceStack::FetchPayloads() {
         --fetches_in_flight_;
         if (!data.ok()) {
           STROM_LOG(kError) << "TX payload fetch failed: " << data.status();
-          CompleteWr(wr, data.status());
+          FailPayloadFetch(wr, data.status());
         } else {
           wr->ready[idx] = std::move(*data);
         }
@@ -411,6 +419,25 @@ void RoceStack::FinishSending(const WrPtr& wr) {
     return;  // responses need no ACK; reads complete via response data
   }
   Qp(wr->req.qpn).awaiting_ack.push_back(wr);
+}
+
+void RoceStack::FailPayloadFetch(const WrPtr& wr, const Status& status) {
+  if (wr->is_read_response) {
+    // Responder role: the response data cannot be produced. Drop the
+    // response and tell the requester the operation failed fatally — no
+    // retransmission can repair a failed host read.
+    auto it = std::find(wr_queue_.begin(), wr_queue_.end(), wr);
+    if (it != wr_queue_.end()) {
+      wr_queue_.erase(it);
+      fetch_cursor_ = 0;
+    }
+    SendAck(wr->req.qpn, wr->first_psn, AckSyndrome::kNakRemoteOperationalError,
+            wr->req.trace);
+    return;
+  }
+  // Requester role: the whole QP goes to Error (the flush completes `wr`,
+  // which is still in wr_queue_, with `status`).
+  ErrorQp(wr->req.qpn, status);
 }
 
 void RoceStack::CompleteWr(const WrPtr& wr, const Status& status) {
@@ -556,6 +583,12 @@ void RoceStack::ProcessPacket(RocePacket pkt) {
     ++counters_.unknown_qp_drops;
     return;
   }
+  if (state_table_.Entry(qpn).phase == QpPhase::kError) {
+    // An errored QP neither responds nor accepts: everything is dropped
+    // until ResetQp + ConnectQp re-establish it.
+    ++counters_.qp_error_drops;
+    return;
+  }
   switch (pkt.bth.opcode) {
     case IbOpcode::kAck:
       HandleAck(pkt);
@@ -643,7 +676,14 @@ void RoceStack::HandleWritePayload(const RocePacket& pkt) {
 
   const bool ends = OpcodeEndsMessage(op);
   if (!pkt.payload.empty()) {
-    dma_.Write(target, pkt.payload, nullptr, pkt.trace);
+    Status wst = dma_.Write(target, pkt.payload, nullptr, pkt.trace);
+    if (!wst.ok()) {
+      // The host write was rejected: nothing was placed, so ACKing would
+      // falsely promise the data landed. Surface a fatal NAK instead —
+      // retransmission cannot repair a failing DMA path.
+      SendAck(qpn, pkt.bth.psn, AckSyndrome::kNakRemoteOperationalError, pkt.trace);
+      return;
+    }
   }
   if (stream_tap_) {
     stream_tap_(qpn, pkt.payload, ends);
@@ -748,6 +788,7 @@ void RoceStack::SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome, TraceConte
 void RoceStack::AdvanceCumulativeAck(Qpn qpn, Psn acked_psn) {
   QpState& qp = Qp(qpn);
   StateTableEntry& st = state_table_.Entry(qpn);
+  qp.consecutive_retries = 0;  // any ACK/NAK is proof of responder life
 
   while (!qp.outstanding.empty() &&
          PsnDistance(qp.outstanding.front().psn, acked_psn) >= 0) {
@@ -808,6 +849,13 @@ void RoceStack::HandleAck(const RocePacket& pkt) {
       AdvanceCumulativeAck(qpn, pkt.bth.psn);
       return;
     }
+    case AckSyndrome::kNakRemoteOperationalError:
+      ++counters_.rx_naks;
+      ++counters_.rx_operational_errors;
+      // The responder could not execute the operation (its DMA path failed).
+      // Fatal for the connection: no retransmission can repair it.
+      ErrorQp(qpn, InternalError("remote NAK: responder operational error"));
+      return;
     default:
       ++counters_.rx_naks;
       return;
@@ -833,6 +881,7 @@ void RoceStack::HandleReadResponse(const RocePacket& pkt) {
     return;
   }
 
+  qp.consecutive_retries = 0;  // response data is forward progress
   counters_.rx_payload_bytes += pkt.payload.size();
   const VirtAddr target = ctx.local_addr + ctx.bytes_placed;
   ctx.bytes_placed += static_cast<uint32_t>(pkt.payload.size());
@@ -867,12 +916,21 @@ void RoceStack::HandleReadResponse(const RocePacket& pkt) {
   }
 
   if (!pkt.payload.empty()) {
-    dma_.Write(target, pkt.payload, [this, read_wr, last](Status st) {
+    Status wst = dma_.Write(target, pkt.payload, [this, read_wr, last](Status st) {
       if (last && read_wr) {
         CompleteWr(read_wr, st);
       }
       PumpTx();  // multi-queue slot freed: retry blocked reads
     }, pkt.trace);
+    if (!wst.ok()) {
+      // Local DMA rejected the response data: the read cannot complete and
+      // the placement stream is now broken — fatal for the QP.
+      if (read_wr) {
+        CompleteWr(read_wr, wst);
+      }
+      ErrorQp(qpn, wst);
+      return;
+    }
   } else if (last && read_wr) {
     CompleteWr(read_wr, Status::Ok());
   }
@@ -905,6 +963,12 @@ void RoceStack::OnTimeout(Qpn qpn) {
     return;
   }
   ++counters_.timeouts;
+  if (++qp.consecutive_retries > config_.retry_limit) {
+    ErrorQp(qpn, UnavailableError("retry budget exhausted (" +
+                                  std::to_string(config_.retry_limit) +
+                                  " consecutive timeouts)"));
+    return;
+  }
   // For reads that timed out mid-response, rewind placement progress: the
   // responder will re-send the whole response.
   if (reads_pending) {
@@ -934,6 +998,91 @@ void RoceStack::OnTimeout(Qpn qpn) {
     return;
   }
   RetransmitFrom(qpn, state_table_.Entry(qpn).oldest_unacked);
+}
+
+// ---------------------------------------------------------------------------
+// Error state machine
+// ---------------------------------------------------------------------------
+
+void RoceStack::FlushQp(Qpn qpn, const Status& status) {
+  QpState& qp = Qp(qpn);
+  timer_.Cancel(qpn);
+
+  // TX engine: any retransmit state or queued message belonging to this QP
+  // must not reach the wire.
+  retransmit_payload_.reset();
+  ++retransmit_epoch_;  // orphan in-flight retransmit payload fetches
+  std::erase_if(retransmit_queue_,
+                [&](const OutstandingPacket& d) { return d.wr->req.qpn == qpn; });
+  for (auto it = wr_queue_.begin(); it != wr_queue_.end();) {
+    const WrPtr& wr = *it;
+    if (wr->req.qpn != qpn) {
+      ++it;
+      continue;
+    }
+    if (!wr->is_read_response && !wr->completed) {
+      ++counters_.wrs_flushed;
+      CompleteWr(wr, status);
+    }
+    it = wr_queue_.erase(it);
+  }
+  fetch_cursor_ = 0;  // conservatively rescan after mid-queue erasures
+
+  qp.outstanding.clear();
+  for (const WrPtr& wr : qp.awaiting_ack) {
+    if (!wr->completed) {
+      ++counters_.wrs_flushed;
+      CompleteWr(wr, status);
+    }
+  }
+  qp.awaiting_ack.clear();
+
+  // Outstanding reads: drain this QP's multi-queue contexts and complete
+  // their work requests in error.
+  while (!multi_queue_.Empty(qpn)) {
+    const uint64_t token = multi_queue_.Head(qpn).wr_id;
+    multi_queue_.PopHead(qpn);
+    auto it = pending_reads_.find(token);
+    if (it != pending_reads_.end()) {
+      WrPtr wr = it->second;
+      pending_reads_.erase(it);
+      if (!wr->completed) {
+        ++counters_.wrs_flushed;
+        CompleteWr(wr, status);
+      }
+    }
+  }
+  qp.consecutive_retries = 0;
+  PumpTx();  // other QPs' traffic continues
+}
+
+void RoceStack::ErrorQp(Qpn qpn, const Status& status) {
+  if (!QpConnected(qpn)) {
+    return;
+  }
+  StateTableEntry& st = state_table_.Entry(qpn);
+  if (st.phase == QpPhase::kError) {
+    return;
+  }
+  st.phase = QpPhase::kError;
+  ++counters_.qp_errors;
+  STROM_LOG(kWarning) << "QP " << qpn << " -> Error: " << status;
+  FlushQp(qpn, status);
+  if (qp_error_handler_) {
+    qp_error_handler_(qpn, status);
+  }
+}
+
+Status RoceStack::ResetQp(Qpn qpn) {
+  if (qpn >= qps_.size() || !qps_[qpn].connected) {
+    return FailedPreconditionError("QP not connected");
+  }
+  ++counters_.qp_resets;
+  FlushQp(qpn, UnavailableError("QP reset"));
+  state_table_.Deactivate(qpn);
+  msn_table_.Entry(qpn) = MsnTableEntry{};
+  qps_[qpn] = QpState{};
+  return Status::Ok();
 }
 
 }  // namespace strom

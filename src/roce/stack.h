@@ -40,6 +40,12 @@ class RoceStack {
   // Observes payload of plain RDMA WRITEs as it flows to the DMA engine
   // (bump-in-the-wire receive kernels, e.g. HLL).
   using StreamTap = std::function<void(Qpn, const FrameBuf&, bool last)>;
+  // Notified when a QP transitions to the Error state (retry exhaustion,
+  // remote operational NAK, or local DMA failure). Fires synchronously from
+  // inside packet/timeout processing: handlers should record the event and
+  // schedule recovery (ResetQp + ConnectQp) on the simulator, not reconnect
+  // inline.
+  using QpErrorHandler = std::function<void(Qpn, const Status&)>;
 
   RoceStack(Simulator& sim, RoceConfig config, DmaEngine& dma, Ipv4Addr local_ip,
             MacAddr local_mac, const ArpTable& arp);
@@ -51,6 +57,7 @@ class RoceStack {
   void SetFrameSender(FrameSender sender) { send_frame_ = std::move(sender); }
   void SetRpcHandler(RpcHandler handler) { rpc_handler_ = std::move(handler); }
   void SetStreamTap(StreamTap tap) { stream_tap_ = std::move(tap); }
+  void SetQpErrorHandler(QpErrorHandler handler) { qp_error_handler_ = std::move(handler); }
   // Entry point for frames arriving from the Ethernet interface.
   void OnFrame(FrameBuf frame, TraceContext trace = {});
 
@@ -74,6 +81,19 @@ class RoceStack {
   Status ConnectQp(Qpn local_qpn, Qpn remote_qpn, Ipv4Addr remote_ip, Psn local_psn,
                    Psn remote_psn);
   bool QpConnected(Qpn qpn) const;
+
+  // Tears a QP down: flushes every queued work request as an errored
+  // completion and returns the state-table entry to its reset state so
+  // ConnectQp can re-establish the pair with fresh PSNs. The reset/reconnect
+  // path after a QP error (leave in-flight wire traffic time to drain before
+  // reconnecting, or stale PSNs may collide with the new epoch).
+  Status ResetQp(Qpn qpn);
+
+  // Forces `qpn` into the Error state: cancels its timer, flushes queued and
+  // outstanding work requests as errored completions, and fires the
+  // QpErrorHandler. Idempotent. Also invoked internally on retry exhaustion,
+  // remote operational NAKs, and local DMA failures.
+  void ErrorQp(Qpn qpn, const Status& status);
 
   // Posts a request to the Request Handler. Fails fast on invalid QPs.
   Status PostRequest(WorkRequest wr);
@@ -121,6 +141,10 @@ class RoceStack {
     Ipv4Addr remote_ip = 0;
     std::deque<OutstandingPacket> outstanding;  // PSN order
     std::deque<WrPtr> awaiting_ack;             // fully sent writes/RPCs
+    // Retransmission timeouts since the last sign of responder life (any
+    // ACK/NAK or read-response progress). Exceeding RoceConfig::retry_limit
+    // transitions the QP to Error.
+    uint32_t consecutive_retries = 0;
   };
 
   // --- TX path -------------------------------------------------------------
@@ -133,6 +157,7 @@ class RoceStack {
   void StartWr(const WrPtr& wr);
   void FinishSending(const WrPtr& wr);
   void CompleteWr(const WrPtr& wr, const Status& status);
+  void FailPayloadFetch(const WrPtr& wr, const Status& status);
 
   // --- RX path -------------------------------------------------------------
   void ProcessPacket(RocePacket pkt);
@@ -148,6 +173,10 @@ class RoceStack {
   void RetransmitFrom(Qpn qpn, Psn psn);
   void OnTimeout(Qpn qpn);
   void AdvanceCumulativeAck(Qpn qpn, Psn acked_psn);
+  // Completes every queued/outstanding work request of `qpn` with `status`
+  // and clears its TX/retransmit/multi-queue state. Shared by ErrorQp and
+  // ResetQp.
+  void FlushQp(Qpn qpn, const Status& status);
 
   QpState& Qp(Qpn qpn);
 
@@ -160,6 +189,7 @@ class RoceStack {
   FrameSender send_frame_;
   RpcHandler rpc_handler_;
   StreamTap stream_tap_;
+  QpErrorHandler qp_error_handler_;
 
   StateTable state_table_;
   MsnTable msn_table_;

@@ -20,6 +20,13 @@ Status StateTable::Activate(Qpn qpn, Psn initial_epsn, Psn initial_psn) {
   return Status::Ok();
 }
 
+void StateTable::Deactivate(Qpn qpn) {
+  if (qpn >= entries_.size()) {
+    return;
+  }
+  entries_[qpn] = StateTableEntry{};
+}
+
 bool StateTable::IsActive(Qpn qpn) const {
   return qpn < entries_.size() && entries_[qpn].valid;
 }

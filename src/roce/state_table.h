@@ -23,8 +23,18 @@ enum class PsnCheck {
   kInvalid,    // ahead of ePSN: NAK(sequence error) and drop
 };
 
+// QP lifecycle. kReady QPs move packets; a QP enters kError when its retry
+// budget exhausts or a remote/DMA operational error surfaces, after which
+// every queued and future work request completes in error until ResetQp +
+// ConnectQp re-establish it with fresh PSNs.
+enum class QpPhase {
+  kReady,
+  kError,
+};
+
 struct StateTableEntry {
   bool valid = false;
+  QpPhase phase = QpPhase::kReady;
   // Responder role.
   Psn epsn = 0;              // expected PSN of the next request packet
   bool nak_armed = true;     // only one NAK per out-of-sequence episode
@@ -40,6 +50,9 @@ class StateTable {
   uint32_t capacity() const { return static_cast<uint32_t>(entries_.size()); }
 
   Status Activate(Qpn qpn, Psn initial_epsn, Psn initial_psn);
+  // Returns the entry to its reset state so Activate can be called again
+  // (the ResetQp / reconnect path). No-op on an inactive entry.
+  void Deactivate(Qpn qpn);
   bool IsActive(Qpn qpn) const;
 
   StateTableEntry& Entry(Qpn qpn);

@@ -26,6 +26,7 @@ void StromEngine::AttachTelemetry(Telemetry* telemetry, const std::string& proce
   gauge("local_invocations", counters_.local_invocations);
   gauge("kernel_dma_reads", counters_.kernel_dma_reads);
   gauge("kernel_dma_writes", counters_.kernel_dma_writes);
+  gauge("kernel_dma_errors", counters_.kernel_dma_errors);
   gauge("kernel_responses", counters_.kernel_responses);
   gauge("tapped_chunks", counters_.tapped_chunks);
 }
@@ -187,6 +188,8 @@ void StromEngine::ServiceDmaCommands(Deployed& d) {
           chunk.data = std::move(*data);
         } else {
           STROM_LOG(kError) << "kernel DMA read failed: " << data.status();
+          ++counters_.kernel_dma_errors;
+          chunk.error = true;
         }
         chunk.last = true;
         dp->dma_in_inbox.push_back(std::move(chunk));
@@ -210,7 +213,12 @@ void StromEngine::CollectDmaWrites(Deployed& d) {
     }
     STROM_CHECK_EQ(w.collected.size(), w.length)
         << "kernel " << d.kernel->name() << " overfilled a DMA write";
-    dma_.Write(w.addr, FrameBuf::Adopt(std::move(w.collected)), nullptr, d.active_trace);
+    Status wst = dma_.Write(w.addr, FrameBuf::Adopt(std::move(w.collected)), nullptr,
+                            d.active_trace);
+    if (!wst.ok()) {
+      STROM_LOG(kError) << "kernel DMA write failed: " << wst;
+      ++counters_.kernel_dma_errors;
+    }
     d.dma_writes.pop_front();
   }
 }

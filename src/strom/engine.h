@@ -30,6 +30,7 @@ struct EngineCounters {
   uint64_t kernel_dma_writes = 0;
   uint64_t kernel_responses = 0;
   uint64_t tapped_chunks = 0;
+  uint64_t kernel_dma_errors = 0;  // kernel-issued DMA commands that failed
 };
 
 class StromEngine {

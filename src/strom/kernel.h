@@ -34,6 +34,10 @@ namespace strom {
 struct NetChunk {
   FrameBuf data;
   bool last = true;
+  // Set by the engine when the DMA read backing this chunk failed (data is
+  // empty). Kernels must treat it as a failed operation — respond with an
+  // error status, never block waiting for the missing bytes.
+  bool error = false;
 };
 
 // DMA command issued by a kernel over the 12B command bus: virtual address +

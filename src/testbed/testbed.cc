@@ -90,6 +90,27 @@ void Testbed::InitObservability() {
   if (d.sample_interval > 0) {
     StartSampling(d.sample_interval);
   }
+  if (d.fault_plan != nullptr) {
+    ApplyFaultPlan(d.fault_plan);
+  }
+}
+
+void Testbed::ApplyFaultPlan(std::shared_ptr<const FaultPlan> plan) {
+  STROM_CHECK(fault_engine_ == nullptr) << "fault plan already applied";
+  STROM_CHECK(plan != nullptr);
+  fault_engine_ = std::make_unique<FaultEngine>(sim_, std::move(plan));
+  if (link_ != nullptr) {
+    fault_engine_->AttachLink(*link_, 0);
+  } else if (switch_ != nullptr) {
+    // Port link i gets global side indices 2i (node side) and 2i+1 (switch
+    // side), so plans can target individual hops of the switched topology.
+    for (int i = 0; i < num_nodes(); ++i) {
+      fault_engine_->AttachLink(switch_->PortLink(i), 2 * i);
+    }
+  }
+  for (int i = 0; i < num_nodes(); ++i) {
+    fault_engine_->AttachDma(i, nodes_[i]->dma());
+  }
 }
 
 std::vector<std::string> Testbed::EnableCapture(const std::string& prefix) {
@@ -157,6 +178,14 @@ void Testbed::ConnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a, Psn psn_b
   STROM_CHECK(st.ok()) << st;
   st = node(b).stack().ConnectQp(qpn_b, qpn_a, node(a).ip(), psn_b, psn_a);
   STROM_CHECK(st.ok()) << st;
+}
+
+void Testbed::ReconnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a, Psn psn_b) {
+  Status st = node(a).stack().ResetQp(qpn_a);
+  STROM_CHECK(st.ok()) << st;
+  st = node(b).stack().ResetQp(qpn_b);
+  STROM_CHECK(st.ok()) << st;
+  ConnectQp(a, qpn_a, b, qpn_b, psn_a, psn_b);
 }
 
 }  // namespace strom

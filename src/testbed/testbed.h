@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/faults/fault_engine.h"
 #include "src/netsim/link.h"
 #include "src/netsim/switch.h"
 #include "src/telemetry/pcap_writer.h"
@@ -33,6 +34,11 @@ struct TestbedTelemetryDefaults {
   // When > 0, every Testbed samples queue depths / occupancy / utilization
   // into its telemetry sampler at this simulated-time interval.
   SimTime sample_interval = 0;
+  // When set (bench_util --fault-plan), every Testbed attaches a FaultEngine
+  // running this plan against its links and DMA engines. Null (the default)
+  // leaves the fault machinery entirely unhooked: no RNG draws, no extra
+  // branches on the data path, byte-identical traffic.
+  std::shared_ptr<const FaultPlan> fault_plan;
 };
 
 class Testbed {
@@ -65,6 +71,17 @@ class Testbed {
   // QP `qpn_b` (out-of-band exchange of QPNs and initial PSNs).
   void ConnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a = 1000, Psn psn_b = 5000);
 
+  // Recovery path after a QP error: resets both ends and re-connects with
+  // fresh PSNs (out-of-band resync). The new PSNs default to values disjoint
+  // from ConnectQp's so stale in-flight frames are rejected as duplicates.
+  void ReconnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a = 2000, Psn psn_b = 6000);
+
+  // Attaches a FaultEngine running `plan` against every link side and DMA
+  // engine in the topology. Called automatically at construction when
+  // telemetry_defaults.fault_plan is set. May be called once per Testbed.
+  void ApplyFaultPlan(std::shared_ptr<const FaultPlan> plan);
+  FaultEngine* fault_engine() { return fault_engine_.get(); }
+
   // Taps the wire (direct link or every switch port) and each node's NIC
   // boundary into pcapng files under `prefix`. Returns the created file
   // paths. Call before generating traffic (interfaces precede packets).
@@ -86,6 +103,7 @@ class Testbed {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<PointToPointLink> link_;          // 2-node topology
   std::unique_ptr<EthernetSwitch> switch_;          // N-node topology
+  std::unique_ptr<FaultEngine> fault_engine_;
   std::vector<std::unique_ptr<PcapWriter>> captures_;
 };
 

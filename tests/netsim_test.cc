@@ -104,6 +104,104 @@ TEST(Link, CorruptNextFlipsPayloadByte) {
   EXPECT_NE(got, frame);
 }
 
+TEST(Link, DropProbabilityRngStreamSurvivesRateChange) {
+  // Changing the drop rate mid-run must not reseed the RNG: the stream of
+  // draws continues where it left off, so the drop pattern stays a pure
+  // function of the initial seed and the frame sequence.
+  auto run = [](bool change_rate_midway) {
+    Simulator sim;
+    PointToPointLink link(sim, LinkConfig{});
+    bool delivered = false;
+    link.Attach(1, [&](FrameBuf, TraceContext) { delivered = true; });
+    link.SetDropProbability(0, 0.5, /*seed=*/7);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) {
+      if (change_rate_midway && i == 100) {
+        link.SetDropProbability(0, 0.5);  // same rate, stream must continue
+      }
+      delivered = false;
+      link.Send(0, FrameBuf::Adopt(ByteBuffer(64, 0)));
+      sim.RunUntilIdle();
+      pattern.push_back(delivered);
+    }
+    return pattern;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Link, DropProbabilityExplicitSeedRestartsStream) {
+  Simulator sim;
+  PointToPointLink link(sim, LinkConfig{});
+  bool delivered = false;
+  link.Attach(1, [&](FrameBuf, TraceContext) { delivered = true; });
+  auto draw = [&](int n) {
+    std::vector<bool> pattern;
+    for (int i = 0; i < n; ++i) {
+      delivered = false;
+      link.Send(0, FrameBuf::Adopt(ByteBuffer(64, 0)));
+      sim.RunUntilIdle();
+      pattern.push_back(delivered);
+    }
+    return pattern;
+  };
+  link.SetDropProbability(0, 0.5, /*seed=*/42);
+  const std::vector<bool> first = draw(100);
+  link.SetDropProbability(0, 0.5, /*seed=*/42);  // reseed: replay from the top
+  EXPECT_EQ(draw(100), first);
+}
+
+TEST(Link, DroppedFrameDoesNotConsumeCorruptNext) {
+  // Composition order: DropNext fires before CorruptNext, and a dropped
+  // frame must leave the pending corruption for the next delivered frame.
+  Simulator sim;
+  PointToPointLink link(sim, LinkConfig{});
+  std::vector<ByteBuffer> got;
+  link.Attach(1, [&](FrameBuf f, TraceContext) { got.push_back(f.ToBuffer()); });
+  link.DropNext(0, 1);
+  link.CorruptNext(0, 1);
+  const ByteBuffer frame(100, 0x00);
+  for (int i = 0; i < 3; ++i) {
+    link.Send(0, FrameBuf::Copy(frame));
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NE(got[0], frame);  // corruption landed on the first *delivered* frame
+  EXPECT_EQ(got[1], frame);
+  EXPECT_EQ(link.counters(0).frames_dropped, 1u);
+  EXPECT_EQ(link.counters(0).frames_corrupted, 1u);
+}
+
+TEST(Link, DelayNextReordersFrames) {
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.propagation = 0;
+  PointToPointLink link(sim, cfg);
+  std::vector<uint8_t> order;
+  link.Attach(1, [&](FrameBuf f, TraceContext) { order.push_back(f.span()[0]); });
+  link.DelayNext(0, 1, Us(50));
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(64, 1)));
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(64, 2)));
+  sim.RunUntilIdle();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // the held-back frame arrives second
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(link.counters(0).frames_reordered, 1u);
+}
+
+TEST(Link, DuplicateNextDeliversTwice) {
+  Simulator sim;
+  PointToPointLink link(sim, LinkConfig{});
+  int received = 0;
+  link.Attach(1, [&](FrameBuf, TraceContext) { ++received; });
+  link.DuplicateNext(0, 1);
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(64, 0)));
+  link.Send(0, FrameBuf::Adopt(ByteBuffer(64, 1)));
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 3);
+  EXPECT_EQ(link.counters(0).frames_duplicated, 1u);
+  EXPECT_EQ(link.counters(0).frames_sent, 2u);
+}
+
 TEST(Link, OversizeFrameDropped) {
   Simulator sim;
   LinkConfig cfg;

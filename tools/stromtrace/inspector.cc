@@ -1,5 +1,6 @@
 #include "tools/stromtrace/inspector.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <tuple>
 
@@ -21,6 +22,8 @@ const char* SyndromeName(AckSyndrome s) {
       return "NAK_INVALID_REQUEST";
     case AckSyndrome::kNakRemoteAccess:
       return "NAK_REMOTE_ACCESS";
+    case AckSyndrome::kNakRemoteOperationalError:
+      return "NAK_REMOTE_OPERATIONAL_ERROR";
   }
   return "NAK_UNKNOWN";
 }
@@ -332,8 +335,13 @@ Report InspectCapture(const CaptureFile& capture, const InspectOptions& options)
       }
     }
 
-    sum.timeline.push_back(
-        FlowSummary::Event{pkt.timestamp, d.bth.psn, op, d.payload_len, std::move(note)});
+    FlowSummary::Event event{pkt.timestamp, d.bth.psn, op, d.payload_len,
+                             /*has_aeth=*/false, AckSyndrome::kAck, std::move(note)};
+    if (d.aeth.has_value()) {
+      event.has_aeth = true;
+      event.syndrome = d.aeth->syndrome;
+    }
+    sum.timeline.push_back(std::move(event));
   }
 
   report.flows.reserve(flows.size());
@@ -399,6 +407,84 @@ std::string FormatReport(const Report& report, bool timeline) {
     out += std::string("  [") + AnomalyKindName(a.kind) + "] " + a.interface + " #" +
            std::to_string(a.packet_index) + " t=" + FormatUs(a.timestamp) + " us: " +
            a.detail + "\n";
+  }
+  return out;
+}
+
+FaultsReport BuildFaultsReport(const Report& report, uint32_t retry_limit) {
+  FaultsReport fr;
+  fr.retry_limit = retry_limit;
+  for (const FlowSummary& f : report.flows) {
+    FlowFaults ff;
+    ff.interface = f.interface;
+    ff.name = f.Name();
+    ff.dest_qp = f.dest_qp;
+    ff.packets = f.packets;
+
+    // Transmission count per request-class PSN. The capture includes frames
+    // the link dropped, so this is the count of sender attempts.
+    std::map<Psn, uint32_t> tx_count;
+    for (const FlowSummary::Event& e : f.timeline) {
+      if (e.note.find("dropped") != std::string::npos) {
+        ++ff.dropped_frames;
+      }
+      if (e.note.find("duplicate") != std::string::npos) {
+        ++ff.retransmits;
+      }
+      if (e.note.find("gap") != std::string::npos) {
+        ++ff.out_of_order;
+      }
+      if (e.has_aeth && e.syndrome != AckSyndrome::kAck) {
+        ++ff.naks[static_cast<uint8_t>(e.syndrome)];
+      }
+      if (e.opcode != IbOpcode::kAck && !IsReadResponse(e.opcode)) {
+        ++tx_count[e.psn];
+      }
+    }
+    for (const auto& [psn, count] : tx_count) {
+      ff.max_same_psn = std::max(ff.max_same_psn, count);
+      // First transmission + retry_limit retries is the budget; anything
+      // beyond means the sender exhausted it (and moved the QP to Error).
+      if (count > retry_limit + 1) {
+        ff.exhausted_psns.push_back(psn);
+      }
+    }
+
+    fr.total_retransmits += ff.retransmits;
+    fr.total_dropped += ff.dropped_frames;
+    for (const auto& [syndrome, count] : ff.naks) {
+      fr.total_naks += count;
+    }
+    fr.exhaustion_events += ff.exhausted_psns.size();
+    fr.flows.push_back(std::move(ff));
+  }
+  return fr;
+}
+
+std::string FormatFaultsReport(const FaultsReport& report) {
+  std::string out;
+  out += "faults: " + std::to_string(report.total_retransmits) + " retransmits, " +
+         std::to_string(report.total_naks) + " naks, " +
+         std::to_string(report.total_dropped) + " dropped frames, " +
+         std::to_string(report.exhaustion_events) + " retry exhaustions (limit " +
+         std::to_string(report.retry_limit) + ")\n";
+  for (const FlowFaults& f : report.flows) {
+    out += "  [" + f.interface + "] " + f.name + ": " + std::to_string(f.packets) +
+           " pkts, " + std::to_string(f.retransmits) + " retransmits (max " +
+           std::to_string(f.max_same_psn) + "x same psn), " +
+           std::to_string(f.dropped_frames) + " dropped, " +
+           std::to_string(f.out_of_order) + " out-of-order\n";
+    if (!f.naks.empty()) {
+      out += "    naks:";
+      for (const auto& [syndrome, count] : f.naks) {
+        out += std::string(" ") + SyndromeName(static_cast<AckSyndrome>(syndrome)) + " x" +
+               std::to_string(count);
+      }
+      out += "\n";
+    }
+    for (const Psn psn : f.exhausted_psns) {
+      out += "    RETRY EXHAUSTED: psn " + std::to_string(psn) + "\n";
+    }
   }
   return out;
 }

@@ -57,6 +57,8 @@ struct FlowSummary {
     Psn psn = 0;
     IbOpcode opcode = IbOpcode::kWriteOnly;
     uint32_t payload_len = 0;
+    bool has_aeth = false;
+    AckSyndrome syndrome = AckSyndrome::kAck;  // valid when has_aeth
     std::string note;  // dropped / duplicate / gap / nak:<syndrome> / icrc
   };
 
@@ -104,6 +106,40 @@ Result<Report> InspectFile(const std::string& path, const InspectOptions& option
 // Human-readable report: flow table + anomaly list; with `timeline`, the
 // per-packet PSN timeline of every flow.
 std::string FormatReport(const Report& report, bool timeline = false);
+
+// --- fault analysis (stromtrace --faults) -----------------------------------
+// Recovery/fault summary distilled from a Report. Wire captures record
+// dropped frames too (annotated by the link), so counting how often the same
+// request PSN was transmitted measures requester retries exactly: a PSN seen
+// more than retry_limit + 1 times means the sender's retry budget was
+// exhausted and the QP moved to the Error state.
+struct FlowFaults {
+  std::string interface;
+  std::string name;              // FlowSummary::Name() of the flow
+  Qpn dest_qp = 0;
+  uint64_t packets = 0;
+  uint64_t retransmits = 0;      // repeated-PSN transmissions (any class)
+  uint64_t dropped_frames = 0;   // frames annotated dropped by the link
+  uint64_t out_of_order = 0;     // forward PSN gaps observed
+  uint32_t max_same_psn = 1;     // highest transmission count of one PSN
+  std::map<uint8_t, uint64_t> naks;  // AETH syndrome -> count
+  std::vector<Psn> exhausted_psns;   // PSNs sent > retry_limit + 1 times
+};
+
+struct FaultsReport {
+  uint32_t retry_limit = 7;
+  uint64_t total_retransmits = 0;
+  uint64_t total_naks = 0;
+  uint64_t total_dropped = 0;
+  size_t exhaustion_events = 0;  // sum of exhausted_psns sizes
+  std::vector<FlowFaults> flows;
+};
+
+// Builds the fault summary; `retry_limit` should match the run's
+// RoceConfig::retry_limit (default 7).
+FaultsReport BuildFaultsReport(const Report& report, uint32_t retry_limit = 7);
+
+std::string FormatFaultsReport(const FaultsReport& report);
 
 }  // namespace strom
 

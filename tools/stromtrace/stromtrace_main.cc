@@ -2,13 +2,20 @@
 // simulator's wire taps (--capture-out on any bench, or
 // Testbed::EnableCapture).
 //
-//   stromtrace [--strict] [--mtu=N] [--timeline] [--quiet] <capture.pcapng>...
+//   stromtrace [--strict] [--mtu=N] [--timeline] [--faults] [--retry-limit=N]
+//              [--quiet] <capture.pcapng>...
 //
 //   --strict    treat observations (retransmits, NAKs) as errors too; use in
 //               CI on captures of clean runs
 //   --mtu=N     IP MTU for the MTU-violation check and the read-request PSN
 //               span (default 1500)
 //   --timeline  print the per-packet PSN timeline of every flow
+//   --faults    print a fault/recovery report per flow (retransmit counts,
+//               NAKs by syndrome, dropped frames, out-of-order arrivals,
+//               retry-exhaustion events); a retry exhaustion makes the exit
+//               status non-zero even without --strict
+//   --retry-limit=N  retry budget the run was configured with, for the
+//               exhaustion check (default 7 = RoceConfig default)
 //   --quiet     print nothing; the exit code is the verdict
 //
 // Exit status: 0 all captures clean, 1 anomalies found, 2 usage or file
@@ -25,8 +32,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: stromtrace [--strict] [--mtu=N] [--timeline] [--quiet] "
-               "<capture.pcapng>...\n");
+               "usage: stromtrace [--strict] [--mtu=N] [--timeline] [--faults] "
+               "[--retry-limit=N] [--quiet] <capture.pcapng>...\n");
   return 2;
 }
 
@@ -36,6 +43,8 @@ int main(int argc, char** argv) {
   bool strict = false;
   bool timeline = false;
   bool quiet = false;
+  bool faults = false;
+  uint32_t retry_limit = 7;
   strom::InspectOptions options;
   std::vector<std::string> paths;
 
@@ -47,6 +56,15 @@ int main(int argc, char** argv) {
       timeline = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      faults = true;
+    } else if (std::strncmp(arg, "--retry-limit=", 14) == 0) {
+      const long limit = std::strtol(arg + 14, nullptr, 10);
+      if (limit < 0) {
+        std::fprintf(stderr, "stromtrace: bad --retry-limit value: %s\n", arg + 14);
+        return 2;
+      }
+      retry_limit = static_cast<uint32_t>(limit);
     } else if (std::strncmp(arg, "--mtu=", 6) == 0) {
       const long mtu = std::strtol(arg + 6, nullptr, 10);
       if (mtu < 128) {
@@ -72,11 +90,18 @@ int main(int argc, char** argv) {
                    report.status().ToString().c_str());
       return 2;
     }
-    const size_t errors = report->ErrorCount(strict);
+    size_t errors = report->ErrorCount(strict);
+    std::string faults_text;
+    if (faults) {
+      const strom::FaultsReport fr = strom::BuildFaultsReport(*report, retry_limit);
+      faults_text = strom::FormatFaultsReport(fr);
+      // Retry exhaustion means a QP died mid-run: always an error for CI.
+      errors += fr.exhaustion_events;
+    }
     total_errors += errors;
     if (!quiet) {
-      std::printf("== %s ==\n%s", path.c_str(),
-                  strom::FormatReport(*report, timeline).c_str());
+      std::printf("== %s ==\n%s%s", path.c_str(),
+                  strom::FormatReport(*report, timeline).c_str(), faults_text.c_str());
       std::printf("verdict: %s (%zu error%s%s)\n\n",
                   errors == 0 ? "CLEAN" : "ANOMALOUS", errors, errors == 1 ? "" : "s",
                   strict ? ", strict" : "");
