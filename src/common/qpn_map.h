@@ -1,0 +1,142 @@
+// QpnMap: a pooled, QPN-keyed open-addressing hash table backing the RoCE
+// stack's per-QP state (State Table, MSN Table, Multi-Queue metadata,
+// retransmission timers, requester QP state).
+//
+// The paper's hardware keeps fixed BRAM arrays indexed by QPN, which is the
+// right model for a 500-QP on-chip design but wrong for rack-scale runs where
+// a host multiplexes thousands of QPs out of a 24-bit namespace: a
+// vector<Entry>(max_qps) per table costs memory proportional to the
+// configured ceiling even when three QPs are connected. QpnMap stores only
+// the QPs that have been touched and grows by doubling, so per-QP state costs
+// O(active QPs) while keeping the auto-create-on-first-touch semantics the
+// fixed arrays gave the stack (`map[qpn]` is always valid, default-initialized
+// on first use — exactly like indexing the old vector).
+//
+// Determinism note: iteration (ForEach) visits slots in table order, which
+// depends only on the sequence of inserts — identical across runs with the
+// same workload. Nothing in the stack derives packet-visible behavior from
+// iteration order; it is used for telemetry aggregation only.
+#ifndef SRC_COMMON_QPN_MAP_H_
+#define SRC_COMMON_QPN_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/types.h"
+
+namespace strom {
+
+template <typename T>
+class QpnMap {
+ public:
+  explicit QpnMap(uint32_t initial_slots = 16) { Rehash(RoundUpPow2(initial_slots)); }
+
+  // Lookup-or-create. The table only grows when a genuinely new key is
+  // inserted, so references obtained earlier stay valid across lookups of
+  // existing keys; do not hold a reference across an insert of a new QPN.
+  T& operator[](Qpn qpn) {
+    Slot* slot = &FindSlot(qpn);
+    if (!slot->used) {
+      if ((size_ + 1) * 4 > slots_.size() * 3) {  // load factor 3/4
+        Rehash(slots_.size() * 2);
+        slot = &FindSlot(qpn);
+      }
+      slot->used = true;
+      slot->qpn = qpn;
+      ++size_;
+    }
+    return slot->value;
+  }
+
+  // Lookup without insertion; nullptr on miss.
+  const T* Find(Qpn qpn) const {
+    const Slot& slot = FindSlot(qpn);
+    return slot.used ? &slot.value : nullptr;
+  }
+  T* Find(Qpn qpn) {
+    Slot& slot = FindSlot(qpn);
+    return slot.used ? &slot.value : nullptr;
+  }
+
+  bool Contains(Qpn qpn) const { return Find(qpn) != nullptr; }
+
+  size_t size() const { return size_; }
+  size_t slot_count() const { return slots_.size(); }
+
+  // Visits every live entry in table order (deterministic for a fixed insert
+  // sequence). Telemetry/aggregation use only.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.used) {
+        fn(slot.qpn, slot.value);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.used) {
+        fn(slot.qpn, slot.value);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    Qpn qpn = 0;
+    bool used = false;
+    T value{};
+  };
+
+  static uint32_t RoundUpPow2(uint32_t n) {
+    uint32_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p < 2 ? 2 : p;
+  }
+
+  // QPNs are typically allocated densely, so identity hashing with linear
+  // probing gives collision-free placement for the common case; the
+  // multiplicative mix keeps clustered-but-strided allocations (e.g. per-host
+  // QPN bases 1000/2000/...) from degenerating.
+  size_t SlotIndex(Qpn qpn) const {
+    uint64_t h = (static_cast<uint64_t>(qpn) * 0x9E3779B97F4A7C15ull) >> 40;
+    return (h ^ qpn) & (slots_.size() - 1);
+  }
+
+  const Slot& FindSlot(Qpn qpn) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = SlotIndex(qpn);
+    while (slots_[i].used && slots_[i].qpn != qpn) {
+      i = (i + 1) & mask;
+    }
+    return slots_[i];
+  }
+  Slot& FindSlot(Qpn qpn) {
+    return const_cast<Slot&>(static_cast<const QpnMap*>(this)->FindSlot(qpn));
+  }
+
+  void Rehash(size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    for (Slot& slot : old) {
+      if (slot.used) {
+        Slot& fresh = FindSlot(slot.qpn);
+        fresh.used = true;
+        fresh.qpn = slot.qpn;
+        fresh.value = std::move(slot.value);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace strom
+
+#endif  // SRC_COMMON_QPN_MAP_H_

@@ -1,0 +1,230 @@
+#include "src/fabric/fabric.h"
+
+#include "src/common/logging.h"
+
+namespace strom {
+
+namespace {
+
+MacAddr MacForHost(int i) {
+  return MacAddr{0x02, 0x00, 0x00, 0x00, static_cast<uint8_t>((i + 1) >> 8),
+                 static_cast<uint8_t>((i + 1) & 0xFF)};
+}
+
+Ipv4Addr IpForHost(int i) {
+  // 10.0.<hi>.<lo> with lo in 1..250: room for tens of thousands of hosts.
+  return MakeIp(10, 0, static_cast<uint8_t>(i / 250), static_cast<uint8_t>(i % 250 + 1));
+}
+
+}  // namespace
+
+Fabric::Fabric(const Profile& profile, FabricTopologyConfig topo)
+    : profile_(profile), telemetry_(std::make_unique<Telemetry>()) {
+  STROM_CHECK_GE(topo.num_hosts, 2);
+  STROM_CHECK_GE(topo.num_leaves, 1);
+  if (topo.num_leaves == 1) {
+    STROM_CHECK_EQ(topo.num_spines, 0) << "single-switch rack has no spine tier";
+  } else {
+    STROM_CHECK_GE(topo.num_spines, 1) << "multi-leaf fabric needs a spine tier";
+  }
+  if (Testbed::telemetry_defaults.enable_trace) {
+    telemetry_->tracer.Enable(Testbed::telemetry_defaults.sample_every);
+  }
+
+  topo.sw.port_rate_bps = profile.link.rate_bps;
+  topo.sw.ip_mtu = profile.link.ip_mtu;
+  hosts_per_leaf_ = (topo.num_hosts + topo.num_leaves - 1) / topo.num_leaves;
+
+  for (int i = 0; i < topo.num_hosts; ++i) {
+    arp_.Add(IpForHost(i), MacForHost(i));
+  }
+  for (int i = 0; i < topo.num_hosts; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, profile, IpForHost(i), MacForHost(i), arp_));
+    nodes_.back()->AttachTelemetry(telemetry_.get(), i);
+  }
+  for (int l = 0; l < topo.num_leaves; ++l) {
+    leaves_.push_back(std::make_unique<FabricSwitch>(sim_, topo.sw,
+                                                     "leaf" + std::to_string(l)));
+  }
+  for (int s = 0; s < topo.num_spines; ++s) {
+    spines_.push_back(std::make_unique<FabricSwitch>(sim_, topo.sw,
+                                                     "spine" + std::to_string(s)));
+  }
+
+  // Host links.
+  std::vector<int> host_port(topo.num_hosts);
+  for (int i = 0; i < topo.num_hosts; ++i) {
+    FabricSwitch& sw = *leaves_[LeafOf(i)];
+    const int port = sw.AddPort();
+    host_port[i] = port;
+    PointToPointLink& link = sw.PortLink(port);
+    Node* node = nodes_[i].get();
+    link.Attach(0, [node](FrameBuf frame, TraceContext trace) {
+      node->OnFrame(std::move(frame), trace);
+    });
+    node->SetFrameSender([&link](FrameBuf frame, TraceContext trace) {
+      link.Send(0, std::move(frame), trace);
+    });
+    sw.AddStaticRoute(MacForHost(i), port);
+  }
+
+  // Leaf-spine cables + static routes: leaf l reaches remote host h through
+  // spine h % num_spines; spine s reaches host h through its cable to
+  // leaf(h). With exact routes everywhere, nothing floods.
+  std::vector<std::vector<int>> uplink(leaves_.size());    // [leaf][spine] -> leaf port
+  std::vector<std::vector<int>> downlink(spines_.size());  // [spine][leaf] -> spine port
+  for (size_t l = 0; l < leaves_.size(); ++l) {
+    uplink[l].resize(spines_.size());
+  }
+  for (size_t s = 0; s < spines_.size(); ++s) {
+    downlink[s].resize(leaves_.size());
+  }
+  for (size_t l = 0; l < leaves_.size(); ++l) {
+    for (size_t s = 0; s < spines_.size(); ++s) {
+      auto [lp, sp] = leaves_[l]->ConnectTo(*spines_[s]);
+      uplink[l][s] = lp;
+      downlink[s][l] = sp;
+    }
+  }
+  for (int h = 0; h < topo.num_hosts; ++h) {
+    const int hl = LeafOf(h);
+    for (size_t l = 0; l < leaves_.size(); ++l) {
+      if (static_cast<int>(l) != hl) {
+        leaves_[l]->AddStaticRoute(MacForHost(h), uplink[l][h % spines_.size()]);
+      }
+    }
+    for (size_t s = 0; s < spines_.size(); ++s) {
+      spines_[s]->AddStaticRoute(MacForHost(h), downlink[s][hl]);
+    }
+  }
+
+  for (size_t l = 0; l < leaves_.size(); ++l) {
+    leaves_[l]->AttachTelemetry(telemetry_.get(), leaves_[l]->name());
+  }
+  for (size_t s = 0; s < spines_.size(); ++s) {
+    spines_[s]->AttachTelemetry(telemetry_.get(), spines_[s]->name());
+  }
+  InitObservability();
+}
+
+void Fabric::InitObservability() {
+  const TestbedTelemetryDefaults& d = Testbed::telemetry_defaults;
+  if (!d.capture_prefix.empty()) {
+    int64_t ordinal = Testbed::run_ordinal;
+    if (ordinal < 0) {
+      static int capture_counter = 0;
+      ordinal = capture_counter++;
+    }
+    if (ordinal < d.capture_runs) {
+      std::string prefix = d.capture_prefix;
+      if (ordinal > 0) {
+        prefix += ".run" + std::to_string(ordinal);
+      }
+      EnableCapture(prefix);
+    }
+  }
+  if (d.sample_interval > 0) {
+    StartSampling(d.sample_interval);
+  }
+  if (d.fault_plan != nullptr) {
+    ApplyFaultPlan(d.fault_plan);
+  }
+}
+
+Fabric::~Fabric() {
+  if (Testbed::telemetry_defaults.collector != nullptr) {
+    int64_t ordinal = Testbed::run_ordinal;
+    if (ordinal < 0) {
+      static uint64_t run_counter = 0;
+      ordinal = static_cast<int64_t>(run_counter++);
+    }
+    const std::string label = "run" + std::to_string(ordinal) + ":" + profile_.name;
+    Testbed::telemetry_defaults.collector->Collect(label, *telemetry_,
+                                                   Testbed::run_ordinal);
+  }
+}
+
+void Fabric::ConnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a, Psn psn_b) {
+  Status st = node(a).stack().ConnectQp(qpn_a, qpn_b, node(b).ip(), psn_a, psn_b);
+  STROM_CHECK(st.ok()) << st;
+  st = node(b).stack().ConnectQp(qpn_b, qpn_a, node(a).ip(), psn_b, psn_a);
+  STROM_CHECK(st.ok()) << st;
+}
+
+void Fabric::ReconnectQp(int a, Qpn qpn_a, int b, Qpn qpn_b, Psn psn_a, Psn psn_b) {
+  Status st = node(a).stack().ResetQp(qpn_a);
+  STROM_CHECK(st.ok()) << st;
+  st = node(b).stack().ResetQp(qpn_b);
+  STROM_CHECK(st.ok()) << st;
+  ConnectQp(a, qpn_a, b, qpn_b, psn_a, psn_b);
+}
+
+void Fabric::ApplyFaultPlan(std::shared_ptr<const FaultPlan> plan) {
+  STROM_CHECK(fault_engine_ == nullptr) << "fault plan already applied";
+  STROM_CHECK(plan != nullptr);
+  fault_engine_ = std::make_unique<FaultEngine>(sim_, std::move(plan));
+  // Spines own no links (cables belong to the leaf that dialed ConnectTo),
+  // so (leaf, port) order over owned links enumerates every fabric link
+  // exactly once: host links first per leaf, then that leaf's uplinks.
+  int link_ordinal = 0;
+  for (auto& sw : leaves_) {
+    for (int port = 0; port < sw->num_ports(); ++port) {
+      if (sw->OwnsPortLink(port)) {
+        fault_engine_->AttachLink(sw->PortLink(port), 2 * link_ordinal);
+        ++link_ordinal;
+      }
+    }
+  }
+  for (int i = 0; i < num_hosts(); ++i) {
+    fault_engine_->AttachDma(i, nodes_[i]->dma());
+  }
+}
+
+std::vector<std::string> Fabric::EnableCapture(const std::string& prefix) {
+  std::vector<std::string> paths;
+  auto add = [&](const std::string& path) -> PcapWriter* {
+    captures_.push_back(std::make_unique<PcapWriter>(path));
+    if (!captures_.back()->status().ok()) {
+      STROM_LOG(kWarning) << captures_.back()->status();
+    }
+    paths.push_back(path);
+    return captures_.back().get();
+  };
+  PcapWriter* fabric_writer = add(prefix + ".fabric.pcapng");
+  for (auto& sw : leaves_) {
+    sw->AttachCapture(fabric_writer);
+  }
+  for (auto& sw : spines_) {
+    sw->AttachCapture(fabric_writer);  // no-op today: spines own no links
+  }
+  for (int i = 0; i < num_hosts(); ++i) {
+    nodes_[i]->AttachCapture(add(prefix + ".node" + std::to_string(i) + ".nic.pcapng"), i);
+  }
+  return paths;
+}
+
+void Fabric::StartSampling(SimTime interval) {
+  STROM_CHECK_GT(interval, 0);
+  for (int i = 0; i < num_hosts(); ++i) {
+    nodes_[i]->AttachSampler(telemetry_.get(), i);
+  }
+  for (auto& sw : leaves_) {
+    sw->AttachSampler(telemetry_.get(), sw->name());
+  }
+  for (auto& sw : spines_) {
+    sw->AttachSampler(telemetry_.get(), sw->name());
+  }
+  ScheduleSample(interval);
+}
+
+void Fabric::ScheduleSample(SimTime interval) {
+  sim_.Schedule(interval, [this, interval] {
+    telemetry_->sampler.Sample(sim_.now());
+    if (sim_.pending_events() > 0) {
+      ScheduleSample(interval);
+    }
+  });
+}
+
+}  // namespace strom

@@ -1,0 +1,39 @@
+#include "src/netsim/pfc.h"
+
+#include "src/common/bytes.h"
+
+namespace strom {
+
+namespace {
+constexpr size_t kPauseFrameSize = 60;  // Ethernet minimum, no FCS modeled
+}  // namespace
+
+FrameBuf EncodePauseFrame(const MacAddr& src_mac, uint16_t quanta) {
+  FrameBuf frame = FrameBuf::Allocate(kPauseFrameSize);  // zero-filled
+  uint8_t* b = frame.data();
+  std::copy(kPauseDestMac.begin(), kPauseDestMac.end(), b);
+  std::copy(src_mac.begin(), src_mac.end(), b + 6);
+  StoreBe16(b + 12, kEtherTypeFlowControl);
+  StoreBe16(b + EthHeader::kSize, kPauseOpcode);
+  StoreBe16(b + EthHeader::kSize + 2, quanta);
+  // Remaining bytes are already zero padding.
+  return frame;
+}
+
+bool IsFlowControlFrame(const FrameBuf& frame) {
+  return frame.size() >= EthHeader::kSize &&
+         LoadBe16(frame.span().data() + 12) == kEtherTypeFlowControl;
+}
+
+std::optional<uint16_t> ParsePauseFrame(const FrameBuf& frame) {
+  if (frame.size() < EthHeader::kSize + 4 || !IsFlowControlFrame(frame)) {
+    return std::nullopt;
+  }
+  const uint8_t* b = frame.span().data();
+  if (LoadBe16(b + EthHeader::kSize) != kPauseOpcode) {
+    return std::nullopt;
+  }
+  return LoadBe16(b + EthHeader::kSize + 2);
+}
+
+}  // namespace strom

@@ -1,0 +1,36 @@
+// IEEE 802.3x flow-control (PAUSE) frames. A congested switch egress port
+// sends a pause frame upstream when its queue crosses the xoff watermark; the
+// receiving NIC stops transmitting for `quanta` x 512 bit-times, and an
+// explicit quanta=0 frame resumes it early (xon). This is global pause, not
+// per-priority PFC — the simulator carries a single traffic class, so the
+// distinction is moot, but the wire format is the real one.
+#ifndef SRC_NETSIM_PFC_H_
+#define SRC_NETSIM_PFC_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/frame_buf.h"
+#include "src/proto/headers.h"
+
+namespace strom {
+
+inline constexpr uint16_t kEtherTypeFlowControl = 0x8808;
+inline constexpr uint16_t kPauseOpcode = 0x0001;
+// 802.3x pause frames are addressed to a reserved multicast MAC that bridges
+// never forward: pause is a hop-by-hop signal.
+inline constexpr MacAddr kPauseDestMac = {0x01, 0x80, 0xC2, 0x00, 0x00, 0x01};
+
+// Builds a minimum-size (60-byte) pause frame carrying `quanta`.
+FrameBuf EncodePauseFrame(const MacAddr& src_mac, uint16_t quanta);
+
+// Returns the pause quanta if `frame` is a well-formed 802.3x pause frame,
+// nullopt otherwise (wrong ethertype / opcode / too short).
+std::optional<uint16_t> ParsePauseFrame(const FrameBuf& frame);
+
+// Cheap pre-check: does this frame carry the flow-control ethertype?
+bool IsFlowControlFrame(const FrameBuf& frame);
+
+}  // namespace strom
+
+#endif  // SRC_NETSIM_PFC_H_

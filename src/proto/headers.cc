@@ -247,7 +247,7 @@ void BthHeader::Encode(WireWriter& w) const {
   w.U16(pkey);
   w.U8(0);  // reserved (masked in ICRC)
   w.U24(dest_qp & kQpnMask);
-  w.U8(ack_request ? 0x80 : 0x00);
+  w.U8(static_cast<uint8_t>((ack_request ? 0x80 : 0x00) | (becn ? 0x40 : 0x00)));
   w.U24(psn & kPsnMask);
 }
 
@@ -258,7 +258,9 @@ BthHeader BthHeader::Decode(WireReader& r) {
   h.pkey = r.U16();
   r.U8();  // reserved
   h.dest_qp = r.U24();
-  h.ack_request = (r.U8() & 0x80) != 0;
+  const uint8_t ack_byte = r.U8();
+  h.ack_request = (ack_byte & 0x80) != 0;
+  h.becn = (ack_byte & 0x40) != 0;
   h.psn = r.U24();
   return h;
 }

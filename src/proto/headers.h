@@ -123,6 +123,10 @@ struct BthHeader {
   static constexpr size_t kSize = 12;
   IbOpcode opcode = IbOpcode::kWriteOnly;
   bool ack_request = false;  // BTH 'A' bit
+  // Backward ECN echo (the DCQCN/CNP signal): set on ACK/read-response
+  // packets whose corresponding request arrived CE-marked. Carried in bit
+  // 0x40 of the ack-request byte, which is reserved in our encoding.
+  bool becn = false;
   uint16_t pkey = 0xFFFF;
   Qpn dest_qp = 0;
   Psn psn = 0;
@@ -168,6 +172,17 @@ struct AethHeader {
 };
 
 inline constexpr size_t kIcrcSize = 4;
+
+// ---------------------------------------------------------------------------
+// ECN codepoints (RFC 3168), carried in the low two bits of the IP ToS byte.
+// The ToS byte is masked in the ICRC, so switches may rewrite ECT(0) -> CE in
+// flight without invalidating the RoCE trailer (the IP header checksum does
+// cover ToS and must be updated on marking).
+// ---------------------------------------------------------------------------
+inline constexpr uint8_t kEcnMask = 0x03;
+inline constexpr uint8_t kEcnNotCapable = 0x00;
+inline constexpr uint8_t kEcnEct0 = 0x02;  // ECN-capable transport
+inline constexpr uint8_t kEcnCe = 0x03;    // congestion experienced
 
 }  // namespace strom
 

@@ -80,6 +80,7 @@ FrameBuf EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
 
   Ipv4Header ip;
   ip.protocol = kIpProtoUdp;
+  ip.tos = pkt.ecn_capable ? (pkt.ecn_ce ? kEcnCe : kEcnEct0) : kEcnNotCapable;
   ip.src = pkt.src_ip;
   ip.dst = pkt.dst_ip;
   ip.total_length = static_cast<uint16_t>(Ipv4Header::kSize + UdpHeader::kSize + udp_payload);
@@ -114,6 +115,7 @@ FrameBuf EncodeRoceFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
     memo->src_ip = pkt.src_ip;
     memo->dst_ip = pkt.dst_ip;
     memo->src_udp_port = pkt.src_udp_port;
+    memo->tos = ip.tos;
     memo->bth = pkt.bth;
     memo->reth = pkt.reth;
     memo->aeth = pkt.aeth;
@@ -170,6 +172,8 @@ Result<RocePacket> ParseRoceFrameImpl(ByteSpan frame, const FrameBuf* frame_buf)
   pkt.src_ip = ip.src;
   pkt.dst_ip = ip.dst;
   pkt.src_udp_port = udp.src_port;
+  pkt.ecn_capable = (ip.tos & kEcnMask) != kEcnNotCapable;
+  pkt.ecn_ce = (ip.tos & kEcnMask) == kEcnCe;
   pkt.bth = BthHeader::Decode(r);
   if (r.failed()) {
     return Status(StatusCode::kInvalidArgument, "truncated BTH");
@@ -203,6 +207,8 @@ RocePacket PacketFromMemo(const RoceFrameMemo& memo, const FrameBuf& frame) {
   pkt.src_ip = memo.src_ip;
   pkt.dst_ip = memo.dst_ip;
   pkt.src_udp_port = memo.src_udp_port;
+  pkt.ecn_capable = (memo.tos & kEcnMask) != kEcnNotCapable;
+  pkt.ecn_ce = (memo.tos & kEcnMask) == kEcnCe;
   pkt.bth = memo.bth;
   pkt.reth = memo.reth;
   pkt.aeth = memo.aeth;
@@ -221,8 +227,12 @@ void CrossCheckRoceMemo(const RoceFrameMemo& memo, const RocePacket& parsed,
       << "paranoid: memo udp port diverges from wire";
   STROM_CHECK(memo.bth.opcode == parsed.bth.opcode && memo.bth.psn == parsed.bth.psn &&
               memo.bth.dest_qp == parsed.bth.dest_qp &&
-              memo.bth.ack_request == parsed.bth.ack_request)
+              memo.bth.ack_request == parsed.bth.ack_request &&
+              memo.bth.becn == parsed.bth.becn)
       << "paranoid: memo BTH diverges from wire";
+  STROM_CHECK(((memo.tos & kEcnMask) != kEcnNotCapable) == parsed.ecn_capable &&
+              ((memo.tos & kEcnMask) == kEcnCe) == parsed.ecn_ce)
+      << "paranoid: memo ECN codepoint diverges from wire";
   STROM_CHECK_EQ(memo.reth.has_value(), parsed.reth.has_value())
       << "paranoid: memo RETH presence diverges from wire";
   if (memo.reth.has_value()) {
@@ -269,6 +279,36 @@ Result<RocePacket> ParseRoceFrame(const FrameBuf& frame) {
 
 Result<RocePacket> ParseRoceFrame(ByteSpan frame) {
   return ParseRoceFrameImpl(frame, nullptr);
+}
+
+bool MarkEcnCe(FrameBuf& frame) {
+  constexpr size_t kTosOff = EthHeader::kSize + 1;
+  constexpr size_t kCsumOff = EthHeader::kSize + 10;
+  // Read through the const view: the mutable data() accessor invalidates the
+  // frame's memo, which must only happen when we actually rewrite bytes.
+  const uint8_t* ro = frame.span().data();
+  if (frame.size() < EthHeader::kSize + Ipv4Header::kSize ||
+      LoadBe16(ro + 12) != kEtherTypeIpv4) {
+    return false;
+  }
+  const uint8_t tos = ro[kTosOff];
+  if ((tos & kEcnMask) == kEcnNotCapable) {
+    return false;  // not ECN-capable: DCQCN switches drop instead of marking
+  }
+  if ((tos & kEcnMask) == kEcnCe) {
+    return true;  // already marked upstream
+  }
+  frame.EnsureUnique();
+  uint8_t* bytes = frame.data();  // invalidates any memo — intended
+  bytes[kTosOff] = static_cast<uint8_t>((tos & ~kEcnMask) | kEcnCe);
+  // The IP header checksum covers ToS: recompute over the header with the
+  // checksum field zeroed. (The ICRC masks ToS, so the trailer stays valid.)
+  bytes[kCsumOff] = 0;
+  bytes[kCsumOff + 1] = 0;
+  const uint16_t csum =
+      Ipv4Header::Checksum(ByteSpan(bytes + EthHeader::kSize, Ipv4Header::kSize));
+  StoreBe16(bytes + kCsumOff, csum);
+  return true;
 }
 
 size_t RocePayloadPerPacket(size_t ip_mtu) {

@@ -18,6 +18,11 @@ struct RocePacket {
   Ipv4Addr src_ip = 0;
   Ipv4Addr dst_ip = 0;
   uint16_t src_udp_port = kRoceUdpPort;
+  // ECN (RFC 3168 codepoints in the IP ToS byte). `ecn_capable` encodes
+  // ECT(0) so fabric switches may mark; `ecn_ce` is set on RX when a switch
+  // did. Both default off, keeping default-path frames byte-identical.
+  bool ecn_capable = false;
+  bool ecn_ce = false;
   BthHeader bth;
   std::optional<RethHeader> reth;
   std::optional<AethHeader> aeth;
@@ -48,6 +53,7 @@ struct RoceFrameMemo : FrameMemo {
   BthHeader bth;
   std::optional<RethHeader> reth;
   std::optional<AethHeader> aeth;
+  uint8_t tos = 0;  // IP ToS byte as encoded (ECN codepoint in low bits)
   uint32_t icrc = 0;
   uint32_t payload_off = 0;
   uint32_t payload_len = 0;
@@ -71,6 +77,13 @@ Result<RocePacket> ParseRoceFrame(ByteSpan frame);
 
 // ICRC over an encoded frame (Eth header excluded, trailer excluded).
 uint32_t ComputeIcrc(ByteSpan ip_through_payload);
+
+// Switch-side CE marking: rewrites the frame's IP ECN codepoint from ECT(0)
+// to CE and fixes up the IP header checksum (the ICRC masks ToS, so the RoCE
+// trailer stays valid). Copy-on-write safe; the frame's memo is invalidated,
+// so marked frames take the byte-parse RX path. Returns false — and leaves
+// the frame untouched — when the frame is not an ECN-capable IPv4 frame.
+bool MarkEcnCe(FrameBuf& frame);
 
 // Payload capacity of one RoCE packet at a given IP MTU for a packet that
 // carries a RETH (first/only) — middle/last packets use the same chunk size

@@ -10,6 +10,27 @@
 
 namespace strom {
 
+// DCQCN-style per-QP congestion control (Zhu et al., SIGCOMM'15, simplified):
+// fabric switches mark ECN-capable packets CE above an egress-queue
+// threshold, the receiver echoes the mark back in the BECN bit of its next
+// packet on that QP (our CNP), and the sender reacts with a multiplicative
+// rate cut followed by additive recovery. Disabled by default: with
+// `enable = false` the TX path is byte-identical to the uncontrolled stack.
+struct DcqcnConfig {
+  bool enable = false;
+  // EWMA gain for the congestion estimate alpha (DCQCN's g).
+  double alpha_gain = 1.0 / 16;
+  // Minimum spacing between multiplicative rate cuts; CNPs arriving inside
+  // the window only update alpha (DCQCN reacts once per CNP interval).
+  SimTime rate_cut_interval = Us(50);
+  // Additive-increase period; each period without a cut raises the rate by
+  // `additive_increase_fraction` of line rate and decays alpha.
+  SimTime increase_interval = Us(55);
+  double additive_increase_fraction = 0.05;
+  // Rate floor as a fraction of line rate (a QP is never silenced entirely).
+  double min_rate_fraction = 0.01;
+};
+
 struct RoceConfig {
   // NIC clock period: 6400 ps = 156.25 MHz (10 G), 3106 ps = 322 MHz (100 G).
   SimTime clock_ps = 6400;
@@ -40,6 +61,17 @@ struct RoceConfig {
   // Deep enough that PCIe read latency never caps the message rate below
   // the host command-issue limit (paper §7: the host is the limiter).
   uint32_t tx_fetch_window = 16;
+  // Mark outgoing data packets ECT(0) so fabric switches may CE-mark them.
+  // Off by default: the 2-node testbed has no marking switch, and ECT=0
+  // keeps seed captures byte-identical.
+  bool ecn_capable = false;
+  DcqcnConfig dcqcn;
+
+  // Line rate of the word-serial data path (data_width bytes per clock):
+  // the full sending rate DCQCN recovers toward.
+  double LineRateBps() const {
+    return double(data_width) * 8.0 * 1e12 / double(clock_ps);
+  }
 
   // Payload bytes per packet at this MTU (see RocePayloadPerPacket).
   uint32_t PayloadPerPacket() const;
@@ -78,6 +110,14 @@ struct RoceCounters {
   uint64_t wrs_flushed = 0;          // work requests completed-in-error by a flush
   uint64_t qp_error_drops = 0;       // packets dropped because the QP is in Error
   uint64_t rx_operational_errors = 0;  // NAK(remote operational error) received
+  // --- congestion control (ECN/DCQCN + PFC) --------------------------------
+  uint64_t rx_ecn_ce = 0;            // CE-marked packets received
+  uint64_t tx_becn = 0;              // packets sent with the BECN echo bit
+  uint64_t rx_cnp = 0;               // BECN-bearing packets received (CNPs)
+  uint64_t dcqcn_rate_cuts = 0;      // multiplicative rate decreases applied
+  uint64_t dcqcn_rate_increases = 0; // additive recovery steps applied
+  uint64_t pacing_deferrals = 0;     // TX rounds with data held back by pacing
+  uint64_t pfc_pause_events = 0;     // 802.3x pause frames honored (quanta > 0)
 };
 
 }  // namespace strom

@@ -5,7 +5,7 @@
 namespace strom {
 
 MultiQueue::MultiQueue(uint32_t num_qps, uint32_t total_elements)
-    : meta_(num_qps), slots_(total_elements) {
+    : max_qps_(num_qps), slots_(total_elements) {
   // Thread all slots onto the free list.
   for (uint32_t i = 0; i < total_elements; ++i) {
     slots_[i].next = (i + 1 < total_elements) ? i + 1 : kNil;
@@ -15,7 +15,7 @@ MultiQueue::MultiQueue(uint32_t num_qps, uint32_t total_elements)
 }
 
 bool MultiQueue::Push(Qpn qpn, const ReadContext& ctx) {
-  STROM_CHECK_LT(qpn, meta_.size());
+  STROM_CHECK_LT(qpn, max_qps_);
   if (free_head_ == kNil) {
     return false;
   }
@@ -42,8 +42,9 @@ bool MultiQueue::Push(Qpn qpn, const ReadContext& ctx) {
 }
 
 bool MultiQueue::Empty(Qpn qpn) const {
-  STROM_CHECK_LT(qpn, meta_.size());
-  return meta_[qpn].head == kNil;
+  STROM_CHECK_LT(qpn, max_qps_);
+  const ListMeta* list = meta_.Find(qpn);
+  return list == nullptr || list->head == kNil;
 }
 
 ReadContext& MultiQueue::Head(Qpn qpn) {
@@ -53,7 +54,7 @@ ReadContext& MultiQueue::Head(Qpn qpn) {
 
 const ReadContext& MultiQueue::Head(Qpn qpn) const {
   STROM_CHECK(!Empty(qpn));
-  return slots_[meta_[qpn].head].ctx;
+  return slots_[meta_.Find(qpn)->head].ctx;
 }
 
 void MultiQueue::PopHead(Qpn qpn) {
@@ -74,8 +75,9 @@ void MultiQueue::PopHead(Qpn qpn) {
 }
 
 uint32_t MultiQueue::Size(Qpn qpn) const {
-  STROM_CHECK_LT(qpn, meta_.size());
-  return meta_[qpn].count;
+  STROM_CHECK_LT(qpn, max_qps_);
+  const ListMeta* list = meta_.Find(qpn);
+  return list == nullptr ? 0 : list->count;
 }
 
 }  // namespace strom

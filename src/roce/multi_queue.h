@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/qpn_map.h"
 #include "src/common/types.h"
 
 namespace strom {
@@ -56,7 +57,8 @@ class MultiQueue {
     bool in_use = false;
   };
 
-  std::vector<ListMeta> meta_;   // first fixed array: list metadata
+  uint32_t max_qps_;             // logical bound on QPN (configured depth)
+  QpnMap<ListMeta> meta_;        // per-QP list metadata, pooled by QPN
   std::vector<Slot> slots_;      // second fixed array: all list elements
   uint32_t free_head_ = kNil;    // free list threaded through `next`
   uint32_t free_count_ = 0;

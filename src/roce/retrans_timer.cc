@@ -8,10 +8,12 @@ namespace strom {
 
 RetransTimer::RetransTimer(Simulator& sim, uint32_t num_qps, SimTime timeout,
                            SimTime timeout_max)
-    : sim_(sim), timeout_(timeout), timeout_max_(timeout_max), timers_(num_qps) {}
+    : sim_(sim), timeout_(timeout), timeout_max_(timeout_max) {
+  (void)num_qps;  // pooled per-QP entries; the configured depth no longer sizes storage
+}
 
 void RetransTimer::Arm(Qpn qpn) {
-  Entry& e = timers_.at(qpn);
+  Entry& e = timers_[qpn];
   e.armed = true;
   e.current_timeout = timeout_;
   ++e.generation;
@@ -19,7 +21,7 @@ void RetransTimer::Arm(Qpn qpn) {
 }
 
 void RetransTimer::RearmBackoff(Qpn qpn) {
-  Entry& e = timers_.at(qpn);
+  Entry& e = timers_[qpn];
   e.armed = true;
   e.current_timeout = std::min(e.current_timeout * 2, timeout_max_);
   ++e.generation;
@@ -27,19 +29,20 @@ void RetransTimer::RearmBackoff(Qpn qpn) {
 }
 
 void RetransTimer::Cancel(Qpn qpn) {
-  Entry& e = timers_.at(qpn);
+  Entry& e = timers_[qpn];
   e.armed = false;
   ++e.generation;
 }
 
 void RetransTimer::Schedule(Qpn qpn) {
-  Entry& e = timers_.at(qpn);
+  Entry& e = timers_[qpn];
   const uint64_t gen = e.generation;
   sim_.Schedule(e.current_timeout, [this, qpn, gen] {
-    Entry& entry = timers_.at(qpn);
-    if (!entry.armed || entry.generation != gen) {
+    Entry* expired = timers_.Find(qpn);
+    if (expired == nullptr || !expired->armed || expired->generation != gen) {
       return;  // cancelled or re-armed since
     }
+    Entry& entry = *expired;
     entry.armed = false;
     ++expirations_;
     if (on_expiry_) {

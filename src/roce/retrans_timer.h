@@ -8,8 +8,8 @@
 #define SRC_ROCE_RETRANS_TIMER_H_
 
 #include <functional>
-#include <vector>
 
+#include "src/common/qpn_map.h"
 #include "src/common/types.h"
 #include "src/sim/simulator.h"
 
@@ -30,7 +30,10 @@ class RetransTimer {
   // Stops the QP's timer (all outstanding packets acknowledged).
   void Cancel(Qpn qpn);
 
-  bool IsArmed(Qpn qpn) const { return timers_.at(qpn).armed; }
+  bool IsArmed(Qpn qpn) const {
+    const Entry* e = timers_.Find(qpn);
+    return e != nullptr && e->armed;
+  }
   uint64_t expirations() const { return expirations_; }
 
  private:
@@ -45,7 +48,7 @@ class RetransTimer {
   Simulator& sim_;
   SimTime timeout_;
   SimTime timeout_max_;
-  std::vector<Entry> timers_;
+  QpnMap<Entry> timers_;
   ExpiryHandler on_expiry_;
   uint64_t expirations_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "src/roce/stack.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -34,7 +35,6 @@ RoceStack::RoceStack(Simulator& sim, RoceConfig config, DmaEngine& dma, Ipv4Addr
       multi_queue_(config.max_qps, config.multi_queue_total),
       timer_(sim, config.max_qps, config.retransmission_timeout,
              config.retransmission_timeout_max),
-      qps_(config.max_qps),
       pmtu_payload_(config.PayloadPerPacket()) {
   timer_.SetExpiryHandler([this](Qpn qpn) { OnTimeout(qpn); });
 }
@@ -73,6 +73,13 @@ void RoceStack::AttachTelemetry(Telemetry* telemetry, const std::string& process
   gauge("wrs_flushed", counters_.wrs_flushed);
   gauge("qp_error_drops", counters_.qp_error_drops);
   gauge("rx_operational_errors", counters_.rx_operational_errors);
+  gauge("rx_ecn_ce", counters_.rx_ecn_ce);
+  gauge("tx_becn", counters_.tx_becn);
+  gauge("rx_cnp", counters_.rx_cnp);
+  gauge("dcqcn_rate_cuts", counters_.dcqcn_rate_cuts);
+  gauge("dcqcn_rate_increases", counters_.dcqcn_rate_increases);
+  gauge("pacing_deferrals", counters_.pacing_deferrals);
+  gauge("pfc_pause_events", counters_.pfc_pause_events);
 
   const std::vector<double> bounds = {1,  2,  3,   4,   5,   7.5, 10,  15,
                                       20, 30, 50,  75,  100, 200, 500, 1000};
@@ -96,9 +103,7 @@ void RoceStack::AttachSampler(Telemetry* telemetry, const std::string& process) 
              [this](SimTime) { return double(retransmit_queue_.size()); });
   s.AddProbe(prefix + "outstanding_packets", [this](SimTime) {
     size_t n = 0;
-    for (const QpState& qp : qps_) {
-      n += qp.outstanding.size();
-    }
+    qps_.ForEach([&n](Qpn, const QpState& qp) { n += qp.outstanding.size(); });
     return double(n);
   });
   s.AddProbe(prefix + "outstanding_reads",
@@ -109,16 +114,20 @@ void RoceStack::AttachSampler(Telemetry* telemetry, const std::string& process) 
 }
 
 RoceStack::QpState& RoceStack::Qp(Qpn qpn) {
-  STROM_CHECK_LT(qpn, qps_.size());
+  STROM_CHECK_LT(qpn, config_.max_qps);
   return qps_[qpn];
 }
 
 Status RoceStack::ConnectQp(Qpn local_qpn, Qpn remote_qpn, Ipv4Addr remote_ip, Psn local_psn,
                             Psn remote_psn) {
-  if (local_qpn >= qps_.size()) {
+  if (local_qpn >= config_.max_qps) {
     return OutOfRangeError("QPN beyond configured max_qps");
   }
   STROM_RETURN_IF_ERROR(state_table_.Activate(local_qpn, remote_psn, local_psn));
+  // Touch every per-QP table now so steady-state packet processing is
+  // lookup-only: the pooled maps then never rehash (and never invalidate
+  // held references) outside connection setup.
+  msn_table_.Entry(local_qpn);
   QpState& qp = qps_[local_qpn];
   qp.connected = true;
   qp.remote_qpn = remote_qpn;
@@ -126,7 +135,10 @@ Status RoceStack::ConnectQp(Qpn local_qpn, Qpn remote_qpn, Ipv4Addr remote_ip, P
   return Status::Ok();
 }
 
-bool RoceStack::QpConnected(Qpn qpn) const { return qpn < qps_.size() && qps_[qpn].connected; }
+bool RoceStack::QpConnected(Qpn qpn) const {
+  const QpState* qp = qps_.Find(qpn);
+  return qp != nullptr && qp->connected;
+}
 
 // ---------------------------------------------------------------------------
 // TX path: Request Handler + packetization + pacing
@@ -333,6 +345,7 @@ bool RoceStack::TrySendNextDataPacket() {
       reth.dma_length = desc.wr->req.length;
       pkt.reth = reth;
     }
+    pkt.ecn_capable = config_.ecn_capable;
     pkt.payload = std::move(payload);
     pkt.trace = desc.wr->req.trace;
     ++counters_.retransmitted_packets;
@@ -344,11 +357,55 @@ bool RoceStack::TrySendNextDataPacket() {
   if (wr_queue_.empty()) {
     return false;
   }
-  WrPtr wr = wr_queue_.front();
-  auto it = wr->ready.find(wr->next_send);
-  if (it == wr->ready.end()) {
-    return false;  // waiting for the payload fetch
+  WrPtr wr;
+  if (!config_.dcqcn.enable) {
+    // Legacy path: strict FIFO, the front WR blocks the queue until its next
+    // chunk is fetched. Byte-identical to the uncontrolled stack.
+    wr = wr_queue_.front();
+    if (wr->ready.find(wr->next_send) == wr->ready.end()) {
+      return false;  // waiting for the payload fetch
+    }
+  } else {
+    // DCQCN pacing: pick the first pacing-eligible, fetch-ready WR that is
+    // the earliest WR of its QP in the queue (per-QP PSN order preserved;
+    // rate-limited QPs no longer head-of-line-block other QPs).
+    SimTime earliest = 0;
+    bool deferred = false;
+    std::set<Qpn> scanned;
+    for (WrPtr& cand : wr_queue_) {
+      const Qpn qpn = cand->req.qpn;
+      if (!scanned.insert(qpn).second) {
+        continue;  // a WR of this QP ahead of it must go first
+      }
+      if (cand->ready.find(cand->next_send) == cand->ready.end()) {
+        continue;  // fetch pending; let other QPs proceed
+      }
+      QpState& cand_qp = Qp(qpn);
+      MaybeRecoverRate(cand_qp.cc);
+      if (cand_qp.cc.next_allowed > sim_.now()) {
+        deferred = true;
+        if (earliest == 0 || cand_qp.cc.next_allowed < earliest) {
+          earliest = cand_qp.cc.next_allowed;
+        }
+        continue;
+      }
+      wr = cand;
+      break;
+    }
+    if (wr == nullptr) {
+      if (deferred) {
+        // Everything sendable is rate-limited: wake the pump when the
+        // earliest pacing cursor expires (deduplicated across calls).
+        ++counters_.pacing_deferrals;
+        if (pacing_wakeup_at_ <= sim_.now() || earliest < pacing_wakeup_at_) {
+          pacing_wakeup_at_ = earliest;
+          sim_.ScheduleAt(earliest, [this] { PumpTx(); });
+        }
+      }
+      return false;
+    }
   }
+  auto it = wr->ready.find(wr->next_send);
   const uint32_t idx = wr->next_send++;
   FrameBuf payload = std::move(it->second);
   wr->ready.erase(it);
@@ -360,12 +417,18 @@ bool RoceStack::TrySendNextDataPacket() {
   RocePacket pkt;
   pkt.src_ip = local_ip_;
   pkt.dst_ip = qp.remote_ip;
+  pkt.ecn_capable = config_.ecn_capable;
   pkt.bth.opcode = opcode;
   pkt.bth.dest_qp = qp.remote_qpn;
   pkt.trace = wr->req.trace;
   pkt.bth.ack_request =
       !wr->is_read_response &&
       (last || (idx + 1) % config_.ack_request_interval == 0);
+  if (qp.ce_to_echo) {
+    pkt.bth.becn = true;
+    qp.ce_to_echo = false;
+    ++counters_.tx_becn;
+  }
 
   if (wr->is_read_response) {
     pkt.bth.psn = PsnAdd(wr->first_psn, idx);
@@ -401,6 +464,9 @@ bool RoceStack::TrySendNextDataPacket() {
 
   counters_.tx_bytes += payload.size();
   pkt.payload = std::move(payload);
+  if (config_.dcqcn.enable) {
+    ChargePacing(qp, pkt.WireSize() + kEthPhyOverhead);
+  }
   EmitFrame(pkt);
 
   if (last) {
@@ -410,10 +476,22 @@ bool RoceStack::TrySendNextDataPacket() {
 }
 
 void RoceStack::FinishSending(const WrPtr& wr) {
-  STROM_CHECK(!wr_queue_.empty() && wr_queue_.front() == wr);
-  wr_queue_.pop_front();
-  if (fetch_cursor_ > 0) {
-    --fetch_cursor_;
+  if (config_.dcqcn.enable) {
+    // QP-aware selection may finish a WR that is not at the front; erase it
+    // in place and keep the fetched-prefix cursor consistent.
+    auto it = std::find(wr_queue_.begin(), wr_queue_.end(), wr);
+    STROM_CHECK(it != wr_queue_.end());
+    const size_t pos = static_cast<size_t>(it - wr_queue_.begin());
+    wr_queue_.erase(it);
+    if (fetch_cursor_ > pos) {
+      --fetch_cursor_;
+    }
+  } else {
+    STROM_CHECK(!wr_queue_.empty() && wr_queue_.front() == wr);
+    wr_queue_.pop_front();
+    if (fetch_cursor_ > 0) {
+      --fetch_cursor_;
+    }
   }
   if (wr->is_read_response || wr->req.kind == WorkRequest::Kind::kRead) {
     return;  // responses need no ACK; reads complete via response data
@@ -521,7 +599,7 @@ void RoceStack::EmitFrame(const RocePacket& pkt) {
 
 void RoceStack::PumpTx() {
   FetchPayloads();
-  if (tx_busy_) {
+  if (tx_busy_ || sim_.now() < paused_until_) {
     return;
   }
   if (!control_queue_.empty()) {
@@ -588,6 +666,18 @@ void RoceStack::ProcessPacket(RocePacket pkt) {
     // until ResetQp + ConnectQp re-establish it.
     ++counters_.qp_error_drops;
     return;
+  }
+  // Congestion signaling happens before opcode dispatch so both directions
+  // participate: a CE mark on *any* packet (request or response stream) is
+  // echoed in the BECN bit of this QP's next transmission, and a BECN on any
+  // packet is this stack's CNP.
+  if (pkt.ecn_ce) {
+    ++counters_.rx_ecn_ce;
+    Qp(qpn).ce_to_echo = true;
+  }
+  if (pkt.bth.becn) {
+    ++counters_.rx_cnp;
+    OnCnp(qpn);
   }
   switch (pkt.bth.opcode) {
     case IbOpcode::kAck:
@@ -773,6 +863,11 @@ void RoceStack::SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome, TraceConte
   ack.bth.opcode = IbOpcode::kAck;
   ack.bth.dest_qp = qp.remote_qpn;
   ack.bth.psn = psn;
+  if (qp.ce_to_echo) {
+    ack.bth.becn = true;
+    qp.ce_to_echo = false;
+    ++counters_.tx_becn;
+  }
   ack.trace = trace;
   AethHeader aeth;
   aeth.syndrome = syndrome;
@@ -1074,7 +1169,7 @@ void RoceStack::ErrorQp(Qpn qpn, const Status& status) {
 }
 
 Status RoceStack::ResetQp(Qpn qpn) {
-  if (qpn >= qps_.size() || !qps_[qpn].connected) {
+  if (!QpConnected(qpn)) {
     return FailedPreconditionError("QP not connected");
   }
   ++counters_.qp_resets;
@@ -1083,6 +1178,90 @@ Status RoceStack::ResetQp(Qpn qpn) {
   msn_table_.Entry(qpn) = MsnTableEntry{};
   qps_[qpn] = QpState{};
   return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Congestion control: DCQCN-style rate limiting + 802.3x pause
+// ---------------------------------------------------------------------------
+
+void RoceStack::OnCnp(Qpn qpn) {
+  if (!config_.dcqcn.enable) {
+    return;  // counted, but inert without the rate machine
+  }
+  QpState::Dcqcn& cc = Qp(qpn).cc;
+  const double line = config_.LineRateBps();
+  if (cc.rate_bps <= 0) {
+    cc.rate_bps = line;
+  }
+  // Every CNP raises the congestion estimate; the multiplicative cut itself
+  // is held off to once per rate_cut_interval (DCQCN's CNP timer).
+  const double g = config_.dcqcn.alpha_gain;
+  cc.alpha = (1.0 - g) * cc.alpha + g;
+  if (cc.last_cut != 0 && sim_.now() - cc.last_cut < config_.dcqcn.rate_cut_interval) {
+    return;
+  }
+  const double floor = line * config_.dcqcn.min_rate_fraction;
+  cc.rate_bps = std::max(floor, cc.rate_bps * (1.0 - cc.alpha / 2.0));
+  cc.last_cut = sim_.now();
+  cc.last_increase = sim_.now();  // recovery restarts from the cut
+  ++counters_.dcqcn_rate_cuts;
+}
+
+void RoceStack::MaybeRecoverRate(QpState::Dcqcn& cc) {
+  const double line = config_.LineRateBps();
+  if (cc.rate_bps <= 0 || cc.rate_bps >= line) {
+    return;  // uninitialized or already at line rate: nothing to recover
+  }
+  if (cc.last_increase == 0) {
+    cc.last_increase = sim_.now();
+    return;
+  }
+  const double g = config_.dcqcn.alpha_gain;
+  while (sim_.now() - cc.last_increase >= config_.dcqcn.increase_interval) {
+    cc.last_increase += config_.dcqcn.increase_interval;
+    cc.rate_bps += config_.dcqcn.additive_increase_fraction * line;
+    cc.alpha *= (1.0 - g);
+    ++counters_.dcqcn_rate_increases;
+    if (cc.rate_bps >= line) {
+      cc.rate_bps = line;
+      break;
+    }
+  }
+}
+
+void RoceStack::ChargePacing(QpState& qp, size_t wire_bytes) {
+  QpState::Dcqcn& cc = qp.cc;
+  const double line = config_.LineRateBps();
+  if (cc.rate_bps <= 0) {
+    cc.rate_bps = line;
+  }
+  if (cc.rate_bps >= line) {
+    // At full line rate the TX serializer already enforces the spacing;
+    // charging here too would double-count and halve throughput.
+    cc.next_allowed = 0;
+    return;
+  }
+  const SimTime spacing =
+      static_cast<SimTime>(double(wire_bytes) * 8.0 * 1e12 / cc.rate_bps);
+  cc.next_allowed = std::max(cc.next_allowed, sim_.now()) + spacing;
+}
+
+void RoceStack::Pause(uint16_t quanta) {
+  if (quanta == 0) {
+    // Explicit resume (xon).
+    paused_until_ = sim_.now();
+    PumpTx();
+    return;
+  }
+  ++counters_.pfc_pause_events;
+  // 802.3x: pause time is expressed in units of 512 bit-times at line rate.
+  const SimTime until =
+      sim_.now() +
+      static_cast<SimTime>(double(quanta) * 512.0 * 1e12 / config_.LineRateBps());
+  if (until > paused_until_) {
+    paused_until_ = until;
+    sim_.ScheduleAt(until, [this] { PumpTx(); });
+  }
 }
 
 }  // namespace strom

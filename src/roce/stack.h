@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/qpn_map.h"
 #include "src/netsim/switch.h"
 #include "src/pcie/dma_engine.h"
 #include "src/proto/packet.h"
@@ -98,6 +99,11 @@ class RoceStack {
   // Posts a request to the Request Handler. Fails fast on invalid QPs.
   Status PostRequest(WorkRequest wr);
 
+  // 802.3x link-level flow control: pauses the TX engine for `quanta` x 512
+  // bit-times at the data path's line rate (quanta 0 resumes immediately).
+  // Invoked by the node when a PAUSE frame arrives from the fabric switch.
+  void Pause(uint16_t quanta);
+
   // --- introspection -------------------------------------------------------
   const RoceConfig& config() const { return config_; }
   const RoceCounters& counters() const { return counters_; }
@@ -145,6 +151,20 @@ class RoceStack {
     // ACK/NAK or read-response progress). Exceeding RoceConfig::retry_limit
     // transitions the QP to Error.
     uint32_t consecutive_retries = 0;
+    // A CE-marked packet arrived on this QP and its congestion mark has not
+    // been echoed back yet; the next transmitted packet (ACK or data)
+    // carries the BECN bit and clears it.
+    bool ce_to_echo = false;
+    // DCQCN rate-limiter state (requester/sender role). `rate_bps == 0`
+    // means "uninitialized": the first pacing decision snaps it to line
+    // rate, so idle QPs cost nothing.
+    struct Dcqcn {
+      double rate_bps = 0;
+      double alpha = 1.0;
+      SimTime next_allowed = 0;   // pacing cursor: earliest next data emit
+      SimTime last_cut = 0;
+      SimTime last_increase = 0;
+    } cc;
   };
 
   // --- TX path -------------------------------------------------------------
@@ -168,6 +188,16 @@ class RoceStack {
   void HandleReadRequest(const RocePacket& pkt);
   void HandleRpc(const RocePacket& pkt);
   void SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome, TraceContext trace = {});
+
+  // --- congestion control ---------------------------------------------------
+  // CNP reaction (DCQCN): update alpha, apply a (held-off) multiplicative
+  // rate cut.
+  void OnCnp(Qpn qpn);
+  // Lazy additive recovery: advances the QP's rate toward line rate for
+  // every elapsed increase period since the last CNP cut.
+  void MaybeRecoverRate(QpState::Dcqcn& cc);
+  // Charges one emitted data packet against the QP's pacing budget.
+  void ChargePacing(QpState& qp, size_t wire_bytes);
 
   // --- reliability ----------------------------------------------------------
   void RetransmitFrom(Qpn qpn, Psn psn);
@@ -195,7 +225,7 @@ class RoceStack {
   MsnTable msn_table_;
   MultiQueue multi_queue_;
   RetransTimer timer_;
-  std::vector<QpState> qps_;
+  QpnMap<QpState> qps_;
   RoceCounters counters_;
   // Read completion handles, keyed by an internal token carried in the
   // multi-queue context. Kept separately from `outstanding` because a
@@ -219,6 +249,11 @@ class RoceStack {
   // pump, so without this cursor it rescans the whole queue each time.
   size_t fetch_cursor_ = 0;
   bool tx_busy_ = false;
+  // 802.3x pause gate: PumpTx emits nothing before this time.
+  SimTime paused_until_ = 0;
+  // Earliest DCQCN pacing wakeup currently scheduled (suppresses duplicate
+  // wakeups; 0 when none is pending).
+  SimTime pacing_wakeup_at_ = 0;
   // Pipelines are FIFO: a short packet must not overtake a long one whose
   // store-and-forward latency is higher. These cursors enforce ordering.
   SimTime rx_order_cursor_ = 0;

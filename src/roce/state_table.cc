@@ -5,7 +5,7 @@
 namespace strom {
 
 Status StateTable::Activate(Qpn qpn, Psn initial_epsn, Psn initial_psn) {
-  if (qpn >= entries_.size()) {
+  if (qpn >= max_qps_) {
     return OutOfRangeError("QPN beyond configured max_qps");
   }
   StateTableEntry& e = entries_[qpn];
@@ -21,24 +21,30 @@ Status StateTable::Activate(Qpn qpn, Psn initial_epsn, Psn initial_psn) {
 }
 
 void StateTable::Deactivate(Qpn qpn) {
-  if (qpn >= entries_.size()) {
-    return;
+  StateTableEntry* e = entries_.Find(qpn);
+  if (e != nullptr) {
+    *e = StateTableEntry{};
   }
-  entries_[qpn] = StateTableEntry{};
 }
 
 bool StateTable::IsActive(Qpn qpn) const {
-  return qpn < entries_.size() && entries_[qpn].valid;
+  const StateTableEntry* e = entries_.Find(qpn);
+  return e != nullptr && e->valid;
 }
 
 StateTableEntry& StateTable::Entry(Qpn qpn) {
-  STROM_CHECK_LT(qpn, entries_.size());
+  STROM_CHECK_LT(qpn, max_qps_);
   return entries_[qpn];
 }
 
 const StateTableEntry& StateTable::Entry(Qpn qpn) const {
-  STROM_CHECK_LT(qpn, entries_.size());
-  return entries_[qpn];
+  STROM_CHECK_LT(qpn, max_qps_);
+  const StateTableEntry* e = entries_.Find(qpn);
+  if (e != nullptr) {
+    return *e;
+  }
+  static const StateTableEntry kDefault{};
+  return kDefault;
 }
 
 PsnCheck StateTable::CheckRequestPsn(Qpn qpn, Psn psn) const {

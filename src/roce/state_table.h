@@ -9,8 +9,8 @@
 #define SRC_ROCE_STATE_TABLE_H_
 
 #include <cstdint>
-#include <vector>
 
+#include "src/common/qpn_map.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 
@@ -43,11 +43,15 @@ struct StateTableEntry {
   Psn oldest_unacked = 0;    // retransmission point
 };
 
+// Backed by a pooled QPN-keyed map (see src/common/qpn_map.h): memory is
+// O(QPs actually touched), not O(max_qps). `max_qps` stays the logical bound
+// Activate enforces, mirroring the hardware's configured table depth.
 class StateTable {
  public:
-  explicit StateTable(uint32_t max_qps) : entries_(max_qps) {}
+  explicit StateTable(uint32_t max_qps) : max_qps_(max_qps) {}
 
-  uint32_t capacity() const { return static_cast<uint32_t>(entries_.size()); }
+  uint32_t capacity() const { return max_qps_; }
+  size_t active_entries() const { return entries_.size(); }
 
   Status Activate(Qpn qpn, Psn initial_epsn, Psn initial_psn);
   // Returns the entry to its reset state so Activate can be called again
@@ -62,7 +66,8 @@ class StateTable {
   PsnCheck CheckRequestPsn(Qpn qpn, Psn psn) const;
 
  private:
-  std::vector<StateTableEntry> entries_;
+  uint32_t max_qps_;
+  QpnMap<StateTableEntry> entries_;
 };
 
 struct MsnTableEntry {
@@ -76,13 +81,25 @@ struct MsnTableEntry {
 
 class MsnTable {
  public:
-  explicit MsnTable(uint32_t max_qps) : entries_(max_qps) {}
+  explicit MsnTable(uint32_t max_qps) : max_qps_(max_qps) {}
 
-  MsnTableEntry& Entry(Qpn qpn) { return entries_.at(qpn); }
-  const MsnTableEntry& Entry(Qpn qpn) const { return entries_.at(qpn); }
+  MsnTableEntry& Entry(Qpn qpn) {
+    STROM_CHECK_LT(qpn, max_qps_);
+    return entries_[qpn];
+  }
+  const MsnTableEntry& Entry(Qpn qpn) const {
+    STROM_CHECK_LT(qpn, max_qps_);
+    const MsnTableEntry* e = entries_.Find(qpn);
+    if (e != nullptr) {
+      return *e;
+    }
+    static const MsnTableEntry kDefault{};
+    return kDefault;
+  }
 
  private:
-  std::vector<MsnTableEntry> entries_;
+  uint32_t max_qps_;
+  QpnMap<MsnTableEntry> entries_;
 };
 
 }  // namespace strom

@@ -1,5 +1,9 @@
 #include "src/testbed/node.h"
 
+#include <optional>
+
+#include "src/netsim/pfc.h"
+
 namespace strom {
 
 Node::Node(Simulator& sim, const Profile& profile, Ipv4Addr ip, MacAddr mac,
@@ -40,6 +44,14 @@ void Node::OnFrame(FrameBuf frame, TraceContext trace) {
   // must go through the const accessors: mutable data() would invalidate the
   // frame's memoized header/ICRC cache on every received frame.
   const FrameBuf& peek = frame;
+  if (IsFlowControlFrame(peek)) {
+    // 802.3x pause from the adjacent switch port: throttle the RoCE TX
+    // serializer. Pause is hop-by-hop and never reaches the RoCE parser.
+    if (std::optional<uint16_t> quanta = ParsePauseFrame(peek)) {
+      stack_.Pause(*quanta);
+    }
+    return;
+  }
   if (frame.size() > EthHeader::kSize + 9 &&
       LoadBe16(peek.data() + 12) == kEtherTypeIpv4) {
     const uint8_t protocol = peek[EthHeader::kSize + 9];

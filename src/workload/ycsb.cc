@@ -1,0 +1,273 @@
+#include "src/workload/ycsb.h"
+
+#include <cmath>
+
+#include "src/kernels/traversal.h"
+#include "src/sim/task.h"
+#include "src/testbed/workload.h"
+
+namespace strom {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t n) {
+  uint32_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+YcsbEngine::YcsbEngine(Fabric& fabric, YcsbConfig config)
+    : fabric_(fabric),
+      config_(config),
+      zipf_(config.sessions_per_host * static_cast<uint64_t>(fabric.num_hosts()),
+            config.zipf_theta) {
+  hosts_.resize(fabric.num_hosts());
+}
+
+void YcsbEngine::Setup() {
+  STROM_CHECK(!setup_done_);
+  const int n = fabric_.num_hosts();
+  const KernelConfig kc{fabric_.profile().roce.clock_ps, fabric_.profile().roce.data_width};
+  for (int i = 0; i < n; ++i) {
+    Host& h = hosts_[i];
+    h.rng = Rng(config_.seed * 0x1000193u + static_cast<uint64_t>(i));
+    RoceDriver& drv = fabric_.node(i).driver();
+    STROM_CHECK(fabric_.node(i)
+                    .engine()
+                    .DeployKernel(std::make_unique<TraversalKernel>(fabric_.sim(), kc))
+                    .ok());
+    const uint32_t slots = config_.max_outstanding_per_host;
+    h.local_buf = drv.AllocBuffer(uint64_t(slots) * config_.value_bytes)->addr;
+    h.resp_buf = drv.AllocBuffer(uint64_t(slots) * (config_.value_bytes + 8))->addr;
+    h.data_region =
+        drv.AllocBuffer(uint64_t(config_.keys_per_server) * config_.value_bytes)->addr;
+    STROM_CHECK(
+        drv.WriteHost(h.local_buf, RandomBytes(slots * config_.value_bytes, config_.seed + i))
+            .ok());
+    for (uint32_t s = 0; s < slots; ++s) {
+      h.free_slots.push_back(slots - 1 - s);  // pop_back hands out slot 0 first
+    }
+    // Large table relative to the key count so chains stay rare (fig08's
+    // best-case GET assumption).
+    h.table.emplace(*RemoteHashTable::Create(drv, RoundUpPow2(config_.keys_per_server * 4),
+                                             config_.value_bytes,
+                                             config_.keys_per_server * 2));
+    for (uint64_t key = 1; key <= config_.keys_per_server; ++key) {
+      STROM_CHECK(h.table->Put(key, config_.seed + 7).ok());
+    }
+  }
+  // One bidirectional QP per unordered host pair and lane. PSNs are offset
+  // per lane so every connection starts from a distinct sequence.
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      for (uint32_t k = 0; k < config_.qps_per_peer; ++k) {
+        fabric_.ConnectQp(a, QpnFor(b, k), b, QpnFor(a, k),
+                          static_cast<Psn>(1000 + k * 10),
+                          static_cast<Psn>(5000 + k * 10));
+      }
+    }
+  }
+  setup_done_ = true;
+}
+
+YcsbEngine::Op YcsbEngine::MakeOp(int host) {
+  Host& h = hosts_[host];
+  Op op;
+  if (config_.incast) {
+    op.kind = Op::kWrite;
+    op.dst = 0;
+    const uint64_t mix = MixRank(h.rng.Next());
+    op.key = 1 + mix % config_.keys_per_server;
+    op.lane = static_cast<uint32_t>((mix >> 40) % config_.qps_per_peer);
+    return op;
+  }
+  const uint64_t rank = zipf_.Next(h.rng);
+  const uint64_t mix = MixRank(rank);
+  op.dst = static_cast<int>(mix % static_cast<uint64_t>(fabric_.num_hosts()));
+  if (op.dst == host) {
+    op.dst = (op.dst + 1) % fabric_.num_hosts();
+  }
+  op.key = 1 + (mix >> 16) % config_.keys_per_server;
+  op.lane = static_cast<uint32_t>((mix >> 40) % config_.qps_per_peer);
+  const double u = h.rng.NextDouble();
+  if (u < config_.read_fraction) {
+    op.kind = Op::kRead;
+  } else if (u < config_.read_fraction + config_.write_fraction) {
+    op.kind = Op::kWrite;
+  } else {
+    op.kind = Op::kGet;
+  }
+  return op;
+}
+
+void YcsbEngine::ScheduleArrival(int host) {
+  Host& h = hosts_[host];
+  const double mean_ps = 1e12 / config_.ops_per_host_per_sec;
+  const double u = h.rng.NextDouble();
+  const SimTime dt =
+      std::max<SimTime>(1, static_cast<SimTime>(-std::log(1.0 - u) * mean_ps));
+  fabric_.sim().Schedule(dt, [this, host] {
+    Host& hh = hosts_[host];
+    if (fabric_.sim().now() >= config_.duration) {
+      hh.arrivals_done = true;
+      return;
+    }
+    Op op = MakeOp(host);
+    op.arrival = fabric_.sim().now();
+    ++report_.ops_arrived;
+    hh.backlog.push_back(op);
+    Pump(host);
+    ScheduleArrival(host);
+  });
+}
+
+void YcsbEngine::Pump(int host) {
+  Host& h = hosts_[host];
+  while (h.outstanding < config_.max_outstanding_per_host && !h.backlog.empty()) {
+    const Op op = h.backlog.front();
+    h.backlog.pop_front();
+    Post(host, op);
+  }
+}
+
+void YcsbEngine::Post(int host, const Op& op) {
+  Host& h = hosts_[host];
+  STROM_CHECK(!h.free_slots.empty());
+  const uint32_t slot = h.free_slots.back();
+  h.free_slots.pop_back();
+  ++h.outstanding;
+
+  RoceDriver& drv = fabric_.node(host).driver();
+  const Qpn qpn = QpnFor(op.dst, op.lane);
+  const VirtAddr local = h.local_buf + uint64_t(slot) * config_.value_bytes;
+  Host& server = hosts_[op.dst];
+
+  switch (op.kind) {
+    case Op::kRead: {
+      const VirtAddr remote = server.data_region + (op.key - 1) * config_.value_bytes;
+      drv.PostRead(qpn, local, remote, config_.value_bytes,
+                   [this, host, op, slot](Status st) {
+                     Complete(host, op, slot, st.ok());
+                   });
+      return;
+    }
+    case Op::kWrite: {
+      const VirtAddr remote = server.data_region + (op.key - 1) * config_.value_bytes;
+      drv.PostWrite(qpn, local, remote, config_.value_bytes,
+                    [this, host, op, slot](Status st) {
+                      Complete(host, op, slot, st.ok());
+                    });
+      return;
+    }
+    case Op::kGet: {
+      const VirtAddr resp = h.resp_buf + uint64_t(slot) * (config_.value_bytes + 8);
+      const VirtAddr status_addr = resp + config_.value_bytes;
+      drv.WriteHostU64(status_addr, 0);
+      drv.PostRpc(kTraversalRpcOpcode, qpn,
+                  server.table->LookupParams(op.key, resp).Encode());
+      struct Ctx {
+        YcsbEngine* eng;
+        RoceDriver* drv;
+        VirtAddr status_addr;
+        int host;
+        Op op;
+        uint32_t slot;
+      };
+      auto poll = [](Ctx c) -> Task {
+        const uint64_t status = co_await c.drv->PollU64(c.status_addr, 0);
+        c.eng->Complete(c.host, c.op, c.slot,
+                        StatusWordCode(status) == KernelStatusCode::kOk);
+      };
+      fabric_.sim().Spawn(poll(Ctx{this, &drv, status_addr, host, op, slot}));
+      return;
+    }
+  }
+}
+
+void YcsbEngine::Complete(int host, const Op& op, uint32_t slot, bool ok) {
+  Host& h = hosts_[host];
+  --h.outstanding;
+  h.free_slots.push_back(slot);
+  if (ok) {
+    ++report_.ops_completed;
+    if (op.arrival >= config_.warmup) {
+      const SimTime latency = fabric_.sim().now() - op.arrival;
+      report_.all.Add(latency);
+      switch (op.kind) {
+        case Op::kRead:
+          ++report_.reads;
+          report_.read_lat.Add(latency);
+          break;
+        case Op::kWrite:
+          ++report_.writes;
+          report_.write_lat.Add(latency);
+          break;
+        case Op::kGet:
+          ++report_.gets;
+          report_.get_lat.Add(latency);
+          break;
+      }
+    }
+  } else {
+    ++report_.ops_failed;
+  }
+  Pump(host);
+}
+
+bool YcsbEngine::AllDone() const {
+  for (const Host& h : hosts_) {
+    if (!h.arrivals_done || !h.backlog.empty() || h.outstanding != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+YcsbReport YcsbEngine::Run() {
+  STROM_CHECK(setup_done_) << "call Setup() first";
+  const int n = fabric_.num_hosts();
+  for (int i = 0; i < n; ++i) {
+    if (config_.incast && i == 0) {
+      hosts_[i].arrivals_done = true;  // the incast victim only serves
+      continue;
+    }
+    ScheduleArrival(i);
+  }
+  // Wedge guard: a lost GET response (possible under fault plans) would poll
+  // forever; bound the run instead of hanging.
+  fabric_.sim().ScheduleAt(config_.duration * 3, [this] { deadline_hit_ = true; });
+  fabric_.sim().RunUntil([this] { return AllDone() || deadline_hit_; });
+  report_.deadline_hit = deadline_hit_;
+  if (!deadline_hit_) {
+    fabric_.sim().RunUntilIdle();
+  }
+
+  auto fold_switch = [this](FabricSwitch& sw) {
+    for (int p = 0; p < sw.num_ports(); ++p) {
+      const FabricPortCounters& c = sw.counters(p);
+      report_.ce_marked += c.ce_marked;
+      report_.tail_drops += c.tail_drops;
+      report_.queue_bytes_peak = std::max(report_.queue_bytes_peak, c.queue_bytes_peak);
+    }
+  };
+  for (int l = 0; l < fabric_.num_leaves(); ++l) {
+    fold_switch(fabric_.leaf(l));
+  }
+  for (int s = 0; s < fabric_.num_spines(); ++s) {
+    fold_switch(fabric_.spine(s));
+  }
+  for (int i = 0; i < n; ++i) {
+    const RoceCounters& c = fabric_.node(i).stack().counters();
+    report_.rx_cnp += c.rx_cnp;
+    report_.rate_cuts += c.dcqcn_rate_cuts;
+    report_.pacing_deferrals += c.pacing_deferrals;
+    report_.pfc_pause_events += c.pfc_pause_events;
+  }
+  return report_;
+}
+
+}  // namespace strom

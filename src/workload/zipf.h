@@ -1,0 +1,71 @@
+// Zipfian key-popularity generator (Gray et al., SIGMOD'94 — the algorithm
+// YCSB uses): O(n) zeta precomputation at construction, O(1) per draw.
+// Rank 0 is the hottest item. theta <= 0 degenerates to uniform.
+#ifndef SRC_WORKLOAD_ZIPF_H_
+#define SRC_WORKLOAD_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace strom {
+
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    STROM_CHECK_GT(n, 0u);
+    if (theta_ <= 0) {
+      return;  // uniform
+    }
+    STROM_CHECK_LT(theta_, 1.0) << "zipf theta must be < 1";
+    for (uint64_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(double(i), theta_);
+    }
+    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Draws a rank in [0, n). Consumes exactly one value from `rng`.
+  uint64_t Next(Rng& rng) {
+    if (theta_ <= 0) {
+      return rng.Below(n_);
+    }
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    const uint64_t rank =
+        static_cast<uint64_t>(double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+// SplitMix64 finalizer: scatters zipf ranks across hosts/keys/QP lanes so the
+// hottest sessions don't all land on host 0 by construction.
+inline uint64_t MixRank(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace strom
+
+#endif  // SRC_WORKLOAD_ZIPF_H_

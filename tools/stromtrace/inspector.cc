@@ -69,6 +69,7 @@ struct Decoded {
   std::optional<RethHeader> reth;
   std::optional<AethHeader> aeth;
   uint32_t payload_len = 0;
+  uint8_t ecn = 0;  // IP-header ECN codepoint
 };
 
 Decoded DecodeFrame(ByteSpan frame) {
@@ -143,6 +144,7 @@ Decoded DecodeFrame(ByteSpan frame) {
   d.payload_len = static_cast<uint32_t>(payload_end - r.position());
   d.src_ip = ip.src;
   d.dst_ip = ip.dst;
+  d.ecn = ip.tos & kEcnMask;
   d.kind = Decoded::Kind::kRoce;
   return d;
 }
@@ -274,6 +276,12 @@ Report InspectCapture(const CaptureFile& capture, const InspectOptions& options)
       add_note("icrc");
       anomaly(AnomalyKind::kIcrcMismatch, where + ": recomputed ICRC differs from trailer");
     }
+    if (d.ecn == kEcnCe) {
+      add_note("ce");
+    }
+    if (d.bth.becn) {
+      add_note("becn");
+    }
 
     const IbOpcode op = d.bth.opcode;
     if (op == IbOpcode::kAck) {
@@ -335,8 +343,9 @@ Report InspectCapture(const CaptureFile& capture, const InspectOptions& options)
       }
     }
 
-    FlowSummary::Event event{pkt.timestamp, d.bth.psn, op, d.payload_len,
-                             /*has_aeth=*/false, AckSyndrome::kAck, std::move(note)};
+    FlowSummary::Event event{pkt.timestamp, d.bth.psn,      op,
+                             d.payload_len, /*has_aeth=*/false, AckSyndrome::kAck,
+                             d.ecn,         d.bth.becn,     std::move(note)};
     if (d.aeth.has_value()) {
       event.has_aeth = true;
       event.syndrome = d.aeth->syndrome;
@@ -485,6 +494,86 @@ std::string FormatFaultsReport(const FaultsReport& report) {
     for (const Psn psn : f.exhausted_psns) {
       out += "    RETRY EXHAUSTED: psn " + std::to_string(psn) + "\n";
     }
+  }
+  return out;
+}
+
+EcnReport BuildEcnReport(const Report& report) {
+  EcnReport er;
+  for (const FlowSummary& f : report.flows) {
+    FlowEcn fe;
+    fe.interface = f.interface;
+    fe.name = f.Name();
+    fe.dest_qp = f.dest_qp;
+    fe.packets = f.packets;
+    for (const FlowSummary::Event& e : f.timeline) {
+      const bool dropped = e.note.find("dropped") != std::string::npos;
+      if (e.ecn != kEcnNotCapable) {
+        ++fe.ect;
+      }
+      if (e.ecn == kEcnCe) {
+        if (dropped) {
+          ++fe.ce_dropped;
+        } else {
+          ++fe.ce_delivered;
+        }
+      }
+      // A dropped BECN echo still proves the receiver generated one, so the
+      // CNP count deliberately includes dropped frames.
+      if (e.becn) {
+        ++fe.cnp;
+      }
+    }
+    er.total_ect += fe.ect;
+    er.total_ce_delivered += fe.ce_delivered;
+    er.total_ce_dropped += fe.ce_dropped;
+    er.total_cnp += fe.cnp;
+    if (fe.ect > 0 || fe.ce_delivered > 0 || fe.ce_dropped > 0 || fe.cnp > 0) {
+      er.flows.push_back(std::move(fe));
+    }
+  }
+  return er;
+}
+
+void MergeEcnReport(const EcnReport& part, EcnReport* into) {
+  into->total_ect += part.total_ect;
+  into->total_ce_delivered += part.total_ce_delivered;
+  into->total_ce_dropped += part.total_ce_dropped;
+  into->total_cnp += part.total_cnp;
+}
+
+void CheckEcnFeedback(EcnReport* report) {
+  // The CE marks land on the data flow while the echoes ride the reverse
+  // flow — and usually on a different tap — so per-flow (and per-file)
+  // counts never balance. Across every capture of the run they must.
+  if (report->total_cnp > 0 && report->total_ce_delivered == 0) {
+    report->inconsistencies.push_back(
+        "BECN echoes present (" + std::to_string(report->total_cnp) +
+        ") but no delivered CE-marked frame in the capture set");
+  }
+  if (report->total_ce_delivered > 0 && report->total_cnp == 0) {
+    report->inconsistencies.push_back(
+        "delivered CE marks present (" + std::to_string(report->total_ce_delivered) +
+        ") but no BECN echo in the capture set");
+  }
+}
+
+std::string FormatEcnReport(const EcnReport& report) {
+  std::string out;
+  out += "ecn: " + std::to_string(report.total_ect) + " ect frames, " +
+         std::to_string(report.total_ce_delivered) + " ce delivered, " +
+         std::to_string(report.total_ce_dropped) + " ce dropped, " +
+         std::to_string(report.total_cnp) + " cnp echoes\n";
+  for (const FlowEcn& f : report.flows) {
+    out += "  [" + f.interface + "] " + f.name + ": " + std::to_string(f.ect) +
+           " ect, " + std::to_string(f.ce_delivered) + " ce";
+    if (f.ce_dropped > 0) {
+      out += " (+" + std::to_string(f.ce_dropped) + " dropped)";
+    }
+    out += ", " + std::to_string(f.cnp) + " cnp\n";
+  }
+  for (const std::string& msg : report.inconsistencies) {
+    out += "  ECN INCONSISTENCY: " + msg + "\n";
   }
   return out;
 }

@@ -59,6 +59,8 @@ struct FlowSummary {
     uint32_t payload_len = 0;
     bool has_aeth = false;
     AckSyndrome syndrome = AckSyndrome::kAck;  // valid when has_aeth
+    uint8_t ecn = 0;     // IP-header ECN codepoint (kEcnNotCapable/Ect0/Ce)
+    bool becn = false;   // BTH BECN echo bit (the simulator's in-band CNP)
     std::string note;  // dropped / duplicate / gap / nak:<syndrome> / icrc
   };
 
@@ -140,6 +142,52 @@ struct FaultsReport {
 FaultsReport BuildFaultsReport(const Report& report, uint32_t retry_limit = 7);
 
 std::string FormatFaultsReport(const FaultsReport& report);
+
+// --- congestion analysis (stromtrace --ecn) ---------------------------------
+// ECN/BECN summary distilled from a Report. The simulator echoes congestion
+// back in-band: a switch sets the IP-header CE codepoint on a queued frame,
+// and the receiver echoes it in the BTH BECN bit of its next packet on that
+// QP (the in-band CNP). A capture of a closed loop must therefore be
+// self-consistent: BECN echoes without any delivered CE mark, or delivered
+// CE marks with no echo anywhere in the capture set, indicate a broken
+// feedback path. Frames annotated "dropped" by the link never reach the
+// receiver and are excluded from the delivered count.
+struct FlowEcn {
+  std::string interface;
+  std::string name;            // FlowSummary::Name() of the flow
+  Qpn dest_qp = 0;
+  uint64_t packets = 0;
+  uint64_t ect = 0;            // frames sent ECN-capable (ECT(0))
+  uint64_t ce_delivered = 0;   // CE-marked frames that reached the receiver
+  uint64_t ce_dropped = 0;     // CE-marked frames annotated dropped
+  uint64_t cnp = 0;            // frames carrying the BECN echo (rate-limiter events)
+};
+
+struct EcnReport {
+  uint64_t total_ect = 0;
+  uint64_t total_ce_delivered = 0;
+  uint64_t total_ce_dropped = 0;
+  uint64_t total_cnp = 0;
+  // Feedback-loop violations, filled by CheckEcnFeedback; each entry is an
+  // error for the exit status.
+  std::vector<std::string> inconsistencies;
+  std::vector<FlowEcn> flows;
+};
+
+// Builds per-flow ECN counts and totals. Does NOT run the feedback check:
+// a single tap rarely sees both halves of the loop (a sender-side NIC tap
+// sees echoes but never the marks applied downstream of it), so the check
+// belongs to the aggregate over every capture of the run.
+EcnReport BuildEcnReport(const Report& report);
+
+// Merges `part` (one capture's report) into the aggregate `into`.
+void MergeEcnReport(const EcnReport& part, EcnReport* into);
+
+// Fills report.inconsistencies from the totals; call on the aggregate of all
+// captures passed to one stromtrace invocation.
+void CheckEcnFeedback(EcnReport* report);
+
+std::string FormatEcnReport(const EcnReport& report);
 
 }  // namespace strom
 

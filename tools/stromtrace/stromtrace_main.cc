@@ -2,8 +2,8 @@
 // simulator's wire taps (--capture-out on any bench, or
 // Testbed::EnableCapture).
 //
-//   stromtrace [--strict] [--mtu=N] [--timeline] [--faults] [--retry-limit=N]
-//              [--quiet] <capture.pcapng>...
+//   stromtrace [--strict] [--mtu=N] [--timeline] [--faults] [--ecn]
+//              [--retry-limit=N] [--quiet] <capture.pcapng>...
 //
 //   --strict    treat observations (retransmits, NAKs) as errors too; use in
 //               CI on captures of clean runs
@@ -14,6 +14,13 @@
 //               NAKs by syndrome, dropped frames, out-of-order arrivals,
 //               retry-exhaustion events); a retry exhaustion makes the exit
 //               status non-zero even without --strict
+//   --ecn       print a congestion report (ECT/CE marks per flow, BECN echo
+//               counts = per-QP rate-limiter events) and verify the ECN
+//               feedback loop across ALL given captures: BECN echoes without
+//               a delivered CE mark anywhere, or delivered CE marks with no
+//               echo, make the exit status non-zero even without --strict
+//               (pass every capture of the run so both halves of the loop
+//               are visible)
 //   --retry-limit=N  retry budget the run was configured with, for the
 //               exhaustion check (default 7 = RoceConfig default)
 //   --quiet     print nothing; the exit code is the verdict
@@ -33,7 +40,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: stromtrace [--strict] [--mtu=N] [--timeline] [--faults] "
-               "[--retry-limit=N] [--quiet] <capture.pcapng>...\n");
+               "[--ecn] [--retry-limit=N] [--quiet] <capture.pcapng>...\n");
   return 2;
 }
 
@@ -44,6 +51,7 @@ int main(int argc, char** argv) {
   bool timeline = false;
   bool quiet = false;
   bool faults = false;
+  bool ecn = false;
   uint32_t retry_limit = 7;
   strom::InspectOptions options;
   std::vector<std::string> paths;
@@ -58,6 +66,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (std::strcmp(arg, "--faults") == 0) {
       faults = true;
+    } else if (std::strcmp(arg, "--ecn") == 0) {
+      ecn = true;
     } else if (std::strncmp(arg, "--retry-limit=", 14) == 0) {
       const long limit = std::strtol(arg + 14, nullptr, 10);
       if (limit < 0) {
@@ -83,6 +93,7 @@ int main(int argc, char** argv) {
   }
 
   size_t total_errors = 0;
+  strom::EcnReport ecn_aggregate;
   for (const std::string& path : paths) {
     strom::Result<strom::Report> report = strom::InspectFile(path, options);
     if (!report.ok()) {
@@ -98,13 +109,32 @@ int main(int argc, char** argv) {
       // Retry exhaustion means a QP died mid-run: always an error for CI.
       errors += fr.exhaustion_events;
     }
+    std::string ecn_text;
+    if (ecn) {
+      const strom::EcnReport er = strom::BuildEcnReport(*report);
+      ecn_text = strom::FormatEcnReport(er);
+      strom::MergeEcnReport(er, &ecn_aggregate);
+    }
     total_errors += errors;
     if (!quiet) {
-      std::printf("== %s ==\n%s%s", path.c_str(),
-                  strom::FormatReport(*report, timeline).c_str(), faults_text.c_str());
+      std::printf("== %s ==\n%s%s%s", path.c_str(),
+                  strom::FormatReport(*report, timeline).c_str(), faults_text.c_str(),
+                  ecn_text.c_str());
       std::printf("verdict: %s (%zu error%s%s)\n\n",
                   errors == 0 ? "CLEAN" : "ANOMALOUS", errors, errors == 1 ? "" : "s",
                   strict ? ", strict" : "");
+    }
+  }
+  if (ecn) {
+    // The feedback loop is judged on the union of all captures: a broken
+    // loop (echoes with no mark anywhere, marks never echoed) is a protocol
+    // defect and an error even without --strict.
+    strom::CheckEcnFeedback(&ecn_aggregate);
+    for (const std::string& msg : ecn_aggregate.inconsistencies) {
+      if (!quiet) {
+        std::printf("ECN INCONSISTENCY (capture set): %s\n", msg.c_str());
+      }
+      ++total_errors;
     }
   }
   return total_errors == 0 ? 0 : 1;
