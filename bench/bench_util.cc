@@ -7,12 +7,17 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+
+#include "src/common/frame_buf.h"
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/common/paranoid.h"
 #include "src/faults/fault_plan.h"
 #include "src/sim/perf_stats.h"
 #include "src/sim/task.h"
+#include "src/telemetry/audit.h"
+#include "src/telemetry/flow_stats.h"
 #include "src/testbed/workload.h"
 
 namespace strom::bench {
@@ -26,6 +31,9 @@ std::string g_capture_out;
 std::string g_perf_out;
 SimTime g_sample_interval = 0;
 int g_jobs = 1;
+std::unique_ptr<Auditor> g_auditor;
+FlowStatsSink g_flow_sink;
+std::vector<std::pair<std::string, double>> g_perf_extras;
 std::chrono::steady_clock::time_point g_wall_start;
 double g_sweep_wall_seconds = 0;
 
@@ -97,6 +105,10 @@ void InitBenchTelemetry(int* argc, char** argv) {
   std::string sample_interval_us = "0";
   std::string jobs = "1";
   std::string fault_plan_path;
+  std::string audit_mode;
+  std::string postmortem_stem;
+  bool audit = false;
+  bool flow_stats = false;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (TakeFlag(argv[i], "--trace-out", &g_trace_out) ||
@@ -107,11 +119,21 @@ void InitBenchTelemetry(int* argc, char** argv) {
         TakeFlag(argv[i], "--sample-interval-us", &sample_interval_us) ||
         TakeFlag(argv[i], "--jobs", &jobs) ||
         TakeFlag(argv[i], "--perf-out", &g_perf_out) ||
-        TakeFlag(argv[i], "--fault-plan", &fault_plan_path)) {
+        TakeFlag(argv[i], "--fault-plan", &fault_plan_path) ||
+        TakeFlag(argv[i], "--postmortem-out", &postmortem_stem)) {
       continue;  // telemetry flag: keep it away from google/benchmark
     }
     if (std::strcmp(argv[i], "--paranoid") == 0) {
       SetParanoidMode(true);  // disable fast-path caches, cross-check them
+      continue;
+    }
+    if (std::strcmp(argv[i], "--audit") == 0 ||
+        TakeFlag(argv[i], "--audit", &audit_mode)) {
+      audit = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--flow-stats") == 0) {
+      flow_stats = true;
       continue;
     }
     argv[out++] = argv[i];
@@ -134,6 +156,23 @@ void InitBenchTelemetry(int* argc, char** argv) {
     Result<FaultPlan> plan = FaultPlan::Load(fault_plan_path);
     STROM_CHECK(plan.ok()) << "--fault-plan: " << plan.status();
     defaults.fault_plan = std::make_shared<const FaultPlan>(std::move(*plan));
+  }
+  if (audit) {
+    STROM_CHECK(audit_mode.empty() || audit_mode == "warn" || audit_mode == "abort")
+        << "--audit accepts 'warn' or 'abort', got: " << audit_mode;
+    g_auditor = std::make_unique<Auditor>(
+        audit_mode == "warn" ? Auditor::Mode::kWarn : Auditor::Mode::kAbort);
+    defaults.auditor = g_auditor.get();
+    // Audited runs keep a flight recorder so a violation leaves a decodable
+    // post-mortem bundle behind, not just a log line.
+    defaults.flight_recorder = true;
+  }
+  if (flow_stats) {
+    defaults.flow_sink = &g_flow_sink;
+  }
+  defaults.postmortem_stem = postmortem_stem;
+  if (!postmortem_stem.empty()) {
+    defaults.flight_recorder = true;
   }
 }
 
@@ -160,15 +199,22 @@ int WritePerfReport(const std::string& path) {
                "  \"events_processed\": %.0f,\n"
                "  \"frames_sent\": %.0f,\n"
                "  \"events_per_sec\": %.0f,\n"
-               "  \"frames_per_sec\": %.0f\n"
-               "}\n",
+               "  \"frames_per_sec\": %.0f",
                g_jobs, wall, g_sweep_wall_seconds, events, frames,
                wall > 0 ? events / wall : 0.0, wall > 0 ? frames / wall : 0.0);
+  for (const auto& [key, value] : g_perf_extras) {
+    std::fprintf(f, ",\n  \"%s\": %.3f", key.c_str(), value);
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   return 0;
 }
 
 }  // namespace
+
+void RecordPerfExtra(const std::string& key, double value) {
+  g_perf_extras.emplace_back(key, value);
+}
 
 int ExportBenchTelemetry() {
   int rc = 0;
@@ -200,6 +246,32 @@ int ExportBenchTelemetry() {
         STROM_LOG(kError) << "time-series export failed: " << st;
         rc = 1;
       }
+    }
+    if (!g_flow_sink.empty()) {
+      std::string stem = g_metrics_out;
+      const size_t dot = stem.rfind('.');
+      if (dot != std::string::npos && stem.find('/', dot) == std::string::npos) {
+        stem.resize(dot);
+      }
+      st = g_flow_sink.WriteCsv(stem + ".flows.csv");
+      if (!st.ok()) {
+        STROM_LOG(kError) << "flow-stats export failed: " << st;
+        rc = 1;
+      }
+    }
+  }
+  if (g_auditor != nullptr) {
+    // End-of-process FrameBuf leak sweep: every testbed is gone by now, so a
+    // non-zero outstanding count is a frame block that escaped its run.
+    const uint64_t outstanding = FrameBlocksOutstanding();
+    g_auditor->Expect(outstanding == 0,
+                      "frame pool leak: " + std::to_string(outstanding) +
+                          " blocks still outstanding at exit");
+    std::fprintf(stderr, "[audit] %llu checks, %llu violations\n",
+                 static_cast<unsigned long long>(g_auditor->checks()),
+                 static_cast<unsigned long long>(g_auditor->violations()));
+    if (g_auditor->violations() > 0) {
+      rc = 1;
     }
   }
   return rc;

@@ -43,6 +43,21 @@ namespace strom::bench {
 //                          duplication, jitter, link flaps, DMA errors.
 //                          Without the flag the fault machinery stays fully
 //                          unhooked and traffic is byte-identical.
+//   --audit[=warn|abort]   run online conservation auditors on every testbed:
+//                          link/port frame conservation, PSN monotonicity,
+//                          the CE=>BECN=>CNP ladder, and a FrameBuf leak
+//                          sweep at exit. abort (the default) dumps a
+//                          post-mortem bundle and aborts on the first
+//                          violation; warn keeps running and exits non-zero.
+//   --flow-stats           collect per-QP flow stats (RTT/goodput/retransmit/
+//                          CNP counters + a sampled DCQCN timeline) per run;
+//                          rows land next to --metrics-out as
+//                          "<stem>.flows.csv" (decode: stromtrace --flows)
+//   --postmortem-out=<stem> keep a flight recorder of recent protocol events
+//                          and dump "<stem>.{flightrec.bin,metrics.csv,
+//                          frames.pcapng}" at teardown — and automatically on
+//                          watchdog fire, fatal log, or audit violation
+//                          (decode: stromtrace --postmortem <stem>)
 
 // Process-wide collector that testbeds and ReportLatency deposit into.
 TelemetryCollector& Collector();
@@ -73,6 +88,12 @@ int ExportBenchTelemetry();
 
 // Value of --jobs.
 int SweepJobs();
+
+// Adds a named scalar to the --perf-out JSON report. Used for simulated
+// metrics CI wants to soft-gate alongside wall clock (e.g. ycsb_rack's
+// incast p999: perfdiff compares any "p999"-prefixed keys present in both
+// reports). Keys appear in insertion order after the standard fields.
+void RecordPerfExtra(const std::string& key, double value);
 
 // Registers a sweep point. Keys must be unique per binary; registration
 // order fixes the point's ordinal (run label, capture gating, merge order).

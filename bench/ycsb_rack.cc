@@ -95,6 +95,32 @@ void PrintPercentiles(const char* label, const LatencyStats& s) {
               ToUs(s.Percentile(99.9)));
 }
 
+// Deposits per-op-class latency percentiles into the metrics collector so
+// --metrics-out CSVs carry READ/WRITE/kernel-GET p50/p99/p999 per scenario.
+// Gated on --flow-stats: default metrics dumps stay byte-identical.
+void DepositOpClassRow(const std::string& label, const YcsbReport& r) {
+  if (Testbed::telemetry_defaults.collector == nullptr ||
+      Testbed::telemetry_defaults.flow_sink == nullptr) {
+    return;
+  }
+  MetricsRegistry::Snapshot row;
+  auto add = [&row](const char* cls, const LatencyStats& s) {
+    if (s.count() == 0) {
+      return;
+    }
+    const std::string prefix = std::string(cls) + ".";
+    row.gauges.emplace_back(prefix + "count", double(s.count()));
+    row.gauges.emplace_back(prefix + "p50_us", ToUs(s.Percentile(50)));
+    row.gauges.emplace_back(prefix + "p99_us", ToUs(s.Percentile(99)));
+    row.gauges.emplace_back(prefix + "p999_us", ToUs(s.Percentile(99.9)));
+  };
+  add("all", r.all);
+  add("read", r.read_lat);
+  add("write", r.write_lat);
+  add("get", r.get_lat);
+  Testbed::telemetry_defaults.collector->Collect(label, std::move(row));
+}
+
 void PrintReport(const char* title, const YcsbReport& r) {
   std::printf("%s\n", title);
   std::printf("  ops: arrived=%llu completed=%llu failed=%llu%s\n",
@@ -185,20 +211,29 @@ int Main(int argc, char** argv) {
     std::printf("=== incast %d->1, CC disabled ===\n", opt.hosts - 1);
     const YcsbReport off = RunOne(stress, /*cc_enabled=*/false);
     PrintReport("", off);
+    DepositOpClassRow("ycsb:incast_cc_off", off);
     std::printf("=== incast %d->1, ECN/DCQCN enabled ===\n", opt.hosts - 1);
     const YcsbReport on = RunOne(stress, /*cc_enabled=*/true);
     PrintReport("", on);
+    DepositOpClassRow("ycsb:incast_cc_on", on);
     if (off.all.count() > 0 && on.all.count() > 0) {
       const double off_p999 = ToUs(off.all.Percentile(99.9));
       const double on_p999 = ToUs(on.all.Percentile(99.9));
       std::printf("p999: %0.2fus -> %0.2fus (%.2fx)\n", off_p999, on_p999,
                   off_p999 / on_p999);
+      // Tail-latency entries for the CI perf gate (soft, perfdiff-compared).
+      bench::RecordPerfExtra("p999_us_incast_cc_off", off_p999);
+      bench::RecordPerfExtra("p999_us_incast_cc_on", on_p999);
     }
     return 0;
   }
 
   const YcsbReport r = RunOne(opt, opt.cc);
   PrintReport("ycsb_rack", r);
+  DepositOpClassRow("ycsb:main", r);
+  if (r.all.count() > 0) {
+    bench::RecordPerfExtra("p999_us_all", ToUs(r.all.Percentile(99.9)));
+  }
   return r.deadline_hit ? 1 : 0;
 }
 

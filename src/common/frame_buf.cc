@@ -1,12 +1,18 @@
 #include "src/common/frame_buf.h"
 
 #include <array>
+#include <atomic>
 #include <vector>
 
 namespace strom {
 namespace internal {
 
 namespace {
+
+// See FrameBlocksOutstanding(): live-block census for the leak auditor.
+// Process-wide because blocks may be released on a different thread than
+// they were acquired on (the thread-local pools absorb that case too).
+std::atomic<uint64_t> g_blocks_outstanding{0};
 
 // Free lists bucketed by storage capacity: bucket b holds blocks with
 // capacity in [64 << b, 64 << (b+1)). Bucket count covers 64 B .. 4 MiB,
@@ -103,16 +109,27 @@ FramePool& Pool() {
 
 }  // namespace
 
-FrameBlock* AcquireFrameBlock(size_t size) { return Pool().Acquire(size); }
+FrameBlock* AcquireFrameBlock(size_t size) {
+  g_blocks_outstanding.fetch_add(1, std::memory_order_relaxed);
+  return Pool().Acquire(size);
+}
 
 FrameBlock* AdoptFrameBlock(ByteBuffer&& data) {
+  g_blocks_outstanding.fetch_add(1, std::memory_order_relaxed);
   return Pool().Adopt(std::move(data));
 }
 
-void ReleaseFrameBlock(FrameBlock* block) { Pool().Release(block); }
+void ReleaseFrameBlock(FrameBlock* block) {
+  g_blocks_outstanding.fetch_sub(1, std::memory_order_relaxed);
+  Pool().Release(block);
+}
 
 }  // namespace internal
 
 FramePoolStats GetFramePoolStats() { return internal::Pool().stats; }
+
+uint64_t FrameBlocksOutstanding() {
+  return internal::g_blocks_outstanding.load(std::memory_order_relaxed);
+}
 
 }  // namespace strom

@@ -330,6 +330,12 @@ struct FramePoolStats {
 };
 FramePoolStats GetFramePoolStats();
 
+// Blocks currently referenced by live FrameBufs/FrameBuilders, process-wide.
+// Blocks parked on a free list don't count. The leak auditor checks this is
+// zero once every simulation object is destroyed; it is a relaxed atomic so
+// the count is exact only at quiescent points, which is all the audit needs.
+uint64_t FrameBlocksOutstanding();
+
 }  // namespace strom
 
 #endif  // SRC_COMMON_FRAME_BUF_H_

@@ -7,6 +7,8 @@ namespace strom {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<FatalHook> g_fatal_hook{nullptr};
+std::atomic<bool> g_in_fatal{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,6 +32,8 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+void SetFatalHook(FatalHook hook) { g_fatal_hook.store(hook, std::memory_order_relaxed); }
+
 namespace logging_internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -45,6 +49,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 LogMessage::~LogMessage() {
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
   if (level_ == LogLevel::kFatal) {
+    std::fflush(stderr);
+    // exchange() so a fatal error inside the hook cannot recurse into it.
+    if (!g_in_fatal.exchange(true, std::memory_order_acq_rel)) {
+      if (FatalHook hook = g_fatal_hook.load(std::memory_order_relaxed)) {
+        hook();
+      }
+    }
     std::fflush(stderr);
     std::abort();
   }

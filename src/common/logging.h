@@ -15,6 +15,13 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarning, kError, kFatal };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Called once, right before abort(), when a kFatal message (STROM_CHECK
+// failure, paranoid-mode divergence) is emitted. The flight recorder uses
+// this to dump a post-mortem bundle of the crashing run. The hook runs at
+// most once per process even if it fails fatally itself.
+using FatalHook = void (*)();
+void SetFatalHook(FatalHook hook);
+
 namespace logging_internal {
 
 class LogMessage {

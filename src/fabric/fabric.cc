@@ -1,6 +1,9 @@
 #include "src/fabric/fabric.h"
 
 #include "src/common/logging.h"
+#include "src/telemetry/audit.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/flow_stats.h"
 
 namespace strom {
 
@@ -130,18 +133,126 @@ void Fabric::InitObservability() {
   if (d.fault_plan != nullptr) {
     ApplyFaultPlan(d.fault_plan);
   }
+  if (d.flow_sink != nullptr) {
+    flow_stats_ = std::make_unique<FlowStats>();
+    for (int i = 0; i < num_hosts(); ++i) {
+      nodes_[i]->stack().AttachFlowStats(flow_stats_.get(), i);
+    }
+    // Flow-stats runs also want the switch-port congestion series; piggyback
+    // on the sampler when it is running.
+    if (d.sample_interval > 0) {
+      for (auto& sw : leaves_) {
+        sw->AttachFlowSampler(telemetry_.get(), sw->name());
+      }
+      for (auto& sw : spines_) {
+        sw->AttachFlowSampler(telemetry_.get(), sw->name());
+      }
+    }
+  }
+  if (d.flight_recorder || !d.postmortem_stem.empty()) {
+    flight_recorder_ = std::make_unique<FlightRecorder>(num_hosts());
+    for (int i = 0; i < num_hosts(); ++i) {
+      nodes_[i]->stack().AttachFlightRecorder(flight_recorder_.get(), i);
+    }
+    flight_recorder_->set_auto_dump_stem(
+        d.postmortem_stem.empty() ? "postmortem" : d.postmortem_stem);
+    RegisterGlobalFlightRecorder(flight_recorder_.get());
+  }
+  if (d.auditor != nullptr) {
+    for (int i = 0; i < num_hosts(); ++i) {
+      nodes_[i]->stack().AttachAuditor(d.auditor);
+    }
+    d.auditor->set_recorder(flight_recorder_.get());
+  }
+}
+
+void Fabric::RunTeardownAudits() {
+  Auditor& auditor = *Testbed::telemetry_defaults.auditor;
+  // Every fabric link, in the same (leaf, port) order ApplyFaultPlan uses.
+  for (auto& sw : leaves_) {
+    for (int port = 0; port < sw->num_ports(); ++port) {
+      if (sw->OwnsPortLink(port)) {
+        AuditLinkConservation(auditor,
+                              sw->name() + ".port" + std::to_string(port),
+                              sw->PortLink(port));
+      }
+    }
+  }
+  // Per-port egress FIFO conservation on every switch.
+  uint64_t ce_marked = 0;
+  for (auto& sw : leaves_) {
+    sw->AuditConservation(auditor);
+    for (int port = 0; port < sw->num_ports(); ++port) {
+      ce_marked += sw->counters(port).ce_marked;
+    }
+  }
+  for (auto& sw : spines_) {
+    sw->AuditConservation(auditor);
+    for (int port = 0; port < sw->num_ports(); ++port) {
+      ce_marked += sw->counters(port).ce_marked;
+    }
+  }
+  // CE => BECN => CNP ladder across the whole rack: hosts cannot see more CE
+  // marks than switches applied, echo more BECNs than CE marks seen, or
+  // receive more CNPs than BECNs were echoed. Duplicated frames (fault
+  // injection) may legitimately inflate the receive-side counts.
+  uint64_t rx_ce = 0;
+  uint64_t tx_becn = 0;
+  uint64_t rx_cnp = 0;
+  for (int i = 0; i < num_hosts(); ++i) {
+    const RoceCounters& c = nodes_[i]->stack().counters();
+    rx_ce += c.rx_ecn_ce;
+    tx_becn += c.tx_becn;
+    rx_cnp += c.rx_cnp;
+    auditor.NoteCheck();
+    if (c.tx_becn > c.rx_ecn_ce) {
+      auditor.Violation("host" + std::to_string(i) +
+                        " becn ladder: tx_becn=" + std::to_string(c.tx_becn) +
+                        " > rx_ecn_ce=" + std::to_string(c.rx_ecn_ce));
+    }
+  }
+  const uint64_t dup_slack =
+      fault_engine_ != nullptr ? fault_engine_->counters().frames_duplicated : 0;
+  auditor.NoteCheck();
+  if (rx_ce > ce_marked + dup_slack) {
+    auditor.Violation("ce ladder: rx_ecn_ce=" + std::to_string(rx_ce) +
+                      " > ce_marked=" + std::to_string(ce_marked) +
+                      " + dup_slack=" + std::to_string(dup_slack));
+  }
+  auditor.NoteCheck();
+  if (rx_cnp > tx_becn + dup_slack) {
+    auditor.Violation("cnp ladder: rx_cnp=" + std::to_string(rx_cnp) +
+                      " > tx_becn=" + std::to_string(tx_becn) +
+                      " + dup_slack=" + std::to_string(dup_slack));
+  }
 }
 
 Fabric::~Fabric() {
-  if (Testbed::telemetry_defaults.collector != nullptr) {
+  const TestbedTelemetryDefaults& d = Testbed::telemetry_defaults;
+  if (d.auditor != nullptr) {
+    RunTeardownAudits();
+  }
+  if (d.collector != nullptr ||
+      (d.flow_sink != nullptr && flow_stats_ != nullptr)) {
     int64_t ordinal = Testbed::run_ordinal;
     if (ordinal < 0) {
       static uint64_t run_counter = 0;
       ordinal = static_cast<int64_t>(run_counter++);
     }
     const std::string label = "run" + std::to_string(ordinal) + ":" + profile_.name;
-    Testbed::telemetry_defaults.collector->Collect(label, *telemetry_,
-                                                   Testbed::run_ordinal);
+    if (d.collector != nullptr) {
+      d.collector->Collect(label, *telemetry_, Testbed::run_ordinal);
+    }
+    if (d.flow_sink != nullptr && flow_stats_ != nullptr) {
+      d.flow_sink->Deposit(label, *flow_stats_, Testbed::run_ordinal);
+    }
+  }
+  if (flight_recorder_ != nullptr && !d.postmortem_stem.empty()) {
+    const MetricsRegistry::Snapshot snap = telemetry_->metrics.Snap();
+    flight_recorder_->DumpAuto("explicit", &snap);
+  }
+  if (d.auditor != nullptr && d.auditor->recorder() == flight_recorder_.get()) {
+    d.auditor->set_recorder(nullptr);
   }
 }
 

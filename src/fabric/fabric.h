@@ -68,9 +68,13 @@ class Fabric {
   std::vector<std::string> EnableCapture(const std::string& prefix);
   void StartSampling(SimTime interval);
 
+  FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+  FlowStats* flow_stats() { return flow_stats_.get(); }
+
  private:
   void InitObservability();
   void ScheduleSample(SimTime interval);
+  void RunTeardownAudits();
 
   Profile profile_;
   Simulator sim_;
@@ -81,6 +85,8 @@ class Fabric {
   std::vector<std::unique_ptr<FabricSwitch>> leaves_;
   std::vector<std::unique_ptr<FabricSwitch>> spines_;
   std::unique_ptr<FaultEngine> fault_engine_;
+  std::unique_ptr<FlowStats> flow_stats_;
+  std::unique_ptr<FlightRecorder> flight_recorder_;
   std::vector<std::unique_ptr<PcapWriter>> captures_;
 };
 

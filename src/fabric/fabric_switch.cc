@@ -6,6 +6,7 @@
 #include "src/common/paranoid.h"
 #include "src/netsim/pfc.h"
 #include "src/proto/packet.h"
+#include "src/telemetry/audit.h"
 
 namespace strom {
 
@@ -93,6 +94,38 @@ void FabricSwitch::AttachSampler(Telemetry* telemetry, const std::string& proces
                                 [&p](SimTime) { return double(p.counters.ce_marked); });
     telemetry->sampler.AddProbe(prefix + "tail_drops",
                                 [&p](SimTime) { return double(p.counters.tail_drops); });
+  }
+}
+
+void FabricSwitch::AttachFlowSampler(Telemetry* telemetry, const std::string& process) {
+  for (size_t port = 0; port < ports_.size(); ++port) {
+    const std::string prefix = process + ".port" + std::to_string(port) + ".";
+    const Port& p = ports_[port];
+    telemetry->sampler.AddProbe(prefix + "frames_enqueued", [&p](SimTime) {
+      return double(p.counters.frames_enqueued);
+    });
+    telemetry->sampler.AddProbe(prefix + "frames_dequeued", [&p](SimTime) {
+      return double(p.counters.frames_dequeued);
+    });
+    telemetry->sampler.AddProbe(prefix + "pause_tx",
+                                [&p](SimTime) { return double(p.counters.pause_tx); });
+    telemetry->sampler.AddProbe(prefix + "resume_tx",
+                                [&p](SimTime) { return double(p.counters.resume_tx); });
+  }
+}
+
+void FabricSwitch::AuditConservation(Auditor& auditor) const {
+  for (size_t port = 0; port < ports_.size(); ++port) {
+    const Port& p = ports_[port];
+    auditor.NoteCheck();
+    const uint64_t queued = p.queue.size();
+    if (p.counters.frames_enqueued != p.counters.frames_dequeued + queued) {
+      auditor.Violation(name_ + ".port" + std::to_string(port) +
+                        " conservation: enqueued=" +
+                        std::to_string(p.counters.frames_enqueued) +
+                        " dequeued=" + std::to_string(p.counters.frames_dequeued) +
+                        " queued=" + std::to_string(queued));
+    }
   }
 }
 

@@ -35,6 +35,8 @@
 
 namespace strom {
 
+class Auditor;
+
 struct FabricSwitchConfig {
   uint64_t port_rate_bps = Gbps(10);
   SimTime forwarding_latency = Ns(600);  // lookup + crossbar, per frame
@@ -91,6 +93,18 @@ class FabricSwitch {
   // Per-port sampler probes: instantaneous queue_bytes plus cumulative
   // ce_marked / tail_drops, so timeseries show the congestion dynamics.
   void AttachSampler(Telemetry* telemetry, const std::string& process);
+  // Extended per-port probes for --flow-stats runs: pause/resume activity and
+  // enqueue/dequeue counts on top of the basic AttachSampler set. A separate
+  // method so default runs keep their sampler output byte-identical.
+  void AttachFlowSampler(Telemetry* telemetry, const std::string& process);
+
+  // Per-port frame conservation: every frame enqueued was either dequeued or
+  // is still sitting in the FIFO (tail drops never enter the queue and are
+  // accounted separately). Valid at any point; teardown is the usual one.
+  void AuditConservation(Auditor& auditor) const;
+
+  // Frames currently queued on `port`'s egress FIFO.
+  size_t PortQueueFrames(int port) const { return ports_[port].queue.size(); }
 
   const FabricPortCounters& counters(int port) const { return ports_[port].counters; }
   const std::string& name() const { return name_; }

@@ -74,6 +74,11 @@ LinkFaultDecision FaultEngine::OnFrame(int global_side, SimTime now) {
           decision.duplicate = true;
         }
         break;
+      case FaultType::kSilentDrop:
+        if (st.rng.Chance(ep.p)) {
+          decision.silent = true;
+        }
+        break;
       case FaultType::kJitter:
         if (ep.delay > 0) {
           decision.extra_delay += SimTime(st.rng.Below(uint64_t(ep.delay) + 1));
@@ -85,6 +90,10 @@ LinkFaultDecision FaultEngine::OnFrame(int global_side, SimTime now) {
   }
   if (decision.drop) {
     ++counters_.frames_dropped;
+  } else if (decision.silent) {
+    // The engine remembers the injection even though the link (by design)
+    // won't: this is the ground truth an audit violation is checked against.
+    ++counters_.frames_silently_dropped;
   } else {
     // Dropped frames never reach the wire, so delay/duplication on them is
     // moot; count only what the receiver can observe.

@@ -23,6 +23,7 @@ struct FaultEngineCounters {
   uint64_t frames_dropped = 0;     // burst loss + link-down episodes
   uint64_t frames_delayed = 0;     // reorder + jitter episodes
   uint64_t frames_duplicated = 0;
+  uint64_t frames_silently_dropped = 0;  // silent_drop episodes (audit drills)
   uint64_t dma_read_errors = 0;
   uint64_t dma_write_errors = 0;
 };

@@ -22,6 +22,7 @@ constexpr TypeInfo kTypes[] = {
     {"duplicate", FaultType::kDuplicate, true},
     {"jitter", FaultType::kJitter, true},
     {"down", FaultType::kLinkDown, true},
+    {"silent_drop", FaultType::kSilentDrop, true},
     {"read_error", FaultType::kDmaReadError, false},
     {"write_error", FaultType::kDmaWriteError, false},
 };
@@ -261,6 +262,7 @@ std::string FaultPlan::ToString() const {
         os << " p=" << FormatProb(ep.p) << " delay=" << FormatTime(ep.delay);
         break;
       case FaultType::kDuplicate:
+      case FaultType::kSilentDrop:
       case FaultType::kDmaReadError:
       case FaultType::kDmaWriteError:
         os << " p=" << FormatProb(ep.p);

@@ -22,6 +22,11 @@
 //     duplicate   p=                 chance p to deliver a frame twice
 //     jitter      max=<time>         uniform extra delay in [0, max]
 //     down        (no params)        drop everything: a timed link flap
+//     silent_drop p=                 chance p a frame vanishes WITHOUT being
+//                 counted as dropped — deliberately breaks link conservation
+//                 so the --audit invariants can be exercised end to end.
+//                 Never emitted by MakeRandomPlan (chaos soaks must stay
+//                 audit-clean); for tests and drills only.
 //   types (dma targets):
 //     read_error  p=                 chance p a DMA read completes in error
 //     write_error p=                 chance p a DMA write completes in error
@@ -49,6 +54,7 @@ enum class FaultType {
   kDuplicate,
   kJitter,
   kLinkDown,
+  kSilentDrop,
   kDmaReadError,
   kDmaWriteError,
 };

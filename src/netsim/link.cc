@@ -126,6 +126,13 @@ void PointToPointLink::Send(int side, FrameBuf frame, TraceContext trace) {
     --tx.duplicate_next;
     fault.duplicate = true;
   }
+  if (fault.silent && !drop) {
+    // Injected silent loss: the frame is gone, and deliberately nothing —
+    // not frames_dropped, not the capture tap — records it. The conservation
+    // audit (frames_sent == frames_delivered + frames_dropped) is the only
+    // thing that can notice.
+    return;
+  }
   if (drop) {
     ++tx.counters.frames_dropped;
     if (capture_ != nullptr) {
@@ -196,6 +203,7 @@ void PointToPointLink::Send(int side, FrameBuf frame, TraceContext trace) {
       }
     });
   }
+  ++tx.counters.frames_delivered;
   sim_.ScheduleAt(arrival, [this, side, f = std::move(frame), trace]() mutable {
     Side& receiver = sides_[1 - side];
     if (receiver.handler) {

@@ -36,6 +36,12 @@ struct LinkCounters {
   uint64_t frames_oversize = 0;
   uint64_t frames_reordered = 0;   // delivered late (reorder/jitter/DelayNext)
   uint64_t frames_duplicated = 0;  // delivered twice
+  // Frames handed to the wire for delivery (corrupted ones included — the
+  // receiver sees and rejects those itself). Not exported as a gauge; it
+  // exists for the conservation audit: frames_sent == frames_delivered +
+  // frames_dropped must hold after every Send(), and a silent_drop fault is
+  // precisely a violation of it.
+  uint64_t frames_delivered = 0;
 };
 
 // Per-frame verdict of an attached fault hook (see FaultEngine). Consulted
@@ -46,6 +52,10 @@ struct LinkFaultDecision {
   bool duplicate = false;      // deliver the frame twice
   bool reorder = false;        // attribute extra_delay to reordering
   SimTime extra_delay = 0;     // added to the propagation delay
+  // Vanish the frame without touching frames_dropped or the capture tap —
+  // the one fault the link's own accounting cannot see. Exists to prove the
+  // conservation auditors notice (tests + chaos drills only).
+  bool silent = false;
 };
 
 class PointToPointLink {

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/telemetry/audit.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/flow_stats.h"
 
 namespace strom {
 
@@ -112,6 +115,18 @@ void RoceStack::AttachSampler(Telemetry* telemetry, const std::string& process) 
     return double(multi_queue_.total_elements() - multi_queue_.free_elements());
   });
 }
+
+void RoceStack::AttachFlowStats(FlowStats* stats, int host_index) {
+  flow_stats_ = stats;
+  host_index_ = host_index;
+}
+
+void RoceStack::AttachFlightRecorder(FlightRecorder* recorder, int host_index) {
+  flight_recorder_ = recorder;
+  host_index_ = host_index;
+}
+
+void RoceStack::AttachAuditor(Auditor* auditor) { auditor_ = auditor; }
 
 RoceStack::QpState& RoceStack::Qp(Qpn qpn) {
   STROM_CHECK_LT(qpn, config_.max_qps);
@@ -381,7 +396,7 @@ bool RoceStack::TrySendNextDataPacket() {
         continue;  // fetch pending; let other QPs proceed
       }
       QpState& cand_qp = Qp(qpn);
-      MaybeRecoverRate(cand_qp.cc);
+      MaybeRecoverRate(qpn, cand_qp.cc);
       if (cand_qp.cc.next_allowed > sim_.now()) {
         deferred = true;
         if (earliest == 0 || cand_qp.cc.next_allowed < earliest) {
@@ -428,6 +443,9 @@ bool RoceStack::TrySendNextDataPacket() {
     pkt.bth.becn = true;
     qp.ce_to_echo = false;
     ++counters_.tx_becn;
+    if (flow_stats_ != nullptr) {
+      flow_stats_->OnBecnTx(sim_.now(), host_index_, wr->req.qpn);
+    }
   }
 
   if (wr->is_read_response) {
@@ -534,6 +552,10 @@ void RoceStack::CompleteWr(const WrPtr& wr, const Status& status) {
     if (hist != nullptr && status.ok()) {
       hist->Observe(double(sim_.now() - wr->posted_at) / 1e6);
     }
+    if (flow_stats_ != nullptr && status.ok()) {
+      flow_stats_->OnCompletion(sim_.now(), host_index_, wr->req.qpn, wr->req.length,
+                                double(sim_.now() - wr->posted_at) / 1e6);
+    }
     if (wr->req.trace.sampled() && tracer_ != nullptr) {
       const char* name = "WRITE";
       switch (wr->req.kind) {
@@ -571,6 +593,19 @@ void RoceStack::EmitFrame(const RocePacket& pkt) {
     if (pkt.aeth.has_value() && pkt.aeth->syndrome != AckSyndrome::kAck) {
       ++counters_.tx_naks;
     }
+  }
+  if (flight_recorder_ != nullptr) {
+    const SimTime now = sim_.now();
+    flight_recorder_->Record(now, host_index_, FlightRecordType::kTx,
+                             uint8_t(pkt.bth.opcode), pkt.bth.dest_qp, pkt.bth.psn,
+                             uint32_t(frame.size()));
+    if (pkt.bth.opcode == IbOpcode::kAck && pkt.aeth.has_value() &&
+        pkt.aeth->syndrome != AckSyndrome::kAck) {
+      flight_recorder_->Record(now, host_index_, FlightRecordType::kNak,
+                               uint8_t(pkt.aeth->syndrome), pkt.bth.dest_qp, pkt.bth.psn,
+                               0);
+    }
+    flight_recorder_->RecordFrame(now, host_index_, /*tx=*/true, frame);
   }
 
   // Fixed TX pipeline latency plus the store-and-forward ICRC pass (one cycle
@@ -640,6 +675,13 @@ void RoceStack::OnFrame(FrameBuf frame, TraceContext trace) {
     return;
   }
   ++counters_.rx_packets;
+  if (flight_recorder_ != nullptr) {
+    const SimTime now = sim_.now();
+    flight_recorder_->Record(now, host_index_, FlightRecordType::kRx,
+                             uint8_t(parsed->bth.opcode), parsed->bth.dest_qp,
+                             parsed->bth.psn, uint32_t(frame.size()));
+    flight_recorder_->RecordFrame(now, host_index_, /*tx=*/false, frame);
+  }
   parsed->trace = trace;
   // RX pipeline: parse stages + State Table FSM + store-and-forward ICRC.
   // The order cursor keeps the pipeline FIFO across packet sizes.
@@ -674,10 +716,22 @@ void RoceStack::ProcessPacket(RocePacket pkt) {
   if (pkt.ecn_ce) {
     ++counters_.rx_ecn_ce;
     Qp(qpn).ce_to_echo = true;
+    if (flow_stats_ != nullptr) {
+      flow_stats_->OnCe(sim_.now(), host_index_, qpn);
+    }
   }
   if (pkt.bth.becn) {
     ++counters_.rx_cnp;
     OnCnp(qpn);
+    const QpState::Dcqcn& cc = Qp(qpn).cc;
+    if (flight_recorder_ != nullptr) {
+      flight_recorder_->Record(sim_.now(), host_index_, FlightRecordType::kCnp,
+                               uint8_t(pkt.bth.opcode), qpn, pkt.bth.psn,
+                               uint32_t(uint64_t(cc.rate_bps) >> 20));
+    }
+    if (flow_stats_ != nullptr) {
+      flow_stats_->OnCnp(sim_.now(), host_index_, qpn, cc.rate_bps, cc.alpha);
+    }
   }
   switch (pkt.bth.opcode) {
     case IbOpcode::kAck:
@@ -733,13 +787,16 @@ void RoceStack::HandleResponderPacket(const RocePacket& pkt) {
 
   // Expected PSN: consume it.
   st.nak_armed = true;
+  const Psn prev_epsn = st.epsn;
   if (pkt.bth.opcode == IbOpcode::kReadRequest) {
     STROM_CHECK(pkt.reth.has_value());
     st.epsn = PsnAdd(st.epsn, config_.PacketsForLength(pkt.reth->dma_length));
+    AuditEpsnAdvance(qpn, prev_epsn, st.epsn);
     HandleReadRequest(pkt);
     return;
   }
   st.epsn = PsnAdd(st.epsn, 1);
+  AuditEpsnAdvance(qpn, prev_epsn, st.epsn);
 
   if (OpcodeIsStrom(pkt.bth.opcode)) {
     HandleRpc(pkt);
@@ -867,6 +924,9 @@ void RoceStack::SendAck(Qpn local_qpn, Psn psn, AckSyndrome syndrome, TraceConte
     ack.bth.becn = true;
     qp.ce_to_echo = false;
     ++counters_.tx_becn;
+    if (flow_stats_ != nullptr) {
+      flow_stats_->OnBecnTx(sim_.now(), host_index_, local_qpn);
+    }
   }
   ack.trace = trace;
   AethHeader aeth;
@@ -889,8 +949,20 @@ void RoceStack::AdvanceCumulativeAck(Qpn qpn, Psn acked_psn) {
          PsnDistance(qp.outstanding.front().psn, acked_psn) >= 0) {
     qp.outstanding.pop_front();
   }
+  const Psn prev_oldest = st.oldest_unacked;
   if (PsnDistance(st.oldest_unacked, PsnAdd(acked_psn, 1)) > 0) {
     st.oldest_unacked = PsnAdd(acked_psn, 1);
+  }
+  if (auditor_ != nullptr) {
+    // Cumulative-ACK window may only move forward; a regression means the
+    // go-back-N bookkeeping re-opened already-acknowledged PSNs.
+    auditor_->NoteCheck();
+    if (PsnDistance(prev_oldest, st.oldest_unacked) < 0) {
+      auditor_->Violation("host" + std::to_string(host_index_) + " qp" +
+                          std::to_string(qpn) + " oldest_unacked regressed: " +
+                          std::to_string(prev_oldest) + " -> " +
+                          std::to_string(st.oldest_unacked));
+    }
   }
 
   // Complete fully-sent, fully-acked writes and RPCs in order.
@@ -1035,6 +1107,18 @@ void RoceStack::HandleReadResponse(const RocePacket& pkt) {
 // Reliability
 // ---------------------------------------------------------------------------
 
+void RoceStack::AuditEpsnAdvance(Qpn qpn, Psn prev_epsn, Psn new_epsn) {
+  if (auditor_ == nullptr) {
+    return;
+  }
+  auditor_->NoteCheck();
+  if (PsnDistance(prev_epsn, new_epsn) <= 0) {
+    auditor_->Violation("host" + std::to_string(host_index_) + " qp" +
+                        std::to_string(qpn) + " epsn did not advance: " +
+                        std::to_string(prev_epsn) + " -> " + std::to_string(new_epsn));
+  }
+}
+
 void RoceStack::RetransmitFrom(Qpn qpn, Psn psn) {
   QpState& qp = Qp(qpn);
   retransmit_queue_.clear();
@@ -1044,6 +1128,13 @@ void RoceStack::RetransmitFrom(Qpn qpn, Psn psn) {
     if (PsnDistance(psn, desc.psn) >= 0) {
       retransmit_queue_.push_back(desc);
     }
+  }
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Record(sim_.now(), host_index_, FlightRecordType::kRetransmit, 0,
+                             qpn, psn, uint32_t(retransmit_queue_.size()));
+  }
+  if (flow_stats_ != nullptr) {
+    flow_stats_->OnRetransmit(sim_.now(), host_index_, qpn);
   }
   if (!retransmit_queue_.empty()) {
     timer_.RearmBackoff(qpn);
@@ -1058,6 +1149,14 @@ void RoceStack::OnTimeout(Qpn qpn) {
     return;
   }
   ++counters_.timeouts;
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Record(sim_.now(), host_index_, FlightRecordType::kTimeout, 0,
+                             qpn, state_table_.Entry(qpn).oldest_unacked,
+                             uint32_t(qp.consecutive_retries + 1));
+  }
+  if (flow_stats_ != nullptr) {
+    flow_stats_->OnTimeout(sim_.now(), host_index_, qpn);
+  }
   if (++qp.consecutive_retries > config_.retry_limit) {
     ErrorQp(qpn, UnavailableError("retry budget exhausted (" +
                                   std::to_string(config_.retry_limit) +
@@ -1161,6 +1260,10 @@ void RoceStack::ErrorQp(Qpn qpn, const Status& status) {
   }
   st.phase = QpPhase::kError;
   ++counters_.qp_errors;
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Record(sim_.now(), host_index_, FlightRecordType::kQpState, 0,
+                             qpn, st.oldest_unacked, /*aux=*/1);
+  }
   STROM_LOG(kWarning) << "QP " << qpn << " -> Error: " << status;
   FlushQp(qpn, status);
   if (qp_error_handler_) {
@@ -1173,6 +1276,10 @@ Status RoceStack::ResetQp(Qpn qpn) {
     return FailedPreconditionError("QP not connected");
   }
   ++counters_.qp_resets;
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Record(sim_.now(), host_index_, FlightRecordType::kQpState, 0,
+                             qpn, state_table_.Entry(qpn).oldest_unacked, /*aux=*/0);
+  }
   FlushQp(qpn, UnavailableError("QP reset"));
   state_table_.Deactivate(qpn);
   msn_table_.Entry(qpn) = MsnTableEntry{};
@@ -1205,9 +1312,13 @@ void RoceStack::OnCnp(Qpn qpn) {
   cc.last_cut = sim_.now();
   cc.last_increase = sim_.now();  // recovery restarts from the cut
   ++counters_.dcqcn_rate_cuts;
+  if (flow_stats_ != nullptr) {
+    flow_stats_->OnRateChange(sim_.now(), host_index_, qpn, /*cut=*/true, cc.rate_bps,
+                              cc.alpha);
+  }
 }
 
-void RoceStack::MaybeRecoverRate(QpState::Dcqcn& cc) {
+void RoceStack::MaybeRecoverRate(Qpn qpn, QpState::Dcqcn& cc) {
   const double line = config_.LineRateBps();
   if (cc.rate_bps <= 0 || cc.rate_bps >= line) {
     return;  // uninitialized or already at line rate: nothing to recover
@@ -1217,15 +1328,23 @@ void RoceStack::MaybeRecoverRate(QpState::Dcqcn& cc) {
     return;
   }
   const double g = config_.dcqcn.alpha_gain;
+  bool increased = false;
   while (sim_.now() - cc.last_increase >= config_.dcqcn.increase_interval) {
     cc.last_increase += config_.dcqcn.increase_interval;
     cc.rate_bps += config_.dcqcn.additive_increase_fraction * line;
     cc.alpha *= (1.0 - g);
     ++counters_.dcqcn_rate_increases;
+    increased = true;
     if (cc.rate_bps >= line) {
       cc.rate_bps = line;
       break;
     }
+  }
+  // One timeline event per recovery batch keeps the sampled DCQCN timeline
+  // proportional to sim time rather than to the pump-scan rate.
+  if (increased && flow_stats_ != nullptr) {
+    flow_stats_->OnRateChange(sim_.now(), host_index_, qpn, /*cut=*/false, cc.rate_bps,
+                              cc.alpha);
   }
 }
 

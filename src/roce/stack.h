@@ -33,6 +33,10 @@
 
 namespace strom {
 
+class Auditor;
+class FlightRecorder;
+class FlowStats;
+
 class RoceStack {
  public:
   using FrameSender = std::function<void(FrameBuf, TraceContext)>;
@@ -75,6 +79,19 @@ class RoceStack {
 
   // Registers queue-depth and occupancy probes with the telemetry sampler.
   void AttachSampler(Telemetry* telemetry, const std::string& process);
+
+  // Per-flow stats hooks (RTT, goodput, retransmits, DCQCN timeline);
+  // `host_index` labels this stack's flows in the export. Null detaches.
+  void AttachFlowStats(FlowStats* stats, int host_index);
+
+  // Flight-recorder hooks: protocol events (TX/RX/NAK/CNP/QP transitions)
+  // plus the last-N frames at the NIC boundary. Null detaches.
+  void AttachFlightRecorder(FlightRecorder* recorder, int host_index);
+
+  // Inline protocol audits: responder ePSN must only advance forward, the
+  // requester's cumulative ACK must never retire more than is outstanding.
+  // Null detaches.
+  void AttachAuditor(Auditor* auditor);
 
   // --- control path (Controller) ------------------------------------------
   // Out-of-band QP setup, equivalent to the driver exchanging QP numbers and
@@ -195,7 +212,7 @@ class RoceStack {
   void OnCnp(Qpn qpn);
   // Lazy additive recovery: advances the QP's rate toward line rate for
   // every elapsed increase period since the last CNP cut.
-  void MaybeRecoverRate(QpState::Dcqcn& cc);
+  void MaybeRecoverRate(Qpn qpn, QpState::Dcqcn& cc);
   // Charges one emitted data packet against the QP's pacing budget.
   void ChargePacing(QpState& qp, size_t wire_bytes);
 
@@ -203,6 +220,9 @@ class RoceStack {
   void RetransmitFrom(Qpn qpn, Psn psn);
   void OnTimeout(Qpn qpn);
   void AdvanceCumulativeAck(Qpn qpn, Psn acked_psn);
+  // Auditor hook: responder ePSN must strictly advance when an expected
+  // packet is consumed (no-op when no auditor is attached).
+  void AuditEpsnAdvance(Qpn qpn, Psn prev_epsn, Psn new_epsn);
   // Completes every queued/outstanding work request of `qpn` with `status`
   // and clears its TX/retransmit/multi-queue state. Shared by ErrorQp and
   // ResetQp.
@@ -269,6 +289,10 @@ class RoceStack {
   PcapWriter* capture_ = nullptr;
   uint32_t capture_tx_if_ = 0;
   uint32_t capture_rx_if_ = 0;
+  FlowStats* flow_stats_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
+  Auditor* auditor_ = nullptr;
+  int host_index_ = 0;
 
   const uint32_t pmtu_payload_;
 };

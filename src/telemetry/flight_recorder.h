@@ -1,0 +1,195 @@
+// Flight recorder: a fixed-size per-host ring of recent protocol events plus
+// a shared ring of the last-N wire frames, written on the hot path with zero
+// steady-state allocation (records are 24-byte PODs in preallocated rings;
+// frames are snapshotted as a kFrameSnapLen-byte header prefix into a
+// preallocated arena — holding FrameBuf references instead would pin blocks
+// and wreck the frame pool's cache locality).
+//
+// On a trigger — watchdog fire, paranoid-mode divergence (via the logging
+// fatal hook), auditor violation, or an explicit --postmortem-out — the
+// recorder dumps a deterministic post-mortem bundle:
+//
+//   <stem>.flightrec.bin   ring contents, oldest-first, fixed little-endian
+//                          encoding (magic "STRMFREC", version 1)
+//   <stem>.metrics.csv     metrics snapshot at dump time (if provided)
+//   <stem>.frames.pcapng   the frame ring as a capture, one interface/host
+//
+// `stromtrace --postmortem <stem>` decodes the bundle and cross-checks the
+// event ring against the frame capture. Everything here is off unless a
+// recorder is constructed and attached; attached-but-idle hooks are a single
+// null check.
+#ifndef SRC_TELEMETRY_FLIGHT_RECORDER_H_
+#define SRC_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/frame_buf.h"
+#include "src/common/status.h"
+#include "src/sim/time.h"
+#include "src/telemetry/metrics.h"
+
+namespace strom {
+
+// Compact event types. Keep values stable: they are serialized verbatim.
+enum class FlightRecordType : uint8_t {
+  kTx = 1,          // frame left the stack (opcode, qpn, psn; aux = length)
+  kRx = 2,          // frame accepted by the stack (aux = length)
+  kNak = 3,         // NAK sent or received (opcode = AETH syndrome; aux = epsn)
+  kCnp = 4,         // BECN observed by the requester (aux = rate_bps >> 20)
+  kQpState = 5,     // QP state transition (aux = new phase ordinal)
+  kRetransmit = 6,  // go-back-N replay armed (psn = replay start)
+  kTimeout = 7,     // retransmission timer fired (aux = consecutive retries)
+  kAudit = 8,       // audit violation recorded just before the dump
+};
+
+const char* FlightRecordTypeName(FlightRecordType type);
+
+// Bytes of each frame kept in the frame ring: enough for every header stack
+// we emit (Eth + IPv4 + UDP + BTH + RETH/AETH + immediate) with room to
+// spare. The dumped pcapng records the true on-wire length per frame
+// (EPB original length), so truncation is visible to decoders.
+constexpr size_t kFrameSnapLen = 128;
+
+// One ring slot. Field order keeps the struct at 24 bytes with no padding;
+// the on-disk encoding matches this layout, little-endian, field by field.
+struct FlightRecord {
+  uint64_t t_ps = 0;
+  uint32_t qpn = 0;
+  uint32_t psn = 0;
+  uint32_t aux = 0;
+  uint16_t host = 0;
+  uint8_t type = 0;
+  uint8_t opcode = 0;
+};
+static_assert(sizeof(FlightRecord) == 24, "FlightRecord must stay compact");
+
+class PcapWriter;
+
+class FlightRecorder {
+ public:
+  // `ring_capacity` records are kept per host; `frame_capacity` frames are
+  // kept across all hosts (wire order is what matters for the capture).
+  explicit FlightRecorder(int num_hosts, size_t ring_capacity = 4096,
+                          size_t frame_capacity = 256);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Hot path: append one record to `host`'s ring (overwrites the oldest).
+  // Inline with a branch (not %) for the wrap: these run per packet.
+  void Record(SimTime now, int host, FlightRecordType type, uint8_t opcode, uint32_t qpn,
+              uint32_t psn, uint32_t aux) {
+    if (host < 0 || size_t(host) >= rings_.size()) {
+      return;
+    }
+    Ring& ring = rings_[size_t(host)];
+    FlightRecord& slot = ring.slots[ring.next];
+    slot.t_ps = uint64_t(now);
+    slot.qpn = qpn;
+    slot.psn = psn;
+    slot.aux = aux;
+    slot.host = uint16_t(host);
+    slot.type = uint8_t(type);
+    slot.opcode = opcode;
+    if (++ring.next == ring.slots.size()) {
+      ring.next = 0;
+    }
+    if (ring.count < ring.slots.size()) {
+      ++ring.count;
+    }
+    ++records_written_;
+  }
+
+  // Hot path: snapshot the frame's header prefix (at most kFrameSnapLen
+  // bytes, ~2 cache lines) plus its on-wire length. `tx` distinguishes the
+  // capture direction in the dumped pcapng comment.
+  void RecordFrame(SimTime now, int host, bool tx, const FrameBuf& frame) {
+    if (frames_.empty()) {
+      return;
+    }
+    FrameSlot& slot = frames_[frame_next_];
+    slot.t = now;
+    slot.host = uint16_t(host < 0 ? 0 : host);
+    slot.tx = tx;
+    slot.orig_len = uint32_t(frame.size());
+    slot.cap_len = uint16_t(frame.size() < kFrameSnapLen ? frame.size() : kFrameSnapLen);
+    std::memcpy(slot.data, frame.span().data(), slot.cap_len);
+    if (++frame_next_ == frames_.size()) {
+      frame_next_ = 0;
+    }
+    if (frame_count_ < frames_.size()) {
+      ++frame_count_;
+    }
+    ++frames_recorded_;
+  }
+
+  // Dumps the bundle described above. Idempotent: only the first trigger
+  // wins, so a cascade (audit violation -> fatal) keeps the original scene.
+  // Deliberately CHECK-free — it must be safe to call from the fatal hook.
+  Status Dump(const std::string& stem, const std::string& reason,
+              const MetricsRegistry::Snapshot* metrics = nullptr);
+
+  // Stem used by DumpAuto() and the fatal hook; empty disables both.
+  void set_auto_dump_stem(const std::string& stem) { auto_stem_ = stem; }
+  const std::string& auto_dump_stem() const { return auto_stem_; }
+  // Dump to the configured auto stem, if any. Returns true if a bundle was
+  // written by this call.
+  bool DumpAuto(const std::string& reason,
+                const MetricsRegistry::Snapshot* metrics = nullptr);
+
+  bool dumped() const { return dumped_; }
+  int num_hosts() const { return int(rings_.size()); }
+  uint64_t records_written() const { return records_written_; }
+  uint64_t frames_recorded() const { return frames_recorded_; }
+
+  // Ring contents oldest-first (test/inspection helper; the dump uses it).
+  std::vector<FlightRecord> HostRecords(int host) const;
+
+ private:
+  struct Ring {
+    std::vector<FlightRecord> slots;
+    size_t next = 0;    // next write position
+    size_t count = 0;   // <= slots.size()
+  };
+  struct FrameSlot {
+    SimTime t = 0;
+    uint32_t orig_len = 0;
+    uint16_t host = 0;
+    uint16_t cap_len = 0;
+    bool tx = false;
+    uint8_t data[kFrameSnapLen];
+  };
+
+  std::vector<Ring> rings_;
+  std::vector<FrameSlot> frames_;
+  size_t frame_next_ = 0;
+  size_t frame_count_ = 0;
+  uint64_t records_written_ = 0;
+  uint64_t frames_recorded_ = 0;
+  std::string auto_stem_;
+  bool dumped_ = false;
+};
+
+// Decoded bundle (the .flightrec.bin side; frames stay in the pcapng).
+struct FlightRecordBundle {
+  std::string reason;
+  std::vector<std::vector<FlightRecord>> hosts;  // oldest-first per host
+};
+
+Result<FlightRecordBundle> LoadFlightRecords(const std::string& path);
+
+// Global recorder hook-up for the logging fatal path: while a recorder with a
+// non-empty auto-dump stem is registered, any STROM_CHECK failure or
+// kFatal log (paranoid-mode divergence aborts this way) dumps a bundle
+// before the process aborts. The registration installs the fatal hook once.
+void RegisterGlobalFlightRecorder(FlightRecorder* recorder);
+void UnregisterGlobalFlightRecorder(FlightRecorder* recorder);
+FlightRecorder* GlobalFlightRecorder();
+
+}  // namespace strom
+
+#endif  // SRC_TELEMETRY_FLIGHT_RECORDER_H_

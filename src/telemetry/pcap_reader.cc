@@ -120,6 +120,7 @@ Result<CaptureFile> ParsePcapng(ByteSpan data) {
             (static_cast<uint64_t>(ReadU32(body, 4)) << 32) | ReadU32(body, 8);
         pkt.timestamp = static_cast<SimTime>(ts) * ts_unit_ps[pkt.interface_id];
         const uint32_t cap_len = ReadU32(body, 12);
+        pkt.orig_len = ReadU32(body, 16);
         if (20 + cap_len > body.size()) {
           return InvalidArgumentError("pcapng: EPB data overruns block");
         }

@@ -17,6 +17,7 @@ namespace strom {
 struct CapturedPacket {
   uint32_t interface_id = 0;
   SimTime timestamp = 0;  // picoseconds
+  uint32_t orig_len = 0;  // on-wire length; > data.size() for snaplen captures
   ByteBuffer data;
   std::string comment;  // opt_comment, empty if absent
 };

@@ -120,7 +120,7 @@ uint32_t PcapWriter::AddInterface(const std::string& name) {
 }
 
 void PcapWriter::WritePacket(uint32_t interface_id, SimTime at, ByteSpan frame,
-                             std::string_view comment) {
+                             std::string_view comment, uint32_t orig_len) {
   STROM_CHECK_LT(interface_id, interface_count_);
   const uint64_t ts = static_cast<uint64_t>(at < 0 ? 0 : at);
   BlockWriter epb;
@@ -130,7 +130,7 @@ void PcapWriter::WritePacket(uint32_t interface_id, SimTime at, ByteSpan frame,
   epb.U32(static_cast<uint32_t>(ts >> 32));
   epb.U32(static_cast<uint32_t>(ts));
   epb.U32(static_cast<uint32_t>(frame.size()));  // captured length
-  epb.U32(static_cast<uint32_t>(frame.size()));  // original length
+  epb.U32(orig_len != 0 ? orig_len : static_cast<uint32_t>(frame.size()));  // original length
   epb.Bytes(frame);
   epb.Pad4();
   if (!comment.empty()) {

@@ -39,9 +39,11 @@ class PcapWriter {
   uint32_t AddInterface(const std::string& name);
 
   // Appends one frame captured at simulated time `at` (picoseconds). The
-  // optional comment is stored verbatim as an opt_comment option.
+  // optional comment is stored verbatim as an opt_comment option. If
+  // `orig_len` is nonzero the frame is a truncated snapshot: `frame` is the
+  // captured prefix and `orig_len` the on-wire length (EPB original length).
   void WritePacket(uint32_t interface_id, SimTime at, ByteSpan frame,
-                   std::string_view comment = {});
+                   std::string_view comment = {}, uint32_t orig_len = 0);
 
   uint64_t packets_written() const { return packets_written_; }
   size_t interface_count() const { return interface_count_; }

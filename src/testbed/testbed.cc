@@ -1,6 +1,9 @@
 #include "src/testbed/testbed.h"
 
 #include "src/common/logging.h"
+#include "src/telemetry/audit.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/flow_stats.h"
 
 namespace strom {
 
@@ -11,6 +14,20 @@ MacAddr MacForIndex(int i) {
 }
 
 }  // namespace
+
+void AuditLinkConservation(Auditor& auditor, const std::string& name,
+                           const PointToPointLink& link) {
+  for (int side = 0; side < 2; ++side) {
+    const LinkCounters& c = link.counters(side);
+    auditor.NoteCheck();
+    if (c.frames_sent != c.frames_delivered + c.frames_dropped) {
+      auditor.Violation(name + ".side" + std::to_string(side) +
+                        " conservation: sent=" + std::to_string(c.frames_sent) +
+                        " delivered=" + std::to_string(c.frames_delivered) +
+                        " dropped=" + std::to_string(c.frames_dropped));
+    }
+  }
+}
 
 TestbedTelemetryDefaults Testbed::telemetry_defaults;
 thread_local int64_t Testbed::run_ordinal = -1;
@@ -93,6 +110,29 @@ void Testbed::InitObservability() {
   if (d.fault_plan != nullptr) {
     ApplyFaultPlan(d.fault_plan);
   }
+  if (d.flow_sink != nullptr) {
+    flow_stats_ = std::make_unique<FlowStats>();
+    for (int i = 0; i < num_nodes(); ++i) {
+      nodes_[i]->stack().AttachFlowStats(flow_stats_.get(), i);
+    }
+  }
+  if (d.flight_recorder || !d.postmortem_stem.empty()) {
+    flight_recorder_ = std::make_unique<FlightRecorder>(num_nodes());
+    for (int i = 0; i < num_nodes(); ++i) {
+      nodes_[i]->stack().AttachFlightRecorder(flight_recorder_.get(), i);
+    }
+    // Auto-dump destination for the watchdog/fatal/audit paths; the default
+    // stem keeps audit aborts actionable even without --postmortem-out.
+    flight_recorder_->set_auto_dump_stem(
+        d.postmortem_stem.empty() ? "postmortem" : d.postmortem_stem);
+    RegisterGlobalFlightRecorder(flight_recorder_.get());
+  }
+  if (d.auditor != nullptr) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      nodes_[i]->stack().AttachAuditor(d.auditor);
+    }
+    d.auditor->set_recorder(flight_recorder_.get());
+  }
 }
 
 void Testbed::ApplyFaultPlan(std::shared_ptr<const FaultPlan> plan) {
@@ -161,15 +201,68 @@ void Testbed::ScheduleSample(SimTime interval) {
   });
 }
 
+void Testbed::RunTeardownAudits() {
+  Auditor& auditor = *telemetry_defaults.auditor;
+  if (link_ != nullptr) {
+    AuditLinkConservation(auditor, "network", *link_);
+  } else if (switch_ != nullptr) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      AuditLinkConservation(auditor, "port" + std::to_string(i),
+                            switch_->PortLink(i));
+    }
+  }
+  // CE => BECN => CNP ladder: a BECN echo consumes a pending CE mark, so per
+  // host echoes never exceed marks seen; globally, CNPs received never
+  // exceed echoes sent (duplicated frames may inflate the receive side).
+  uint64_t tx_becn = 0;
+  uint64_t rx_cnp = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    const RoceCounters& c = nodes_[i]->stack().counters();
+    tx_becn += c.tx_becn;
+    rx_cnp += c.rx_cnp;
+    auditor.NoteCheck();
+    if (c.tx_becn > c.rx_ecn_ce) {
+      auditor.Violation("node" + std::to_string(i) +
+                        " becn ladder: tx_becn=" + std::to_string(c.tx_becn) +
+                        " > rx_ecn_ce=" + std::to_string(c.rx_ecn_ce));
+    }
+  }
+  const uint64_t dup_slack =
+      fault_engine_ != nullptr ? fault_engine_->counters().frames_duplicated : 0;
+  auditor.NoteCheck();
+  if (rx_cnp > tx_becn + dup_slack) {
+    auditor.Violation("cnp ladder: rx_cnp=" + std::to_string(rx_cnp) +
+                      " > tx_becn=" + std::to_string(tx_becn) +
+                      " + dup_slack=" + std::to_string(dup_slack));
+  }
+}
+
 Testbed::~Testbed() {
-  if (telemetry_defaults.collector != nullptr) {
+  const TestbedTelemetryDefaults& d = telemetry_defaults;
+  if (d.auditor != nullptr) {
+    RunTeardownAudits();
+  }
+  if (d.collector != nullptr ||
+      (d.flow_sink != nullptr && flow_stats_ != nullptr)) {
     int64_t ordinal = run_ordinal;
     if (ordinal < 0) {
       static uint64_t run_counter = 0;
       ordinal = static_cast<int64_t>(run_counter++);
     }
     const std::string label = "run" + std::to_string(ordinal) + ":" + profile_.name;
-    telemetry_defaults.collector->Collect(label, *telemetry_, run_ordinal);
+    if (d.collector != nullptr) {
+      d.collector->Collect(label, *telemetry_, run_ordinal);
+    }
+    if (d.flow_sink != nullptr && flow_stats_ != nullptr) {
+      d.flow_sink->Deposit(label, *flow_stats_, run_ordinal);
+    }
+  }
+  if (flight_recorder_ != nullptr && !d.postmortem_stem.empty()) {
+    const MetricsRegistry::Snapshot snap = telemetry_->metrics.Snap();
+    flight_recorder_->DumpAuto("explicit", &snap);
+  }
+  if (d.auditor != nullptr && d.auditor->recorder() == flight_recorder_.get()) {
+    d.auditor->set_recorder(nullptr);
   }
 }
 

@@ -16,6 +16,11 @@
 
 namespace strom {
 
+class Auditor;
+class FlightRecorder;
+class FlowStats;
+class FlowStatsSink;
+
 // Process-wide telemetry defaults applied to every Testbed at construction.
 // bench_util sets these from --trace-out/--metrics-out/--trace-sample so all
 // bench binaries gain telemetry export without per-bench changes.
@@ -39,6 +44,22 @@ struct TestbedTelemetryDefaults {
   // leaves the fault machinery entirely unhooked: no RNG draws, no extra
   // branches on the data path, byte-identical traffic.
   std::shared_ptr<const FaultPlan> fault_plan;
+  // When set (bench_util --audit), every Testbed/Fabric attaches it to its
+  // RoCE stacks (inline PSN monotonicity) and runs link/port frame
+  // conservation plus the CE=>BECN=>CNP ladder checks at teardown. Null (the
+  // default) leaves every check compiled out of the hot path behind a single
+  // null test.
+  Auditor* auditor = nullptr;
+  // When set (bench_util --flow-stats), each run collects per-QP flow stats
+  // and a sampled DCQCN timeline and deposits them here at teardown under
+  // the same "run<N>:<profile>" label as the metrics collector.
+  FlowStatsSink* flow_sink = nullptr;
+  // When true (bench_util --audit / --postmortem-out), every run keeps a
+  // flight recorder ring of recent protocol events. A non-empty
+  // postmortem_stem both (a) arms auto-dump on watchdog/fatal/audit events
+  // and (b) forces an explicit bundle dump at teardown.
+  bool flight_recorder = false;
+  std::string postmortem_stem;
 };
 
 class Testbed {
@@ -92,9 +113,13 @@ class Testbed {
   // pending, so RunUntilIdle() still terminates.
   void StartSampling(SimTime interval);
 
+  FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+  FlowStats* flow_stats() { return flow_stats_.get(); }
+
  private:
   void InitObservability();
   void ScheduleSample(SimTime interval);
+  void RunTeardownAudits();
 
   Profile profile_;
   Simulator sim_;
@@ -104,8 +129,15 @@ class Testbed {
   std::unique_ptr<PointToPointLink> link_;          // 2-node topology
   std::unique_ptr<EthernetSwitch> switch_;          // N-node topology
   std::unique_ptr<FaultEngine> fault_engine_;
+  std::unique_ptr<FlowStats> flow_stats_;
+  std::unique_ptr<FlightRecorder> flight_recorder_;
   std::vector<std::unique_ptr<PcapWriter>> captures_;
 };
+
+// Shared by Testbed and Fabric: checks frame conservation on both directions
+// of one link ("frames sent = delivered + dropped") against `auditor`.
+void AuditLinkConservation(Auditor& auditor, const std::string& name,
+                           const PointToPointLink& link);
 
 }  // namespace strom
 

@@ -4,6 +4,7 @@
 
 #include "src/kernels/traversal.h"
 #include "src/sim/task.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/testbed/workload.h"
 
 namespace strom {
@@ -244,6 +245,11 @@ YcsbReport YcsbEngine::Run() {
   report_.deadline_hit = deadline_hit_;
   if (!deadline_hit_) {
     fabric_.sim().RunUntilIdle();
+  } else if (fabric_.flight_recorder() != nullptr) {
+    // The run wedged: capture the protocol state leading up to the stall
+    // while it is still in the ring.
+    const MetricsRegistry::Snapshot snap = fabric_.telemetry().metrics.Snap();
+    fabric_.flight_recorder()->DumpAuto("watchdog: ycsb drain deadline", &snap);
   }
 
   auto fold_switch = [this](FabricSwitch& sw) {

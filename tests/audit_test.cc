@@ -1,0 +1,155 @@
+// Tests for the online conservation auditors (src/telemetry/audit.h): clean
+// runs pass every check, an injected silent drop (a frame that vanishes
+// without touching a drop counter) trips link conservation, a deliberately
+// leaked FrameBuf trips the pool leak sweep, abort mode dies loudly, and an
+// audit violation dumps a flight-recorder bundle whose reason localizes the
+// offender.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/frame_buf.h"
+#include "src/faults/fault_engine.h"
+#include "src/faults/fault_plan.h"
+#include "src/telemetry/audit.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/testbed/testbed.h"
+#include "src/testbed/workload.h"
+
+namespace strom {
+namespace {
+
+constexpr Qpn kQp = 1;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Saves/restores the process-wide defaults so tests compose in any order.
+struct DefaultsGuard {
+  DefaultsGuard() : saved(Testbed::telemetry_defaults) {}
+  ~DefaultsGuard() { Testbed::telemetry_defaults = saved; }
+  TestbedTelemetryDefaults saved;
+};
+
+// Drives `writes` completed WRITEs across a fresh two-node testbed built
+// under the current telemetry defaults. Returns the silent-drop ground truth
+// from the fault engine (0 when no plan is attached).
+uint64_t RunWrites(const std::string& plan_text, int writes) {
+  Testbed bed(Profile10G());
+  if (!plan_text.empty()) {
+    Result<FaultPlan> plan = FaultPlan::Parse(plan_text);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    bed.ApplyFaultPlan(std::make_shared<const FaultPlan>(std::move(*plan)));
+  }
+  bed.ConnectQp(0, kQp, 1, kQp);
+  const VirtAddr local = bed.node(0).driver().AllocBuffer(MiB(1))->addr;
+  const VirtAddr remote = bed.node(1).driver().AllocBuffer(MiB(1))->addr;
+  EXPECT_TRUE(bed.node(0).driver().WriteHost(local, RandomBytes(4096, 11)).ok());
+
+  int done = 0;
+  for (int i = 0; i < writes; ++i) {
+    bed.node(0).driver().PostWrite(kQp, local, remote, 4096, [&done](Status st) {
+      EXPECT_TRUE(st.ok()) << st;
+      ++done;
+    });
+  }
+  bed.sim().RunUntil([&] { return done == writes; });
+  bed.sim().RunUntilIdle();
+  EXPECT_EQ(done, writes);
+  return bed.fault_engine() != nullptr
+             ? bed.fault_engine()->counters().frames_silently_dropped
+             : 0;
+}
+
+TEST(Audit, CleanRunPassesEveryCheck) {
+  DefaultsGuard guard;
+  Auditor auditor(Auditor::Mode::kWarn);
+  Testbed::telemetry_defaults.auditor = &auditor;
+  RunWrites("", 32);
+  EXPECT_GT(auditor.checks(), 0u) << "auditor was attached but checked nothing";
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
+TEST(Audit, SilentDropTripsLinkConservation) {
+  DefaultsGuard guard;
+  Auditor auditor(Auditor::Mode::kWarn);
+  Testbed::telemetry_defaults.auditor = &auditor;
+  // Silently drop ~20% of frames on every link side: go-back-N still
+  // completes the workload, but sent != delivered + dropped at teardown.
+  const uint64_t silent = RunWrites("seed 4\nlink* silent_drop 0us - p=0.2\n", 32);
+  EXPECT_GT(silent, 0u) << "plan injected no silent drops";
+  EXPECT_GT(auditor.violations(), 0u)
+      << "silent drops must break link frame conservation";
+}
+
+TEST(Audit, SilentDropWithoutAuditorGoesUnnoticed) {
+  // The control for the test above: the same plan with no auditor attached
+  // completes cleanly — exactly the failure mode the auditors exist to catch.
+  DefaultsGuard guard;
+  Testbed::telemetry_defaults.auditor = nullptr;
+  const uint64_t silent = RunWrites("seed 4\nlink* silent_drop 0us - p=0.2\n", 32);
+  EXPECT_GT(silent, 0u);
+}
+
+TEST(AuditDeathTest, AbortModeDiesOnViolation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DefaultsGuard guard;
+        Auditor auditor(Auditor::Mode::kAbort);
+        Testbed::telemetry_defaults.auditor = &auditor;
+        RunWrites("seed 4\nlink* silent_drop 0us - p=0.2\n", 32);
+      },
+      "VIOLATION");
+}
+
+TEST(Audit, ViolationDumpsLocalizedBundle) {
+  DefaultsGuard guard;
+  const std::string stem = TempPath("audit_violation_bundle");
+  Auditor auditor(Auditor::Mode::kWarn);
+  Testbed::telemetry_defaults.auditor = &auditor;
+  Testbed::telemetry_defaults.flight_recorder = true;
+  Testbed::telemetry_defaults.postmortem_stem = stem;
+  RunWrites("seed 4\nlink* silent_drop 0us - p=0.2\n", 32);
+  ASSERT_GT(auditor.violations(), 0u);
+
+  // The first violation dumped the bundle; the teardown's explicit dump is a
+  // no-op after that, so the reason preserves the audit scene.
+  Result<FlightRecordBundle> bundle = LoadFlightRecords(stem + ".flightrec.bin");
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ(bundle->reason.rfind("audit: ", 0), 0u) << bundle->reason;
+  EXPECT_NE(bundle->reason.find("conservation"), std::string::npos)
+      << "reason must localize the failed invariant: " << bundle->reason;
+  EXPECT_EQ(bundle->hosts.size(), 2u);
+}
+
+TEST(Audit, FrameBufLeakSweepTrips) {
+  const uint64_t before = FrameBlocksOutstanding();
+  auto leaked = std::make_unique<FrameBuf>(FrameBuf::Allocate(256));
+  ASSERT_GT(FrameBlocksOutstanding(), before);
+
+  // The sweep bench_util runs at exit, in miniature.
+  Auditor auditor(Auditor::Mode::kWarn);
+  auditor.Expect(FrameBlocksOutstanding() == before, "frame pool leak");
+  EXPECT_EQ(auditor.violations(), 1u);
+
+  leaked.reset();
+  EXPECT_EQ(FrameBlocksOutstanding(), before);
+  Auditor clean(Auditor::Mode::kWarn);
+  clean.Expect(FrameBlocksOutstanding() == before, "frame pool leak");
+  EXPECT_EQ(clean.violations(), 0u);
+}
+
+TEST(Audit, ExpectCountsChecksAndViolations) {
+  Auditor auditor(Auditor::Mode::kWarn);
+  auditor.Expect(true, "fine");
+  auditor.NoteCheck();
+  auditor.Expect(false, "broken");
+  EXPECT_EQ(auditor.checks(), 3u);
+  EXPECT_EQ(auditor.violations(), 1u);
+}
+
+}  // namespace
+}  // namespace strom

@@ -10,6 +10,10 @@
 //   STROM_CHAOS_PROFILE       "10g" (default) or "100g"
 //   STROM_CHAOS_ARTIFACT_DIR  where to dump plan text + captures
 //                             (default: the gtest temp dir)
+//   STROM_CHAOS_AUDIT         non-empty: attach the conservation auditors and
+//                             arm the flight recorder; a violation dumps a
+//                             post-mortem bundle ("<prefix>.postmortem.*")
+//                             into the artifact dir and fails the test
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -23,6 +27,7 @@
 
 #include "src/common/crc.h"
 #include "src/faults/fault_plan.h"
+#include "src/telemetry/audit.h"
 #include "src/kernels/traversal.h"
 #include "src/kvs/linked_list.h"
 #include "src/testbed/testbed.h"
@@ -56,7 +61,18 @@ std::string ArtifactDir() {
   return dir;
 }
 
+// Saves/restores the process-wide telemetry defaults so audited and plain
+// soaks compose in one process.
+struct TelemetryDefaultsGuard {
+  TelemetryDefaultsGuard() : saved(Testbed::telemetry_defaults) {}
+  ~TelemetryDefaultsGuard() { Testbed::telemetry_defaults = saved; }
+  TestbedTelemetryDefaults saved;
+};
+
 struct SoakResult {
+  bool audited = false;
+  uint64_t audit_checks = 0;
+  uint64_t audit_violations = 0;
   int completed_ok = 0;
   int completed_error = 0;
   int watchdog_timeouts = 0;
@@ -76,7 +92,24 @@ uint64_t Crc(ByteSpan data) { return Crc64::Compute(data); }
 SoakResult RunSoak(uint64_t seed, const std::string& profile_name, const std::string& prefix) {
   SoakResult result;
   const Profile profile = profile_name == "100g" ? Profile100G() : Profile10G();
-  Testbed bed(profile);
+
+  // Opt-in conservation audits (STROM_CHAOS_AUDIT, set by the CI chaos-soak
+  // job): warn-mode auditors plus an armed flight recorder, so a violation
+  // dumps a post-mortem bundle next to the plan/capture artifacts where the
+  // CI failure-upload step ships it. The auditor must outlive the Testbed
+  // because the conservation sweeps run at teardown.
+  TelemetryDefaultsGuard defaults_guard;
+  std::optional<Auditor> auditor;
+  if (!EnvOr("STROM_CHAOS_AUDIT", "").empty()) {
+    result.audited = true;
+    auditor.emplace(Auditor::Mode::kWarn);
+    Testbed::telemetry_defaults.auditor = &*auditor;
+    Testbed::telemetry_defaults.flight_recorder = true;
+    Testbed::telemetry_defaults.postmortem_stem = prefix + ".postmortem";
+  }
+
+  std::optional<Testbed> bed_holder(std::in_place, profile);
+  Testbed& bed = *bed_holder;
   result.capture_paths = bed.EnableCapture(prefix);
 
   const FaultPlan plan = MakeRandomPlan(seed, kPlanHorizon);
@@ -249,6 +282,11 @@ SoakResult RunSoak(uint64_t seed, const std::string& profile_name, const std::st
 
   bed.sim().RunUntilIdle();
   result.faults = bed.fault_engine()->counters();
+  bed_holder.reset();  // teardown runs the conservation sweeps
+  if (auditor) {
+    result.audit_checks = auditor->checks();
+    result.audit_violations = auditor->violations();
+  }
   return result;
 }
 
@@ -257,6 +295,14 @@ void CheckInvariants(const SoakResult& r, uint64_t seed, const std::string& prof
   EXPECT_EQ(r.watchdog_timeouts, 0);
   EXPECT_EQ(r.crc_mismatches, 0);
   EXPECT_EQ(r.double_completions, 0);
+  if (r.audited) {
+    // Counted drops/delays/duplicates conserve frames; only genuinely lost
+    // accounting (the bug class the auditors exist for) trips this. The
+    // dumped "<prefix>.postmortem" bundle localizes the offender.
+    EXPECT_GT(r.audit_checks, 0u) << "auditor attached but never consulted";
+    EXPECT_EQ(r.audit_violations, 0u)
+        << "conservation audit tripped; decode the bundle with stromtrace --postmortem";
+  }
   EXPECT_EQ(r.completed_ok + r.completed_error, kOps)
       << "every op must reach exactly one terminal state";
   // The randomized plans always include a link flap; the workload must make

@@ -116,10 +116,30 @@ int main(int argc, char** argv) {
               base_wall, cur_wall, ratio, 1.0 + threshold);
   std::printf("perfdiff: events/sec %.0f -> %.0f\n", Get(*base, "events_per_sec"),
               Get(*cur, "events_per_sec"));
+  int rc = 0;
   if (ratio > 1.0 + threshold) {
     std::fprintf(stderr, "perfdiff: REGRESSION: current run is %.0f%% slower than baseline\n",
                  (ratio - 1.0) * 100.0);
-    return 1;
+    rc = 1;
   }
-  return 0;
+
+  // Simulated tail-latency gate: any "p999"-prefixed key present in *both*
+  // reports is compared with the same threshold. Unlike wall clock these are
+  // deterministic simulated values, so a regression is a behavior change in
+  // the congestion machinery, not runner noise.
+  for (const auto& [key, base_value] : *base) {
+    if (key.rfind("p999", 0) != 0 || cur->count(key) == 0) {
+      continue;
+    }
+    const double cur_value = (*cur)[key];
+    const double p999_ratio = base_value > 0 ? cur_value / base_value : 0.0;
+    std::printf("perfdiff: %s %.3f -> %.3f (%.2fx baseline)\n", key.c_str(),
+                base_value, cur_value, p999_ratio);
+    if (p999_ratio > 1.0 + threshold) {
+      std::fprintf(stderr, "perfdiff: TAIL REGRESSION: %s is %.0f%% above baseline\n",
+                   key.c_str(), (p999_ratio - 1.0) * 100.0);
+      rc = 1;
+    }
+  }
+  return rc;
 }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <tuple>
 
 #include "src/proto/packet.h"
@@ -574,6 +578,381 @@ std::string FormatEcnReport(const EcnReport& report) {
   }
   for (const std::string& msg : report.inconsistencies) {
     out += "  ECN INCONSISTENCY: " + msg + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+std::string FormatCompact(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Result<FlowCsvReport> LoadFlowCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open flow stats '" + path + "'");
+  }
+  FlowCsvReport report;
+  // (label, host, qpn) -> index into flows / dcqcn, first-seen order.
+  std::map<std::tuple<std::string, int, Qpn>, size_t> flow_index;
+  std::map<std::tuple<std::string, int, Qpn>, size_t> dcqcn_index;
+
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = SplitCsvLine(line);
+    if (first && f[0] == "kind") {
+      first = false;
+      continue;  // header
+    }
+    first = false;
+    double host_val = 0;
+    double qpn_val = 0;
+    if (f.size() < 4 || !ParseDouble(f[2], &host_val) || !ParseDouble(f[3], &qpn_val)) {
+      ++report.malformed_rows;
+      continue;
+    }
+    const auto key = std::make_tuple(f[1], int(host_val), Qpn(qpn_val));
+    if (f[0] == "flow" && f.size() == 6) {
+      double value = 0;
+      if (!ParseDouble(f[5], &value)) {
+        ++report.malformed_rows;
+        continue;
+      }
+      auto [it, inserted] = flow_index.emplace(key, report.flows.size());
+      if (inserted) {
+        report.flows.push_back(
+            FlowCsvReport::Flow{f[1], int(host_val), Qpn(qpn_val), {}});
+      }
+      report.flows[it->second].metrics.emplace_back(f[4], value);
+      ++report.rows;
+    } else if (f[0] == "dcqcn" && f.size() == 8) {
+      double t_us = 0;
+      double rate = 0;
+      double alpha = 0;
+      if (!ParseDouble(f[4], &t_us) || !ParseDouble(f[6], &rate) ||
+          !ParseDouble(f[7], &alpha)) {
+        ++report.malformed_rows;
+        continue;
+      }
+      auto [it, inserted] = dcqcn_index.emplace(key, report.dcqcn.size());
+      if (inserted) {
+        FlowCsvReport::DcqcnSummary s;
+        s.label = f[1];
+        s.host = int(host_val);
+        s.qpn = Qpn(qpn_val);
+        s.first_us = t_us;
+        s.min_rate_gbps = rate;
+        report.dcqcn.push_back(s);
+      }
+      FlowCsvReport::DcqcnSummary& s = report.dcqcn[it->second];
+      if (f[5] == "cnp") {
+        ++s.cnp;
+      } else if (f[5] == "cut") {
+        ++s.cuts;
+      } else if (f[5] == "increase") {
+        ++s.increases;
+      } else {
+        ++report.malformed_rows;
+        continue;
+      }
+      s.last_us = t_us;
+      s.last_rate_gbps = rate;
+      if (rate > 0 && (s.min_rate_gbps == 0 || rate < s.min_rate_gbps)) {
+        s.min_rate_gbps = rate;
+      }
+      ++report.rows;
+    } else {
+      ++report.malformed_rows;
+    }
+  }
+  return report;
+}
+
+std::string FormatFlowCsvReport(const FlowCsvReport& report) {
+  std::string out;
+  out += "flows: " + std::to_string(report.flows.size()) + " (" +
+         std::to_string(report.rows) + " rows";
+  if (report.malformed_rows > 0) {
+    out += ", " + std::to_string(report.malformed_rows) + " malformed";
+  }
+  out += ")\n";
+  for (const FlowCsvReport::Flow& f : report.flows) {
+    out += "  [" + f.label + "] h" + std::to_string(f.host) + " qp" +
+           std::to_string(f.qpn) + ":";
+    for (const auto& [metric, value] : f.metrics) {
+      out += " " + metric + "=" + FormatCompact(value);
+    }
+    out += "\n";
+  }
+  if (!report.dcqcn.empty()) {
+    out += "dcqcn timeline: " + std::to_string(report.dcqcn.size()) + " flows\n";
+    for (const FlowCsvReport::DcqcnSummary& s : report.dcqcn) {
+      out += "  [" + s.label + "] h" + std::to_string(s.host) + " qp" +
+             std::to_string(s.qpn) + ": " + std::to_string(s.cnp) + " cnp, " +
+             std::to_string(s.cuts) + " cuts, " + std::to_string(s.increases) +
+             " increases, t " + FormatCompact(s.first_us) + ".." +
+             FormatCompact(s.last_us) + " us, rate " +
+             FormatCompact(s.last_rate_gbps) + " gbps (min " +
+             FormatCompact(s.min_rate_gbps) + ")\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// One flight-recorder ring record, decoded per type: the opcode byte holds an
+// IB opcode for tx/rx and an AETH syndrome for naks; aux is overloaded (see
+// FlightRecordType).
+std::string FormatFlightRecord(const FlightRecord& r) {
+  std::string out = FormatUs(SimTime(r.t_ps)) + " us  ";
+  const char* name = FlightRecordTypeName(static_cast<FlightRecordType>(r.type));
+  out += name;
+  for (size_t i = std::strlen(name); i < 11; ++i) {
+    out += ' ';
+  }
+  out += "qp" + std::to_string(r.qpn) + "  psn " + std::to_string(r.psn);
+  switch (static_cast<FlightRecordType>(r.type)) {
+    case FlightRecordType::kTx:
+    case FlightRecordType::kRx:
+      out += std::string("  ") + IbOpcodeName(static_cast<IbOpcode>(r.opcode)) + "  " +
+             std::to_string(r.aux) + " B";
+      break;
+    case FlightRecordType::kNak:
+      out += std::string("  ") + SyndromeName(static_cast<AckSyndrome>(r.opcode)) +
+             "  epsn " + std::to_string(r.aux);
+      break;
+    case FlightRecordType::kCnp:
+      // aux = rate_bps >> 20 at the time the BECN was observed.
+      out += "  rate " + FormatCompact(double(r.aux) * 1048576.0 / 1e9) + " gbps";
+      break;
+    case FlightRecordType::kQpState:
+      out += r.aux != 0 ? "  -> error" : "  -> reset";
+      break;
+    case FlightRecordType::kRetransmit:
+      out += "  replay queue " + std::to_string(r.aux);
+      break;
+    case FlightRecordType::kTimeout:
+      out += "  retry " + std::to_string(r.aux);
+      break;
+    case FlightRecordType::kAudit:
+      out += "  VIOLATION";
+      break;
+    default:
+      out += "  type " + std::to_string(r.type) + " aux " + std::to_string(r.aux);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PostmortemReport> InspectPostmortem(const std::string& stem) {
+  Result<FlightRecordBundle> bundle = LoadFlightRecords(stem + ".flightrec.bin");
+  if (!bundle.ok()) {
+    return bundle.status();
+  }
+  PostmortemReport pm;
+  pm.stem = stem;
+  pm.reason = bundle->reason;
+  pm.hosts = std::move(bundle->hosts);
+
+  // Per-QP anomaly tallies for the localization findings.
+  struct QpAnomalies {
+    uint64_t naks = 0;
+    uint64_t timeouts = 0;
+    uint64_t retransmits = 0;
+    uint64_t errors = 0;
+  };
+  std::map<std::pair<uint16_t, uint32_t>, QpAnomalies> anomalies;
+  uint64_t audit_marks = 0;
+  for (const std::vector<FlightRecord>& records : pm.hosts) {
+    for (const FlightRecord& r : records) {
+      ++pm.records;
+      ++pm.type_counts[r.type];
+      switch (static_cast<FlightRecordType>(r.type)) {
+        case FlightRecordType::kNak:
+          ++anomalies[{r.host, r.qpn}].naks;
+          break;
+        case FlightRecordType::kTimeout:
+          ++anomalies[{r.host, r.qpn}].timeouts;
+          break;
+        case FlightRecordType::kRetransmit:
+          ++anomalies[{r.host, r.qpn}].retransmits;
+          break;
+        case FlightRecordType::kQpState:
+          if (r.aux != 0) {
+            ++anomalies[{r.host, r.qpn}].errors;
+          }
+          break;
+        case FlightRecordType::kAudit:
+          ++audit_marks;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Cross-check: every captured frame was recorded alongside a tx/rx ring
+  // event with the same host, timestamp and length. The event ring is larger
+  // than the frame ring but also absorbs non-frame events, so only frames
+  // within the ring's retention window (at or after the host's oldest
+  // surviving record) must find a match.
+  Result<CaptureFile> capture = ReadPcapng(stem + ".frames.pcapng");
+  if (!capture.ok()) {
+    pm.inconsistencies.push_back("frame capture unreadable: " +
+                                 capture.status().ToString());
+  } else {
+    pm.have_frames = true;
+    std::map<std::tuple<int, uint64_t, uint8_t, size_t>, uint64_t> ring_frames;
+    std::vector<uint64_t> oldest(pm.hosts.size(), ~uint64_t{0});
+    for (size_t h = 0; h < pm.hosts.size(); ++h) {
+      for (const FlightRecord& r : pm.hosts[h]) {
+        oldest[h] = std::min(oldest[h], r.t_ps);
+        if (r.type == uint8_t(FlightRecordType::kTx) ||
+            r.type == uint8_t(FlightRecordType::kRx)) {
+          ++ring_frames[{int(h), r.t_ps, r.type, size_t(r.aux)}];
+        }
+      }
+    }
+    for (size_t idx = 0; idx < capture->packets.size(); ++idx) {
+      const CapturedPacket& pkt = capture->packets[idx];
+      ++pm.frames;
+      const std::string& iface = capture->InterfaceName(pkt.interface_id);
+      int host = -1;
+      if (iface.rfind("host", 0) == 0) {
+        host = std::atoi(iface.c_str() + 4);
+      }
+      const bool tx = pkt.comment == "fr:tx";
+      if (host < 0 || size_t(host) >= pm.hosts.size() ||
+          (!tx && pkt.comment != "fr:rx")) {
+        pm.inconsistencies.push_back(
+            "frame #" + std::to_string(idx) + " on interface '" + iface +
+            "' (comment '" + pkt.comment + "') is not a flight-recorder frame");
+        continue;
+      }
+      // The ring records the on-wire length; the capture may be a snaplen
+      // prefix, so match on the EPB original length.
+      const size_t wire_len = pkt.orig_len != 0 ? pkt.orig_len : pkt.data.size();
+      const auto key = std::make_tuple(
+          host, uint64_t(pkt.timestamp),
+          uint8_t(tx ? FlightRecordType::kTx : FlightRecordType::kRx), wire_len);
+      auto it = ring_frames.find(key);
+      if (it != ring_frames.end() && it->second > 0) {
+        --it->second;
+        ++pm.frames_matched;
+      } else if (uint64_t(pkt.timestamp) >= oldest[size_t(host)]) {
+        pm.inconsistencies.push_back(
+            "frame #" + std::to_string(idx) + " (host" + std::to_string(host) + ", t=" +
+            FormatUs(pkt.timestamp) + " us, " + std::to_string(wire_len) +
+            " B, " + pkt.comment + ") has no matching " + (tx ? "tx" : "rx") +
+            " record in the event ring");
+      }
+    }
+  }
+
+  // Localization: the dump reason names the offender (port/QP/link); the
+  // anomaly tallies point at the QPs that were struggling when the ring
+  // stopped.
+  for (const auto& [key, a] : anomalies) {
+    std::string line = "host" + std::to_string(key.first) + " qp" +
+                       std::to_string(key.second) + ":";
+    if (a.naks > 0) {
+      line += " " + std::to_string(a.naks) + " naks";
+    }
+    if (a.timeouts > 0) {
+      line += " " + std::to_string(a.timeouts) + " timeouts";
+    }
+    if (a.retransmits > 0) {
+      line += " " + std::to_string(a.retransmits) + " retransmit epochs";
+    }
+    if (a.errors > 0) {
+      line += " " + std::to_string(a.errors) + " error transitions";
+    }
+    pm.findings.push_back(std::move(line));
+  }
+  if (audit_marks > 0) {
+    pm.findings.push_back("audit violation marked in the ring (see reason)");
+  }
+  return pm;
+}
+
+std::string FormatPostmortemReport(const PostmortemReport& report, bool timeline) {
+  std::string out;
+  out += "reason: " + report.reason + "\n";
+  out += "records: " + std::to_string(report.records) + " across " +
+         std::to_string(report.hosts.size()) + " hosts (";
+  bool first_type = true;
+  for (const auto& [type, count] : report.type_counts) {
+    if (!first_type) {
+      out += ", ";
+    }
+    first_type = false;
+    out += std::string(FlightRecordTypeName(static_cast<FlightRecordType>(type))) + " x" +
+           std::to_string(count);
+  }
+  out += ")\n";
+  constexpr size_t kTailRecords = 8;  // default view: the last few per host
+  for (size_t h = 0; h < report.hosts.size(); ++h) {
+    const std::vector<FlightRecord>& records = report.hosts[h];
+    out += "  host " + std::to_string(h) + ": " + std::to_string(records.size()) +
+           " records";
+    if (!records.empty()) {
+      out += ", t " + FormatUs(SimTime(records.front().t_ps)) + ".." +
+             FormatUs(SimTime(records.back().t_ps)) + " us";
+    }
+    out += "\n";
+    const size_t begin =
+        timeline || records.size() <= kTailRecords ? 0 : records.size() - kTailRecords;
+    if (begin > 0) {
+      out += "    ... " + std::to_string(begin) + " older records (--timeline)\n";
+    }
+    for (size_t i = begin; i < records.size(); ++i) {
+      out += "    " + FormatFlightRecord(records[i]) + "\n";
+    }
+  }
+  if (report.have_frames) {
+    out += "frames: " + std::to_string(report.frames) + " in capture, " +
+           std::to_string(report.frames_matched) + " matched against the event ring\n";
+  }
+  if (!report.findings.empty()) {
+    out += "findings:\n";
+    for (const std::string& f : report.findings) {
+      out += "  " + f + "\n";
+    }
+  }
+  for (const std::string& msg : report.inconsistencies) {
+    out += "  POSTMORTEM INCONSISTENCY: " + msg + "\n";
   }
   return out;
 }

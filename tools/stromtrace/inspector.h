@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/proto/headers.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/pcap_reader.h"
 
 namespace strom {
@@ -188,6 +189,67 @@ void MergeEcnReport(const EcnReport& part, EcnReport* into);
 void CheckEcnFeedback(EcnReport* report);
 
 std::string FormatEcnReport(const EcnReport& report);
+
+// --- flow-stats decoding (stromtrace --flows) -------------------------------
+// Aggregated view of a "<stem>.flows.csv" written by a bench run with
+// --flow-stats (see src/telemetry/flow_stats.h for the row grammar):
+// per-(label, host, QP) counters plus a DCQCN timeline summary.
+struct FlowCsvReport {
+  struct Flow {
+    std::string label;
+    int host = 0;
+    Qpn qpn = 0;
+    // Metric name -> value, in file order (completions, goodput_gbps, ...).
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  struct DcqcnSummary {
+    std::string label;
+    int host = 0;
+    Qpn qpn = 0;
+    uint64_t cnp = 0;
+    uint64_t cuts = 0;
+    uint64_t increases = 0;
+    double first_us = 0;
+    double last_us = 0;
+    double min_rate_gbps = 0;   // lowest rate seen in the timeline
+    double last_rate_gbps = 0;  // rate at the final event
+  };
+  size_t rows = 0;                  // data rows parsed (flow + dcqcn)
+  size_t malformed_rows = 0;        // rows that did not parse (errors)
+  std::vector<Flow> flows;          // file order
+  std::vector<DcqcnSummary> dcqcn;  // ordered by first event per flow
+};
+
+Result<FlowCsvReport> LoadFlowCsv(const std::string& path);
+std::string FormatFlowCsvReport(const FlowCsvReport& report);
+
+// --- post-mortem bundles (stromtrace --postmortem <stem>) -------------------
+// Decoded and cross-checked flight-recorder bundle: the event rings from
+// "<stem>.flightrec.bin" checked against the frame ring capture
+// "<stem>.frames.pcapng". Every captured frame was recorded alongside a
+// tx/rx ring event for the same host at the same timestamp and length, so a
+// frame with no matching record (within the ring's retention window) means
+// the bundle is internally inconsistent — a recorder defect or a mixed-up
+// pair of files.
+struct PostmortemReport {
+  std::string stem;
+  std::string reason;  // dump trigger ("audit: ...", "watchdog: ...", ...)
+  std::vector<std::vector<FlightRecord>> hosts;  // oldest-first per host
+  uint64_t records = 0;
+  std::map<uint8_t, uint64_t> type_counts;  // FlightRecordType -> count
+  bool have_frames = false;                 // the pcapng side was readable
+  uint64_t frames = 0;
+  uint64_t frames_matched = 0;
+  // Localization hints: the dump reason plus the QPs with anomaly records
+  // (naks, timeouts, retransmits, error transitions, audit marks).
+  std::vector<std::string> findings;
+  // Cross-check failures; each is an error for the exit status.
+  std::vector<std::string> inconsistencies;
+};
+
+Result<PostmortemReport> InspectPostmortem(const std::string& stem);
+// With `timeline`, prints every ring record; otherwise the last few per host.
+std::string FormatPostmortemReport(const PostmortemReport& report, bool timeline = false);
 
 }  // namespace strom
 

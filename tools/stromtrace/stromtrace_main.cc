@@ -4,6 +4,8 @@
 //
 //   stromtrace [--strict] [--mtu=N] [--timeline] [--faults] [--ecn]
 //              [--retry-limit=N] [--quiet] <capture.pcapng>...
+//   stromtrace --flows [--quiet] <run.flows.csv>...
+//   stromtrace --postmortem [--timeline] [--quiet] <bundle-stem>...
 //
 //   --strict    treat observations (retransmits, NAKs) as errors too; use in
 //               CI on captures of clean runs
@@ -23,6 +25,14 @@
 //               are visible)
 //   --retry-limit=N  retry budget the run was configured with, for the
 //               exhaustion check (default 7 = RoceConfig default)
+//   --flows     arguments are "<stem>.flows.csv" files written by a bench run
+//               with --flow-stats; print per-QP flow counters and the DCQCN
+//               timeline summary (malformed rows are errors)
+//   --postmortem  arguments are flight-recorder bundle stems (a run's
+//               --postmortem-out value): decode "<stem>.flightrec.bin",
+//               cross-check it against "<stem>.frames.pcapng", and print the
+//               dump reason, per-host event rings, and the QPs the ring
+//               localizes the failure to; cross-check failures are errors
 //   --quiet     print nothing; the exit code is the verdict
 //
 // Exit status: 0 all captures clean, 1 anomalies found, 2 usage or file
@@ -40,8 +50,59 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: stromtrace [--strict] [--mtu=N] [--timeline] [--faults] "
-               "[--ecn] [--retry-limit=N] [--quiet] <capture.pcapng>...\n");
+               "[--ecn] [--retry-limit=N] [--quiet] <capture.pcapng>...\n"
+               "       stromtrace --flows [--quiet] <run.flows.csv>...\n"
+               "       stromtrace --postmortem [--timeline] [--quiet] <bundle-stem>...\n");
   return 2;
+}
+
+// stromtrace --flows: pretty-print .flows.csv files. Returns the error count
+// (unreadable file = usage error, reported via *usage_error).
+size_t RunFlows(const std::vector<std::string>& paths, bool quiet, bool* usage_error) {
+  size_t errors = 0;
+  for (const std::string& path : paths) {
+    strom::Result<strom::FlowCsvReport> report = strom::LoadFlowCsv(path);
+    if (!report.ok()) {
+      std::fprintf(stderr, "stromtrace: %s: %s\n", path.c_str(),
+                   report.status().ToString().c_str());
+      *usage_error = true;
+      return errors;
+    }
+    errors += report->malformed_rows;
+    if (!quiet) {
+      std::printf("== %s ==\n%s", path.c_str(),
+                  strom::FormatFlowCsvReport(*report).c_str());
+      std::printf("verdict: %s (%zu malformed row%s)\n\n",
+                  report->malformed_rows == 0 ? "CLEAN" : "ANOMALOUS",
+                  report->malformed_rows, report->malformed_rows == 1 ? "" : "s");
+    }
+  }
+  return errors;
+}
+
+// stromtrace --postmortem: decode + cross-check flight-recorder bundles.
+size_t RunPostmortem(const std::vector<std::string>& stems, bool timeline, bool quiet,
+                     bool* usage_error) {
+  size_t errors = 0;
+  for (const std::string& stem : stems) {
+    strom::Result<strom::PostmortemReport> report = strom::InspectPostmortem(stem);
+    if (!report.ok()) {
+      std::fprintf(stderr, "stromtrace: %s: %s\n", stem.c_str(),
+                   report.status().ToString().c_str());
+      *usage_error = true;
+      return errors;
+    }
+    errors += report->inconsistencies.size();
+    if (!quiet) {
+      std::printf("== %s ==\n%s", stem.c_str(),
+                  strom::FormatPostmortemReport(*report, timeline).c_str());
+      std::printf("verdict: %s (%zu inconsistenc%s)\n\n",
+                  report->inconsistencies.empty() ? "CLEAN" : "ANOMALOUS",
+                  report->inconsistencies.size(),
+                  report->inconsistencies.size() == 1 ? "y" : "ies");
+    }
+  }
+  return errors;
 }
 
 }  // namespace
@@ -52,6 +113,8 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool faults = false;
   bool ecn = false;
+  bool flows = false;
+  bool postmortem = false;
   uint32_t retry_limit = 7;
   strom::InspectOptions options;
   std::vector<std::string> paths;
@@ -68,6 +131,10 @@ int main(int argc, char** argv) {
       faults = true;
     } else if (std::strcmp(arg, "--ecn") == 0) {
       ecn = true;
+    } else if (std::strcmp(arg, "--flows") == 0) {
+      flows = true;
+    } else if (std::strcmp(arg, "--postmortem") == 0) {
+      postmortem = true;
     } else if (std::strncmp(arg, "--retry-limit=", 14) == 0) {
       const long limit = std::strtol(arg + 14, nullptr, 10);
       if (limit < 0) {
@@ -88,8 +155,20 @@ int main(int argc, char** argv) {
       paths.emplace_back(arg);
     }
   }
-  if (paths.empty()) {
+  if (paths.empty() || (flows && postmortem)) {
     return Usage();
+  }
+
+  // --flows and --postmortem change what the positional arguments mean, so
+  // they are modes, not extra report sections.
+  if (flows || postmortem) {
+    bool usage_error = false;
+    const size_t errors = flows ? RunFlows(paths, quiet, &usage_error)
+                                : RunPostmortem(paths, timeline, quiet, &usage_error);
+    if (usage_error) {
+      return 2;
+    }
+    return errors == 0 ? 0 : 1;
   }
 
   size_t total_errors = 0;
