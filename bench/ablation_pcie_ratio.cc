@@ -23,7 +23,7 @@ double RunShuffleStream(const Profile& profile) {
   bed.ConnectQp(0, kQp, 1, kQp);
   const KernelConfig kc{profile.roce.clock_ps, profile.roce.data_width};
   STROM_CHECK(
-      bed.node(1).engine().DeployKernel(std::make_unique<ShuffleKernel>(bed.sim(), kc)).ok());
+      bed.node(1).engine().DeployKernel(std::make_unique<ShuffleKernel>(bed.node(1).sim(), kc)).ok());
 
   const VirtAddr resp = bed.node(0).driver().AllocBuffer(MiB(1))->addr;
   const VirtAddr input = bed.node(0).driver().AllocBuffer(kStreamBytes + kHugePageSize)->addr;
@@ -73,7 +73,7 @@ double RunHllStream(const Profile& profile) {
   bed.ConnectQp(0, kQp, 1, kQp);
   const KernelConfig kc{profile.roce.clock_ps, profile.roce.data_width};
   STROM_CHECK(
-      bed.node(1).engine().DeployKernel(std::make_unique<HllKernel>(bed.sim(), kc)).ok());
+      bed.node(1).engine().DeployKernel(std::make_unique<HllKernel>(bed.node(1).sim(), kc)).ok());
   const VirtAddr resp = bed.node(0).driver().AllocBuffer(MiB(1))->addr;
   const VirtAddr input = bed.node(0).driver().AllocBuffer(kStreamBytes + kHugePageSize)->addr;
   STROM_CHECK(bed.node(0)

@@ -27,7 +27,7 @@ struct TreeBed {
     bed.ConnectQp(0, kQp, 1, kQp);
     const KernelConfig kc{bed.profile().roce.clock_ps, bed.profile().roce.data_width};
     STROM_CHECK(
-        bed.node(1).engine().DeployKernel(std::make_unique<TraversalKernel>(bed.sim(), kc)).ok());
+        bed.node(1).engine().DeployKernel(std::make_unique<TraversalKernel>(bed.node(1).sim(), kc)).ok());
     resp = bed.node(0).driver().AllocBuffer(MiB(1))->addr;
     local = bed.node(0).driver().AllocBuffer(MiB(1))->addr;
     std::vector<uint64_t> keys;

@@ -24,7 +24,7 @@ struct ObjectBed {
     const KernelConfig kc{bed.profile().roce.clock_ps, bed.profile().roce.data_width};
     STROM_CHECK(bed.node(1)
                     .engine()
-                    .DeployKernel(std::make_unique<ConsistencyKernel>(bed.sim(), kc))
+                    .DeployKernel(std::make_unique<ConsistencyKernel>(bed.node(1).sim(), kc))
                     .ok());
     resp = bed.node(0).driver().AllocBuffer(MiB(1))->addr;
     local = bed.node(0).driver().AllocBuffer(MiB(1))->addr;

@@ -20,7 +20,7 @@ double RunWriteStream(size_t payload, bool with_hll, uint64_t* items_seen) {
   HllKernel* kernel = nullptr;
   if (with_hll) {
     const KernelConfig kc{bed.profile().roce.clock_ps, bed.profile().roce.data_width};
-    auto owned = std::make_unique<HllKernel>(bed.sim(), kc);
+    auto owned = std::make_unique<HllKernel>(bed.node(1).sim(), kc);
     kernel = owned.get();
     STROM_CHECK(bed.node(1).engine().DeployKernel(std::move(owned)).ok());
     STROM_CHECK(bed.node(1).engine().AttachReceiveTap(kQp, kHllRpcOpcode).ok());

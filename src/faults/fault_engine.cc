@@ -29,8 +29,8 @@ void FaultEngine::AttachLink(PointToPointLink& link, int side_base) {
 }
 
 void FaultEngine::AttachDma(int node_index, DmaEngine& dma) {
-  dma.SetFaultHook([this, node_index](bool is_write) {
-    return OnDmaCommand(node_index, is_write, sim_.now());
+  dma.SetFaultHook([this, node_index](bool is_write, SimTime now) {
+    return OnDmaCommand(node_index, is_write, now);
   });
 }
 

@@ -51,7 +51,7 @@ SimTime DmaEngine::ServiceTime(const SegmentVec& segments) const {
 void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceContext trace) {
   ++counters_.read_commands;
   if (fault_hook_) {
-    Status injected = fault_hook_(/*is_write=*/false);
+    Status injected = fault_hook_(/*is_write=*/false, sim_.now());
     if (!injected.ok()) {
       ++counters_.errors;
       sim_.Schedule(config_.read_latency, [done = std::move(done), st = std::move(injected)] {
@@ -114,7 +114,7 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceCon
 Status DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace) {
   ++counters_.write_commands;
   if (fault_hook_) {
-    Status injected = fault_hook_(/*is_write=*/true);
+    Status injected = fault_hook_(/*is_write=*/true, sim_.now());
     if (!injected.ok()) {
       // Rejected at issue time: nothing reaches host memory and the caller
       // learns synchronously (the RX path has no completion callback to

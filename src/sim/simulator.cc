@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/sim/lp_scheduler.h"
 #include "src/sim/perf_stats.h"
 #include "src/sim/task.h"
 
@@ -28,7 +29,7 @@ void Simulator::ScheduleAt(SimTime when, EventQueue::Callback fn) {
   queue_.Push(when, std::move(fn));
 }
 
-bool Simulator::Step() {
+bool Simulator::StepLocal() {
   if (queue_.empty()) {
     return false;
   }
@@ -40,26 +41,44 @@ bool Simulator::Step() {
   return true;
 }
 
+bool Simulator::Step() {
+  if (lp_ != nullptr) {
+    return lp_->StepGlobal();
+  }
+  return StepLocal();
+}
+
 void Simulator::RunUntilIdle() {
-  while (Step()) {
+  if (lp_ != nullptr) {
+    lp_->RunUntilIdle();
+    return;
+  }
+  while (StepLocal()) {
   }
   SweepTasks();
 }
 
 void Simulator::RunFor(SimTime duration) {
+  if (lp_ != nullptr) {
+    lp_->RunFor(this, duration);
+    return;
+  }
   const SimTime horizon = now_ + duration;
   while (!queue_.empty() && queue_.NextTime() <= horizon) {
-    Step();
+    StepLocal();
   }
   now_ = std::max(now_, horizon);
   SweepTasks();
 }
 
 bool Simulator::RunUntil(const std::function<bool()>& pred) {
+  if (lp_ != nullptr) {
+    return lp_->RunUntil(pred);
+  }
   if (pred()) {
     return true;
   }
-  while (Step()) {
+  while (StepLocal()) {
     if (pred()) {
       SweepTasks();
       return true;
@@ -67,6 +86,22 @@ bool Simulator::RunUntil(const std::function<bool()>& pred) {
   }
   SweepTasks();
   return false;
+}
+
+uint64_t Simulator::RunWindow(SimTime horizon) {
+  uint64_t ran = 0;
+  while (!queue_.empty() && queue_.NextTime() < horizon) {
+    StepLocal();
+    ++ran;
+  }
+  SweepTasks();
+  return ran;
+}
+
+void Simulator::AdvanceTo(SimTime t) {
+  STROM_CHECK(queue_.empty() || queue_.NextTime() >= t)
+      << "clock alignment past a pending event";
+  now_ = std::max(now_, t);
 }
 
 void Simulator::Spawn(Task task) {

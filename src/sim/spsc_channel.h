@@ -1,0 +1,70 @@
+// Cross-LP event channel for the conservative parallel scheduler.
+//
+// Each direction of a link whose endpoints live in different logical
+// processes (LPs) gets one channel. The producer is the transmitting LP:
+// while its worker thread executes a window, Send() appends
+// {delivery time, callback} items. The consumer is the scheduler, which
+// drains every channel into the destination LP's event queue at the epoch
+// barrier — single-threaded, in fixed channel-registration order — so the
+// destination queue's tie-break sequence numbers depend only on simulated
+// time and topology, never on worker scheduling.
+//
+// Synchronization is deliberately external: pushes happen strictly inside a
+// window (single producer thread per channel), drains strictly at the
+// barrier, and the scheduler's epoch mutex/condvar protocol provides the
+// happens-before edge between the two phases. That keeps Push() at
+// vector-append cost on the hot path, and the vector's capacity is retained
+// across epochs so steady-state traffic allocates nothing.
+#ifndef SRC_SIM_SPSC_CHANNEL_H_
+#define SRC_SIM_SPSC_CHANNEL_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace strom {
+
+class Simulator;
+
+class SpscChannel {
+ public:
+  struct Item {
+    SimTime when = 0;
+    EventQueue::Callback fn;
+  };
+
+  explicit SpscChannel(Simulator* dst) : dst_(dst) {}
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  // Producer side (the transmitting LP, inside a window).
+  void Push(SimTime when, EventQueue::Callback fn) {
+    items_.push_back(Item{when, std::move(fn)});
+  }
+
+  // Consumer side (the scheduler, at the barrier): visits items in push
+  // order and leaves the channel empty, keeping the capacity.
+  template <typename Fn>
+  void Drain(Fn&& fn) {
+    for (Item& item : items_) {
+      fn(item);
+    }
+    items_.clear();
+  }
+
+  Simulator* dst() const { return dst_; }
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+
+ private:
+  Simulator* dst_;
+  std::vector<Item> items_;
+};
+
+}  // namespace strom
+
+#endif  // SRC_SIM_SPSC_CHANNEL_H_

@@ -1,8 +1,10 @@
 #include "src/telemetry/flight_recorder.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <tuple>
 
 #include "src/common/logging.h"
 #include "src/telemetry/pcap_writer.h"
@@ -100,7 +102,13 @@ FlightRecorder::FlightRecorder(int num_hosts, size_t ring_capacity, size_t frame
   for (Ring& ring : rings_) {
     ring.slots.resize(ring_capacity);
   }
-  frames_.resize(frame_capacity);
+  if (frame_capacity > 0) {
+    const size_t per_host = std::max<size_t>(1, frame_capacity / size_t(num_hosts));
+    frame_rings_.resize(size_t(num_hosts));
+    for (FrameRing& ring : frame_rings_) {
+      ring.slots.resize(per_host);
+    }
+  }
 }
 
 FlightRecorder::~FlightRecorder() { UnregisterGlobalFlightRecorder(this); }
@@ -121,10 +129,11 @@ std::vector<FlightRecord> FlightRecorder::HostRecords(int host) const {
 
 Status FlightRecorder::Dump(const std::string& stem, const std::string& reason,
                             const MetricsRegistry::Snapshot* metrics) {
-  if (dumped_) {
+  // First trigger wins, atomically: a cascade (audit violation on one worker,
+  // fatal on another) keeps the original scene.
+  if (dumped_.exchange(true)) {
     return Status::Ok();
   }
-  dumped_ = true;
   Status result = Status::Ok();
 
   // Event rings.
@@ -168,7 +177,9 @@ Status FlightRecorder::Dump(const std::string& stem, const std::string& reason,
     }
   }
 
-  // Frame ring as a capture.
+  // Frame rings as a capture, merged back into wire order. The key
+  // (time, host, per-host ordinal) is a pure function of the simulation, so
+  // the bundle is identical at any worker-thread count.
   {
     PcapWriter pcap(stem + ".frames.pcapng");
     std::vector<uint32_t> interfaces;
@@ -176,14 +187,22 @@ Status FlightRecorder::Dump(const std::string& stem, const std::string& reason,
     for (size_t h = 0; h < rings_.size(); ++h) {
       interfaces.push_back(pcap.AddInterface("host" + std::to_string(h)));
     }
-    const size_t start = (frame_next_ + frames_.size() - frame_count_) %
-                         (frames_.empty() ? 1 : frames_.size());
-    for (size_t i = 0; i < frame_count_; ++i) {
-      const FrameSlot& slot = frames_[(start + i) % frames_.size()];
+    std::vector<const FrameSlot*> order;
+    for (const FrameRing& ring : frame_rings_) {
+      const size_t start =
+          (ring.next + ring.slots.size() - ring.count) % ring.slots.size();
+      for (size_t i = 0; i < ring.count; ++i) {
+        order.push_back(&ring.slots[(start + i) % ring.slots.size()]);
+      }
+    }
+    std::sort(order.begin(), order.end(), [](const FrameSlot* a, const FrameSlot* b) {
+      return std::tie(a->t, a->host, a->seq) < std::tie(b->t, b->host, b->seq);
+    });
+    for (const FrameSlot* slot : order) {
       const uint32_t iface =
-          slot.host < interfaces.size() ? interfaces[slot.host] : interfaces[0];
-      pcap.WritePacket(iface, slot.t, ByteSpan(slot.data, slot.cap_len),
-                       slot.tx ? "fr:tx" : "fr:rx", slot.orig_len);
+          slot->host < interfaces.size() ? interfaces[slot->host] : interfaces[0];
+      pcap.WritePacket(iface, slot->t, ByteSpan(slot->data, slot->cap_len),
+                       slot->tx ? "fr:tx" : "fr:rx", slot->orig_len);
     }
     const Status closed = pcap.Close();
     if (result.ok() && !closed.ok()) {

@@ -1,9 +1,15 @@
-// Flight recorder: a fixed-size per-host ring of recent protocol events plus
-// a shared ring of the last-N wire frames, written on the hot path with zero
+// Flight recorder: fixed-size per-host rings of recent protocol events plus
+// per-host rings of the last-N wire frames, written on the hot path with zero
 // steady-state allocation (records are 24-byte PODs in preallocated rings;
 // frames are snapshotted as a kFrameSnapLen-byte header prefix into a
 // preallocated arena — holding FrameBuf references instead would pin blocks
 // and wreck the frame pool's cache locality).
+//
+// Sharding everything by host is what keeps the recorder armed during
+// conservative-parallel windows: each ring has exactly one writer (the host's
+// logical process), the aggregate counters are relaxed atomics, and Dump()
+// merges the frame rings ordered by (time, host, per-host ordinal) so the
+// bundle is byte-identical at any worker-thread count.
 //
 // On a trigger — watchdog fire, paranoid-mode divergence (via the logging
 // fatal hook), auditor violation, or an explicit --postmortem-out — the
@@ -21,6 +27,7 @@
 #ifndef SRC_TELEMETRY_FLIGHT_RECORDER_H_
 #define SRC_TELEMETRY_FLIGHT_RECORDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -71,7 +78,8 @@ class PcapWriter;
 class FlightRecorder {
  public:
   // `ring_capacity` records are kept per host; `frame_capacity` frames are
-  // kept across all hosts (wire order is what matters for the capture).
+  // kept in total, split evenly into per-host rings (at least one slot
+  // each). The dump re-merges them into wire order.
   explicit FlightRecorder(int num_hosts, size_t ring_capacity = 4096,
                           size_t frame_capacity = 256);
   ~FlightRecorder();
@@ -101,30 +109,35 @@ class FlightRecorder {
     if (ring.count < ring.slots.size()) {
       ++ring.count;
     }
-    ++records_written_;
+    records_written_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Hot path: snapshot the frame's header prefix (at most kFrameSnapLen
-  // bytes, ~2 cache lines) plus its on-wire length. `tx` distinguishes the
-  // capture direction in the dumped pcapng comment.
+  // bytes, ~2 cache lines) plus its on-wire length into the host's own frame
+  // ring. `tx` distinguishes the capture direction in the dumped pcapng
+  // comment.
   void RecordFrame(SimTime now, int host, bool tx, const FrameBuf& frame) {
-    if (frames_.empty()) {
+    if (frame_rings_.empty()) {
       return;
     }
-    FrameSlot& slot = frames_[frame_next_];
+    FrameRing& ring = frame_rings_[host < 0 || size_t(host) >= frame_rings_.size()
+                                       ? 0
+                                       : size_t(host)];
+    FrameSlot& slot = ring.slots[ring.next];
     slot.t = now;
     slot.host = uint16_t(host < 0 ? 0 : host);
     slot.tx = tx;
+    slot.seq = ring.ordinal++;
     slot.orig_len = uint32_t(frame.size());
     slot.cap_len = uint16_t(frame.size() < kFrameSnapLen ? frame.size() : kFrameSnapLen);
     std::memcpy(slot.data, frame.span().data(), slot.cap_len);
-    if (++frame_next_ == frames_.size()) {
-      frame_next_ = 0;
+    if (++ring.next == ring.slots.size()) {
+      ring.next = 0;
     }
-    if (frame_count_ < frames_.size()) {
-      ++frame_count_;
+    if (ring.count < ring.slots.size()) {
+      ++ring.count;
     }
-    ++frames_recorded_;
+    frames_recorded_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Dumps the bundle described above. Idempotent: only the first trigger
@@ -141,10 +154,14 @@ class FlightRecorder {
   bool DumpAuto(const std::string& reason,
                 const MetricsRegistry::Snapshot* metrics = nullptr);
 
-  bool dumped() const { return dumped_; }
+  bool dumped() const { return dumped_.load(std::memory_order_relaxed); }
   int num_hosts() const { return int(rings_.size()); }
-  uint64_t records_written() const { return records_written_; }
-  uint64_t frames_recorded() const { return frames_recorded_; }
+  uint64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_recorded() const {
+    return frames_recorded_.load(std::memory_order_relaxed);
+  }
 
   // Ring contents oldest-first (test/inspection helper; the dump uses it).
   std::vector<FlightRecord> HostRecords(int host) const;
@@ -157,21 +174,26 @@ class FlightRecorder {
   };
   struct FrameSlot {
     SimTime t = 0;
+    uint64_t seq = 0;  // per-host write ordinal; merge tie-break in Dump()
     uint32_t orig_len = 0;
     uint16_t host = 0;
     uint16_t cap_len = 0;
     bool tx = false;
     uint8_t data[kFrameSnapLen];
   };
+  struct FrameRing {
+    std::vector<FrameSlot> slots;
+    size_t next = 0;
+    size_t count = 0;
+    uint64_t ordinal = 0;  // total frames ever written to this ring
+  };
 
   std::vector<Ring> rings_;
-  std::vector<FrameSlot> frames_;
-  size_t frame_next_ = 0;
-  size_t frame_count_ = 0;
-  uint64_t records_written_ = 0;
-  uint64_t frames_recorded_ = 0;
+  std::vector<FrameRing> frame_rings_;  // one per host, single-writer
+  std::atomic<uint64_t> records_written_{0};
+  std::atomic<uint64_t> frames_recorded_{0};
   std::string auto_stem_;
-  bool dumped_ = false;
+  std::atomic<bool> dumped_{false};
 };
 
 // Decoded bundle (the .flightrec.bin side; frames stay in the pcapng).

@@ -18,6 +18,14 @@ class LatencyStats {
     samples_.push_back(sample);
     sorted_valid_ = false;
   }
+  // Folds another accumulator's samples into this one. Percentiles sort, so
+  // the result is independent of merge order — per-shard stats (e.g. the
+  // YCSB engine's per-host shards) fold into identical aggregates at any
+  // worker-thread count.
+  void Merge(const LatencyStats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_valid_ = false;
+  }
   size_t count() const { return samples_.size(); }
 
   SimTime Percentile(double p) const {

@@ -39,7 +39,8 @@ void YcsbEngine::Setup() {
     RoceDriver& drv = fabric_.node(i).driver();
     STROM_CHECK(fabric_.node(i)
                     .engine()
-                    .DeployKernel(std::make_unique<TraversalKernel>(fabric_.sim(), kc))
+                    .DeployKernel(std::make_unique<TraversalKernel>(
+                        fabric_.node(i).sim(), kc))
                     .ok());
     const uint32_t slots = config_.max_outstanding_per_host;
     h.local_buf = drv.AllocBuffer(uint64_t(slots) * config_.value_bytes)->addr;
@@ -111,15 +112,18 @@ void YcsbEngine::ScheduleArrival(int host) {
   const double u = h.rng.NextDouble();
   const SimTime dt =
       std::max<SimTime>(1, static_cast<SimTime>(-std::log(1.0 - u) * mean_ps));
-  fabric_.sim().Schedule(dt, [this, host] {
+  // Arrivals live on the host's own logical process: the generator state
+  // (rng, backlog, shard) then has exactly one writer under the scheduler.
+  Simulator& sim = fabric_.node(host).sim();
+  sim.Schedule(dt, [this, host, &sim] {
     Host& hh = hosts_[host];
-    if (fabric_.sim().now() >= config_.duration) {
+    if (sim.now() >= config_.duration) {
       hh.arrivals_done = true;
       return;
     }
     Op op = MakeOp(host);
-    op.arrival = fabric_.sim().now();
-    ++report_.ops_arrived;
+    op.arrival = sim.now();
+    ++hh.shard.ops_arrived;
     hh.backlog.push_back(op);
     Pump(host);
     ScheduleArrival(host);
@@ -183,7 +187,7 @@ void YcsbEngine::Post(int host, const Op& op) {
         c.eng->Complete(c.host, c.op, c.slot,
                         StatusWordCode(status) == KernelStatusCode::kOk);
       };
-      fabric_.sim().Spawn(poll(Ctx{this, &drv, status_addr, host, op, slot}));
+      fabric_.node(host).sim().Spawn(poll(Ctx{this, &drv, status_addr, host, op, slot}));
       return;
     }
   }
@@ -194,27 +198,27 @@ void YcsbEngine::Complete(int host, const Op& op, uint32_t slot, bool ok) {
   --h.outstanding;
   h.free_slots.push_back(slot);
   if (ok) {
-    ++report_.ops_completed;
+    ++h.shard.ops_completed;
     if (op.arrival >= config_.warmup) {
-      const SimTime latency = fabric_.sim().now() - op.arrival;
-      report_.all.Add(latency);
+      const SimTime latency = fabric_.node(host).sim().now() - op.arrival;
+      h.shard.all.Add(latency);
       switch (op.kind) {
         case Op::kRead:
-          ++report_.reads;
-          report_.read_lat.Add(latency);
+          ++h.shard.reads;
+          h.shard.read_lat.Add(latency);
           break;
         case Op::kWrite:
-          ++report_.writes;
-          report_.write_lat.Add(latency);
+          ++h.shard.writes;
+          h.shard.write_lat.Add(latency);
           break;
         case Op::kGet:
-          ++report_.gets;
-          report_.get_lat.Add(latency);
+          ++h.shard.gets;
+          h.shard.get_lat.Add(latency);
           break;
       }
     }
   } else {
-    ++report_.ops_failed;
+    ++h.shard.ops_failed;
   }
   Pump(host);
 }
@@ -250,6 +254,20 @@ YcsbReport YcsbEngine::Run() {
     // while it is still in the ring.
     const MetricsRegistry::Snapshot snap = fabric_.telemetry().metrics.Snap();
     fabric_.flight_recorder()->DumpAuto("watchdog: ycsb drain deadline", &snap);
+  }
+
+  // Fold the per-host shards in host order (see Host::shard).
+  for (const Host& h : hosts_) {
+    report_.ops_arrived += h.shard.ops_arrived;
+    report_.ops_completed += h.shard.ops_completed;
+    report_.ops_failed += h.shard.ops_failed;
+    report_.reads += h.shard.reads;
+    report_.writes += h.shard.writes;
+    report_.gets += h.shard.gets;
+    report_.all.Merge(h.shard.all);
+    report_.read_lat.Merge(h.shard.read_lat);
+    report_.write_lat.Merge(h.shard.write_lat);
+    report_.get_lat.Merge(h.shard.get_lat);
   }
 
   auto fold_switch = [this](FabricSwitch& sw) {

@@ -115,6 +115,12 @@ class YcsbEngine {
     VirtAddr data_region = 0;  // server side: READ/WRITE target region
     std::optional<RemoteHashTable> table;  // server side: GET target
     bool arrivals_done = false;
+    // Per-host shard of the op counters and latency samples: under the LP
+    // scheduler every host's arrivals and completions run on its own logical
+    // process, so each shard has exactly one writer. Run() folds the shards
+    // in host order, which (percentiles sort anyway) makes the report
+    // identical at any worker-thread count.
+    YcsbReport shard;
   };
 
   void ScheduleArrival(int host);
