@@ -206,7 +206,10 @@ int Main(int argc, char** argv) {
       stress.ycsb.max_outstanding_per_host = 256;
     }
     if (!stress.duration_set) {
-      stress.ycsb.duration = Us(1000);
+      // Long enough that events_per_sec in the perf report measures the event
+      // loop rather than testbed setup/teardown (the report divides by total
+      // process wall time).
+      stress.ycsb.duration = Us(20000);
     }
     std::printf("=== incast %d->1, CC disabled ===\n", opt.hosts - 1);
     const YcsbReport off = RunOne(stress, /*cc_enabled=*/false);

@@ -12,6 +12,13 @@
 // fixed arrays gave the stack (`map[qpn]` is always valid, default-initialized
 // on first use — exactly like indexing the old vector).
 //
+// Layout: the probe table holds only 8-byte {qpn, value-index} slots and the
+// values live in a separate stable pool. Probing a rack-scale table therefore
+// walks a few megabytes of keys instead of striding across hundreds of bytes
+// of per-QP state per probe (each of which was a guaranteed cache miss at
+// 100k+ sessions), and values never move: references returned by operator[]
+// or Find stay valid across later inserts and rehashes.
+//
 // Determinism note: iteration (ForEach) visits slots in table order, which
 // depends only on the sequence of inserts — identical across runs with the
 // same workload. Nothing in the stack derives packet-visible behavior from
@@ -20,6 +27,7 @@
 #define SRC_COMMON_QPN_MAP_H_
 
 #include <cstdint>
+#include <deque>
 #include <utility>
 #include <vector>
 
@@ -31,64 +39,65 @@ namespace strom {
 template <typename T>
 class QpnMap {
  public:
-  explicit QpnMap(uint32_t initial_slots = 16) { Rehash(RoundUpPow2(initial_slots)); }
+  explicit QpnMap(uint32_t initial_slots = 16) { keys_.assign(RoundUpPow2(initial_slots), Key{}); }
 
-  // Lookup-or-create. The table only grows when a genuinely new key is
-  // inserted, so references obtained earlier stay valid across lookups of
-  // existing keys; do not hold a reference across an insert of a new QPN.
+  // Lookup-or-create. Values are pooled in a deque, so references stay valid
+  // across any sequence of later inserts and rehashes.
   T& operator[](Qpn qpn) {
-    Slot* slot = &FindSlot(qpn);
-    if (!slot->used) {
-      if ((size_ + 1) * 4 > slots_.size() * 3) {  // load factor 3/4
-        Rehash(slots_.size() * 2);
-        slot = &FindSlot(qpn);
+    size_t i = FindIndex(qpn);
+    if (keys_[i].idx == kNil) {
+      if ((size_ + 1) * 4 > keys_.size() * 3) {  // load factor 3/4
+        Rehash(keys_.size() * 2);
+        i = FindIndex(qpn);
       }
-      slot->used = true;
-      slot->qpn = qpn;
+      keys_[i].qpn = qpn;
+      keys_[i].idx = static_cast<uint32_t>(values_.size());
+      values_.emplace_back();
       ++size_;
     }
-    return slot->value;
+    return values_[keys_[i].idx];
   }
 
   // Lookup without insertion; nullptr on miss.
   const T* Find(Qpn qpn) const {
-    const Slot& slot = FindSlot(qpn);
-    return slot.used ? &slot.value : nullptr;
+    const Key& key = keys_[FindIndex(qpn)];
+    return key.idx != kNil ? &values_[key.idx] : nullptr;
   }
   T* Find(Qpn qpn) {
-    Slot& slot = FindSlot(qpn);
-    return slot.used ? &slot.value : nullptr;
+    const Key& key = keys_[FindIndex(qpn)];
+    return key.idx != kNil ? &values_[key.idx] : nullptr;
   }
 
   bool Contains(Qpn qpn) const { return Find(qpn) != nullptr; }
 
   size_t size() const { return size_; }
-  size_t slot_count() const { return slots_.size(); }
+  size_t slot_count() const { return keys_.size(); }
 
   // Visits every live entry in table order (deterministic for a fixed insert
   // sequence). Telemetry/aggregation use only.
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    for (Slot& slot : slots_) {
-      if (slot.used) {
-        fn(slot.qpn, slot.value);
+    for (const Key& key : keys_) {
+      if (key.idx != kNil) {
+        fn(key.qpn, values_[key.idx]);
       }
     }
   }
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const Slot& slot : slots_) {
-      if (slot.used) {
-        fn(slot.qpn, slot.value);
+    for (const Key& key : keys_) {
+      if (key.idx != kNil) {
+        fn(key.qpn, values_[key.idx]);
       }
     }
   }
 
  private:
-  struct Slot {
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Key {
     Qpn qpn = 0;
-    bool used = false;
-    T value{};
+    uint32_t idx = kNil;  // index into values_; kNil = empty slot
   };
 
   static uint32_t RoundUpPow2(uint32_t n) {
@@ -105,35 +114,30 @@ class QpnMap {
   // QPN bases 1000/2000/...) from degenerating.
   size_t SlotIndex(Qpn qpn) const {
     uint64_t h = (static_cast<uint64_t>(qpn) * 0x9E3779B97F4A7C15ull) >> 40;
-    return (h ^ qpn) & (slots_.size() - 1);
+    return (h ^ qpn) & (keys_.size() - 1);
   }
 
-  const Slot& FindSlot(Qpn qpn) const {
-    const size_t mask = slots_.size() - 1;
+  size_t FindIndex(Qpn qpn) const {
+    const size_t mask = keys_.size() - 1;
     size_t i = SlotIndex(qpn);
-    while (slots_[i].used && slots_[i].qpn != qpn) {
+    while (keys_[i].idx != kNil && keys_[i].qpn != qpn) {
       i = (i + 1) & mask;
     }
-    return slots_[i];
-  }
-  Slot& FindSlot(Qpn qpn) {
-    return const_cast<Slot&>(static_cast<const QpnMap*>(this)->FindSlot(qpn));
+    return i;
   }
 
   void Rehash(size_t new_slots) {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(new_slots, Slot{});
-    for (Slot& slot : old) {
-      if (slot.used) {
-        Slot& fresh = FindSlot(slot.qpn);
-        fresh.used = true;
-        fresh.qpn = slot.qpn;
-        fresh.value = std::move(slot.value);
+    std::vector<Key> old = std::move(keys_);
+    keys_.assign(new_slots, Key{});
+    for (const Key& key : old) {
+      if (key.idx != kNil) {
+        keys_[FindIndex(key.qpn)] = key;
       }
     }
   }
 
-  std::vector<Slot> slots_;
+  std::vector<Key> keys_;
+  std::deque<T> values_;  // stable addresses; indexed by Key::idx
   size_t size_ = 0;
 };
 

@@ -14,41 +14,45 @@ RetransTimer::RetransTimer(Simulator& sim, uint32_t num_qps, SimTime timeout,
 
 void RetransTimer::Arm(Qpn qpn) {
   Entry& e = timers_[qpn];
-  e.armed = true;
   e.current_timeout = timeout_;
-  ++e.generation;
-  Schedule(qpn);
+  ArmAt(qpn, e);
 }
 
 void RetransTimer::RearmBackoff(Qpn qpn) {
   Entry& e = timers_[qpn];
-  e.armed = true;
   e.current_timeout = std::min(e.current_timeout * 2, timeout_max_);
-  ++e.generation;
-  Schedule(qpn);
+  ArmAt(qpn, e);
 }
 
 void RetransTimer::Cancel(Qpn qpn) {
-  Entry& e = timers_[qpn];
-  e.armed = false;
-  ++e.generation;
+  Entry* e = timers_.Find(qpn);
+  if (e == nullptr) {
+    return;
+  }
+  if (sim_.Cancel(e->handle)) {
+    ++timers_cancelled_;
+    ++stale_expiries_eliminated_;
+  }
 }
 
-void RetransTimer::Schedule(Qpn qpn) {
-  Entry& e = timers_[qpn];
-  const uint64_t gen = e.generation;
-  sim_.Schedule(e.current_timeout, [this, qpn, gen] {
-    Entry* expired = timers_.Find(qpn);
-    if (expired == nullptr || !expired->armed || expired->generation != gen) {
-      return;  // cancelled or re-armed since
+void RetransTimer::ArmAt(Qpn qpn, Entry& e) {
+  ++timers_armed_;
+  if (e.handle.valid()) {
+    if (sim_.TimerPending(e.handle)) {
+      ++stale_expiries_eliminated_;  // the old deadline is moved, not orphaned
     }
-    Entry& entry = *expired;
-    entry.armed = false;
-    ++expirations_;
-    if (on_expiry_) {
-      on_expiry_(qpn);
-    }
-  });
+    sim_.Reschedule(e.handle, e.current_timeout);
+  } else {
+    e.handle =
+        sim_.ScheduleCancellable(e.current_timeout, [this, qpn] { Fire(qpn); });
+  }
+}
+
+void RetransTimer::Fire(Qpn qpn) {
+  ++expirations_;
+  if (on_expiry_) {
+    on_expiry_(qpn);
+  }
 }
 
 }  // namespace strom

@@ -1,9 +1,10 @@
 // Retransmission Timer (paper §4.1): one timer per queue pair, detecting
 // packet loss. The hardware keeps an array of time intervals in on-chip
 // memory and continuously decrements all active timers; the event-driven
-// equivalent here keeps per-QP deadlines and a generation counter so stale
-// expiry events are ignored. Exponential backoff doubles the interval on
-// consecutive timeouts.
+// equivalent keeps one cancellable simulator timer per QP: re-arming
+// physically moves the pending deadline and cancelling physically removes
+// it, so no stale expiry event ever pops through the event queue.
+// Exponential backoff doubles the interval on consecutive timeouts.
 #ifndef SRC_ROCE_RETRANS_TIMER_H_
 #define SRC_ROCE_RETRANS_TIMER_H_
 
@@ -32,18 +33,26 @@ class RetransTimer {
 
   bool IsArmed(Qpn qpn) const {
     const Entry* e = timers_.Find(qpn);
-    return e != nullptr && e->armed;
+    return e != nullptr && sim_.TimerPending(e->handle);
   }
   uint64_t expirations() const { return expirations_; }
 
+  // Timer-churn counters (metrics registry): arms/re-arms, cancels of a
+  // pending deadline, and the dead events the handle API keeps out of the
+  // queue (each re-arm or cancel of a pending timer would have left a
+  // generation-checked tombstone to pop at expiry in the old design).
+  uint64_t timers_armed() const { return timers_armed_; }
+  uint64_t timers_cancelled() const { return timers_cancelled_; }
+  uint64_t stale_expiries_eliminated() const { return stale_expiries_eliminated_; }
+
  private:
   struct Entry {
-    bool armed = false;
-    uint64_t generation = 0;
+    Simulator::TimerHandle handle;
     SimTime current_timeout = 0;
   };
 
-  void Schedule(Qpn qpn);
+  void ArmAt(Qpn qpn, Entry& e);
+  void Fire(Qpn qpn);
 
   Simulator& sim_;
   SimTime timeout_;
@@ -51,6 +60,9 @@ class RetransTimer {
   QpnMap<Entry> timers_;
   ExpiryHandler on_expiry_;
   uint64_t expirations_ = 0;
+  uint64_t timers_armed_ = 0;
+  uint64_t timers_cancelled_ = 0;
+  uint64_t stale_expiries_eliminated_ = 0;
 };
 
 }  // namespace strom

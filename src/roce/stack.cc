@@ -83,6 +83,15 @@ void RoceStack::AttachTelemetry(Telemetry* telemetry, const std::string& process
   gauge("dcqcn_rate_increases", counters_.dcqcn_rate_increases);
   gauge("pacing_deferrals", counters_.pacing_deferrals);
   gauge("pfc_pause_events", counters_.pfc_pause_events);
+  // Timer-churn counters from the cancellable-timer core: dead events that
+  // the handle API physically removes instead of popping as tombstones.
+  telemetry->metrics.AddGauge(prefix + "timers_armed",
+                              [this] { return double(timer_.timers_armed()); });
+  telemetry->metrics.AddGauge(prefix + "timers_cancelled",
+                              [this] { return double(timer_.timers_cancelled()); });
+  telemetry->metrics.AddGauge(
+      prefix + "stale_expiries_eliminated",
+      [this] { return double(timer_.stale_expiries_eliminated()); });
 
   const std::vector<double> bounds = {1,  2,  3,   4,   5,   7.5, 10,  15,
                                       20, 30, 50,  75,  100, 200, 500, 1000};
@@ -386,16 +395,17 @@ bool RoceStack::TrySendNextDataPacket() {
     // rate-limited QPs no longer head-of-line-block other QPs).
     SimTime earliest = 0;
     bool deferred = false;
-    std::set<Qpn> scanned;
+    const uint64_t scan_epoch = ++pacing_scan_epoch_;
     for (WrPtr& cand : wr_queue_) {
       const Qpn qpn = cand->req.qpn;
-      if (!scanned.insert(qpn).second) {
+      QpState& cand_qp = Qp(qpn);
+      if (cand_qp.pacing_scan_epoch == scan_epoch) {
         continue;  // a WR of this QP ahead of it must go first
       }
+      cand_qp.pacing_scan_epoch = scan_epoch;
       if (cand->ready.find(cand->next_send) == cand->ready.end()) {
         continue;  // fetch pending; let other QPs proceed
       }
-      QpState& cand_qp = Qp(qpn);
       MaybeRecoverRate(qpn, cand_qp.cc);
       if (cand_qp.cc.next_allowed > sim_.now()) {
         deferred = true;
@@ -414,7 +424,14 @@ bool RoceStack::TrySendNextDataPacket() {
         ++counters_.pacing_deferrals;
         if (pacing_wakeup_at_ <= sim_.now() || earliest < pacing_wakeup_at_) {
           pacing_wakeup_at_ = earliest;
-          sim_.ScheduleAt(earliest, [this] { PumpTx(); });
+          if (pacing_timer_.valid()) {
+            // Physically move the pending wake instead of stacking a second
+            // event: the superseded later wake would only have re-entered
+            // this pump and found the cursor already serviced.
+            sim_.RescheduleAt(pacing_timer_, earliest);
+          } else {
+            pacing_timer_ = sim_.ScheduleCancellableAt(earliest, [this] { PumpTx(); });
+          }
         }
       }
       return false;
@@ -1379,7 +1396,14 @@ void RoceStack::Pause(uint16_t quanta) {
       static_cast<SimTime>(double(quanta) * 512.0 * 1e12 / config_.LineRateBps());
   if (until > paused_until_) {
     paused_until_ = until;
-    sim_.ScheduleAt(until, [this] { PumpTx(); });
+    // Extending a pause moves the single resume wake to the new deadline;
+    // the superseded earlier wake would have found paused_until_ still in
+    // the future and pumped nothing.
+    if (pause_timer_.valid()) {
+      sim_.RescheduleAt(pause_timer_, until);
+    } else {
+      pause_timer_ = sim_.ScheduleCancellableAt(until, [this] { PumpTx(); });
+    }
   }
 }
 

@@ -128,6 +128,7 @@ class RoceStack {
   const StateTable& state_table() const { return state_table_; }
   const MultiQueue& multi_queue() const { return multi_queue_; }
   uint64_t timer_expirations() const { return timer_.expirations(); }
+  const RetransTimer& retrans_timer() const { return timer_; }
 
  private:
   // A message being packetized / awaiting acknowledgment.
@@ -182,6 +183,10 @@ class RoceStack {
       SimTime last_cut = 0;
       SimTime last_increase = 0;
     } cc;
+    // Stamp of the last TrySendNextDataPacket pacing scan that visited this
+    // QP: later WRs of an already-scanned QP are skipped without building a
+    // per-call set (the decision order is unchanged, only the lookup is).
+    uint64_t pacing_scan_epoch = 0;
   };
 
   // --- TX path -------------------------------------------------------------
@@ -272,8 +277,15 @@ class RoceStack {
   // 802.3x pause gate: PumpTx emits nothing before this time.
   SimTime paused_until_ = 0;
   // Earliest DCQCN pacing wakeup currently scheduled (suppresses duplicate
-  // wakeups; 0 when none is pending).
+  // wakeups; 0 when none is pending). The wake itself is a cancellable
+  // timer: lowering the deadline physically moves the one pending event.
   SimTime pacing_wakeup_at_ = 0;
+  Simulator::TimerHandle pacing_timer_;
+  // Current pacing-scan stamp; bumped at the top of every DCQCN TX scan and
+  // compared against QpState::pacing_scan_epoch to dedupe per-QP work.
+  uint64_t pacing_scan_epoch_ = 0;
+  // Resume wake for the 802.3x pause gate; extending a pause moves it.
+  Simulator::TimerHandle pause_timer_;
   // Pipelines are FIFO: a short packet must not overtake a long one whose
   // store-and-forward latency is higher. These cursors enforce ordering.
   SimTime rx_order_cursor_ = 0;

@@ -39,9 +39,9 @@ void LpScheduler::NoteLinkLookahead(SimTime propagation) {
   }
 }
 
-SimTime LpScheduler::NextEventTimeGlobal() const {
+SimTime LpScheduler::NextEventTimeGlobal() {
   SimTime t = Simulator::kNoEvent;
-  for (const Simulator* lp : lps_) {
+  for (Simulator* lp : lps_) {
     t = std::min(t, lp->NextEventTime());
   }
   return t;

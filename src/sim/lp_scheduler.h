@@ -104,7 +104,8 @@ class LpScheduler {
   uint64_t parallel_windows() const { return parallel_windows_; }
 
  private:
-  SimTime NextEventTimeGlobal() const;
+  // Non-const: NextEventTime may lazily cascade an LP's timing wheel.
+  SimTime NextEventTimeGlobal();
   void DrainChannels();
   // Runs every LP up to `horizon`, in parallel unless serialized.
   void ExecuteWindow(SimTime horizon);

@@ -29,6 +29,32 @@ void Simulator::ScheduleAt(SimTime when, EventQueue::Callback fn) {
   queue_.Push(when, std::move(fn));
 }
 
+Simulator::TimerHandle Simulator::ScheduleCancellable(SimTime delay,
+                                                      EventQueue::Callback fn) {
+  STROM_CHECK_GE(delay, 0);
+  return ScheduleCancellableAt(now_ + delay, std::move(fn));
+}
+
+Simulator::TimerHandle Simulator::ScheduleCancellableAt(SimTime when,
+                                                        EventQueue::Callback fn) {
+  STROM_CHECK_GE(when, now_);
+  const TimerHandle h = queue_.CreateTimer(std::move(fn));
+  queue_.ArmTimer(h, when);
+  return h;
+}
+
+bool Simulator::Cancel(TimerHandle h) { return queue_.CancelTimer(h); }
+
+void Simulator::Reschedule(TimerHandle h, SimTime delay) {
+  STROM_CHECK_GE(delay, 0);
+  queue_.ArmTimer(h, now_ + delay);
+}
+
+void Simulator::RescheduleAt(TimerHandle h, SimTime when) {
+  STROM_CHECK_GE(when, now_);
+  queue_.ArmTimer(h, when);
+}
+
 bool Simulator::StepLocal() {
   if (queue_.empty()) {
     return false;
@@ -37,7 +63,7 @@ bool Simulator::StepLocal() {
   STROM_CHECK_GE(ev.when, now_);
   now_ = ev.when;
   ++events_processed_;
-  ev.fn();
+  ev.Run();
   return true;
 }
 

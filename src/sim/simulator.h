@@ -31,6 +31,10 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  // Handle to a cancellable timer (see ScheduleCancellable below). Copyable
+  // value; default-constructed handles are invalid.
+  using TimerHandle = EventQueue::TimerId;
+
   SimTime now() const { return now_; }
   uint64_t events_processed() const { return events_processed_; }
 
@@ -39,6 +43,22 @@ class Simulator {
 
   // Schedules `fn` at absolute time `when` (>= now()).
   void ScheduleAt(SimTime when, EventQueue::Callback fn);
+
+  // Cancellable timers. ScheduleCancellable installs `fn` once and arms it
+  // `delay` from now; the returned handle can Cancel (physically removing the
+  // pending entry — no tombstone pops through the queue) or Reschedule
+  // (moving the deadline and reusing the installed callback, so periodic
+  // re-arming is allocation-free). After firing, the handle stays valid and
+  // can be re-armed with Reschedule — including from inside the callback.
+  TimerHandle ScheduleCancellable(SimTime delay, EventQueue::Callback fn);
+  TimerHandle ScheduleCancellableAt(SimTime when, EventQueue::Callback fn);
+  // Disarms a pending timer. Returns whether it was pending (false = already
+  // fired, never armed, or invalid handle).
+  bool Cancel(TimerHandle h);
+  // Moves (or re-arms, if idle) the timer's deadline.
+  void Reschedule(TimerHandle h, SimTime delay);
+  void RescheduleAt(TimerHandle h, SimTime when);
+  bool TimerPending(TimerHandle h) const { return queue_.TimerPending(h); }
 
   // Runs a single event; returns false if the queue is empty.
   bool Step();
@@ -66,8 +86,11 @@ class Simulator {
   void SetLpScheduler(LpScheduler* scheduler) { lp_ = scheduler; }
   LpScheduler* lp_scheduler() const { return lp_; }
 
-  // Timestamp of the earliest queued event, kNoEvent when idle.
-  SimTime NextEventTime() const { return queue_.empty() ? kNoEvent : queue_.NextTime(); }
+  // Timestamp of the earliest queued event, kNoEvent when idle. Non-const:
+  // in wheel mode the lookup may lazily cascade far-tier slots into the
+  // near heap (still O(1) amortized — each event descends at most once per
+  // wheel level over its lifetime).
+  SimTime NextEventTime() { return queue_.empty() ? kNoEvent : queue_.NextTime(); }
 
   // Scheduler internals: these never delegate.
   // Runs queued events with when < horizon (strict); the clock stays at the

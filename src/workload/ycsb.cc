@@ -114,20 +114,30 @@ void YcsbEngine::ScheduleArrival(int host) {
       std::max<SimTime>(1, static_cast<SimTime>(-std::log(1.0 - u) * mean_ps));
   // Arrivals live on the host's own logical process: the generator state
   // (rng, backlog, shard) then has exactly one writer under the scheduler.
+  // One cancellable timer per host carries the whole arrival stream: the
+  // callback is installed once and every subsequent arrival just re-arms the
+  // deadline, so the steady-state loop allocates nothing per op.
   Simulator& sim = fabric_.node(host).sim();
-  sim.Schedule(dt, [this, host, &sim] {
-    Host& hh = hosts_[host];
-    if (sim.now() >= config_.duration) {
-      hh.arrivals_done = true;
-      return;
-    }
-    Op op = MakeOp(host);
-    op.arrival = sim.now();
-    ++hh.shard.ops_arrived;
-    hh.backlog.push_back(op);
-    Pump(host);
-    ScheduleArrival(host);
-  });
+  if (h.arrival_timer.valid()) {
+    sim.Reschedule(h.arrival_timer, dt);
+  } else {
+    h.arrival_timer =
+        sim.ScheduleCancellable(dt, [this, host, &sim] { Arrival(host, sim); });
+  }
+}
+
+void YcsbEngine::Arrival(int host, Simulator& sim) {
+  Host& h = hosts_[host];
+  if (sim.now() >= config_.duration) {
+    h.arrivals_done = true;
+    return;
+  }
+  Op op = MakeOp(host);
+  op.arrival = sim.now();
+  ++h.shard.ops_arrived;
+  h.backlog.push_back(op);
+  Pump(host);
+  ScheduleArrival(host);
 }
 
 void YcsbEngine::Pump(int host) {

@@ -115,6 +115,9 @@ class YcsbEngine {
     VirtAddr data_region = 0;  // server side: READ/WRITE target region
     std::optional<RemoteHashTable> table;  // server side: GET target
     bool arrivals_done = false;
+    // Per-host arrival timer: the Poisson stream's callback is installed
+    // once and re-armed per arrival, keeping the open loop allocation-free.
+    Simulator::TimerHandle arrival_timer;
     // Per-host shard of the op counters and latency samples: under the LP
     // scheduler every host's arrivals and completions run on its own logical
     // process, so each shard has exactly one writer. Run() folds the shards
@@ -124,6 +127,7 @@ class YcsbEngine {
   };
 
   void ScheduleArrival(int host);
+  void Arrival(int host, Simulator& sim);
   Op MakeOp(int host);
   void Pump(int host);
   void Post(int host, const Op& op);

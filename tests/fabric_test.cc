@@ -277,7 +277,10 @@ TEST(FabricChaos, LinkFlapRoutesThroughQpRecovery) {
 
   // Op 2: lands inside the flap; the requester retries into the dead link,
   // exhausts the budget, and the QP must move to Error and flush the WQE.
-  fabric.sim().RunUntil([&] { return fabric.sim().now() >= Us(150); });
+  // RunFor (not RunUntil-on-now): with cancellable timers there may be no
+  // event between the flap start and its end, and the clock must still stop
+  // at 150us rather than jump across the whole down window.
+  fabric.sim().RunFor(Us(150) - fabric.sim().now());
   bool op2_done = false;
   Status op2_status;
   drv1.PostWrite(kQp, src1, dst2, 4096, [&](Status st) {
@@ -301,7 +304,9 @@ TEST(FabricChaos, LinkFlapRoutesThroughQpRecovery) {
   // Recovery: the error handler's resync must restore the connection.
   fabric.sim().RunUntil([&] { return !reconnect_pending; });
   EXPECT_EQ(reconnects, 1);
-  fabric.sim().RunUntil([&] { return fabric.sim().now() >= Ms(15); });
+  if (fabric.sim().now() < Ms(15)) {
+    fabric.sim().RunFor(Ms(15) - fabric.sim().now());
+  }
   bool op3_done = false;
   Status op3_status;
   drv1.PostWrite(kQp, src1, dst2, 4096, [&](Status st) {
