@@ -344,6 +344,113 @@ void Fabric::ApplyFaultPlan(std::shared_ptr<const FaultPlan> plan) {
   for (int i = 0; i < num_hosts(); ++i) {
     fault_engine_->AttachDma(i, nodes_[i]->dma());
   }
+  ArmCrashEpisodes();
+}
+
+void Fabric::ArmCrashEpisodes() {
+  bool any_crash = false;
+  for (const FaultEpisode& ep : fault_engine_->plan().episodes) {
+    if (IsCrashFault(ep.type)) {
+      any_crash = true;
+      break;
+    }
+  }
+  if (!any_crash) {
+    return;
+  }
+  for (int i = 0; i < num_hosts(); ++i) {
+    // Opt the DMA completion paths into crash-epoch guards; clean runs keep
+    // the zero-allocation captures.
+    nodes_[i]->dma().EnableCrashFaults();
+    for (FaultTargetKind kind : {FaultTargetKind::kHost, FaultTargetKind::kNic}) {
+      fault_engine_->ArmCrashes(
+          kind, i, nodes_[i]->sim(),
+          [this, kind, i](const FaultEpisode& ep) { OnCrashEpisode(kind, i, ep); },
+          [this, kind, i](const FaultEpisode& ep) { OnRestartEpisode(kind, i, ep); });
+    }
+  }
+  // Switch numbering in plans: leaves 0..L-1, then spines L..L+S-1.
+  const int num_switches = num_leaves() + num_spines();
+  for (int s = 0; s < num_switches; ++s) {
+    Simulator& sw_sim = *(s < num_leaves() ? leaf_sims_[s]
+                                           : spine_sims_[s - num_leaves()]);
+    fault_engine_->ArmCrashes(
+        FaultTargetKind::kSwitch, s, sw_sim,
+        [this, s](const FaultEpisode& ep) {
+          OnCrashEpisode(FaultTargetKind::kSwitch, s, ep);
+        },
+        [this, s](const FaultEpisode& ep) {
+          OnRestartEpisode(FaultTargetKind::kSwitch, s, ep);
+        });
+  }
+}
+
+namespace {
+uint8_t CrashOpcode(FaultTargetKind kind) {
+  switch (kind) {
+    case FaultTargetKind::kHost:
+      return 0;
+    case FaultTargetKind::kNic:
+      return 1;
+    default:
+      return 2;  // kSwitch
+  }
+}
+}  // namespace
+
+void Fabric::OnCrashEpisode(FaultTargetKind kind, int index, const FaultEpisode& ep) {
+  SimTime now = 0;
+  std::string what;
+  if (kind == FaultTargetKind::kSwitch) {
+    FabricSwitch& sw = switch_at(index);
+    sw.Crash();
+    now = (index < num_leaves() ? leaf_sims_[index]
+                                : spine_sims_[index - num_leaves()])
+              ->now();
+    what = sw.name();
+  } else {
+    Node& n = *nodes_[index];
+    n.Crash(kind);
+    now = n.sim().now();
+    what = (kind == FaultTargetKind::kHost ? "host" : "nic") + std::to_string(index);
+  }
+  if (flight_recorder_ != nullptr) {
+    // Switch crashes land in ring 0 (they have no host ring of their own);
+    // safe because fault plans force serialized epochs, so rings never see
+    // two concurrent writers.
+    const int ring = kind == FaultTargetKind::kSwitch ? 0 : index;
+    flight_recorder_->Record(now, ring, FlightRecordType::kCrash, CrashOpcode(kind),
+                             0, 0, uint32_t(index));
+    if (Testbed::telemetry_defaults.dump_on_crash) {
+      const MetricsRegistry::Snapshot snap = telemetry_->metrics.Snap();
+      flight_recorder_->DumpAuto("crash: " + what, &snap);
+    }
+  }
+  for (const CrashListener& listener : crash_listeners_) {
+    listener(ep, /*restarted=*/false);
+  }
+}
+
+void Fabric::OnRestartEpisode(FaultTargetKind kind, int index, const FaultEpisode& ep) {
+  SimTime now = 0;
+  if (kind == FaultTargetKind::kSwitch) {
+    switch_at(index).Restart();
+    now = (index < num_leaves() ? leaf_sims_[index]
+                                : spine_sims_[index - num_leaves()])
+              ->now();
+  } else {
+    Node& n = *nodes_[index];
+    n.Restart(kind);
+    now = n.sim().now();
+  }
+  if (flight_recorder_ != nullptr) {
+    const int ring = kind == FaultTargetKind::kSwitch ? 0 : index;
+    flight_recorder_->Record(now, ring, FlightRecordType::kRestart, CrashOpcode(kind),
+                             0, 0, uint32_t(index));
+  }
+  for (const CrashListener& listener : crash_listeners_) {
+    listener(ep, /*restarted=*/true);
+  }
 }
 
 std::vector<std::string> Fabric::EnableCapture(const std::string& prefix) {

@@ -70,6 +70,18 @@ class Fabric {
   void ApplyFaultPlan(std::shared_ptr<const FaultPlan> plan);
   FaultEngine* fault_engine() { return fault_engine_.get(); }
 
+  // Crash/restart observer, same contract as Testbed::AddCrashListener.
+  // Switch episodes use FaultTargetKind::kSwitch with target indexing leaves
+  // 0..L-1 then spines L..L+S-1.
+  void AddCrashListener(CrashListener listener) {
+    crash_listeners_.push_back(std::move(listener));
+  }
+  // Switch `index` in the crash-episode numbering (leaves, then spines).
+  FabricSwitch& switch_at(int index) {
+    return index < num_leaves() ? *leaves_.at(index)
+                                : *spines_.at(index - num_leaves());
+  }
+
   // "<prefix>.fabric.pcapng" taps every switch port (interfaces
   // "<switch>.port<i>.*"); "<prefix>.node<i>.nic.pcapng" taps each NIC.
   std::vector<std::string> EnableCapture(const std::string& prefix);
@@ -82,6 +94,9 @@ class Fabric {
   void InitObservability();
   void ScheduleSample(SimTime interval);
   void RunTeardownAudits();
+  void ArmCrashEpisodes();
+  void OnCrashEpisode(FaultTargetKind kind, int index, const FaultEpisode& ep);
+  void OnRestartEpisode(FaultTargetKind kind, int index, const FaultEpisode& ep);
 
   Profile profile_;
   Simulator sim_;  // host 0's LP in parallel mode; the only sim otherwise
@@ -104,6 +119,7 @@ class Fabric {
   std::unique_ptr<FlowStats> flow_stats_;
   std::unique_ptr<FlightRecorder> flight_recorder_;
   std::vector<std::unique_ptr<PcapWriter>> captures_;
+  std::vector<CrashListener> crash_listeners_;
 };
 
 }  // namespace strom

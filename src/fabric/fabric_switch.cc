@@ -81,7 +81,11 @@ void FabricSwitch::AttachTelemetry(Telemetry* telemetry, const std::string& proc
                                 [&c] { return double(c.resume_tx); });
     telemetry->metrics.AddGauge(prefix + "queue_bytes_peak",
                                 [&c] { return double(c.queue_bytes_peak); });
+    telemetry->metrics.AddGauge(prefix + "crash_drops",
+                                [&c] { return double(c.crash_drops); });
   }
+  telemetry->metrics.AddGauge(process + ".crash_ingress_drops",
+                              [this] { return double(crash_ingress_drops_); });
 }
 
 void FabricSwitch::AttachSampler(Telemetry* telemetry, const std::string& process) {
@@ -119,17 +123,23 @@ void FabricSwitch::AuditConservation(Auditor& auditor) const {
     const Port& p = ports_[port];
     auditor.NoteCheck();
     const uint64_t queued = p.queue.size();
-    if (p.counters.frames_enqueued != p.counters.frames_dequeued + queued) {
+    if (p.counters.frames_enqueued !=
+        p.counters.frames_dequeued + queued + p.counters.crash_drops) {
       auditor.Violation(name_ + ".port" + std::to_string(port) +
                         " conservation: enqueued=" +
                         std::to_string(p.counters.frames_enqueued) +
                         " dequeued=" + std::to_string(p.counters.frames_dequeued) +
-                        " queued=" + std::to_string(queued));
+                        " queued=" + std::to_string(queued) +
+                        " crash_drops=" + std::to_string(p.counters.crash_drops));
     }
   }
 }
 
 void FabricSwitch::OnFrame(int in_port, FrameBuf frame, TraceContext trace) {
+  if (!alive_) {
+    ++crash_ingress_drops_;
+    return;
+  }
   if (frame.size() < EthHeader::kSize) {
     return;
   }
@@ -182,6 +192,13 @@ void FabricSwitch::OnFrame(int in_port, FrameBuf frame, TraceContext trace) {
 }
 
 void FabricSwitch::Enqueue(int out_port, int in_port, FrameBuf frame, TraceContext trace) {
+  // Frames inside the forwarding pipeline when the switch died land here
+  // after the crash; they die with the switch. Counted outside the per-port
+  // conservation equation because they never reached an egress FIFO.
+  if (!alive_) {
+    ++crash_ingress_drops_;
+    return;
+  }
   Port& p = ports_[out_port];
   const size_t bytes = frame.size();
   if (p.queued_bytes + bytes > config_.egress_queue_bytes) {
@@ -227,11 +244,38 @@ void FabricSwitch::DequeueNext(int out_port) {
   p.link->Send(p.tx_side, std::move(pending.frame), pending.trace);
   // Release the next frame when this one has serialized. The link's own
   // busy-until cursor sees at most one frame at a time from us, so queueing
-  // lives entirely in the observable FIFO above.
-  sim_.Schedule(TransferTime(wire_bytes, config_.port_rate_bps), [this, out_port] {
+  // lives entirely in the observable FIFO above. Epoch-stamped so a release
+  // scheduled before a crash cannot unblock the port the restart already
+  // reset (a stale clear would let two frames overlap on the wire).
+  sim_.Schedule(TransferTime(wire_bytes, config_.port_rate_bps),
+                [this, out_port, epoch = crash_epoch_] {
+    if (epoch != crash_epoch_) {
+      return;
+    }
     ports_[out_port].tx_busy = false;
     DequeueNext(out_port);
   });
+}
+
+void FabricSwitch::Crash() {
+  alive_ = false;
+  ++crash_epoch_;
+  for (Port& p : ports_) {
+    p.counters.crash_drops += p.queue.size();
+    p.queue.clear();  // releases the pooled frames — leak-free by design
+    p.queued_bytes = 0;
+    p.tx_busy = false;
+    // Paused upstream ports stay paused until their quanta expire; the dead
+    // switch cannot send the xon. Drop the bookkeeping so a post-restart
+    // drain does not emit resumes for pauses it never sent.
+    p.paused_ingress.clear();
+  }
+}
+
+void FabricSwitch::Restart() {
+  // Queues are empty and TX serializers idle (Crash() reset them); the MAC
+  // table and static routes persist as configuration.
+  alive_ = true;
 }
 
 void FabricSwitch::SendPause(int ingress_port, uint16_t quanta) {

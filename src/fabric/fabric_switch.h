@@ -61,6 +61,9 @@ struct FabricPortCounters {
   uint64_t pause_tx = 0;   // xoff frames sent upstream
   uint64_t resume_tx = 0;  // xon (quanta = 0) frames sent upstream
   uint64_t queue_bytes_peak = 0;
+  // Frames sitting in this egress FIFO when the switch crashed. Conservation
+  // becomes enqueued == dequeued + queued + crash_drops.
+  uint64_t crash_drops = 0;
 };
 
 class FabricSwitch {
@@ -106,6 +109,17 @@ class FabricSwitch {
   // Frames currently queued on `port`'s egress FIFO.
   size_t PortQueueFrames(int port) const { return ports_[port].queue.size(); }
 
+  // Crash-stop: every egress FIFO is dropped on the floor (pooled frames
+  // released, drops counted per port so conservation audits stay exact), TX
+  // serialization state dies, and until Restart() every arriving frame —
+  // including ones already inside the forwarding pipeline — is discarded.
+  // The MAC table and static routes survive (stable configuration).
+  void Crash();
+  void Restart();
+  bool alive() const { return alive_; }
+  // Frames discarded at ingress/forwarding while the switch was dead.
+  uint64_t crash_ingress_drops() const { return crash_ingress_drops_; }
+
   const FabricPortCounters& counters(int port) const { return ports_[port].counters; }
   const std::string& name() const { return name_; }
 
@@ -144,6 +158,10 @@ class FabricSwitch {
   std::map<MacAddr, int> mac_table_;
   uint64_t frames_forwarded_ = 0;
   uint64_t frames_flooded_ = 0;
+  bool alive_ = true;
+  uint64_t crash_ingress_drops_ = 0;
+  // Orphans per-port TX release events scheduled before a crash.
+  uint64_t crash_epoch_ = 0;
 };
 
 }  // namespace strom

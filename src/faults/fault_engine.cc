@@ -110,7 +110,8 @@ LinkFaultDecision FaultEngine::OnFrame(int global_side, SimTime now) {
 Status FaultEngine::OnDmaCommand(int node_index, bool is_write, SimTime now) {
   for (size_t i = 0; i < plan_->episodes.size(); ++i) {
     const FaultEpisode& ep = plan_->episodes[i];
-    if (IsLinkFault(ep.type) || !ep.Matches(node_index) || !ep.ActiveAt(now)) {
+    if (FaultTargetKindOf(ep.type) != FaultTargetKind::kDma ||
+        !ep.Matches(node_index) || !ep.ActiveAt(now)) {
       continue;
     }
     const bool wants_write = ep.type == FaultType::kDmaWriteError;
@@ -128,6 +129,38 @@ Status FaultEngine::OnDmaCommand(int node_index, bool is_write, SimTime now) {
     }
   }
   return Status::Ok();
+}
+
+void FaultEngine::ArmCrashes(FaultTargetKind kind, int target_index, Simulator& sim,
+                             std::function<void(const FaultEpisode&)> crash_cb,
+                             std::function<void(const FaultEpisode&)> restart_cb) {
+  for (size_t i = 0; i < plan_->episodes.size(); ++i) {
+    const FaultEpisode& ep = plan_->episodes[i];
+    if (!IsCrashFault(ep.type) || FaultTargetKindOf(ep.type) != kind ||
+        !ep.Matches(target_index)) {
+      continue;
+    }
+    sim.ScheduleAt(ep.start, [this, &ep, crash_cb] {
+      switch (ep.type) {
+        case FaultType::kHostCrash:
+          ++counters_.hosts_crashed;
+          break;
+        case FaultType::kNicCrash:
+          ++counters_.nics_crashed;
+          break;
+        default:
+          ++counters_.switches_crashed;
+          break;
+      }
+      crash_cb(ep);
+    });
+    if (ep.restart_after >= 0 && restart_cb) {
+      sim.ScheduleAt(ep.start + ep.restart_after, [this, &ep, restart_cb] {
+        ++counters_.restarts;
+        restart_cb(ep);
+      });
+    }
+  }
 }
 
 }  // namespace strom

@@ -7,6 +7,7 @@
 #ifndef SRC_FAULTS_FAULT_ENGINE_H_
 #define SRC_FAULTS_FAULT_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -26,6 +27,10 @@ struct FaultEngineCounters {
   uint64_t frames_silently_dropped = 0;  // silent_drop episodes (audit drills)
   uint64_t dma_read_errors = 0;
   uint64_t dma_write_errors = 0;
+  uint64_t hosts_crashed = 0;
+  uint64_t nics_crashed = 0;
+  uint64_t switches_crashed = 0;
+  uint64_t restarts = 0;
 };
 
 class FaultEngine {
@@ -38,6 +43,17 @@ class FaultEngine {
 
   // Installs the command hook on node `node_index`'s DMA engine ("dmaN").
   void AttachDma(int node_index, DmaEngine& dma);
+
+  // Schedules crash (and, for crash-recovery episodes, restart) callbacks for
+  // every crash episode of `kind` matching `target_index`, on `sim` — which
+  // must be the LP that owns the component, so crash side effects happen in
+  // the owner's timeline and stay deterministic at any thread count. The
+  // crash callback fires at episode start; the restart callback fires
+  // `restart_after` later (never for crash-stop episodes). Crash/restart
+  // counters are maintained by the engine.
+  void ArmCrashes(FaultTargetKind kind, int target_index, Simulator& sim,
+                  std::function<void(const FaultEpisode&)> crash_cb,
+                  std::function<void(const FaultEpisode&)> restart_cb);
 
   const FaultPlan& plan() const { return *plan_; }
   const FaultEngineCounters& counters() const { return counters_; }

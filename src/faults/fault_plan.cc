@@ -13,19 +13,49 @@ namespace {
 struct TypeInfo {
   const char* name;
   FaultType type;
-  bool link;
+  FaultTargetKind kind;
 };
 
+// "crash" appears once per component kind: the type name in the plan text is
+// shared and the target prefix picks the concrete FaultType.
 constexpr TypeInfo kTypes[] = {
-    {"burst_loss", FaultType::kBurstLoss, true},
-    {"reorder", FaultType::kReorder, true},
-    {"duplicate", FaultType::kDuplicate, true},
-    {"jitter", FaultType::kJitter, true},
-    {"down", FaultType::kLinkDown, true},
-    {"silent_drop", FaultType::kSilentDrop, true},
-    {"read_error", FaultType::kDmaReadError, false},
-    {"write_error", FaultType::kDmaWriteError, false},
+    {"burst_loss", FaultType::kBurstLoss, FaultTargetKind::kLink},
+    {"reorder", FaultType::kReorder, FaultTargetKind::kLink},
+    {"duplicate", FaultType::kDuplicate, FaultTargetKind::kLink},
+    {"jitter", FaultType::kJitter, FaultTargetKind::kLink},
+    {"down", FaultType::kLinkDown, FaultTargetKind::kLink},
+    {"silent_drop", FaultType::kSilentDrop, FaultTargetKind::kLink},
+    {"read_error", FaultType::kDmaReadError, FaultTargetKind::kDma},
+    {"write_error", FaultType::kDmaWriteError, FaultTargetKind::kDma},
+    {"crash", FaultType::kHostCrash, FaultTargetKind::kHost},
+    {"crash", FaultType::kNicCrash, FaultTargetKind::kNic},
+    {"crash", FaultType::kSwitchCrash, FaultTargetKind::kSwitch},
 };
+
+struct PrefixInfo {
+  const char* prefix;
+  size_t len;
+  FaultTargetKind kind;
+};
+
+// Longest prefixes first so "switch" is never shadowed; none of the current
+// prefixes is a prefix of another, but keep the order defensive.
+constexpr PrefixInfo kPrefixes[] = {
+    {"switch", 6, FaultTargetKind::kSwitch},
+    {"link", 4, FaultTargetKind::kLink},
+    {"host", 4, FaultTargetKind::kHost},
+    {"dma", 3, FaultTargetKind::kDma},
+    {"nic", 3, FaultTargetKind::kNic},
+};
+
+const char* TargetPrefix(FaultTargetKind kind) {
+  for (const PrefixInfo& p : kPrefixes) {
+    if (p.kind == kind) {
+      return p.prefix;
+    }
+  }
+  return "?";
+}
 
 bool ParseTime(const std::string& tok, SimTime* out) {
   if (tok == "-") {
@@ -102,13 +132,22 @@ const char* FaultTypeName(FaultType type) {
   return "?";
 }
 
-bool IsLinkFault(FaultType type) {
+FaultTargetKind FaultTargetKindOf(FaultType type) {
   for (const TypeInfo& info : kTypes) {
     if (info.type == type) {
-      return info.link;
+      return info.kind;
     }
   }
-  return false;
+  return FaultTargetKind::kLink;
+}
+
+bool IsLinkFault(FaultType type) {
+  return FaultTargetKindOf(type) == FaultTargetKind::kLink;
+}
+
+bool IsCrashFault(FaultType type) {
+  return type == FaultType::kHostCrash || type == FaultType::kNicCrash ||
+         type == FaultType::kSwitchCrash;
 }
 
 Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
@@ -148,17 +187,17 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
     FaultEpisode ep;
     // Target.
     const std::string& target = tok[0];
-    bool target_is_link;
-    std::string index;
-    if (target.rfind("link", 0) == 0) {
-      target_is_link = true;
-      index = target.substr(4);
-    } else if (target.rfind("dma", 0) == 0) {
-      target_is_link = false;
-      index = target.substr(3);
-    } else {
+    const PrefixInfo* prefix = nullptr;
+    for (const PrefixInfo& candidate : kPrefixes) {
+      if (target.rfind(candidate.prefix, 0) == 0) {
+        prefix = &candidate;
+        break;
+      }
+    }
+    if (prefix == nullptr) {
       return LineError(lineno, "unknown target '" + target + "'");
     }
+    const std::string index = target.substr(prefix->len);
     if (index == "*") {
       ep.target = -1;
     } else {
@@ -168,19 +207,24 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
         return LineError(lineno, "bad target index '" + target + "'");
       }
     }
-    // Type.
+    // Type: the name plus the target kind pick the entry, so "crash" resolves
+    // to host/nic/switch crash by prefix.
     const TypeInfo* info = nullptr;
+    bool name_known = false;
     for (const TypeInfo& candidate : kTypes) {
       if (tok[1] == candidate.name) {
-        info = &candidate;
-        break;
+        name_known = true;
+        if (candidate.kind == prefix->kind) {
+          info = &candidate;
+          break;
+        }
       }
     }
-    if (info == nullptr) {
+    if (!name_known) {
       return LineError(lineno, "unknown fault type '" + tok[1] + "'");
     }
-    if (info->link != target_is_link) {
-      return LineError(lineno, std::string("fault type '") + info->name +
+    if (info == nullptr) {
+      return LineError(lineno, std::string("fault type '") + tok[1] +
                                    "' does not apply to target '" + target + "'");
     }
     ep.type = info->type;
@@ -193,6 +237,9 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
     }
     if (ep.end >= 0 && ep.end < ep.start) {
       return LineError(lineno, "episode ends before it starts");
+    }
+    if (IsCrashFault(ep.type)) {
+      ep.end = -1;  // a crash is an instant; any window text is ignored
     }
     // key=value parameters.
     for (size_t i = 4; i < tok.size(); ++i) {
@@ -215,6 +262,11 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
         ok = ParseProb(value, &ep.p);
       } else if (key == "delay" || key == "max") {
         ok = ParseTime(value, &ep.delay) && ep.delay >= 0;
+      } else if (key == "restart_after") {
+        if (!IsCrashFault(ep.type)) {
+          return LineError(lineno, "'restart_after' only applies to crash episodes");
+        }
+        ok = ParseTime(value, &ep.restart_after) && ep.restart_after >= 0;
       } else {
         return LineError(lineno, "unknown key '" + key + "'");
       }
@@ -245,7 +297,7 @@ std::string FaultPlan::ToString() const {
   std::ostringstream os;
   os << "seed " << seed << "\n";
   for (const FaultEpisode& ep : episodes) {
-    os << (IsLinkFault(ep.type) ? "link" : "dma");
+    os << TargetPrefix(FaultTargetKindOf(ep.type));
     if (ep.target < 0) {
       os << "*";
     } else {
@@ -271,6 +323,13 @@ std::string FaultPlan::ToString() const {
         os << " max=" << FormatTime(ep.delay);
         break;
       case FaultType::kLinkDown:
+        break;
+      case FaultType::kHostCrash:
+      case FaultType::kNicCrash:
+      case FaultType::kSwitchCrash:
+        if (ep.restart_after >= 0) {
+          os << " restart_after=" << FormatTime(ep.restart_after);
+        }
         break;
     }
     os << "\n";
@@ -333,6 +392,53 @@ FaultPlan MakeRandomPlan(uint64_t seed, SimTime horizon) {
     ep.target = -1;
     ep.type = rng.Chance(0.5) ? FaultType::kDmaReadError : FaultType::kDmaWriteError;
     ep.p = 0.05 + 0.1 * rng.NextDouble();
+    plan.episodes.push_back(ep);
+  }
+  return plan;
+}
+
+FaultPlan MakeCrashPlan(uint64_t seed, SimTime horizon, int num_hosts,
+                        int num_switches) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xC0FFEEull);
+  // Crash points land in [10%, 60%] of the horizon, restart delays in
+  // [2%, 20%]: the component is back with at least a third of the run left,
+  // so leases re-acquire and sessions drain. Whole-ns draws — see
+  // MakeRandomPlan for why.
+  const auto crash_at = [&] {
+    return Ns(int64_t(rng.Range(uint64_t(horizon / 10 / kNs), uint64_t(horizon * 6 / 10 / kNs))));
+  };
+  const auto restart_delay = [&] {
+    return Ns(int64_t(rng.Range(uint64_t(horizon / 50 / kNs), uint64_t(horizon / 5 / kNs))));
+  };
+  const int n = 1 + int(rng.Below(2));
+  for (int i = 0; i < n; ++i) {
+    FaultEpisode ep;
+    ep.type = rng.Chance(0.5) ? FaultType::kHostCrash : FaultType::kNicCrash;
+    // Spare node 0: crashing every node at once leaves no survivor to detect
+    // the death, and node 0 is the canonical observer in the scenarios.
+    ep.target = num_hosts > 1 ? 1 + int(rng.Below(uint64_t(num_hosts - 1))) : 0;
+    ep.start = crash_at();
+    ep.restart_after = restart_delay();
+    plan.episodes.push_back(ep);
+  }
+  if (num_switches > 0 && rng.Chance(0.4)) {
+    FaultEpisode ep;
+    ep.type = FaultType::kSwitchCrash;
+    ep.target = int(rng.Below(uint64_t(num_switches)));
+    ep.start = crash_at();
+    ep.restart_after = restart_delay() / 4;  // switches come back fast
+    plan.episodes.push_back(ep);
+  }
+  if (rng.Chance(0.5)) {
+    // A concurrent link fault so recovery overlaps an unreliable wire.
+    FaultEpisode ep;
+    ep.target = -1;
+    ep.type = FaultType::kDuplicate;
+    ep.p = 0.02 + 0.05 * rng.NextDouble();
+    ep.start = Ns(int64_t(rng.Below(uint64_t(horizon / 2 / kNs))));
+    ep.end = ep.start + Ns(int64_t(rng.Range(uint64_t(horizon / 20 / kNs), uint64_t(horizon / 4 / kNs))));
     plan.episodes.push_back(ep);
   }
   return plan;

@@ -54,9 +54,14 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceCon
     Status injected = fault_hook_(/*is_write=*/false, sim_.now());
     if (!injected.ok()) {
       ++counters_.errors;
-      sim_.Schedule(config_.read_latency, [done = std::move(done), st = std::move(injected)] {
-        done(st);
-      });
+      sim_.Schedule(config_.read_latency,
+                    [this, epoch = crash_epoch_, done = std::move(done),
+                     st = std::move(injected)] {
+                      if (crash_enabled_ && epoch != crash_epoch_) {
+                        return;
+                      }
+                      done(st);
+                    });
       return;
     }
   }
@@ -64,9 +69,14 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceCon
   Status resolved = tlb_.ResolveInto(virt, length, segments);
   if (!resolved.ok()) {
     ++counters_.errors;
-    sim_.Schedule(config_.read_latency, [done = std::move(done), st = std::move(resolved)] {
-      done(st);
-    });
+    sim_.Schedule(config_.read_latency,
+                  [this, epoch = crash_epoch_, done = std::move(done),
+                   st = std::move(resolved)] {
+                    if (crash_enabled_ && epoch != crash_epoch_) {
+                      return;
+                    }
+                    done(st);
+                  });
     return;
   }
   counters_.segment_splits += segments.size() > 1 ? segments.size() - 1 : 0;
@@ -86,29 +96,46 @@ void DmaEngine::Read(VirtAddr virt, uint64_t length, ReadCallback done, TraceCon
   // The capture re-resolves `virt` instead of carrying the SegmentVec: the
   // TLB is populated once by the driver, so the completion-time resolution is
   // identical to the issue-time one, and the small capture keeps the callback
-  // in SmallCallback's inline buffer (no heap allocation per DMA).
-  sim_.ScheduleAt(complete, [this, virt, length, done = std::move(done)] {
-    SegmentVec segs;
-    Status st = tlb_.ResolveInto(virt, length, segs);
-    if (!st.ok()) {
-      done(std::move(st));
-      return;
-    }
-    // One pooled buffer for the whole command, filled in place from the host
-    // pages (no intermediate vector, no zero fill: every byte is written
-    // below).
-    FrameBuf data = FrameBuf::AllocateUninit(length);
-    uint8_t* dst = data.data();
-    size_t offset = 0;
-    for (const DmaSegment& seg : segs) {
-      memory_.VisitRead(seg.phys, seg.length,
-                        [dst, offset](size_t at, ByteSpan src) {
-                          std::memcpy(dst + offset + at, src.data(), src.size());
-                        });
-      offset += seg.length;
-    }
-    done(std::move(data));
-  });
+  // in SmallCallback's inline buffer (no heap allocation per DMA). With crash
+  // faults enabled the capture also carries the crash epoch (one heap
+  // allocation per command — crash plans are robustness runs, not perf runs):
+  // a completion from before the crash fires into nothing.
+  if (crash_enabled_) {
+    sim_.ScheduleAt(complete,
+                    [this, virt, length, epoch = crash_epoch_, done = std::move(done)] {
+                      if (epoch != crash_epoch_) {
+                        return;
+                      }
+                      CompleteRead(virt, length, done);
+                    });
+  } else {
+    sim_.ScheduleAt(complete, [this, virt, length, done = std::move(done)] {
+      CompleteRead(virt, length, done);
+    });
+  }
+}
+
+void DmaEngine::CompleteRead(VirtAddr virt, uint64_t length, const ReadCallback& done) {
+  SegmentVec segs;
+  Status st = tlb_.ResolveInto(virt, length, segs);
+  if (!st.ok()) {
+    done(std::move(st));
+    return;
+  }
+  // One pooled buffer for the whole command, filled in place from the host
+  // pages (no intermediate vector, no zero fill: every byte is written
+  // below).
+  FrameBuf data = FrameBuf::AllocateUninit(length);
+  uint8_t* dst = data.data();
+  size_t offset = 0;
+  for (const DmaSegment& seg : segs) {
+    memory_.VisitRead(seg.phys, seg.length,
+                      [dst, offset](size_t at, ByteSpan src) {
+                        std::memcpy(dst + offset + at, src.data(), src.size());
+                      });
+    offset += seg.length;
+  }
+  done(std::move(data));
 }
 
 Status DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceContext trace) {
@@ -127,9 +154,14 @@ Status DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceC
   Status resolved = tlb_.ResolveInto(virt, data.size(), segments);
   if (!resolved.ok()) {
     ++counters_.errors;
-    sim_.Schedule(config_.write_latency, [done = std::move(done), st = std::move(resolved)] {
-      done(st);
-    });
+    sim_.Schedule(config_.write_latency,
+                  [this, epoch = crash_epoch_, done = std::move(done),
+                   st = std::move(resolved)] {
+                    if (crash_enabled_ && epoch != crash_epoch_) {
+                      return;
+                    }
+                    done(st);
+                  });
     return Status::Ok();
   }
   counters_.segment_splits += segments.size() > 1 ? segments.size() - 1 : 0;
@@ -145,30 +177,58 @@ Status DmaEngine::Write(VirtAddr virt, FrameBuf data, WriteCallback done, TraceC
   }
 
   // As in Read: re-resolve instead of capturing the SegmentVec, so the
-  // completion fits in SmallCallback's inline buffer.
-  sim_.ScheduleAt(complete, [this, virt, d = std::move(data), done = std::move(done)] {
-    SegmentVec segs;
-    Status st = tlb_.ResolveInto(virt, d.size(), segs);
-    if (!st.ok()) {
-      if (done) {
-        done(std::move(st));
-      }
-      return;
-    }
-    const uint8_t* src = d.data();
-    size_t offset = 0;
-    for (const DmaSegment& seg : segs) {
-      memory_.VisitWrite(seg.phys, seg.length,
-                         [src, offset](size_t at, MutableByteSpan dst) {
-                           std::memcpy(dst.data(), src + offset + at, dst.size());
-                         });
-      offset += seg.length;
-    }
-    if (done) {
-      done(Status::Ok());
-    }
-  });
+  // completion fits in SmallCallback's inline buffer. The crash-guarded
+  // variant drops both the write and its pooled payload (released when the
+  // dead event pops) if the engine crashed in flight.
+  if (crash_enabled_) {
+    sim_.ScheduleAt(complete,
+                    [this, virt, epoch = crash_epoch_, d = std::move(data),
+                     done = std::move(done)] {
+                      if (epoch != crash_epoch_) {
+                        return;
+                      }
+                      CompleteWrite(virt, d, done);
+                    });
+  } else {
+    sim_.ScheduleAt(complete, [this, virt, d = std::move(data), done = std::move(done)] {
+      CompleteWrite(virt, d, done);
+    });
+  }
   return Status::Ok();
+}
+
+void DmaEngine::CompleteWrite(VirtAddr virt, const FrameBuf& d, const WriteCallback& done) {
+  SegmentVec segs;
+  Status st = tlb_.ResolveInto(virt, d.size(), segs);
+  if (!st.ok()) {
+    if (done) {
+      done(std::move(st));
+    }
+    return;
+  }
+  const uint8_t* src = d.data();
+  size_t offset = 0;
+  for (const DmaSegment& seg : segs) {
+    memory_.VisitWrite(seg.phys, seg.length,
+                       [src, offset](size_t at, MutableByteSpan dst) {
+                         std::memcpy(dst.data(), src + offset + at, dst.size());
+                       });
+    offset += seg.length;
+  }
+  if (done) {
+    done(Status::Ok());
+  }
+}
+
+void DmaEngine::Crash() {
+  ++crash_epoch_;
+  // Both channels restart idle; in-flight service time dies with the
+  // backlog. write_visible_at_ resets too: no pre-crash write can become
+  // visible after the crash (its completion event is already fenced).
+  const SimTime now = sim_.now();
+  read_busy_until_ = now;
+  write_busy_until_ = now;
+  write_visible_at_ = now;
 }
 
 }  // namespace strom

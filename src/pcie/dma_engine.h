@@ -71,6 +71,18 @@ class DmaEngine {
   // Installs a per-command fault hook (at most one; driven by FaultEngine).
   void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  // Opts this engine into crash semantics: completions capture the crash
+  // epoch and become no-ops if a Crash() intervened. The guarded captures
+  // exceed SmallCallback's inline buffer, so this stays off unless a crash
+  // plan actually targets the node — the clean-run hot path is unchanged.
+  void EnableCrashFaults() { crash_enabled_ = true; }
+
+  // Kills everything in flight: commands already issued never deliver their
+  // completion (the pooled data buffer is released when the dead event pops,
+  // so nothing leaks), and both channels are idle again for post-restart
+  // traffic. Host memory itself is NOT touched — it models durable state.
+  void Crash();
+
   const DmaCounters& counters() const { return counters_; }
   const DmaConfig& config() const { return config_; }
 
@@ -80,6 +92,8 @@ class DmaEngine {
 
  private:
   SimTime ServiceTime(const SegmentVec& segments) const;
+  void CompleteRead(VirtAddr virt, uint64_t length, const ReadCallback& done);
+  void CompleteWrite(VirtAddr virt, const FrameBuf& data, const WriteCallback& done);
 
   Simulator& sim_;
   HostMemory& memory_;
@@ -91,6 +105,8 @@ class DmaEngine {
   TrackId track_ = kInvalidTrack;
   SimTime read_busy_until_ = 0;
   SimTime write_busy_until_ = 0;
+  bool crash_enabled_ = false;
+  uint32_t crash_epoch_ = 0;
   // PCIe ordering: a read request pushes ahead posted writes — its data must
   // reflect every write posted before it. Tracks when the latest posted
   // write becomes visible in host memory.

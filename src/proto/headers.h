@@ -158,6 +158,12 @@ enum class AckSyndrome : uint8_t {
   kRnrNak = 0x20,
   kNakSequenceError = 0x60,   // PSN gap: requester must retransmit
   kNakRemoteAccess = 0x63,
+  // Semantic NAK outside the InfiniBand-spec set: the destination QP existed
+  // before the responder crashed and has not been re-established — the
+  // request refers to a stale memory-region epoch. The AETH MSN field carries
+  // the responder's current epoch. Only ever emitted after a crash-restart,
+  // so clean-run wire digests are unaffected.
+  kNakStaleEpoch = 0x64,
   kNakInvalidRequest = 0x61,  // e.g. unmatched StRoM RPC op-code
   kNakRemoteOperationalError = 0x62,  // responder DMA failed: fatal, no retry
 };

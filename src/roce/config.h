@@ -118,6 +118,11 @@ struct RoceCounters {
   uint64_t dcqcn_rate_increases = 0; // additive recovery steps applied
   uint64_t pacing_deferrals = 0;     // TX rounds with data held back by pacing
   uint64_t pfc_pause_events = 0;     // 802.3x pause frames honored (quanta > 0)
+  // --- crash-recovery failure domain ---------------------------------------
+  uint64_t crashes = 0;                    // RoceStack::Crash() invocations
+  uint64_t timers_cancelled_at_crash = 0;  // timers armed at the crash instant
+  uint64_t tx_stale_naks = 0;  // NAK(stale epoch) sent for pre-crash QPNs
+  uint64_t rx_stale_naks = 0;  // NAK(stale epoch) received (peer restarted)
 };
 
 }  // namespace strom

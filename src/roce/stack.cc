@@ -83,6 +83,10 @@ void RoceStack::AttachTelemetry(Telemetry* telemetry, const std::string& process
   gauge("dcqcn_rate_increases", counters_.dcqcn_rate_increases);
   gauge("pacing_deferrals", counters_.pacing_deferrals);
   gauge("pfc_pause_events", counters_.pfc_pause_events);
+  gauge("crashes", counters_.crashes);
+  gauge("timers_cancelled_at_crash", counters_.timers_cancelled_at_crash);
+  gauge("tx_stale_naks", counters_.tx_stale_naks);
+  gauge("rx_stale_naks", counters_.rx_stale_naks);
   // Timer-churn counters from the cancellable-timer core: dead events that
   // the handle API physically removes instead of popping as tombstones.
   telemetry->metrics.AddGauge(prefix + "timers_armed",
@@ -156,6 +160,9 @@ Status RoceStack::ConnectQp(Qpn local_qpn, Qpn remote_qpn, Ipv4Addr remote_ip, P
   qp.connected = true;
   qp.remote_qpn = remote_qpn;
   qp.remote_ip = remote_ip;
+  // Re-establishing the QP ends its fencing window: the peer has seen the
+  // new epoch out of band.
+  stale_qps_.erase(local_qpn);
   return Status::Ok();
 }
 
@@ -634,11 +641,19 @@ void RoceStack::EmitFrame(const RocePacket& pkt) {
     tracer_->Span(pkt.trace, tx_track_, std::string("tx:") + IbOpcodeName(pkt.bth.opcode),
                   sim_.now(), tx_order_cursor_);
   }
-  sim_.ScheduleAt(tx_order_cursor_, [this, f = std::move(frame), trace = pkt.trace]() mutable {
-    if (send_frame_) {
-      send_frame_(std::move(f), trace);
-    }
-  });
+  sim_.ScheduleAt(tx_order_cursor_,
+                  [this, epoch = crash_epoch_, f = std::move(frame),
+                   trace = pkt.trace]() mutable {
+                    // Frames still inside the TX pipeline when the stack
+                    // crashed never reach the wire — even if the restart
+                    // beat this event to the clock.
+                    if (epoch != crash_epoch_) {
+                      return;
+                    }
+                    if (send_frame_) {
+                      send_frame_(std::move(f), trace);
+                    }
+                  });
 
   // The word-serial pipeline (II=1) accepts the next packet after `words`
   // cycles: this *is* line rate for the configured width.
@@ -650,6 +665,9 @@ void RoceStack::EmitFrame(const RocePacket& pkt) {
 }
 
 void RoceStack::PumpTx() {
+  if (in_crash_) {
+    return;
+  }
   FetchPayloads();
   if (tx_busy_ || sim_.now() < paused_until_) {
     return;
@@ -709,14 +727,44 @@ void RoceStack::OnFrame(FrameBuf frame, TraceContext trace) {
     tracer_->Span(trace, rx_track_, std::string("rx:") + IbOpcodeName(parsed->bth.opcode),
                   sim_.now(), rx_order_cursor_);
   }
-  sim_.ScheduleAt(rx_order_cursor_, [this, pkt = std::move(*parsed)]() mutable {
-    ProcessPacket(std::move(pkt));
-  });
+  sim_.ScheduleAt(rx_order_cursor_,
+                  [this, epoch = crash_epoch_, pkt = std::move(*parsed)]() mutable {
+                    // Packets inside the RX pipeline when the stack crashed
+                    // die with it.
+                    if (epoch != crash_epoch_) {
+                      return;
+                    }
+                    ProcessPacket(std::move(pkt));
+                  });
 }
 
 void RoceStack::ProcessPacket(RocePacket pkt) {
   const Qpn qpn = pkt.bth.dest_qp;
   if (!QpConnected(qpn)) {
+    const auto tomb = stale_qps_.find(qpn);
+    // Epoch fence: the QP existed before this stack crashed. The peer that
+    // sent this never saw the crash — answer requests with a semantic NAK
+    // carrying the new memory-region epoch instead of letting them silently
+    // miss (or, worse, hit re-registered memory). ACK-class packets (incl.
+    // stale-epoch NAKs from a peer that also crashed) are never answered:
+    // fencing an ACK buys nothing and two restarted peers must not NAK each
+    // other forever.
+    if (tomb != stale_qps_.end() && pkt.bth.opcode != IbOpcode::kAck) {
+      ++counters_.tx_stale_naks;
+      RocePacket nak;
+      nak.src_ip = local_ip_;
+      nak.dst_ip = tomb->second.remote_ip;
+      nak.bth.opcode = IbOpcode::kAck;
+      nak.bth.dest_qp = tomb->second.remote_qpn;
+      nak.bth.psn = pkt.bth.psn;
+      AethHeader aeth;
+      aeth.syndrome = AckSyndrome::kNakStaleEpoch;
+      aeth.msn = uint32_t(mr_epoch_) & 0xFFFFFF;
+      nak.aeth = aeth;
+      nak.trace = pkt.trace;
+      SendControlPacket(std::move(nak));
+      return;
+    }
     ++counters_.unknown_qp_drops;
     return;
   }
@@ -1040,6 +1088,15 @@ void RoceStack::HandleAck(const RocePacket& pkt) {
       // Fatal for the connection: no retransmission can repair it.
       ErrorQp(qpn, InternalError("remote NAK: responder operational error"));
       return;
+    case AckSyndrome::kNakStaleEpoch:
+      ++counters_.rx_naks;
+      ++counters_.rx_stale_naks;
+      // The peer crashed and restarted: our QP pair and any memory
+      // registrations we hold are from a dead epoch. Fence immediately —
+      // retransmitting can only draw the same NAK. Liveness-driven
+      // reconnection (ResetQp + ConnectQp with fresh PSNs) recovers the pair.
+      ErrorQp(qpn, FailedPreconditionError("remote NAK: stale epoch (peer restarted)"));
+      return;
     default:
       ++counters_.rx_naks;
       return;
@@ -1290,7 +1347,10 @@ void RoceStack::ErrorQp(Qpn qpn, const Status& status) {
 
 Status RoceStack::ResetQp(Qpn qpn) {
   if (!QpConnected(qpn)) {
-    return FailedPreconditionError("QP not connected");
+    // Idempotent: a crash already wiped this QP (stale_qps_ tombstone), or it
+    // was never connected. Either way the post-reset state is what the
+    // caller wants, and the reconnect path must not fail on it.
+    return Status::Ok();
   }
   ++counters_.qp_resets;
   if (flight_recorder_ != nullptr) {
@@ -1302,6 +1362,71 @@ Status RoceStack::ResetQp(Qpn qpn) {
   msn_table_.Entry(qpn) = MsnTableEntry{};
   qps_[qpn] = QpState{};
   return Status::Ok();
+}
+
+void RoceStack::Crash() {
+  ++counters_.crashes;
+  in_crash_ = true;
+  // Census the timers armed at the crash instant, then mass-cancel: the
+  // timer slab must never fire a callback into wiped QP state. The count is
+  // exported as roce.timers_cancelled_at_crash.
+  std::vector<Qpn> connected;
+  qps_.ForEach([&connected](Qpn qpn, const QpState& qp) {
+    if (qp.connected) {
+      connected.push_back(qpn);
+    }
+  });
+  // QpnMap iterates in probe-slot order; sort so the flush (and the user
+  // completions it fires) runs in QPN order at any thread count.
+  std::sort(connected.begin(), connected.end());
+  for (Qpn qpn : connected) {
+    if (timer_.IsArmed(qpn)) {
+      ++counters_.timers_cancelled_at_crash;
+    }
+  }
+  if (sim_.TimerPending(pacing_timer_)) {
+    ++counters_.timers_cancelled_at_crash;
+  }
+  if (sim_.TimerPending(pause_timer_)) {
+    ++counters_.timers_cancelled_at_crash;
+  }
+  // Fail-fast gate before flushing: completion callbacks fired by the flush
+  // may try to post follow-up work, which must be rejected with an errored
+  // completion (exactly one terminal state), not queued into the corpse.
+  for (Qpn qpn : connected) {
+    state_table_.Entry(qpn).phase = QpPhase::kError;
+  }
+  const Status crashed = UnavailableError("local crash");
+  for (Qpn qpn : connected) {
+    FlushQp(qpn, crashed);  // cancels the QP's retransmission timer too
+    // Tombstone for epoch fencing, then wipe the pair completely.
+    QpState& qp = qps_[qpn];
+    stale_qps_[qpn] = StaleQp{qp.remote_qpn, qp.remote_ip};
+    state_table_.Deactivate(qpn);
+    msn_table_.Entry(qpn) = MsnTableEntry{};
+    qps_[qpn] = QpState{};
+  }
+  // TX engine: everything still queued dies with the NIC. FlushQp erased the
+  // requester-side entries per QP; read responses being produced for remote
+  // requesters go down with the ship here.
+  wr_queue_.clear();
+  control_queue_.clear();
+  retransmit_queue_.clear();
+  retransmit_payload_.reset();
+  ++retransmit_epoch_;
+  retransmit_fetch_pending_ = false;
+  fetches_in_flight_ = 0;  // their DMA completions are crash-fenced no-ops
+  fetch_cursor_ = 0;
+  sim_.Cancel(pacing_timer_);  // handles stay valid for post-restart re-arm
+  sim_.Cancel(pause_timer_);
+  pacing_wakeup_at_ = 0;
+  paused_until_ = 0;
+  tx_busy_ = false;
+  rx_order_cursor_ = 0;
+  tx_order_cursor_ = 0;
+  ++crash_epoch_;  // orphan TX/RX pipeline events born before the crash
+  ++mr_epoch_;     // post-restart registrations are a new epoch
+  in_crash_ = false;
 }
 
 // ---------------------------------------------------------------------------

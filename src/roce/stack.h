@@ -116,6 +116,22 @@ class RoceStack {
   // Posts a request to the Request Handler. Fails fast on invalid QPs.
   Status PostRequest(WorkRequest wr);
 
+  // Crash-stop of the whole NIC-side protocol engine: every connected QP is
+  // flushed (each posted work request reaches exactly one terminal state,
+  // errored) and then wiped; all TX/retransmit/control state is dropped; all
+  // timers the stack owns — per-QP retransmission, DCQCN pacing, 802.3x
+  // pause resume — are mass-cancelled, with the armed-at-crash census in
+  // RoceCounters::timers_cancelled_at_crash. Each wiped QP leaves a
+  // tombstone: after restart, packets addressed to a pre-crash QPN are
+  // answered with NAK(stale epoch) carrying the new memory-region epoch, so
+  // a requester that never saw the crash is fenced instead of silently
+  // touching re-registered memory. ConnectQp clears the tombstone.
+  void Crash();
+
+  // Memory-region epoch: bumped on every Crash(). Stale-epoch NAKs carry it
+  // in the AETH MSN field.
+  uint64_t mr_epoch() const { return mr_epoch_; }
+
   // 802.3x link-level flow control: pauses the TX engine for `quanta` x 512
   // bit-times at the data path's line rate (quanta 0 resumes immediately).
   // Invoked by the node when a PAUSE frame arrives from the fabric switch.
@@ -252,6 +268,18 @@ class RoceStack {
   RetransTimer timer_;
   QpnMap<QpState> qps_;
   RoceCounters counters_;
+  // Epoch fencing: QPs wiped by Crash(), remembered so post-restart packets
+  // addressed to them draw a NAK(stale epoch) instead of a silent
+  // unknown-QP drop. Erased by ConnectQp.
+  struct StaleQp {
+    Qpn remote_qpn = 0;
+    Ipv4Addr remote_ip = 0;
+  };
+  std::map<Qpn, StaleQp> stale_qps_;
+  uint64_t mr_epoch_ = 0;
+  // Bumped by Crash(); RX-pipeline events scheduled before the crash carry
+  // the epoch they were born under and die silently if it moved.
+  uint32_t crash_epoch_ = 0;
   // Read completion handles, keyed by an internal token carried in the
   // multi-queue context. Kept separately from `outstanding` because a
   // cumulative ACK for a later request may retire the read *request*
@@ -274,6 +302,10 @@ class RoceStack {
   // pump, so without this cursor it rescans the whole queue each time.
   size_t fetch_cursor_ = 0;
   bool tx_busy_ = false;
+  // Set for the duration of Crash(): the flush loop fires user completion
+  // callbacks, and nothing they trigger may pump frames out of (or issue
+  // payload fetches for) a NIC that is mid-death.
+  bool in_crash_ = false;
   // 802.3x pause gate: PumpTx emits nothing before this time.
   SimTime paused_until_ = 0;
   // Earliest DCQCN pacing wakeup currently scheduled (suppresses duplicate

@@ -126,6 +126,22 @@ Status StromEngine::AttachReceiveTap(Qpn qpn, uint32_t rpc_opcode) {
 
 void StromEngine::DetachReceiveTap(Qpn qpn) { taps_.erase(qpn); }
 
+void StromEngine::Crash() {
+  for (auto& [opcode, deployed] : kernels_) {
+    (void)opcode;
+    Deployed& d = *deployed;
+    d.qpn_inbox.clear();
+    d.param_inbox.clear();
+    d.data_inbox.clear();
+    d.dma_in_inbox.clear();
+    d.dma_writes.clear();
+    d.responses.clear();
+    d.active_trace = TraceContext{};
+    d.rpc_started = 0;
+    d.kernel->Reset();
+  }
+}
+
 void StromEngine::OnWriteTap(Qpn qpn, const FrameBuf& payload, bool last) {
   auto it = taps_.find(qpn);
   if (it == taps_.end()) {

@@ -62,6 +62,12 @@ class StromEngine {
   Status AttachReceiveTap(Qpn qpn, uint32_t rpc_opcode);
   void DetachReceiveTap(Qpn qpn);
 
+  // NIC crash: every in-flight invocation dies — inboxes, output collection
+  // state, and the kernels' interface FIFOs are drained (pooled chunk
+  // buffers released). Deployed kernels and receive taps persist: they model
+  // configuration, which the restart restores from stable storage.
+  void Crash();
+
   const EngineCounters& counters() const { return counters_; }
 
  private:

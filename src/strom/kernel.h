@@ -84,6 +84,12 @@ enum class KernelStatusCode : uint8_t {
   kNotFound = 2,
   kError = 3,
   kChecksumFailed = 4,
+  // Host-local fence code, never emitted by a kernel: the session layer
+  // pokes it into a polled status word when a crash guarantees the real
+  // response can no longer arrive (responder state dropped, or the local
+  // NIC lost the QP). Pollers treat it as a distinct "fenced-stale" terminal
+  // outcome, separate from completed and errored.
+  kFencedStale = 5,
 };
 
 inline uint64_t MakeStatusWord(KernelStatusCode code, uint32_t iterations, uint32_t extra = 0) {
@@ -114,6 +120,21 @@ class StromKernel {
   // field, resembling Portals matching).
   virtual uint32_t rpc_opcode() const = 0;
   virtual std::string name() const = 0;
+
+  // Crash semantics: the deployed bitstream survives a NIC power cycle but
+  // everything in flight does not. The default drains all eight interface
+  // FIFOs; kernels holding multi-invocation state beyond their streams
+  // override and chain up.
+  virtual void Reset() {
+    streams_.qpn_in.Clear();
+    streams_.param_in.Clear();
+    streams_.roce_data_in.Clear();
+    streams_.dma_cmd_out.Clear();
+    streams_.dma_data_out.Clear();
+    streams_.dma_data_in.Clear();
+    streams_.roce_meta_out.Clear();
+    streams_.roce_data_out.Clear();
+  }
 
   KernelStreams& streams() { return streams_; }
 

@@ -91,6 +91,16 @@ const char* FlightRecordTypeName(FlightRecordType type) {
       return "timeout";
     case FlightRecordType::kAudit:
       return "audit";
+    case FlightRecordType::kCrash:
+      return "crash";
+    case FlightRecordType::kRestart:
+      return "restart";
+    case FlightRecordType::kPeerDead:
+      return "peer_dead";
+    case FlightRecordType::kReconnectAttempt:
+      return "reconnect_attempt";
+    case FlightRecordType::kLeaseAcquired:
+      return "lease_acquired";
   }
   return "?";
 }

@@ -50,6 +50,13 @@ enum class FlightRecordType : uint8_t {
   kRetransmit = 6,  // go-back-N replay armed (psn = replay start)
   kTimeout = 7,     // retransmission timer fired (aux = consecutive retries)
   kAudit = 8,       // audit violation recorded just before the dump
+  // Crash-recovery timeline (PR 10). `host` is the observer, `aux` carries
+  // the subject (crashed node / peer index) unless noted.
+  kCrash = 9,             // component died (opcode: 0=host 1=nic 2=switch)
+  kRestart = 10,          // component came back (opcode as kCrash)
+  kPeerDead = 11,         // lease expired, peer declared dead (aux = peer)
+  kReconnectAttempt = 12, // backoff attempt (aux = peer; psn = attempt #)
+  kLeaseAcquired = 13,    // lease (re-)established with peer (aux = peer)
 };
 
 const char* FlightRecordTypeName(FlightRecordType type);

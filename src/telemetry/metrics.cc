@@ -48,6 +48,15 @@ void MetricsRegistry::AddGauge(const std::string& name, GaugeFn fn) {
   gauges_.emplace_back(name, std::move(fn));
 }
 
+void MetricsRegistry::LatchGauges(const std::string& prefix) {
+  for (auto& [name, fn] : gauges_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      const double value = fn();
+      fn = [value] { return value; };
+    }
+  }
+}
+
 Histogram* MetricsRegistry::AddHistogram(const std::string& name, std::vector<double> bounds) {
   CheckFresh(name);
   histograms_.emplace_back(name, Histogram(std::move(bounds)));

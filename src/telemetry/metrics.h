@@ -61,6 +61,12 @@ class MetricsRegistry {
   void AddGauge(const std::string& name, GaugeFn fn);
   Histogram* AddHistogram(const std::string& name, std::vector<double> bounds);
 
+  // Replaces every gauge whose name starts with `prefix` by its value at the
+  // time of the call. Components with a shorter lifetime than the registry
+  // (e.g. a workload engine torn down before the end-of-run snapshot) latch
+  // their final readings on destruction so Snap() never chases freed state.
+  void LatchGauges(const std::string& prefix);
+
   struct HistogramSnapshot {
     std::string name;
     std::vector<double> bounds;

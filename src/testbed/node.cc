@@ -40,6 +40,12 @@ void Node::AttachSampler(Telemetry* telemetry, int index) {
 }
 
 void Node::OnFrame(FrameBuf frame, TraceContext trace) {
+  // A dead NIC receives nothing; the link already counted the frame as
+  // delivered, so link conservation is unaffected.
+  if (!nic_alive_) {
+    ++crash_rx_drops_;
+    return;
+  }
   // Peek at the IP protocol field (Eth 14 + IP offset 9). Read-only access
   // must go through the const accessors: mutable data() would invalidate the
   // frame's memoized header/ICRC cache on every received frame.
@@ -65,10 +71,41 @@ void Node::OnFrame(FrameBuf frame, TraceContext trace) {
 }
 
 void Node::SetFrameSender(RoceStack::FrameSender sender) {
-  stack_.SetFrameSender(sender);
-  tcp_.SetFrameSender([sender](ByteBuffer frame) {
-    sender(FrameBuf::Adopt(std::move(frame)), TraceContext{});
+  // Belt-and-braces egress gate: the stack's own crash-epoch guards orphan
+  // pre-crash TX events, but anything that still reaches the wire boundary
+  // of a dead NIC (e.g. TCP, which has no crash epoch) is dropped here.
+  auto gated = [this, sender](FrameBuf frame, TraceContext trace) {
+    if (!nic_alive_) {
+      ++crash_tx_drops_;
+      return;
+    }
+    sender(std::move(frame), trace);
+  };
+  stack_.SetFrameSender(gated);
+  tcp_.SetFrameSender([gated](ByteBuffer frame) {
+    gated(FrameBuf::Adopt(std::move(frame)), TraceContext{});
   });
+}
+
+void Node::Crash(FaultTargetKind kind) {
+  // Order matters: kill the wire boundary first so completion callbacks
+  // fired by the flushes below cannot pump frames out of a mid-death NIC,
+  // then orphan DMA completions before the stack flush errors every QP, so
+  // a flush-triggered re-post never observes a half-dead DMA engine.
+  nic_alive_ = false;
+  if (kind == FaultTargetKind::kHost) {
+    host_alive_ = false;  // same power domain: a host crash takes the NIC too
+  }
+  dma_.Crash();
+  stack_.Crash();
+  engine_.Crash();
+}
+
+void Node::Restart(FaultTargetKind kind) {
+  if (kind == FaultTargetKind::kHost) {
+    host_alive_ = true;
+  }
+  nic_alive_ = true;
 }
 
 }  // namespace strom

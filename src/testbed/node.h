@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/cpu/cpu_model.h"
+#include "src/faults/fault_plan.h"
 #include "src/host/controller.h"
 #include "src/host/driver.h"
 #include "src/netsim/switch.h"
@@ -46,6 +47,24 @@ class Node {
   // a null trace context).
   void SetFrameSender(RoceStack::FrameSender sender);
 
+  // Crash-stop of one failure domain (ISSUE 10 / DESIGN.md §14):
+  //   kNic  — the SmartNIC power-cycles: DMA completions, QP state, kernel
+  //           pipelines, and frames in the TX/RX pipelines die atomically.
+  //           Host memory, the TLB (host-resident page tables), and deployed
+  //           bitstreams survive — they are stable state a restart recovers.
+  //   kHost — the machine power-cycles: everything a kNic crash kills, plus
+  //           host software state (sessions/leases are the workload layer's
+  //           problem; it observes the crash via Fabric crash listeners).
+  // While the NIC is dead, every ingress and egress frame is dropped on the
+  // floor (counted). Restart() re-arms the same kind; restarting a host also
+  // restarts its NIC (same power domain).
+  void Crash(FaultTargetKind kind);
+  void Restart(FaultTargetKind kind);
+  bool nic_alive() const { return nic_alive_; }
+  bool host_alive() const { return host_alive_; }
+  uint64_t crash_rx_drops() const { return crash_rx_drops_; }
+  uint64_t crash_tx_drops() const { return crash_tx_drops_; }
+
   HostMemory& memory() { return memory_; }
   Tlb& tlb() { return tlb_; }
   DmaEngine& dma() { return dma_; }
@@ -70,6 +89,10 @@ class Node {
   RoceDriver driver_;
   CpuModel cpu_;
   TcpStack tcp_;
+  bool nic_alive_ = true;
+  bool host_alive_ = true;
+  uint64_t crash_rx_drops_ = 0;
+  uint64_t crash_tx_drops_ = 0;
 };
 
 }  // namespace strom

@@ -187,6 +187,67 @@ void Testbed::ApplyFaultPlan(std::shared_ptr<const FaultPlan> plan) {
   for (int i = 0; i < num_nodes(); ++i) {
     fault_engine_->AttachDma(i, nodes_[i]->dma());
   }
+  ArmCrashEpisodes();
+}
+
+void Testbed::ArmCrashEpisodes() {
+  bool any_crash = false;
+  for (const FaultEpisode& ep : fault_engine_->plan().episodes) {
+    if (IsCrashFault(ep.type)) {
+      any_crash = true;
+      if (ep.type == FaultType::kSwitchCrash) {
+        STROM_LOG(kWarning) << "switch crash episodes are ignored by Testbed "
+                               "(use Fabric for a crashable switch tier)";
+      }
+    }
+  }
+  if (!any_crash) {
+    return;
+  }
+  for (int i = 0; i < num_nodes(); ++i) {
+    // Opt the DMA completion paths into crash-epoch guards; clean runs keep
+    // the zero-allocation captures.
+    nodes_[i]->dma().EnableCrashFaults();
+    for (FaultTargetKind kind : {FaultTargetKind::kHost, FaultTargetKind::kNic}) {
+      fault_engine_->ArmCrashes(
+          kind, i, nodes_[i]->sim(),
+          [this, i, kind](const FaultEpisode& ep) { OnCrashEpisode(i, kind, ep); },
+          [this, i, kind](const FaultEpisode& ep) { OnRestartEpisode(i, kind, ep); });
+    }
+  }
+}
+
+void Testbed::OnCrashEpisode(int index, FaultTargetKind kind, const FaultEpisode& ep) {
+  Node& n = *nodes_[index];
+  n.Crash(kind);
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Record(n.sim().now(), index, FlightRecordType::kCrash,
+                             kind == FaultTargetKind::kHost ? 0 : 1, 0, 0,
+                             uint32_t(index));
+    if (telemetry_defaults.dump_on_crash) {
+      const MetricsRegistry::Snapshot snap = telemetry_->metrics.Snap();
+      flight_recorder_->DumpAuto(
+          std::string("crash: ") + (kind == FaultTargetKind::kHost ? "host" : "nic") +
+              std::to_string(index),
+          &snap);
+    }
+  }
+  for (const CrashListener& listener : crash_listeners_) {
+    listener(ep, /*restarted=*/false);
+  }
+}
+
+void Testbed::OnRestartEpisode(int index, FaultTargetKind kind, const FaultEpisode& ep) {
+  Node& n = *nodes_[index];
+  n.Restart(kind);
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->Record(n.sim().now(), index, FlightRecordType::kRestart,
+                             kind == FaultTargetKind::kHost ? 0 : 1, 0, 0,
+                             uint32_t(index));
+  }
+  for (const CrashListener& listener : crash_listeners_) {
+    listener(ep, /*restarted=*/true);
+  }
 }
 
 std::vector<std::string> Testbed::EnableCapture(const std::string& prefix) {

@@ -3,6 +3,7 @@
 #ifndef SRC_TESTBED_TESTBED_H_
 #define SRC_TESTBED_TESTBED_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,6 +62,11 @@ struct TestbedTelemetryDefaults {
   // and (b) forces an explicit bundle dump at teardown.
   bool flight_recorder = false;
   std::string postmortem_stem;
+  // Crash episodes are a first-class flight-recorder dump trigger: the first
+  // component death dumps the post-mortem bundle (first-trigger-wins, like
+  // watchdog/fatal/audit). Off for search loops (the chaos explorer runs
+  // hundreds of crashing schedules and only wants files for the reproducer).
+  bool dump_on_crash = true;
   // When > 0 (bench_util --threads), topologies partition into logical
   // processes run by a conservative-parallel scheduler with this many worker
   // threads (src/sim/lp_scheduler.h): Fabric gives every host and switch its
@@ -69,6 +75,12 @@ struct TestbedTelemetryDefaults {
   // legacy single-queue simulator.
   int lp_threads = 0;
 };
+
+// Observer hook for crash/restart episodes: invoked after the component has
+// crashed (`restarted == false`) or come back (`restarted == true`). The
+// liveness and workload layers subscribe to drive lease expiry and session
+// resume without polling.
+using CrashListener = std::function<void(const FaultEpisode&, bool restarted)>;
 
 class Testbed {
  public:
@@ -115,6 +127,12 @@ class Testbed {
   void ApplyFaultPlan(std::shared_ptr<const FaultPlan> plan);
   FaultEngine* fault_engine() { return fault_engine_.get(); }
 
+  // Registers a crash/restart observer. Call before the plan's first crash
+  // fires. Listeners run after the component's own crash/restart handling.
+  void AddCrashListener(CrashListener listener) {
+    crash_listeners_.push_back(std::move(listener));
+  }
+
   // Taps the wire (direct link or every switch port) and each node's NIC
   // boundary into pcapng files under `prefix`. Returns the created file
   // paths. Call before generating traffic (interfaces precede packets).
@@ -132,6 +150,9 @@ class Testbed {
   void InitObservability();
   void ScheduleSample(SimTime interval);
   void RunTeardownAudits();
+  void ArmCrashEpisodes();
+  void OnCrashEpisode(int index, FaultTargetKind kind, const FaultEpisode& ep);
+  void OnRestartEpisode(int index, FaultTargetKind kind, const FaultEpisode& ep);
 
   Profile profile_;
   Simulator sim_;  // node 0's LP in parallel mode; the only sim otherwise
@@ -149,6 +170,7 @@ class Testbed {
   std::unique_ptr<FlowStats> flow_stats_;
   std::unique_ptr<FlightRecorder> flight_recorder_;
   std::vector<std::unique_ptr<PcapWriter>> captures_;
+  std::vector<CrashListener> crash_listeners_;
 };
 
 // Shared by Testbed and Fabric: checks frame conservation on both directions

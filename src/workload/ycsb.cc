@@ -1,6 +1,8 @@
 #include "src/workload/ycsb.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/kernels/traversal.h"
 #include "src/sim/task.h"
@@ -29,6 +31,17 @@ YcsbEngine::YcsbEngine(Fabric& fabric, YcsbConfig config)
   hosts_.resize(fabric.num_hosts());
 }
 
+YcsbEngine::~YcsbEngine() {
+  if (!crash_recovery_) {
+    return;
+  }
+  MetricsRegistry& metrics = fabric_.telemetry().metrics;
+  metrics.LatchGauges("ycsb.arrival_timers_cancelled_at_crash");
+  for (size_t i = 0; i < liveness_.size(); ++i) {
+    metrics.LatchGauges("node" + std::to_string(i) + ".liveness.");
+  }
+}
+
 void YcsbEngine::Setup() {
   STROM_CHECK(!setup_done_);
   const int n = fabric_.num_hosts();
@@ -53,6 +66,7 @@ void YcsbEngine::Setup() {
     for (uint32_t s = 0; s < slots; ++s) {
       h.free_slots.push_back(slots - 1 - s);  // pop_back hands out slot 0 first
     }
+    h.slots.resize(slots);
     // Large table relative to the key count so chains stay rare (fig08's
     // best-case GET assumption).
     h.table.emplace(*RemoteHashTable::Create(drv, RoundUpPow2(config_.keys_per_server * 4),
@@ -74,6 +88,152 @@ void YcsbEngine::Setup() {
     }
   }
   setup_done_ = true;
+}
+
+void YcsbEngine::EnableCrashRecovery(const LivenessConfig& liveness) {
+  STROM_CHECK(setup_done_) << "EnableCrashRecovery needs the QP lanes from Setup()";
+  STROM_CHECK(!crash_recovery_);
+  crash_recovery_ = true;
+  if (const char* bug = std::getenv("STROM_CHAOS_BUG");
+      bug != nullptr && std::strcmp(bug, "no_fence") == 0) {
+    chaos_bug_no_fence_ = true;
+  }
+  const int n = fabric_.num_hosts();
+  pair_incarnation_.assign(size_t(n) * size_t(n), 0);
+  for (int i = 0; i < n; ++i) {
+    auto monitor =
+        std::make_unique<LivenessMonitor>(fabric_.node(i).sim(), i, liveness);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) {
+        continue;
+      }
+      // The probe models keepalive + response: it succeeds only while both
+      // NICs are up (a dead local NIC can't probe; a dead peer can't answer).
+      auto probe = [this, i, j] {
+        return fabric_.node(i).nic_alive() && fabric_.node(j).nic_alive();
+      };
+      // The lower-indexed end owns the out-of-band handshake so the two
+      // monitors don't re-reset each other's freshly reconnected lanes; the
+      // higher-indexed end's lease re-acquire just reopens its posting gate.
+      auto reconnect = [this, i, j](int /*attempt*/) {
+        if (i > j) {
+          return;
+        }
+        const int a = i;
+        const int b = j;
+        const uint32_t inc =
+            ++pair_incarnation_[size_t(a) * size_t(fabric_.num_hosts()) + size_t(b)];
+        for (uint32_t k = 0; k < config_.qps_per_peer; ++k) {
+          // Fresh PSN block per incarnation, disjoint from the Setup()
+          // ranges, so frames from any previous life land outside the
+          // receive window.
+          fabric_.ReconnectQp(a, QpnFor(b, k), b, QpnFor(a, k),
+                              static_cast<Psn>(10000 + inc * 1000 + k * 10),
+                              static_cast<Psn>(500000 + inc * 1000 + k * 10));
+        }
+      };
+      monitor->AddPeer(j, probe, reconnect);
+    }
+    monitor->AttachFlightRecorder(fabric_.flight_recorder());
+    monitor->AttachTelemetry(&fabric_.telemetry(), "node" + std::to_string(i));
+    liveness_.push_back(std::move(monitor));
+  }
+  fabric_.telemetry().metrics.AddGauge("ycsb.arrival_timers_cancelled_at_crash",
+                                       [this] {
+                                         uint64_t total = 0;
+                                         for (const Host& h : hosts_) {
+                                           total += h.shard.arrival_timers_cancelled_at_crash;
+                                         }
+                                         return double(total);
+                                       });
+  fabric_.AddCrashListener([this](const FaultEpisode& ep, bool restarted) {
+    OnCrashEvent(ep, restarted);
+  });
+}
+
+void YcsbEngine::OnCrashEvent(const FaultEpisode& ep, bool restarted) {
+  if (ep.type == FaultType::kSwitchCrash) {
+    // Network-level: sessions ride it out through retransmission; a long
+    // outage errors QPs via retry exhaustion, which is itself terminal.
+    return;
+  }
+  const bool host_level = ep.type == FaultType::kHostCrash;
+  for (int i = 0; i < fabric_.num_hosts(); ++i) {
+    if (!ep.Matches(i)) {
+      continue;
+    }
+    if (restarted) {
+      HandleHostRestart(i, host_level);
+    } else {
+      HandleHostCrash(i, host_level);
+    }
+  }
+}
+
+void YcsbEngine::HandleHostCrash(int index, bool host_level) {
+  Host& h = hosts_[index];
+  if (host_level) {
+    // Host software died: the lease timers, the arrival stream, and the
+    // not-yet-posted backlog go with it. Backlog ops reach their terminal
+    // state here (errored), matching what a restarted client would report
+    // for requests it had accepted but not issued.
+    liveness_[index]->OnLocalCrash();
+    Simulator& sim = fabric_.node(index).sim();
+    if (h.arrival_timer.valid() && sim.TimerPending(h.arrival_timer)) {
+      ++h.shard.arrival_timers_cancelled_at_crash;
+      sim.Cancel(h.arrival_timer);
+    }
+    h.shard.ops_failed += h.backlog.size();
+    h.backlog.clear();
+    h.arrivals_done = true;  // cleared again if the host restarts in-window
+  }
+  // NIC state is gone either way: responses to this host's in-flight GETs
+  // can never arrive (the QPs are tombstoned), and GETs other hosts aimed
+  // *at* this node died inside its kernel pipelines. Fence both directions.
+  if (chaos_bug_no_fence_) {
+    return;
+  }
+  for (uint32_t s = 0; s < h.slots.size(); ++s) {
+    FenceSlot(index, s);
+  }
+  for (int other = 0; other < fabric_.num_hosts(); ++other) {
+    if (other == index) {
+      continue;
+    }
+    Host& o = hosts_[other];
+    for (uint32_t s = 0; s < o.slots.size(); ++s) {
+      if (o.slots[s].get_pending && o.slots[s].dst == index) {
+        FenceSlot(other, s);
+      }
+    }
+  }
+}
+
+void YcsbEngine::HandleHostRestart(int index, bool host_level) {
+  Host& h = hosts_[index];
+  if (!host_level) {
+    return;  // NIC-only: the lease machinery notices the probe heal on its own
+  }
+  liveness_[index]->OnLocalRestart();
+  Simulator& sim = fabric_.node(index).sim();
+  if (sim.now() < config_.duration) {
+    h.arrivals_done = false;
+    ScheduleArrival(index);
+  }
+}
+
+void YcsbEngine::FenceSlot(int host, uint32_t slot) {
+  Host& h = hosts_[host];
+  SlotInfo& si = h.slots[slot];
+  if (!si.get_pending) {
+    return;
+  }
+  // Poke the polled status word with the host-local fence code. The poll
+  // coroutine wakes on its next tick and retires the op as fenced-stale —
+  // exactly one terminal state even if a straggler response races the poke
+  // (whichever write lands first decides the outcome).
+  fabric_.node(host).driver().WriteHostU64(
+      si.status_addr, MakeStatusWord(KernelStatusCode::kFencedStale, 0));
 }
 
 YcsbEngine::Op YcsbEngine::MakeOp(int host) {
@@ -145,6 +305,13 @@ void YcsbEngine::Pump(int host) {
   while (h.outstanding < config_.max_outstanding_per_host && !h.backlog.empty()) {
     const Op op = h.backlog.front();
     h.backlog.pop_front();
+    // Session-level fast-fail while the peer's lease is expired: the op
+    // reaches its terminal state (errored) without burning a posting slot on
+    // a QP that is known dead. Re-posting resumes at lease re-acquire.
+    if (crash_recovery_ && !liveness_[host]->PeerHealthy(op.dst)) {
+      ++h.shard.ops_failed;
+      continue;
+    }
     Post(host, op);
   }
 }
@@ -166,7 +333,7 @@ void YcsbEngine::Post(int host, const Op& op) {
       const VirtAddr remote = server.data_region + (op.key - 1) * config_.value_bytes;
       drv.PostRead(qpn, local, remote, config_.value_bytes,
                    [this, host, op, slot](Status st) {
-                     Complete(host, op, slot, st.ok());
+                     Complete(host, op, slot, st.ok() ? Outcome::kOk : Outcome::kFailed);
                    });
       return;
     }
@@ -174,7 +341,7 @@ void YcsbEngine::Post(int host, const Op& op) {
       const VirtAddr remote = server.data_region + (op.key - 1) * config_.value_bytes;
       drv.PostWrite(qpn, local, remote, config_.value_bytes,
                     [this, host, op, slot](Status st) {
-                      Complete(host, op, slot, st.ok());
+                      Complete(host, op, slot, st.ok() ? Outcome::kOk : Outcome::kFailed);
                     });
       return;
     }
@@ -182,8 +349,23 @@ void YcsbEngine::Post(int host, const Op& op) {
       const VirtAddr resp = h.resp_buf + uint64_t(slot) * (config_.value_bytes + 8);
       const VirtAddr status_addr = resp + config_.value_bytes;
       drv.WriteHostU64(status_addr, 0);
+      h.slots[slot] = SlotInfo{true, op.dst, status_addr};
+      // In crash-recovery mode the RPC post's own completion feeds the fence:
+      // a flushed/NAKed parameter send means the kernel never saw the
+      // request, so the response will never come — poke the status word
+      // instead of polling forever. (Without the callback, a lost response
+      // is exactly the hang STROM_CHAOS_BUG=no_fence demonstrates.)
+      std::function<void(Status)> on_post;
+      if (crash_recovery_ && !chaos_bug_no_fence_) {
+        on_post = [this, host, slot](Status st) {
+          if (!st.ok()) {
+            FenceSlot(host, slot);
+          }
+        };
+      }
       drv.PostRpc(kTraversalRpcOpcode, qpn,
-                  server.table->LookupParams(op.key, resp).Encode());
+                  server.table->LookupParams(op.key, resp).Encode(),
+                  std::move(on_post));
       struct Ctx {
         YcsbEngine* eng;
         RoceDriver* drv;
@@ -194,8 +376,13 @@ void YcsbEngine::Post(int host, const Op& op) {
       };
       auto poll = [](Ctx c) -> Task {
         const uint64_t status = co_await c.drv->PollU64(c.status_addr, 0);
-        c.eng->Complete(c.host, c.op, c.slot,
-                        StatusWordCode(status) == KernelStatusCode::kOk);
+        Outcome outcome = Outcome::kFailed;
+        if (StatusWordCode(status) == KernelStatusCode::kOk) {
+          outcome = Outcome::kOk;
+        } else if (StatusWordCode(status) == KernelStatusCode::kFencedStale) {
+          outcome = Outcome::kFenced;
+        }
+        c.eng->Complete(c.host, c.op, c.slot, outcome);
       };
       fabric_.node(host).sim().Spawn(poll(Ctx{this, &drv, status_addr, host, op, slot}));
       return;
@@ -203,11 +390,12 @@ void YcsbEngine::Post(int host, const Op& op) {
   }
 }
 
-void YcsbEngine::Complete(int host, const Op& op, uint32_t slot, bool ok) {
+void YcsbEngine::Complete(int host, const Op& op, uint32_t slot, Outcome outcome) {
   Host& h = hosts_[host];
   --h.outstanding;
   h.free_slots.push_back(slot);
-  if (ok) {
+  h.slots[slot] = SlotInfo{};
+  if (outcome == Outcome::kOk) {
     ++h.shard.ops_completed;
     if (op.arrival >= config_.warmup) {
       const SimTime latency = fabric_.node(host).sim().now() - op.arrival;
@@ -227,6 +415,8 @@ void YcsbEngine::Complete(int host, const Op& op, uint32_t slot, bool ok) {
           break;
       }
     }
+  } else if (outcome == Outcome::kFenced) {
+    ++h.shard.ops_fenced;
   } else {
     ++h.shard.ops_failed;
   }
@@ -245,6 +435,11 @@ bool YcsbEngine::AllDone() const {
 YcsbReport YcsbEngine::Run() {
   STROM_CHECK(setup_done_) << "call Setup() first";
   const int n = fabric_.num_hosts();
+  if (crash_recovery_) {
+    for (auto& monitor : liveness_) {
+      monitor->Start();
+    }
+  }
   for (int i = 0; i < n; ++i) {
     if (config_.incast && i == 0) {
       hosts_[i].arrivals_done = true;  // the incast victim only serves
@@ -256,6 +451,11 @@ YcsbReport YcsbEngine::Run() {
   // forever; bound the run instead of hanging.
   fabric_.sim().ScheduleAt(config_.duration * 3, [this] { deadline_hit_ = true; });
   fabric_.sim().RunUntil([this] { return AllDone() || deadline_hit_; });
+  // Leases renew forever by design; stop the monitors now that the workload
+  // has drained (or wedged) so the residual-event drain below terminates.
+  for (auto& monitor : liveness_) {
+    monitor->Stop();
+  }
   report_.deadline_hit = deadline_hit_;
   if (!deadline_hit_) {
     fabric_.sim().RunUntilIdle();
@@ -271,6 +471,8 @@ YcsbReport YcsbEngine::Run() {
     report_.ops_arrived += h.shard.ops_arrived;
     report_.ops_completed += h.shard.ops_completed;
     report_.ops_failed += h.shard.ops_failed;
+    report_.ops_fenced += h.shard.ops_fenced;
+    report_.arrival_timers_cancelled_at_crash += h.shard.arrival_timers_cancelled_at_crash;
     report_.reads += h.shard.reads;
     report_.writes += h.shard.writes;
     report_.gets += h.shard.gets;
@@ -300,6 +502,12 @@ YcsbReport YcsbEngine::Run() {
     report_.rate_cuts += c.dcqcn_rate_cuts;
     report_.pacing_deferrals += c.pacing_deferrals;
     report_.pfc_pause_events += c.pfc_pause_events;
+  }
+  for (const auto& monitor : liveness_) {
+    const LivenessCounters& c = monitor->counters();
+    report_.peers_declared_dead += c.peers_declared_dead;
+    report_.reconnect_attempts += c.reconnect_attempts;
+    report_.leases_acquired += c.leases_acquired;
   }
   return report_;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/fabric/fabric.h"
+#include "src/host/liveness.h"
 #include "src/kvs/hash_table.h"
 #include "src/testbed/stats.h"
 #include "src/workload/zipf.h"
@@ -60,9 +61,19 @@ struct YcsbReport {
   uint64_t ops_arrived = 0;
   uint64_t ops_completed = 0;
   uint64_t ops_failed = 0;
+  // Third terminal class (crash-recovery runs only): ops whose response was
+  // provably lost to a crash and were fenced with KernelStatusCode::
+  // kFencedStale instead of hanging. arrived == completed + failed + fenced
+  // is the session-conservation invariant the chaos harness checks.
+  uint64_t ops_fenced = 0;
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t gets = 0;
+  // Crash-recovery aggregates (all zero unless EnableCrashRecovery ran).
+  uint64_t peers_declared_dead = 0;
+  uint64_t reconnect_attempts = 0;
+  uint64_t leases_acquired = 0;
+  uint64_t arrival_timers_cancelled_at_crash = 0;
   bool deadline_hit = false;  // drain did not finish in 3x duration
   LatencyStats all;
   LatencyStats read_lat;
@@ -82,10 +93,28 @@ struct YcsbReport {
 class YcsbEngine {
  public:
   YcsbEngine(Fabric& fabric, YcsbConfig config);
+  // Latches the crash-recovery gauges this engine registered: the fabric's
+  // metrics registry outlives the engine, so its end-of-run snapshot must
+  // not evaluate closures over destroyed engine state.
+  ~YcsbEngine();
 
   // Deploys traversal kernels, builds per-server hash tables and data
   // regions, connects every QP lane. Call once, before Run().
   void Setup();
+
+  // Arms session-level crash recovery (call after Setup, before Run):
+  //   * one LivenessMonitor per host, leases over every peer, reconnecting
+  //     all QP lanes with fresh PSNs once a dead peer probes alive again;
+  //   * fence pokes that terminate in-flight GETs whose response a crash
+  //     made unreachable (see KernelStatusCode::kFencedStale);
+  //   * arrival-stream pause/resume and backlog fast-fail across host
+  //     crashes, so every op reaches exactly one terminal state.
+  // Honors STROM_CHAOS_BUG=no_fence: skips the fence pokes, reintroducing
+  // the lost-response hang for chaos-explorer demos.
+  void EnableCrashRecovery(const LivenessConfig& liveness = {});
+  LivenessMonitor* liveness(int host) {
+    return crash_recovery_ ? liveness_.at(host).get() : nullptr;
+  }
 
   // Schedules arrivals on every host, runs the simulation until all ops
   // drain (or 3x duration as a wedge guard), and returns the report.
@@ -105,11 +134,20 @@ class YcsbEngine {
     uint32_t lane = 0;
     SimTime arrival = 0;
   };
+  // Per-posting-slot session state, tracked so a crash can fence exactly the
+  // in-flight GETs it orphaned (READ/WRITE slots complete via the flush
+  // path's error callbacks and need no poke).
+  struct SlotInfo {
+    bool get_pending = false;
+    int dst = -1;
+    VirtAddr status_addr = 0;
+  };
   struct Host {
     Rng rng{1};
     std::deque<Op> backlog;
     uint32_t outstanding = 0;
     std::vector<uint32_t> free_slots;
+    std::vector<SlotInfo> slots;
     VirtAddr local_buf = 0;  // per-slot staging for READ/WRITE payloads
     VirtAddr resp_buf = 0;   // per-slot [value][status] GET responses
     VirtAddr data_region = 0;  // server side: READ/WRITE target region
@@ -126,13 +164,20 @@ class YcsbEngine {
     YcsbReport shard;
   };
 
+  enum class Outcome { kOk, kFailed, kFenced };
+
   void ScheduleArrival(int host);
   void Arrival(int host, Simulator& sim);
   Op MakeOp(int host);
   void Pump(int host);
   void Post(int host, const Op& op);
-  void Complete(int host, const Op& op, uint32_t slot, bool ok);
+  void Complete(int host, const Op& op, uint32_t slot, Outcome outcome);
   bool AllDone() const;
+  // Crash-recovery plumbing (no-ops unless EnableCrashRecovery ran).
+  void OnCrashEvent(const FaultEpisode& ep, bool restarted);
+  void HandleHostCrash(int index, bool host_level);
+  void HandleHostRestart(int index, bool host_level);
+  void FenceSlot(int host, uint32_t slot);
 
   Fabric& fabric_;
   YcsbConfig config_;
@@ -141,6 +186,13 @@ class YcsbEngine {
   YcsbReport report_;
   bool setup_done_ = false;
   bool deadline_hit_ = false;
+  bool crash_recovery_ = false;
+  bool chaos_bug_no_fence_ = false;  // STROM_CHAOS_BUG=no_fence
+  std::vector<std::unique_ptr<LivenessMonitor>> liveness_;
+  // Reconnect incarnation per unordered host pair: each reconnect draws a
+  // fresh PSN block so frames from any earlier incarnation land outside the
+  // new window.
+  std::vector<uint32_t> pair_incarnation_;
 };
 
 }  // namespace strom

@@ -25,6 +25,7 @@
 #include "src/common/rng.h"
 #include "src/fabric/fabric.h"
 #include "src/faults/fault_plan.h"
+#include "src/host/liveness.h"
 #include "src/kernels/shuffle.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/lp_scheduler.h"
@@ -206,6 +207,66 @@ TrialOutput RunYcsbChaosTrial(EventQueueMode mode, int threads, const std::strin
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Trial 3: the same rack under a crash-restart plan with the full recovery
+// stack armed (leases, backoff reconnects, epoch fencing). Crashes
+// mass-cancel slab timers and restarts re-arm them, which is the harshest
+// churn the wheel's cascade bookkeeping sees — digests must not move.
+// ---------------------------------------------------------------------------
+
+TrialOutput RunYcsbCrashTrial(EventQueueMode mode, int threads, const std::string& tag) {
+  TrialGuard guard;
+  TelemetryCollector collector;
+  Testbed::telemetry_defaults = TestbedTelemetryDefaults{};
+  Testbed::telemetry_defaults.lp_threads = threads;
+  Testbed::telemetry_defaults.collector = &collector;
+  Testbed::telemetry_defaults.dump_on_crash = false;  // crashes are the point here
+  SetEventQueueMode(mode);
+
+  YcsbConfig cfg;
+  cfg.sessions_per_host = 1000;
+  cfg.ops_per_host_per_sec = 100000;
+  cfg.duration = Us(300);
+  cfg.warmup = Us(20);
+  cfg.max_outstanding_per_host = 16;
+
+  LivenessConfig liveness;
+  liveness.lease_interval = Us(10);
+  liveness.backoff_initial = Us(5);
+  liveness.backoff_max = Us(80);
+
+  Profile profile = Profile10G();
+  profile.roce.max_qps = 4 * cfg.qps_per_peer + 8;
+  FabricTopologyConfig topo;
+  topo.num_hosts = 4;
+
+  TrialOutput out;
+  const std::string prefix = ::testing::TempDir() + "/evcore_" + tag;
+  {
+    std::optional<Fabric> fabric(std::in_place, profile, topo);
+    HashCaptures(fabric->EnableCapture(prefix), prefix, &out);
+    fabric->ApplyFaultPlan(
+        std::make_shared<const FaultPlan>(MakeCrashPlan(11, Us(300), 4, 1)));
+    YcsbEngine engine(*fabric, cfg);
+    engine.Setup();
+    engine.EnableCrashRecovery(liveness);
+    const YcsbReport report = engine.Run();
+    EXPECT_FALSE(report.deadline_hit) << tag;
+    EXPECT_EQ(report.ops_arrived,
+              report.ops_completed + report.ops_failed + report.ops_fenced)
+        << tag << ": every op must reach exactly one terminal state";
+    out.ok = report.ops_completed;
+    out.errored = report.ops_failed + report.ops_fenced;
+    out.end_time = fabric->sim().now();
+    out.events_processed = fabric->scheduler() != nullptr
+                               ? fabric->scheduler()->events_processed()
+                               : fabric->sim().events_processed();
+  }
+  out.metrics_json = collector.MetricsJson();
+  out.metrics_csv = collector.MetricsCsv();
+  return out;
+}
+
 TEST(EventCoreEquivalence, ShuffleSliceIsByteIdenticalAcrossModes) {
   for (const int threads : {0, 4}) {
     const std::string t = std::to_string(threads);
@@ -226,6 +287,20 @@ TEST(EventCoreEquivalence, YcsbRackWithFaultPlanIsByteIdenticalAcrossModes) {
     EXPECT_GT(heap.ok, 0u);
     EXPECT_FALSE(heap.capture_digests.empty());
     ExpectIdentical(heap, wheel, "ycsb chaos rack, threads=" + t);
+  }
+}
+
+TEST(EventCoreEquivalence, YcsbRackWithCrashPlanIsByteIdenticalAcrossModes) {
+  // threads=1 rides along: the acceptance bar for crash schedules is equal
+  // pcapng digests across --threads 0/1/4 and --eventq heap|wheel.
+  for (const int threads : {0, 1, 4}) {
+    const std::string t = std::to_string(threads);
+    const TrialOutput heap = RunYcsbCrashTrial(EventQueueMode::kHeap, threads, "crash_h" + t);
+    const TrialOutput wheel =
+        RunYcsbCrashTrial(EventQueueMode::kWheel, threads, "crash_w" + t);
+    EXPECT_GT(heap.ok, 0u);
+    EXPECT_FALSE(heap.capture_digests.empty());
+    ExpectIdentical(heap, wheel, "ycsb crash-recovery rack, threads=" + t);
   }
 }
 

@@ -14,6 +14,7 @@
 #include "src/sim/simulator.h"
 #include "src/testbed/testbed.h"
 #include "src/testbed/workload.h"
+#include "src/workload/crash_scenario.h"
 
 namespace strom {
 namespace {
@@ -106,6 +107,68 @@ TEST(FaultPlan, EpisodeActivationWindow) {
   pinned.target = 3;
   EXPECT_FALSE(pinned.Matches(0));
   EXPECT_TRUE(pinned.Matches(3));
+}
+
+TEST(FaultPlan, ParsesCrashEpisodesAndRoundTrips) {
+  const std::string text =
+      "seed 9\n"
+      "host1 crash 300us - restart_after=150us\n"
+      "nic0 crash 50us -\n"
+      "switch0 crash 1ms - restart_after=20us\n"
+      "host* crash 2ms -\n";
+  Result<FaultPlan> plan = FaultPlan::Parse(text);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->episodes.size(), 4u);
+
+  const FaultEpisode& host = plan->episodes[0];
+  EXPECT_EQ(host.type, FaultType::kHostCrash);
+  EXPECT_EQ(host.target, 1);
+  EXPECT_EQ(host.start, Us(300));
+  EXPECT_EQ(host.restart_after, Us(150));
+  EXPECT_TRUE(IsCrashFault(host.type));
+  EXPECT_EQ(FaultTargetKindOf(host.type), FaultTargetKind::kHost);
+
+  const FaultEpisode& nic = plan->episodes[1];
+  EXPECT_EQ(nic.type, FaultType::kNicCrash);
+  EXPECT_EQ(nic.restart_after, SimTime(-1)) << "no restart_after = crash-stop";
+  EXPECT_EQ(FaultTargetKindOf(nic.type), FaultTargetKind::kNic);
+
+  EXPECT_EQ(plan->episodes[2].type, FaultType::kSwitchCrash);
+  EXPECT_EQ(plan->episodes[3].target, -1);  // host* wildcard
+
+  Result<FaultPlan> again = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->ToString(), plan->ToString());
+
+  // Crash types belong to node/switch targets only, and vice versa.
+  EXPECT_FALSE(FaultPlan::Parse("link0 crash 0us -\n").ok());
+  EXPECT_FALSE(FaultPlan::Parse("host0 down 0us -\n").ok());
+  EXPECT_FALSE(FaultPlan::Parse("switch0 read_error 0us - p=1\n").ok());
+}
+
+TEST(FaultPlan, MakeCrashPlanIsDeterministicSparesNode0AndRoundTrips) {
+  const FaultPlan a = MakeCrashPlan(11, Ms(2), 4, 2);
+  EXPECT_EQ(a.ToString(), MakeCrashPlan(11, Ms(2), 4, 2).ToString());
+  EXPECT_NE(a.ToString(), MakeCrashPlan(12, Ms(2), 4, 2).ToString());
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    const FaultPlan plan = MakeCrashPlan(seed, Ms(2), 4, 2);
+    ASSERT_FALSE(plan.episodes.empty());
+    bool has_crash = false;
+    for (const FaultEpisode& ep : plan.episodes) {
+      if (!IsCrashFault(ep.type)) {
+        continue;
+      }
+      has_crash = true;
+      if (ep.type != FaultType::kSwitchCrash) {
+        EXPECT_NE(ep.target, 0) << "node 0 is the canonical survivor";
+        EXPECT_GE(ep.restart_after, 0) << "crash plans are crash-recovery";
+      }
+    }
+    EXPECT_TRUE(has_crash) << "seed " << seed;
+    Result<FaultPlan> replay = FaultPlan::Parse(plan.ToString());
+    ASSERT_TRUE(replay.ok()) << replay.status();
+    EXPECT_EQ(replay->ToString(), plan.ToString()) << "seed " << seed;
+  }
 }
 
 TEST(FaultPlan, MakeRandomPlanIsDeterministicAndParses) {
@@ -337,6 +400,152 @@ TEST(FaultE2e, PlanAppliedToSwitchTopologyTargetsPerPortSides) {
   ASSERT_TRUE(done);
   EXPECT_EQ(*bed.node(1).driver().ReadHost(remote, data.size()), data);
   EXPECT_EQ(bed.fault_engine()->counters().frames_dropped, 0u);
+}
+
+// --- crash-restart failure domain -------------------------------------------
+
+TEST(CrashE2e, LocalNicCrashFlushesInFlightWriteAndCountsArmedTimers) {
+  // nic0 dies mid-WRITE. The crash must flush the in-flight WR with an
+  // errored completion at the crash instant (exactly one terminal state) and
+  // census the armed retransmission/pacing timers it mass-cancels.
+  Result<FaultPlan> plan =
+      FaultPlan::Parse("seed 1\nnic0 crash 150us - restart_after=500us\n");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  Testbed bed(Profile10G());
+  bed.ApplyFaultPlan(std::make_shared<const FaultPlan>(std::move(*plan)));
+  int crash_events = 0;
+  int restart_events = 0;
+  bed.AddCrashListener([&](const FaultEpisode& ep, bool restarted) {
+    EXPECT_EQ(ep.type, FaultType::kNicCrash);
+    EXPECT_EQ(ep.target, 0);
+    (restarted ? restart_events : crash_events) += 1;
+  });
+  bed.ConnectQp(0, kQp, 1, kQp);
+  RoceDriver& drv = bed.node(0).driver();
+  const VirtAddr local = drv.AllocBuffer(MiB(1))->addr;
+  const VirtAddr remote = bed.node(1).driver().AllocBuffer(MiB(1))->addr;
+  const ByteBuffer payload = RandomBytes(32768, 6);
+  ASSERT_TRUE(drv.WriteHost(local, payload).ok());
+
+  // 32KiB at 10G is ~26us of wire time: posted at 140us it is still in
+  // flight when the NIC dies at 150us.
+  int completions = 0;
+  Status first;
+  bed.sim().ScheduleAt(Us(140), [&] {
+    drv.PostWrite(kQp, local, remote, payload.size(), [&](Status st) {
+      ++completions;
+      first = st;
+    });
+  });
+  bed.sim().RunUntil([&] { return completions > 0; });
+
+  ASSERT_EQ(completions, 1) << "crash flush must complete the WR exactly once";
+  EXPECT_FALSE(first.ok());
+  EXPECT_LE(bed.sim().now(), Us(151)) << "flush happens at the crash, not at RTO";
+  const RoceCounters& c0 = bed.node(0).stack().counters();
+  EXPECT_EQ(c0.crashes, 1u);
+  EXPECT_GE(c0.timers_cancelled_at_crash, 1u) << "RTO timer was armed at the crash";
+  EXPECT_GE(c0.wrs_flushed, 1u);
+  EXPECT_EQ(crash_events, 1);
+
+  // Ride out the restart (crash 150us + 500us), resync, verify traffic.
+  bed.sim().RunFor(Ms(1));
+  EXPECT_EQ(restart_events, 1);
+  bed.ReconnectQp(0, kQp, 1, kQp);
+  bool again = false;
+  drv.PostWrite(kQp, local, remote, payload.size(), [&](Status st) {
+    EXPECT_TRUE(st.ok()) << st;
+    again = true;
+  });
+  bed.sim().RunUntil([&] { return again; });
+  bed.sim().RunUntilIdle();
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*bed.node(1).driver().ReadHost(remote, payload.size()), payload);
+}
+
+TEST(CrashE2e, PeerNicRestartFencesStaleEpochWithNak) {
+  // nic1 dies and restarts while node 0 has a WRITE in flight. Node 0 keeps
+  // retransmitting into the dead window; the retry that lands on the
+  // restarted NIC hits the epoch tombstone and draws NAK(stale epoch), which
+  // errors the requester QP instead of letting pre-crash bytes land in the
+  // peer's fresh memory state.
+  Result<FaultPlan> plan =
+      FaultPlan::Parse("seed 1\nnic1 crash 150us - restart_after=200us\n");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  // Defaults: RTO 100us doubling, retry_limit 7 — the ~450us retry arrives
+  // after the 350us restart and well inside the retry budget, so the QP
+  // errors through the stale NAK, not through retry exhaustion.
+  Testbed bed(Profile10G());
+  bed.ApplyFaultPlan(std::make_shared<const FaultPlan>(std::move(*plan)));
+  bed.ConnectQp(0, kQp, 1, kQp);
+  RoceDriver& drv = bed.node(0).driver();
+  const VirtAddr local = drv.AllocBuffer(MiB(1))->addr;
+  const VirtAddr remote = bed.node(1).driver().AllocBuffer(MiB(1))->addr;
+  const ByteBuffer payload = RandomBytes(32768, 7);
+  ASSERT_TRUE(drv.WriteHost(local, payload).ok());
+
+  int completions = 0;
+  Status first;
+  bed.sim().ScheduleAt(Us(140), [&] {
+    drv.PostWrite(kQp, local, remote, payload.size(), [&](Status st) {
+      ++completions;
+      first = st;
+    });
+  });
+  bed.sim().RunUntil([&] { return completions > 0; });
+
+  ASSERT_EQ(completions, 1);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(bed.node(1).stack().counters().crashes, 1u);
+  EXPECT_GE(bed.node(1).stack().counters().tx_stale_naks, 1u)
+      << "restarted NIC must fence the stale-epoch retransmission";
+  EXPECT_GE(bed.node(0).stack().counters().rx_stale_naks, 1u);
+  EXPECT_EQ(bed.node(0).stack().counters().qp_errors, 1u);
+
+  // A fresh handshake clears the tombstone and traffic resumes.
+  bed.sim().RunUntilIdle();
+  bed.ReconnectQp(0, kQp, 1, kQp);
+  bool again = false;
+  drv.PostWrite(kQp, local, remote, payload.size(), [&](Status st) {
+    EXPECT_TRUE(st.ok()) << st;
+    again = true;
+  });
+  bed.sim().RunUntil([&] { return again; });
+  bed.sim().RunUntilIdle();
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*bed.node(1).driver().ReadHost(remote, payload.size()), payload);
+  EXPECT_EQ(bed.node(0).stack().counters().qp_errors, 1u);
+}
+
+TEST(CrashE2e, ReconnectRacesSecondCrashOfSamePeer) {
+  // nic1 crashes, restarts at 200us, then crashes AGAIN at 220us — before
+  // the survivors' exponential backoff (5,10,20,40,80us from detection at
+  // ~110us) produces a reconnect attempt that sees it alive. The second
+  // crash lands inside the backoff window of the first recovery; every
+  // session op must still reach exactly one terminal state.
+  Result<FaultPlan> plan = FaultPlan::Parse(
+      "seed 5\n"
+      "nic1 crash 100us - restart_after=100us\n"
+      "nic1 crash 220us - restart_after=40us\n");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  const CrashScenarioConfig cfg = CrashScenarioConfig::Small();
+  const CrashScenarioResult r = RunCrashScenario(cfg, *plan);
+
+  EXPECT_FALSE(r.outcome.violation)
+      << r.outcome.violation_kind << ": " << r.outcome.detail;
+  EXPECT_GT(r.report.ops_arrived, 0u);
+  EXPECT_EQ(r.report.ops_arrived,
+            r.report.ops_completed + r.report.ops_failed + r.report.ops_fenced);
+  EXPECT_FALSE(r.report.deadline_hit);
+  EXPECT_GE(r.report.peers_declared_dead, 2u);
+  EXPECT_GE(r.report.reconnect_attempts, 2u)
+      << "backoff must keep retrying across the second crash";
+  EXPECT_GE(r.report.leases_acquired, 1u);
+  EXPECT_EQ(r.frame_blocks_leaked, 0);
+  EXPECT_EQ(r.audit_violations, 0u);
 }
 
 }  // namespace

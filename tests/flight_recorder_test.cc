@@ -204,5 +204,77 @@ TEST(Postmortem, MissingBundleIsAnError) {
   EXPECT_FALSE(InspectPostmortem(TempPath("fr_nonexistent")).ok());
 }
 
+TEST(Postmortem, RecoveryTimelineReconstructsCrashStory) {
+  // Synthesize the full record sequence of one NIC bounce observed by two
+  // survivors: crash -> per-host dead-peer detection -> backoff attempts ->
+  // restart -> lease re-acquire -> first post-restart delivery. The
+  // inspector must stitch it into one RecoveryTimeline with per-observer
+  // phase times, and --faults must render it.
+  FlightRecorder recorder(3);
+  // nic1 dies at 100us; survivors notice via lease expiry.
+  recorder.Record(Us(100), 1, FlightRecordType::kCrash, /*opcode=*/1, 0, 0, 1);
+  recorder.Record(Us(110), 0, FlightRecordType::kPeerDead, 0, 0, 0, 1);
+  recorder.Record(Us(112), 2, FlightRecordType::kPeerDead, 0, 0, 0, 1);
+  recorder.Record(Us(115), 0, FlightRecordType::kReconnectAttempt, 0, 0, /*attempt=*/0, 1);
+  recorder.Record(Us(117), 2, FlightRecordType::kReconnectAttempt, 0, 0, 0, 1);
+  recorder.Record(Us(125), 0, FlightRecordType::kReconnectAttempt, 0, 0, 1, 1);
+  recorder.Record(Us(200), 1, FlightRecordType::kRestart, 1, 0, 0, 1);
+  recorder.Record(Us(205), 0, FlightRecordType::kLeaseAcquired, 0, 0, 0, 1);
+  recorder.Record(Us(207), 2, FlightRecordType::kLeaseAcquired, 0, 0, 0, 1);
+  recorder.Record(Us(210), 1, FlightRecordType::kRx, 0, kQp, 1001, 0);
+  const std::string stem = TempPath("fr_recovery");
+  ASSERT_TRUE(recorder.Dump(stem, "crash: nic1").ok());
+
+  Result<PostmortemReport> pm = InspectPostmortem(stem);
+  ASSERT_TRUE(pm.ok()) << pm.status();
+  ASSERT_EQ(pm->recoveries.size(), 1u);
+  const RecoveryTimeline& r = pm->recoveries[0];
+  EXPECT_EQ(r.what, "nic1");
+  EXPECT_EQ(r.kind, 1);
+  EXPECT_EQ(r.target, 1);
+  EXPECT_EQ(r.crash, Us(100));
+  EXPECT_EQ(r.restart, Us(200));
+  EXPECT_EQ(r.first_rx_after_restart, Us(210));
+  ASSERT_EQ(r.observers.size(), 2u);
+  EXPECT_EQ(r.observers[0].host, 0);
+  EXPECT_EQ(r.observers[0].detected, Us(110));
+  EXPECT_EQ(r.observers[0].first_attempt, Us(115));
+  EXPECT_EQ(r.observers[0].attempts, 2);
+  EXPECT_EQ(r.observers[0].reacquired, Us(205));
+  EXPECT_EQ(r.observers[1].host, 2);
+  EXPECT_EQ(r.observers[1].attempts, 1);
+  EXPECT_EQ(r.observers[1].reacquired, Us(207));
+
+  const std::string text =
+      FormatPostmortemReport(*pm, /*timeline=*/false, /*faults=*/true);
+  EXPECT_NE(text.find("recovery timelines:"), std::string::npos) << text;
+  EXPECT_NE(text.find("nic1 crash @ 100.000 us"), std::string::npos) << text;
+  EXPECT_NE(text.find("lease re-acquired"), std::string::npos) << text;
+  // Without --faults the report only hints at the crash count.
+  const std::string brief = FormatPostmortemReport(*pm);
+  EXPECT_EQ(brief.find("recovery timelines:"), std::string::npos);
+  EXPECT_NE(brief.find("--faults"), std::string::npos);
+}
+
+TEST(Postmortem, CrashStopShowsNoRestart) {
+  FlightRecorder recorder(2);
+  recorder.Record(Us(50), 1, FlightRecordType::kCrash, /*opcode=*/0, 0, 0, 1);
+  recorder.Record(Us(60), 0, FlightRecordType::kPeerDead, 0, 0, 0, 1);
+  recorder.Record(Us(65), 0, FlightRecordType::kReconnectAttempt, 0, 0, 0, 1);
+  const std::string stem = TempPath("fr_crashstop");
+  ASSERT_TRUE(recorder.Dump(stem, "crash: host1").ok());
+
+  Result<PostmortemReport> pm = InspectPostmortem(stem);
+  ASSERT_TRUE(pm.ok()) << pm.status();
+  ASSERT_EQ(pm->recoveries.size(), 1u);
+  const RecoveryTimeline& r = pm->recoveries[0];
+  EXPECT_EQ(r.what, "host1");
+  EXPECT_EQ(r.restart, -1);
+  EXPECT_EQ(r.first_rx_after_restart, -1);
+  ASSERT_EQ(r.observers.size(), 1u);
+  EXPECT_EQ(r.observers[0].reacquired, -1);
+  EXPECT_EQ(r.observers[0].attempts, 1);  // counted to ring end, never re-acquired
+}
+
 }  // namespace
 }  // namespace strom

@@ -28,6 +28,8 @@ const char* SyndromeName(AckSyndrome s) {
       return "NAK_REMOTE_ACCESS";
     case AckSyndrome::kNakRemoteOperationalError:
       return "NAK_REMOTE_OPERATIONAL_ERROR";
+    case AckSyndrome::kNakStaleEpoch:
+      return "NAK_STALE_EPOCH";
   }
   return "NAK_UNKNOWN";
 }
@@ -767,9 +769,119 @@ std::string FormatFlightRecord(const FlightRecord& r) {
     case FlightRecordType::kAudit:
       out += "  VIOLATION";
       break;
+    case FlightRecordType::kCrash:
+    case FlightRecordType::kRestart: {
+      const char* kind = r.opcode == 0 ? "host" : r.opcode == 1 ? "nic" : "switch";
+      out += std::string("  ") + kind + std::to_string(r.aux) +
+             (static_cast<FlightRecordType>(r.type) == FlightRecordType::kCrash
+                  ? " died"
+                  : " came back");
+      break;
+    }
+    case FlightRecordType::kPeerDead:
+      out += "  peer " + std::to_string(r.aux) + " lease expired";
+      break;
+    case FlightRecordType::kReconnectAttempt:
+      out += "  peer " + std::to_string(r.aux) + "  attempt " + std::to_string(r.psn);
+      break;
+    case FlightRecordType::kLeaseAcquired:
+      out += "  peer " + std::to_string(r.aux);
+      break;
     default:
       out += "  type " + std::to_string(r.type) + " aux " + std::to_string(r.aux);
       break;
+  }
+  return out;
+}
+
+// Builds one RecoveryTimeline per kCrash record by correlating the crash-
+// recovery record types across every host's ring. Rings are bounded, so any
+// phase may have scrolled away; those stay at -1 and render as "-".
+std::vector<RecoveryTimeline> BuildRecoveryTimelines(
+    const std::vector<std::vector<FlightRecord>>& hosts) {
+  std::vector<RecoveryTimeline> out;
+  for (const std::vector<FlightRecord>& ring : hosts) {
+    for (const FlightRecord& r : ring) {
+      if (static_cast<FlightRecordType>(r.type) != FlightRecordType::kCrash) {
+        continue;
+      }
+      RecoveryTimeline tl;
+      tl.kind = r.opcode;
+      tl.target = int(r.aux);
+      tl.crash = SimTime(r.t_ps);
+      const char* kind = r.opcode == 0 ? "host" : r.opcode == 1 ? "nic" : "switch";
+      tl.what = kind + std::to_string(r.aux);
+      out.push_back(tl);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const RecoveryTimeline& a, const RecoveryTimeline& b) {
+    return a.crash != b.crash ? a.crash < b.crash
+                              : std::make_pair(a.kind, a.target) < std::make_pair(b.kind, b.target);
+  });
+
+  for (RecoveryTimeline& tl : out) {
+    // Matching restart: first kRestart of the same component after the crash.
+    for (const std::vector<FlightRecord>& ring : hosts) {
+      for (const FlightRecord& r : ring) {
+        if (static_cast<FlightRecordType>(r.type) == FlightRecordType::kRestart &&
+            r.opcode == tl.kind && int(r.aux) == tl.target && SimTime(r.t_ps) >= tl.crash &&
+            (tl.restart < 0 || SimTime(r.t_ps) < tl.restart)) {
+          tl.restart = SimTime(r.t_ps);
+        }
+      }
+    }
+    if (tl.kind == 2) {
+      continue;  // switches have no leases and no per-node ring of their own
+    }
+    // First delivery on the crashed node's own ring after the restart: the
+    // moment post-restart traffic actually flowed again.
+    if (tl.restart >= 0 && size_t(tl.target) < hosts.size()) {
+      for (const FlightRecord& r : hosts[size_t(tl.target)]) {
+        if (static_cast<FlightRecordType>(r.type) == FlightRecordType::kRx &&
+            SimTime(r.t_ps) >= tl.restart) {
+          tl.first_rx_after_restart = SimTime(r.t_ps);
+          break;
+        }
+      }
+    }
+    // Every surviving host's lease view of the crashed node.
+    for (size_t h = 0; h < hosts.size(); ++h) {
+      if (int(h) == tl.target) {
+        continue;
+      }
+      RecoveryTimeline::Observer obs;
+      obs.host = int(h);
+      for (const FlightRecord& r : hosts[h]) {
+        if (int(r.aux) != tl.target || SimTime(r.t_ps) < tl.crash) {
+          continue;
+        }
+        switch (static_cast<FlightRecordType>(r.type)) {
+          case FlightRecordType::kPeerDead:
+            if (obs.detected < 0) {
+              obs.detected = SimTime(r.t_ps);
+            }
+            break;
+          case FlightRecordType::kReconnectAttempt:
+            if (obs.reacquired < 0) {
+              if (obs.first_attempt < 0) {
+                obs.first_attempt = SimTime(r.t_ps);
+              }
+              ++obs.attempts;
+            }
+            break;
+          case FlightRecordType::kLeaseAcquired:
+            if (obs.reacquired < 0) {
+              obs.reacquired = SimTime(r.t_ps);
+            }
+            break;
+          default:
+            break;
+        }
+      }
+      if (obs.detected >= 0 || obs.attempts > 0 || obs.reacquired >= 0) {
+        tl.observers.push_back(obs);
+      }
+    }
   }
   return out;
 }
@@ -904,10 +1016,12 @@ Result<PostmortemReport> InspectPostmortem(const std::string& stem) {
   if (audit_marks > 0) {
     pm.findings.push_back("audit violation marked in the ring (see reason)");
   }
+  pm.recoveries = BuildRecoveryTimelines(pm.hosts);
   return pm;
 }
 
-std::string FormatPostmortemReport(const PostmortemReport& report, bool timeline) {
+std::string FormatPostmortemReport(const PostmortemReport& report, bool timeline,
+                                   bool faults) {
   std::string out;
   out += "reason: " + report.reason + "\n";
   out += "records: " + std::to_string(report.records) + " across " +
@@ -944,6 +1058,38 @@ std::string FormatPostmortemReport(const PostmortemReport& report, bool timeline
   if (report.have_frames) {
     out += "frames: " + std::to_string(report.frames) + " in capture, " +
            std::to_string(report.frames_matched) + " matched against the event ring\n";
+  }
+  if (!report.recoveries.empty() && !faults) {
+    out += "crashes: " + std::to_string(report.recoveries.size()) +
+           " in the rings (--faults for the recovery timeline)\n";
+  }
+  if (faults && report.recoveries.empty()) {
+    out += "recovery: no crash records in the rings\n";
+  }
+  if (faults && !report.recoveries.empty()) {
+    // Phase latencies relative to the crash instant; "-" = the phase never
+    // happened (crash-stop, or the record scrolled out of the ring).
+    const auto rel = [](SimTime from, SimTime t) {
+      return t < 0 ? std::string("-") : "+" + FormatUs(t - from) + " us";
+    };
+    out += "recovery timelines:\n";
+    for (const RecoveryTimeline& tl : report.recoveries) {
+      out += "  " + tl.what + " crash @ " + FormatUs(tl.crash) + " us, restart " +
+             rel(tl.crash, tl.restart);
+      if (tl.first_rx_after_restart >= 0) {
+        out += ", first post-restart delivery " + rel(tl.crash, tl.first_rx_after_restart);
+      }
+      out += "\n";
+      for (const RecoveryTimeline::Observer& obs : tl.observers) {
+        out += "    host" + std::to_string(obs.host) + ": detected " +
+               rel(tl.crash, obs.detected) + ", " + std::to_string(obs.attempts) +
+               " backoff attempt(s)";
+        if (obs.first_attempt >= 0) {
+          out += " from " + rel(tl.crash, obs.first_attempt);
+        }
+        out += ", lease re-acquired " + rel(tl.crash, obs.reacquired) + "\n";
+      }
+    }
   }
   if (!report.findings.empty()) {
     out += "findings:\n";

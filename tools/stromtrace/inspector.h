@@ -231,6 +231,30 @@ std::string FormatFlowCsvReport(const FlowCsvReport& report);
 // frame with no matching record (within the ring's retention window) means
 // the bundle is internally inconsistent — a recorder defect or a mixed-up
 // pair of files.
+// Recovery timeline for one crash episode found in the rings (stromtrace
+// --postmortem --faults): crash -> dead-peer detection -> backoff attempts ->
+// lease re-acquire -> first post-restart delivery, with per-phase latencies
+// derived from the kCrash/kRestart/kPeerDead/kReconnectAttempt/kLeaseAcquired
+// records. Times are ring timestamps (ps); -1 = the phase never happened
+// within the ring's retention window.
+struct RecoveryTimeline {
+  // One surviving host's view of the crashed component.
+  struct Observer {
+    int host = -1;
+    SimTime detected = -1;       // first kPeerDead for this subject
+    SimTime first_attempt = -1;  // first kReconnectAttempt
+    int attempts = 0;            // backoff attempts until re-acquire (or ring end)
+    SimTime reacquired = -1;     // first kLeaseAcquired after the crash
+  };
+  std::string what;   // "host1" / "nic2" / "switch0"
+  uint8_t kind = 0;   // crash-record opcode: 0=host 1=nic 2=switch
+  int target = -1;    // crashed node / switch index (the record's aux)
+  SimTime crash = -1;
+  SimTime restart = -1;                 // -1: crash-stop (no restart record)
+  SimTime first_rx_after_restart = -1;  // crashed node's ring only (not switches)
+  std::vector<Observer> observers;
+};
+
 struct PostmortemReport {
   std::string stem;
   std::string reason;  // dump trigger ("audit: ...", "watchdog: ...", ...)
@@ -245,11 +269,16 @@ struct PostmortemReport {
   std::vector<std::string> findings;
   // Cross-check failures; each is an error for the exit status.
   std::vector<std::string> inconsistencies;
+  // One entry per kCrash record, ring-time order (see RecoveryTimeline).
+  std::vector<RecoveryTimeline> recoveries;
 };
 
 Result<PostmortemReport> InspectPostmortem(const std::string& stem);
 // With `timeline`, prints every ring record; otherwise the last few per host.
-std::string FormatPostmortemReport(const PostmortemReport& report, bool timeline = false);
+// With `faults`, appends the per-crash recovery timelines with phase
+// latencies (detection, backoff, re-acquire, first post-restart delivery).
+std::string FormatPostmortemReport(const PostmortemReport& report, bool timeline = false,
+                                   bool faults = false);
 
 }  // namespace strom
 

@@ -5,7 +5,7 @@
 //   stromtrace [--strict] [--mtu=N] [--timeline] [--faults] [--ecn]
 //              [--retry-limit=N] [--quiet] <capture.pcapng>...
 //   stromtrace --flows [--quiet] <run.flows.csv>...
-//   stromtrace --postmortem [--timeline] [--quiet] <bundle-stem>...
+//   stromtrace --postmortem [--timeline] [--faults] [--quiet] <bundle-stem>...
 //
 //   --strict    treat observations (retransmits, NAKs) as errors too; use in
 //               CI on captures of clean runs
@@ -32,7 +32,11 @@
 //               --postmortem-out value): decode "<stem>.flightrec.bin",
 //               cross-check it against "<stem>.frames.pcapng", and print the
 //               dump reason, per-host event rings, and the QPs the ring
-//               localizes the failure to; cross-check failures are errors
+//               localizes the failure to; cross-check failures are errors.
+//               With --faults, also print the crash-recovery timelines:
+//               crash -> dead-peer detection -> backoff attempts -> lease
+//               re-acquire -> first post-restart delivery, each phase with
+//               its latency relative to the crash instant
 //   --quiet     print nothing; the exit code is the verdict
 //
 // Exit status: 0 all captures clean, 1 anomalies found, 2 usage or file
@@ -52,7 +56,8 @@ int Usage() {
                "usage: stromtrace [--strict] [--mtu=N] [--timeline] [--faults] "
                "[--ecn] [--retry-limit=N] [--quiet] <capture.pcapng>...\n"
                "       stromtrace --flows [--quiet] <run.flows.csv>...\n"
-               "       stromtrace --postmortem [--timeline] [--quiet] <bundle-stem>...\n");
+               "       stromtrace --postmortem [--timeline] [--faults] [--quiet] "
+               "<bundle-stem>...\n");
   return 2;
 }
 
@@ -81,8 +86,11 @@ size_t RunFlows(const std::vector<std::string>& paths, bool quiet, bool* usage_e
 }
 
 // stromtrace --postmortem: decode + cross-check flight-recorder bundles.
+// With --faults, append the crash-recovery timelines distilled from the
+// rings (crash -> detection -> backoff -> lease re-acquire -> first
+// post-restart delivery, with per-phase latencies).
 size_t RunPostmortem(const std::vector<std::string>& stems, bool timeline, bool quiet,
-                     bool* usage_error) {
+                     bool faults, bool* usage_error) {
   size_t errors = 0;
   for (const std::string& stem : stems) {
     strom::Result<strom::PostmortemReport> report = strom::InspectPostmortem(stem);
@@ -95,7 +103,7 @@ size_t RunPostmortem(const std::vector<std::string>& stems, bool timeline, bool 
     errors += report->inconsistencies.size();
     if (!quiet) {
       std::printf("== %s ==\n%s", stem.c_str(),
-                  strom::FormatPostmortemReport(*report, timeline).c_str());
+                  strom::FormatPostmortemReport(*report, timeline, faults).c_str());
       std::printf("verdict: %s (%zu inconsistenc%s)\n\n",
                   report->inconsistencies.empty() ? "CLEAN" : "ANOMALOUS",
                   report->inconsistencies.size(),
@@ -164,7 +172,7 @@ int main(int argc, char** argv) {
   if (flows || postmortem) {
     bool usage_error = false;
     const size_t errors = flows ? RunFlows(paths, quiet, &usage_error)
-                                : RunPostmortem(paths, timeline, quiet, &usage_error);
+                                : RunPostmortem(paths, timeline, quiet, faults, &usage_error);
     if (usage_error) {
       return 2;
     }
